@@ -1,0 +1,117 @@
+//! Criterion bench for E3/E8: per-packet forwarding cost of the four
+//! Table 3 kernels, measured packet-by-packet on the cached path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use router_core::monolithic::{AltqDrrRouter, BestEffortRouter};
+use router_core::plugins::register_builtin_factories;
+use router_core::pmgr::run_script;
+use router_core::{Gate, Router, RouterConfig};
+use rp_netsim::traffic::{v6_host, Workload};
+use rp_packet::Mbuf;
+
+/// Small-payload variant of the Table 3 flow mix: criterion measures the
+/// per-packet *data-path* cost here, and an 8 KB clone per iteration
+/// would drown it in allocator noise (the faithful 8 KB workload runs in
+/// the `table3` binary).
+fn packets() -> Vec<Mbuf> {
+    let mut w = Workload::paper_table3();
+    for f in &mut w.flows {
+        f.payload_len = 256;
+    }
+    w.build()
+}
+
+fn plugin_router(gates: Vec<Gate>, script: &str) -> Router {
+    let mut r = Router::new(RouterConfig {
+        verify_checksums: false,
+        enabled_gates: gates,
+        ..RouterConfig::default()
+    });
+    register_builtin_factories(&mut r.loader);
+    r.add_route(v6_host(0), 32, 1);
+    run_script(&mut r, script).unwrap();
+    r
+}
+
+fn bench_datapath(c: &mut Criterion) {
+    let pkts = packets();
+    let mut group = c.benchmark_group("datapath_per_packet");
+    group.throughput(criterion::Throughput::Elements(1));
+
+    // Row 1: best-effort.
+    let mut be = BestEffortRouter::new(4, false);
+    be.add_route(v6_host(0), 32, 1);
+    let mut i = 0usize;
+    group.bench_function("best_effort", |b| {
+        b.iter(|| {
+            i = (i + 1) % pkts.len();
+            let d = be.receive(pkts[i].clone());
+            if i % 64 == 0 {
+                be.take_tx(1);
+            }
+            black_box(d)
+        })
+    });
+
+    // Row 2: plugin framework, 3 empty-plugin gates.
+    let mut fw = plugin_router(
+        vec![Gate::Firewall, Gate::IpSecurity, Gate::Stats],
+        "load null\ncreate null\n\
+         bind fw null 0 <*, *, *, *, *, *>\n\
+         bind ipsec null 0 <*, *, *, *, *, *>\n\
+         bind stats null 0 <*, *, *, *, *, *>\n",
+    );
+    let mut i = 0usize;
+    group.bench_function("plugin_framework_3gates", |b| {
+        b.iter(|| {
+            i = (i + 1) % pkts.len();
+            let d = fw.receive(pkts[i].clone());
+            if i % 64 == 0 {
+                fw.take_tx(1);
+            }
+            black_box(d)
+        })
+    });
+
+    // Row 3: monolithic ALTQ DRR.
+    let mut altq = AltqDrrRouter::new(4, 64, 9180, false);
+    altq.add_route(v6_host(0), 32, 1);
+    let mut i = 0usize;
+    let mut now = 0u64;
+    group.bench_function("monolithic_altq_drr", |b| {
+        b.iter(|| {
+            i = (i + 1) % pkts.len();
+            now += 1000;
+            let d = altq.receive(pkts[i].clone(), now);
+            altq.pump(1, 1, now);
+            if i % 64 == 0 {
+                altq.take_tx(1);
+            }
+            black_box(d)
+        })
+    });
+
+    // Row 4: plugin framework + DRR plugin.
+    let mut pd = plugin_router(
+        vec![Gate::Scheduling],
+        "load drr\ncreate drr quantum=9180 limit=512\nattach 1 drr 0\n\
+         bind sched drr 0 <*, *, UDP, *, *, *>\n",
+    );
+    let mut i = 0usize;
+    group.bench_function("plugin_drr", |b| {
+        b.iter(|| {
+            i = (i + 1) % pkts.len();
+            let d = pd.receive(pkts[i].clone());
+            pd.pump(1, 1);
+            if i % 64 == 0 {
+                pd.take_tx(1);
+            }
+            black_box(d)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_datapath);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion bench for E2/E5: DAG filter-table lookup across filter
+//! counts and BMP plugins, against the linear baseline.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rp_classifier::{BmpKind, DagTable, LinearTable};
+use rp_netsim::traffic::random_filters;
+use rp_packet::FlowTuple;
+use std::net::{IpAddr, Ipv4Addr};
+
+fn probes(n: usize) -> Vec<FlowTuple> {
+    let mut rng = StdRng::seed_from_u64(12);
+    (0..n)
+        .map(|_| FlowTuple {
+            src: IpAddr::V4(Ipv4Addr::from(rng.gen::<u32>())),
+            dst: IpAddr::V4(Ipv4Addr::from(rng.gen::<u32>())),
+            proto: 17,
+            sport: rng.gen(),
+            dport: rng.gen(),
+            rx_if: 0,
+        })
+        .collect()
+}
+
+fn bench_filter_lookup(c: &mut Criterion) {
+    let ps = probes(1024);
+    let mut group = c.benchmark_group("filter_lookup");
+    for &n in &[16usize, 1024, 16384] {
+        let filters = random_filters(n, false, n as u64);
+        let mut bspl = DagTable::new(BmpKind::Bspl);
+        let mut pat = DagTable::new(BmpKind::Patricia);
+        let mut lin = LinearTable::new();
+        for (i, f) in filters.into_iter().enumerate() {
+            let _ = bspl.insert(f.clone(), i);
+            let _ = pat.insert(f.clone(), i);
+            lin.insert(f, i);
+        }
+        let mut idx = 0usize;
+        group.bench_with_input(BenchmarkId::new("dag_bspl", n), &n, |b, _| {
+            b.iter(|| {
+                idx = (idx + 1) & 1023;
+                black_box(bspl.lookup(&ps[idx]))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dag_patricia", n), &n, |b, _| {
+            b.iter(|| {
+                idx = (idx + 1) & 1023;
+                black_box(pat.lookup(&ps[idx]))
+            })
+        });
+        if n <= 1024 {
+            group.bench_with_input(BenchmarkId::new("linear", n), &n, |b, _| {
+                b.iter(|| {
+                    idx = (idx + 1) & 1023;
+                    black_box(lin.lookup(&ps[idx]))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_filter_lookup);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench for E4: flow-cache hit cost and the bare five-tuple
+//! hash (the paper's "17 cycles" / "1.3 µs cached lookup" claims).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rp_classifier::flow_table::{flow_hash, FlowTable, FlowTableConfig};
+use rp_netsim::traffic::v6_host;
+use rp_packet::FlowTuple;
+
+fn tuple(i: u32) -> FlowTuple {
+    FlowTuple {
+        src: v6_host((i % 50000) as u16),
+        dst: v6_host(((i / 50000) % 50000 + 1) as u16),
+        proto: 17,
+        sport: (i % 60000) as u16,
+        dport: 80,
+        rx_if: 0,
+    }
+}
+
+fn bench_flow_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_table");
+
+    let probes: Vec<FlowTuple> = (0..1024).map(tuple).collect();
+    group.bench_function("hash_five_tuple", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            black_box(flow_hash(&probes[i]))
+        })
+    });
+
+    for &n in &[64usize, 8192, 262_144] {
+        let mut ft: FlowTable<u32> = FlowTable::new(FlowTableConfig {
+            buckets: 32768,
+            initial_records: 1024,
+            max_records: n.max(1024) * 2,
+            gates: 6,
+        });
+        for i in 0..n {
+            ft.insert(tuple(i as u32));
+        }
+        let keys: Vec<FlowTuple> = (0..1024).map(|i| tuple((i % n) as u32)).collect();
+        group.bench_with_input(BenchmarkId::new("cached_lookup", n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) & 1023;
+                black_box(ft.lookup(&keys[i]))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow_table);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion bench for E7's overhead comparison: per-operation
+//! enqueue+dequeue cost of FIFO vs DRR vs H-FSC vs RED. The paper's
+//! ranking — H-FSC costs more than DRR, both cost more than FIFO —
+//! should reproduce ("[27] reports 6.8–10.3 µs … 25% to 37% overhead"
+//! versus DRR's 20%).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rp_sched::link::{SchedPacket, Scheduler};
+use rp_sched::red::RedConfig;
+use rp_sched::{DrrScheduler, FifoScheduler, HfscScheduler, RedQueue, ServiceCurve};
+
+fn pkt(flow: u32, i: u64) -> SchedPacket {
+    SchedPacket {
+        flow,
+        len: 1000,
+        arrival_ns: i,
+        cookie: i,
+    }
+}
+
+fn bench_enq_deq<S: Scheduler>(c: &mut Criterion, name: &str, mut s: S) {
+    // Keep a standing backlog of ~32 packets across 8 flows so both
+    // operations do real work.
+    let mut i = 0u64;
+    for _ in 0..32 {
+        i += 1;
+        s.enqueue(pkt((i % 8) as u32, i), i);
+    }
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            i += 1;
+            s.enqueue(pkt((i % 8) as u32, i), i);
+            black_box(s.dequeue(i))
+        })
+    });
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    bench_enq_deq(c, "sched/fifo", FifoScheduler::new(1024));
+
+    let mut drr = DrrScheduler::new(1500, 128);
+    for f in 0..8 {
+        drr.set_weight(f, 1 + f % 4);
+    }
+    bench_enq_deq(c, "sched/drr", drr);
+
+    let mut hfsc = HfscScheduler::new(1_000_000_000, 128);
+    let root = hfsc.root();
+    let a = hfsc.add_class(root, 700_000_000, None);
+    let b = hfsc.add_class(root, 300_000_000, None);
+    for f in 0..4u32 {
+        let leaf = hfsc.add_class(a, 100_000_000, Some(ServiceCurve::linear(50_000_000)));
+        hfsc.bind_flow(f, leaf);
+    }
+    for f in 4..8u32 {
+        let leaf = hfsc.add_class(b, 50_000_000, None);
+        hfsc.bind_flow(f, leaf);
+    }
+    bench_enq_deq(c, "sched/hfsc", hfsc);
+
+    bench_enq_deq(
+        c,
+        "sched/red",
+        RedQueue::new(
+            RedConfig {
+                limit: 1024,
+                min_th: 100.0,
+                max_th: 500.0,
+                ..RedConfig::default()
+            },
+            42,
+        ),
+    );
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

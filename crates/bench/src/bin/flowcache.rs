@@ -1,0 +1,109 @@
+//! E4 — flow-table (cache-hit) lookup cost and scaling.
+//!
+//! Paper claims: "in the best case, the IPv6 flow entry for a packet can
+//! be found in 1.3 µs (when the flow is cached)" on a P6/233, with the
+//! hash executed "in 17 processor cycles". We measure the cached-lookup
+//! cost across cache populations and report ns plus P6/233-equivalent
+//! cycles (shape: flat until chains lengthen, far below the uncached
+//! path).
+//!
+//! Run: `cargo run --release -p rp-bench --bin flowcache`
+
+use rp_bench::report::Table;
+use rp_classifier::flow_table::{flow_hash, FlowTable, FlowTableConfig};
+use rp_netsim::traffic::v6_host;
+use rp_packet::FlowTuple;
+use std::time::Instant;
+
+/// Host clock for ns→cycles conversion (fallback 3 GHz).
+fn host_hz() -> f64 {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("cpu MHz"))
+                .and_then(|l| l.split(':').nth(1))
+                .and_then(|v| v.trim().parse::<f64>().ok())
+        })
+        .map(|mhz| mhz * 1e6)
+        .unwrap_or(3e9)
+}
+
+fn tuple(i: u32) -> FlowTuple {
+    FlowTuple {
+        src: v6_host((i % 50000) as u16),
+        dst: v6_host(((i / 50000) % 50000 + 1) as u16),
+        proto: 17,
+        sport: (i % 60000) as u16,
+        dport: 80,
+        rx_if: 0,
+    }
+}
+
+fn main() {
+    println!("E4: flow-table cached-lookup cost vs cache population");
+    println!("(paper: best-case cached IPv6 lookup ≈ 1.3 µs ≈ 300 cycles on P6/233)");
+    println!();
+    let hz = host_hz();
+    let mut t = Table::new(&[
+        "cached flows",
+        "ns/lookup",
+        "host cycles",
+        "hit rate",
+    ]);
+    for &n in &[1usize, 64, 1024, 8192, 65536, 262_144] {
+        let mut ft: FlowTable<u32> = FlowTable::new(FlowTableConfig {
+            buckets: 32768,
+            initial_records: 1024,
+            max_records: n.max(1024) * 2,
+            gates: 4,
+        });
+        for i in 0..n {
+            ft.insert(tuple(i as u32));
+        }
+        // Probe uniformly over the cached population.
+        let probes: Vec<FlowTuple> = (0..4096).map(|i| tuple((i % n) as u32)).collect();
+        // Warm.
+        for p in &probes {
+            std::hint::black_box(ft.lookup(p));
+        }
+        let h0 = ft.stats();
+        let t0 = Instant::now();
+        let rounds = 64;
+        for _ in 0..rounds {
+            for p in &probes {
+                std::hint::black_box(ft.lookup(p));
+            }
+        }
+        let elapsed = t0.elapsed().as_nanos() as f64;
+        let h1 = ft.stats();
+        let lookups = (rounds * probes.len()) as f64;
+        let ns = elapsed / lookups;
+        let hits = (h1.hits - h0.hits) as f64 / lookups;
+        t.row(&[
+            n.to_string(),
+            format!("{ns:.1}"),
+            format!("{:.0}", ns * hz / 1e9),
+            format!("{:.3}", hits),
+        ]);
+    }
+    t.print();
+
+    // The 17-cycle hash claim: time the bare hash function.
+    let probes: Vec<FlowTuple> = (0..4096).map(tuple).collect();
+    let t0 = Instant::now();
+    let mut acc = 0u32;
+    let rounds = 256;
+    for _ in 0..rounds {
+        for p in &probes {
+            acc = acc.wrapping_add(flow_hash(std::hint::black_box(p)));
+        }
+    }
+    let ns = t0.elapsed().as_nanos() as f64 / (rounds * probes.len()) as f64;
+    std::hint::black_box(acc);
+    println!();
+    println!(
+        "bare five-tuple hash: {ns:.2} ns ≈ {:.1} host cycles (paper: 17 cycles on its P6/233)",
+        ns * host_hz() / 1e9
+    );
+}

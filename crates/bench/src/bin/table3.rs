@@ -1,0 +1,184 @@
+//! E3 — reproduce **Table 3: Overall Packet Processing Time**.
+//!
+//! Paper setup: 8 KB UDP/IPv6 datagrams, 3 concurrent flows, 100 packets
+//! per flow, repeated 1000 times, 16 filters installed, three gates with
+//! empty plugins (framework row) or one scheduling gate with DRR.
+//!
+//! ```text
+//! Kernel                              Avg cycles   µs     overhead
+//! Unmodified NetBSD 1.2.1                 6460   27.7        —
+//! NetBSD + Plugin framework               6970   29.9       +8%
+//! NetBSD + ALTQ DRR (monolithic)          8160   35.0      +26%
+//! NetBSD + Plugin framework + DRR plugin  8110   34.8      +26%
+//! ```
+//!
+//! Absolute numbers move with the host CPU; the *relative overheads* are
+//! the reproduced result: single-digit % for the framework, plugin DRR ≈
+//! monolithic DRR, scheduling ≈ +20%.
+//!
+//! Run: `cargo run --release -p rp-bench --bin table3`
+
+use router_core::monolithic::{AltqDrrRouter, BestEffortRouter};
+use router_core::plugins::register_builtin_factories;
+use router_core::pmgr::run_script;
+use router_core::{Gate, Router, RouterConfig};
+use rp_bench::report::Table;
+use rp_netsim::testbench::{RunStats, Testbench};
+use rp_netsim::traffic::{v6_host, Workload};
+
+const REPS: usize = 100; // paper: 1000 × 300 pkts; 100 reps is plenty stable
+
+/// Host clock for ns→cycles conversion (falls back to 3 GHz when
+/// /proc/cpuinfo is unavailable).
+fn host_hz() -> f64 {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("cpu MHz"))
+                .and_then(|l| l.split(':').nth(1))
+                .and_then(|v| v.trim().parse::<f64>().ok())
+        })
+        .map(|mhz| mhz * 1e6)
+        .unwrap_or(3e9)
+}
+
+/// Sixteen filters as in the paper's run ("The system had 16 filters
+/// installed") — background policies that do not match the test flows.
+fn sixteen_background_filters(r: &mut Router, plugin: &str, gate: &str) {
+    for i in 0..16 {
+        let spec = format!(
+            "bind {gate} {plugin} 0 <2001:db8:ff{i:02x}::/48, *, TCP, *, {}, *>",
+            20000 + i
+        );
+        run_script(r, &spec).expect("background filter");
+    }
+}
+
+fn plugin_router(gates: Vec<Gate>) -> Router {
+    let mut r = Router::new(RouterConfig {
+        verify_checksums: false,
+        enabled_gates: gates,
+        ..RouterConfig::default()
+    });
+    register_builtin_factories(&mut r.loader);
+    r.add_route(v6_host(0), 32, 1);
+    r
+}
+
+fn main() {
+    let workload = Workload::paper_table3();
+    let tb = Testbench::new(&workload);
+    eprintln!(
+        "[table3] {} packets/rep × {REPS} reps per kernel…",
+        workload.total_packets()
+    );
+
+    // Row 1: unmodified best-effort kernel.
+    let mut be = BestEffortRouter::new(4, false);
+    be.add_route(v6_host(0), 32, 1);
+    let be_warm = tb.run_best_effort(&mut be, 2); // warm caches
+    let _ = be_warm;
+    let s_be = tb.run_best_effort(&mut be, REPS);
+
+    // Row 2: plugin framework, three gates calling empty plugins.
+    let mut fw = plugin_router(vec![Gate::Firewall, Gate::IpSecurity, Gate::Stats]);
+    run_script(
+        &mut fw,
+        "load null\ncreate null\n\
+         bind fw null 0 <*, *, *, *, *, *>\n\
+         bind ipsec null 0 <*, *, *, *, *, *>\n\
+         bind stats null 0 <*, *, *, *, *, *>\n",
+    )
+    .unwrap();
+    sixteen_background_filters(&mut fw, "null", "fw");
+    tb.run_router(&mut fw, 2);
+    let s_fw = tb.run_router(&mut fw, REPS);
+
+    // Row 3: monolithic ALTQ-style DRR kernel.
+    let mut altq = AltqDrrRouter::new(4, 64, 9180, false);
+    altq.add_route(v6_host(0), 32, 1);
+    tb.run_altq(&mut altq, 2);
+    let s_altq = tb.run_altq(&mut altq, REPS);
+
+    // Row 4: plugin framework with the DRR plugin at one gate.
+    let mut pd = plugin_router(vec![Gate::Scheduling]);
+    run_script(
+        &mut pd,
+        "load drr\ncreate drr quantum=9180 limit=512\nattach 1 drr 0\n\
+         bind sched drr 0 <*, *, UDP, *, *, *>\n",
+    )
+    .unwrap();
+    sixteen_background_filters(&mut pd, "drr", "sched");
+    tb.run_router(&mut pd, 2);
+    let s_pd = tb.run_router(&mut pd, REPS);
+
+    println!();
+    println!("Table 3: Overall Packet Processing Time");
+    println!("(workload: 3 × 100 × {REPS} UDP/IPv6 8 KB datagrams, 16+ filters)");
+    println!();
+    // The paper's baseline (6460 cycles ≈ 27.7 µs on a P6/233) is a full
+    // kernel path: interrupt handling, ATM driver work, mbuf management.
+    // Our lean user-space baseline does none of that, so two comparisons
+    // are reported: (a) raw percentages against the lean baseline, and
+    // (b) the architectural quantity the paper actually isolates — the
+    // *added* cycles per packet, comparable against the paper's added
+    // cycles over ITS baseline (framework +510, ALTQ DRR +1700, plugin
+    // DRR +1650).
+    let base = s_be.ns_per_packet();
+    let hz = host_hz();
+    let row = |name: &str, s: &RunStats, paper_added: &str| {
+        let ns = s.ns_per_packet();
+        let added_cycles = (ns - base) * hz / 1e9;
+        vec![
+            name.to_string(),
+            format!("{:.2}", ns / 1000.0),
+            format!("{:+.1}%", 100.0 * (ns - base) / base),
+            format!("{:+.0}", added_cycles),
+            paper_added.to_string(),
+            format!("{:.0}", s.packets_per_sec()),
+        ]
+    };
+    let mut t = Table::new(&[
+        "Kernel",
+        "µs/pkt",
+        "overhead (lean base)",
+        "added host-cycles",
+        "paper added cycles",
+        "pkt/s",
+    ]);
+    t.row(&row("Best-effort (unmodified)", &s_be, "—"));
+    t.row(&row(
+        "Plugin framework (3 empty-plugin gates)",
+        &s_fw,
+        "+510 (+7.9%)",
+    ));
+    t.row(&row("Monolithic ALTQ DRR", &s_altq, "+1700 (+26.3%)"));
+    t.row(&row(
+        "Plugin framework + DRR plugin",
+        &s_pd,
+        "+1650 (+25.5%)",
+    ));
+    t.print();
+
+    println!();
+    let fw_added = (s_fw.ns_per_packet() - base) * hz / 1e9;
+    println!(
+        "framework added {:.0} host-cycles/pkt; against the paper's 6460-cycle kernel",
+        fw_added
+    );
+    println!(
+        "baseline that is {:+.1}% (paper measured +7.9% = +510 of its cycles)",
+        100.0 * fw_added / 6460.0
+    );
+    let pd = s_pd.ns_per_packet();
+    let altq = s_altq.ns_per_packet();
+    println!(
+        "plugin DRR vs monolithic ALTQ DRR: {:+.1}%  (paper: -0.6% — plugin not slower)",
+        100.0 * (pd - altq) / altq
+    );
+    println!(
+        "cache behaviour: framework run had {} misses / {} hits (flow cache working)",
+        s_fw.cache_misses, s_fw.cache_hits
+    );
+}

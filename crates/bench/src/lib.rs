@@ -1,0 +1,9 @@
+//! # rp-bench — benchmark harness for the Router Plugins reproduction
+//!
+//! Criterion benches live in `benches/`; the paper-table regenerators are
+//! binaries under `src/bin/` (one per table/figure, see EXPERIMENTS.md).
+//! This library hosts the shared reporting helpers.
+
+#![forbid(unsafe_code)]
+
+pub mod report;

@@ -1,0 +1,361 @@
+//! The Association Identification Unit facade: one filter table per
+//! *gate*, one shared flow table, and the two data paths of paper §3.2:
+//!
+//! * **Uncached** (first packet of a flow): the flow-table lookup misses,
+//!   the AIU performs one filter-table lookup *per gate* and creates a
+//!   single flow record caching every gate's plugin binding.
+//! * **Cached**: the flow-table lookup hits; the FIX is handed back so
+//!   subsequent gates cost one indexed load each.
+//!
+//! The paper keeps one filter table per gate (rather than one merged
+//! global table) because per-function policies differ and a merged table
+//! blows up combinatorially (§5.1); the AIU mirrors that design.
+
+use crate::dag::{BmpKind, DagError, DagTable, LookupStats};
+use crate::filter::{FilterId, FilterSpec};
+use crate::flow_table::{EvictedFlow, FlowTable, FlowTableConfig, FlowTableStats};
+use rp_packet::mbuf::FlowIndex;
+use rp_packet::{FlowTuple, Mbuf};
+
+/// Index of a gate (the paper's plugin-type/gate correspondence lives in
+/// `router-core`; the AIU just numbers them).
+pub type GateId = usize;
+
+/// AIU construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AiuConfig {
+    /// Number of gates (filter tables).
+    pub gates: usize,
+    /// Flow-cache configuration.
+    pub flow_table: FlowTableConfig,
+    /// BMP plugin for the DAG address levels.
+    pub bmp: BmpKind,
+}
+
+impl Default for AiuConfig {
+    fn default() -> Self {
+        let gates = 4;
+        AiuConfig {
+            gates,
+            flow_table: FlowTableConfig {
+                gates,
+                ..FlowTableConfig::default()
+            },
+            bmp: BmpKind::Bspl,
+        }
+    }
+}
+
+/// The AIU. `V` is the plugin-instance handle type (must be cheap to
+/// clone: `router-core` uses an `Arc`).
+pub struct Aiu<V: Clone> {
+    filter_tables: Vec<DagTable<V>>,
+    flow_table: FlowTable<V>,
+    cfg: AiuConfig,
+}
+
+/// Outcome of classifying one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassifyOutcome {
+    /// Flow was cached; FIX returned directly.
+    CacheHit(FlowIndex),
+    /// Flow was not cached; filter lookups ran at every gate and a record
+    /// was created.
+    CacheMiss(FlowIndex),
+}
+
+impl ClassifyOutcome {
+    /// The flow index regardless of path.
+    pub fn fix(&self) -> FlowIndex {
+        match self {
+            ClassifyOutcome::CacheHit(f) | ClassifyOutcome::CacheMiss(f) => *f,
+        }
+    }
+}
+
+impl<V: Clone> Aiu<V> {
+    /// Build an AIU.
+    pub fn new(cfg: AiuConfig) -> Self {
+        assert_eq!(
+            cfg.gates, cfg.flow_table.gates,
+            "flow records must carry one binding per gate"
+        );
+        Aiu {
+            filter_tables: (0..cfg.gates).map(|_| DagTable::new(cfg.bmp)).collect(),
+            flow_table: FlowTable::new(cfg.flow_table),
+            cfg,
+        }
+    }
+
+    /// Number of gates.
+    pub fn gates(&self) -> usize {
+        self.cfg.gates
+    }
+
+    /// Install a filter in `gate`'s table, bound to `value`
+    /// (`register_instance` semantics). Cached flows the new filter
+    /// matches are invalidated — they may bind differently now — and
+    /// returned so the caller can run plugin eviction callbacks.
+    pub fn install_filter(
+        &mut self,
+        gate: GateId,
+        spec: FilterSpec,
+        value: V,
+    ) -> Result<(FilterId, Vec<EvictedFlow<V>>), DagError> {
+        let id = self.filter_tables[gate].insert(spec.clone(), value)?;
+        let evicted = self.flow_table.invalidate_matching(&spec);
+        Ok((id, evicted))
+    }
+
+    /// Remove a filter and invalidate every cached flow derived from it
+    /// (`deregister_instance`). Returns the evicted flows so the caller
+    /// can run plugin callbacks.
+    pub fn remove_filter(
+        &mut self,
+        gate: GateId,
+        id: FilterId,
+    ) -> Result<(FilterSpec, V, Vec<EvictedFlow<V>>), DagError> {
+        let (spec, v) = self.filter_tables[gate].remove(id)?;
+        let evicted = self.flow_table.invalidate_filter(gate, id);
+        Ok((spec, v, evicted))
+    }
+
+    /// The filter table of a gate (read access, e.g. for diagnostics).
+    pub fn filter_table(&self, gate: GateId) -> &DagTable<V> {
+        &self.filter_tables[gate]
+    }
+
+    /// Classify a packet: the paper's first-gate logic. On a miss, runs
+    /// the filter lookup for **all** gates and creates one flow record
+    /// ("the processing of the first packet of a new flow with n gates
+    /// involves n filter table lookups to create a single entry"). Any
+    /// recycled flow's bindings are returned for eviction callbacks.
+    pub fn classify(
+        &mut self,
+        tuple: &FlowTuple,
+    ) -> (ClassifyOutcome, Option<EvictedFlow<V>>) {
+        if let Some(fix) = self.flow_table.lookup(tuple) {
+            return (ClassifyOutcome::CacheHit(fix), None);
+        }
+        let (fix, evicted) = self.flow_table.insert(*tuple);
+        for gate in 0..self.cfg.gates {
+            let binding = self.filter_tables[gate]
+                .lookup(tuple)
+                .map(|(id, v)| (id, v.clone()));
+            let rec = self.flow_table.record_mut(fix).expect("fresh record");
+            if let Some((id, v)) = binding {
+                rec.gates[gate].instance = Some(v);
+                rec.gates[gate].filter = Some(id);
+            }
+        }
+        (ClassifyOutcome::CacheMiss(fix), evicted)
+    }
+
+    /// Classify an mbuf, extracting its tuple and caching the FIX into the
+    /// mbuf (what the first gate's macro does in the paper).
+    pub fn classify_mbuf(
+        &mut self,
+        mbuf: &mut Mbuf,
+    ) -> Result<(ClassifyOutcome, Option<EvictedFlow<V>>), rp_packet::Error> {
+        let tuple = FlowTuple::from_mbuf(mbuf)?;
+        let (outcome, evicted) = self.classify(&tuple);
+        mbuf.fix = Some(outcome.fix());
+        Ok((outcome, evicted))
+    }
+
+    /// Fast-path fetch: the instance bound at `gate` for an
+    /// already-classified packet. One indexed load — no hashing, no
+    /// filter lookup (the "indirect function call instead of a 'hardwired'
+    /// function call" of §3.2).
+    pub fn instance(&self, fix: FlowIndex, gate: GateId) -> Option<&V> {
+        self.flow_table
+            .record(fix)?
+            .gates
+            .get(gate)?
+            .instance
+            .as_ref()
+    }
+
+    /// The filter a cached binding was derived from.
+    pub fn bound_filter(&self, fix: FlowIndex, gate: GateId) -> Option<FilterId> {
+        self.flow_table.record(fix)?.gates.get(gate)?.filter
+    }
+
+    /// Single-access fetch of a gate binding's filter id and soft-state
+    /// slot (the data path calls this once per gate; splitting it into
+    /// two record lookups would double the fast-path slab accesses).
+    pub fn binding_mut(
+        &mut self,
+        fix: FlowIndex,
+        gate: GateId,
+    ) -> Option<(Option<FilterId>, &mut Option<Box<dyn std::any::Any>>)> {
+        let b = self.flow_table.record_mut(fix)?.gates.get_mut(gate)?;
+        Some((b.filter, &mut b.soft_state))
+    }
+
+    /// Mutable access to per-flow plugin soft state at a gate.
+    pub fn soft_state_mut(
+        &mut self,
+        fix: FlowIndex,
+        gate: GateId,
+    ) -> Option<&mut Option<Box<dyn std::any::Any>>> {
+        Some(
+            &mut self
+                .flow_table
+                .record_mut(fix)?
+                .gates
+                .get_mut(gate)?
+                .soft_state,
+        )
+    }
+
+    /// Advance the AIU's virtual clock (idle-expiry bookkeeping).
+    pub fn set_now(&mut self, now_ns: u64) {
+        self.flow_table.set_now(now_ns);
+    }
+
+    /// Expire flows idle longer than `max_idle_ns`; returns evicted
+    /// bindings for plugin callbacks.
+    pub fn expire_idle(&mut self, max_idle_ns: u64) -> Vec<EvictedFlow<V>> {
+        self.flow_table.expire_idle(max_idle_ns)
+    }
+
+    /// Flow-cache statistics.
+    pub fn flow_stats(&self) -> FlowTableStats {
+        self.flow_table.stats()
+    }
+
+    /// Cumulative filter-table access statistics summed over gates.
+    pub fn filter_stats(&self) -> LookupStats {
+        let mut total = LookupStats::default();
+        for t in &self.filter_tables {
+            let s = t.stats_snapshot();
+            total.bmp_fn_ptr += s.bmp_fn_ptr;
+            total.hash_fn_ptr += s.hash_fn_ptr;
+            total.addr_probes += s.addr_probes;
+            total.port_probes += s.port_probes;
+            total.dag_edges += s.dag_edges;
+        }
+        total
+    }
+
+    /// Direct access to the flow table (testbench instrumentation).
+    pub fn flow_table_mut(&mut self) -> &mut FlowTable<V> {
+        &mut self.flow_table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{IpAddr, Ipv4Addr};
+
+    fn tuple(i: u32) -> FlowTuple {
+        FlowTuple {
+            src: IpAddr::V4(Ipv4Addr::from(0x0A00_0000 | i)),
+            dst: IpAddr::V4(Ipv4Addr::new(192, 94, 233, 10)),
+            proto: 6,
+            sport: 1000 + i as u16,
+            dport: 80,
+            rx_if: 0,
+        }
+    }
+
+    fn aiu3() -> Aiu<&'static str> {
+        Aiu::new(AiuConfig {
+            gates: 3,
+            flow_table: FlowTableConfig {
+                gates: 3,
+                buckets: 256,
+                initial_records: 8,
+                max_records: 32,
+            },
+            bmp: BmpKind::Bspl,
+        })
+    }
+
+    #[test]
+    fn uncached_then_cached() {
+        let mut aiu = aiu3();
+        aiu.install_filter(0, "10.0.0.0/8, *, TCP, *, *, *".parse().unwrap(), "sec")
+            .unwrap();
+        aiu.install_filter(2, "*, *, TCP, *, 80, *".parse().unwrap(), "sched")
+            .unwrap();
+        let t = tuple(1);
+        let (o1, _) = aiu.classify(&t);
+        assert!(matches!(o1, ClassifyOutcome::CacheMiss(_)));
+        let (o2, _) = aiu.classify(&t);
+        assert_eq!(o2, ClassifyOutcome::CacheHit(o1.fix()));
+        // All gates were resolved on the miss.
+        assert_eq!(aiu.instance(o1.fix(), 0), Some(&"sec"));
+        assert_eq!(aiu.instance(o1.fix(), 1), None); // no filter at gate 1
+        assert_eq!(aiu.instance(o1.fix(), 2), Some(&"sched"));
+    }
+
+    #[test]
+    fn n_filter_lookups_on_first_packet_only() {
+        let mut aiu = aiu3();
+        aiu.install_filter(0, FilterSpec::any(), "a").unwrap();
+        aiu.install_filter(1, FilterSpec::any(), "b").unwrap();
+        aiu.install_filter(2, FilterSpec::any(), "c").unwrap();
+        let t = tuple(7);
+        let before = aiu.filter_stats().dag_edges;
+        aiu.classify(&t);
+        let after_miss = aiu.filter_stats().dag_edges;
+        // 3 gates × 6 levels of edge traversal.
+        assert_eq!(after_miss - before, 18);
+        aiu.classify(&t);
+        assert_eq!(
+            aiu.filter_stats().dag_edges,
+            after_miss,
+            "cached path must not touch filter tables"
+        );
+    }
+
+    #[test]
+    fn filter_removal_invalidates_flows() {
+        let mut aiu = aiu3();
+        let (fid, _) = aiu
+            .install_filter(1, "*, *, TCP, *, *, *".parse().unwrap(), "x")
+            .unwrap();
+        let t = tuple(3);
+        let (o, _) = aiu.classify(&t);
+        assert_eq!(aiu.instance(o.fix(), 1), Some(&"x"));
+        let (_, _, evicted) = aiu.remove_filter(1, fid).unwrap();
+        assert_eq!(evicted.len(), 1);
+        // The flow reclassifies to nothing at gate 1.
+        let (o2, _) = aiu.classify(&t);
+        assert!(matches!(o2, ClassifyOutcome::CacheMiss(_)));
+        assert_eq!(aiu.instance(o2.fix(), 1), None);
+    }
+
+    #[test]
+    fn soft_state_slot() {
+        let mut aiu = aiu3();
+        aiu.install_filter(0, FilterSpec::any(), "p").unwrap();
+        let (o, _) = aiu.classify(&tuple(9));
+        *aiu.soft_state_mut(o.fix(), 0).unwrap() = Some(Box::new(42u64));
+        let st = aiu.soft_state_mut(o.fix(), 0).unwrap();
+        assert_eq!(*st.as_ref().unwrap().downcast_ref::<u64>().unwrap(), 42);
+    }
+
+    #[test]
+    fn recycling_under_pressure() {
+        let mut aiu = aiu3();
+        aiu.install_filter(0, FilterSpec::any(), "p").unwrap();
+        let mut evictions = 0;
+        for i in 0..100 {
+            let (_, ev) = aiu.classify(&tuple(i));
+            if ev.is_some() {
+                evictions += 1;
+            }
+        }
+        assert_eq!(aiu.flow_stats().live, 32);
+        assert_eq!(evictions, 100 - 32);
+        // Oldest flows were recycled; recent ones still cached.
+        let (o, _) = aiu.classify(&tuple(99));
+        assert!(matches!(o, ClassifyOutcome::CacheHit(_)));
+        let (o, _) = aiu.classify(&tuple(0));
+        assert!(matches!(o, ClassifyOutcome::CacheMiss(_)));
+    }
+}

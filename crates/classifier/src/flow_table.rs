@@ -1,0 +1,587 @@
+//! The flow table (paper §5.2): a hash-indexed cache of fully specified
+//! flows. Each record stores, **per gate**, the bound plugin instance and
+//! an opaque per-flow soft-state slot (the DRR plugin keeps its per-flow
+//! queue pointer there).
+//!
+//! Reproduced mechanics:
+//!
+//! * The cheap five-tuple hash ("17 processor cycles on a Pentium") —
+//!   a short xor/fold with no multiplies, [`flow_hash`].
+//! * Bucket array sized at boot (default 32768), collision chains as
+//!   singly linked lists threaded through the record slab.
+//! * Records come from a free list seeded with 1024 entries that **grows
+//!   exponentially** (1024, 2048, 4096, …) up to a configurable maximum,
+//!   after which the **oldest records are recycled**.
+//! * Records are addressed by [`FlowIndex`] — the FIX the data path caches
+//!   in the packet's mbuf so later gates skip the hash lookup entirely.
+
+use rp_packet::mbuf::FlowIndex;
+use rp_packet::FlowTuple;
+use std::any::Any;
+use std::net::IpAddr;
+
+use crate::filter::FilterId;
+
+/// The paper's cheap flow hash: fold the five-tuple into 32 bits with
+/// xors, rotates and one final avalanche — comparable work to the
+/// "17 cycles" original (no multiplies, no divisions beyond the mask).
+#[inline]
+pub fn flow_hash(t: &FlowTuple) -> u32 {
+    #[inline]
+    fn fold_addr(a: IpAddr) -> u32 {
+        match a {
+            IpAddr::V4(v) => u32::from(v),
+            IpAddr::V6(v) => {
+                let b = u128::from(v);
+                (b as u32) ^ ((b >> 32) as u32) ^ ((b >> 64) as u32) ^ ((b >> 96) as u32)
+            }
+        }
+    }
+    let mut h = fold_addr(t.src);
+    h = h.rotate_left(7) ^ fold_addr(t.dst);
+    h = h.rotate_left(7) ^ (u32::from(t.sport) << 16 | u32::from(t.dport));
+    h ^= u32::from(t.proto) << 8;
+    // One-round finisher to spread low bits into the bucket mask.
+    h ^= h >> 16;
+    h = h.wrapping_mul(0x45d9_f3b5);
+    h ^ (h >> 13)
+}
+
+/// Per-gate binding stored in a flow record: the paper's "pair of pointers
+/// for each gate" — the plugin instance and its private per-flow soft
+/// state.
+pub struct GateBinding<V> {
+    /// The bound plugin instance (None when no filter matched at this
+    /// gate).
+    pub instance: Option<V>,
+    /// The filter this binding was derived from.
+    pub filter: Option<FilterId>,
+    /// Plugin-private per-flow soft state.
+    pub soft_state: Option<Box<dyn Any>>,
+}
+
+impl<V> Default for GateBinding<V> {
+    fn default() -> Self {
+        GateBinding {
+            instance: None,
+            filter: None,
+            soft_state: None,
+        }
+    }
+}
+
+/// One row of the flow table.
+pub struct FlowRecord<V> {
+    /// The fully specified six-tuple identifying the flow.
+    pub key: FlowTuple,
+    /// Per-gate bindings, indexed by gate id.
+    pub gates: Vec<GateBinding<V>>,
+    /// Chain link (next record in the same hash bucket).
+    next: Option<u32>,
+    /// Insertion sequence number (for oldest-first recycling).
+    seq: u64,
+    /// Virtual time of the last lookup hit (for idle expiry).
+    last_used: u64,
+    /// Slot-in-use flag (false = on the free list).
+    live: bool,
+}
+
+/// Flow table configuration (paper defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct FlowTableConfig {
+    /// Number of hash buckets ("default value used in our kernel is
+    /// 32768").
+    pub buckets: usize,
+    /// Initial free-list size ("default is 1024").
+    pub initial_records: usize,
+    /// Hard cap on allocated records; beyond this the oldest are recycled.
+    pub max_records: usize,
+    /// Number of gates each record carries bindings for.
+    pub gates: usize,
+}
+
+impl Default for FlowTableConfig {
+    fn default() -> Self {
+        FlowTableConfig {
+            buckets: 32768,
+            initial_records: 1024,
+            max_records: 65536,
+            gates: 4,
+        }
+    }
+}
+
+/// Statistics exposed for the experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowTableStats {
+    /// Lookup hits.
+    pub hits: u64,
+    /// Lookup misses.
+    pub misses: u64,
+    /// Records recycled (evicted while live).
+    pub recycled: u64,
+    /// Current allocation (live + free).
+    pub allocated: usize,
+    /// Live records.
+    pub live: usize,
+}
+
+/// The flow cache.
+pub struct FlowTable<V> {
+    buckets: Vec<Option<u32>>,
+    records: Vec<FlowRecord<V>>,
+    free: Vec<u32>,
+    cfg: FlowTableConfig,
+    next_seq: u64,
+    now_ns: u64,
+    stats: FlowTableStats,
+}
+
+impl<V> FlowTable<V> {
+    /// Build with the given configuration.
+    pub fn new(cfg: FlowTableConfig) -> Self {
+        assert!(cfg.buckets.is_power_of_two(), "bucket count must be 2^k");
+        assert!(cfg.initial_records >= 1);
+        let mut t = FlowTable {
+            buckets: vec![None; cfg.buckets],
+            records: Vec::new(),
+            free: Vec::new(),
+            cfg,
+            next_seq: 0,
+            now_ns: 0,
+            stats: FlowTableStats::default(),
+        };
+        t.grow(cfg.initial_records);
+        t
+    }
+
+    fn grow(&mut self, n: usize) {
+        let start = self.records.len();
+        for i in 0..n {
+            self.records.push(FlowRecord {
+                key: dummy_key(),
+                gates: (0..self.cfg.gates).map(|_| GateBinding::default()).collect(),
+                next: None,
+                seq: 0,
+                last_used: 0,
+                live: false,
+            });
+            self.free.push((start + i) as u32);
+        }
+        self.stats.allocated = self.records.len();
+    }
+
+    fn bucket_of(&self, key: &FlowTuple) -> usize {
+        (flow_hash(key) as usize) & (self.cfg.buckets - 1)
+    }
+
+    /// Advance the table's virtual clock (drives idle expiry; the router
+    /// calls this as packets arrive).
+    pub fn set_now(&mut self, now_ns: u64) {
+        self.now_ns = now_ns;
+    }
+
+    /// Cached-path lookup: the FIX for `key` if present. One hash + chain
+    /// walk; a hit refreshes the record's idle timer.
+    pub fn lookup(&mut self, key: &FlowTuple) -> Option<FlowIndex> {
+        let b = self.bucket_of(key);
+        let mut cur = self.buckets[b];
+        while let Some(idx) = cur {
+            let r = &self.records[idx as usize];
+            if r.key == *key {
+                self.stats.hits += 1;
+                self.records[idx as usize].last_used = self.now_ns;
+                return Some(FlowIndex(idx));
+            }
+            cur = r.next;
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Remove every flow idle for longer than `max_idle_ns` ("if a cached
+    /// flow remains idle for an extended period, its cached entry may be
+    /// removed", paper §3.2). Returns the evicted bindings for plugin
+    /// callbacks.
+    pub fn expire_idle(&mut self, max_idle_ns: u64) -> Vec<EvictedFlow<V>> {
+        let cutoff = self.now_ns.saturating_sub(max_idle_ns);
+        let victims: Vec<u32> = self
+            .records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.live && r.last_used < cutoff)
+            .map(|(i, _)| i as u32)
+            .collect();
+        victims
+            .into_iter()
+            .filter_map(|v| self.remove(FlowIndex(v)))
+            .collect()
+    }
+
+    /// Non-counting peek (used by tests/diagnostics).
+    pub fn peek(&self, key: &FlowTuple) -> Option<FlowIndex> {
+        let b = self.bucket_of(key);
+        let mut cur = self.buckets[b];
+        while let Some(idx) = cur {
+            let r = &self.records[idx as usize];
+            if r.key == *key {
+                return Some(FlowIndex(idx));
+            }
+            cur = r.next;
+        }
+        None
+    }
+
+    /// Insert a record for `key` (which must not be cached), returning its
+    /// FIX and, when a live record had to be recycled, the evicted record's
+    /// bindings so the caller can run plugin eviction callbacks.
+    pub fn insert(&mut self, key: FlowTuple) -> (FlowIndex, Option<EvictedFlow<V>>) {
+        debug_assert!(self.peek(&key).is_none(), "flow already cached");
+        let mut evicted = None;
+        let idx = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                if self.records.len() < self.cfg.max_records {
+                    // Exponential growth: double (capped at max).
+                    let add = self
+                        .records
+                        .len()
+                        .min(self.cfg.max_records - self.records.len());
+                    self.grow(add.max(1));
+                    self.free.pop().expect("grew the free list")
+                } else {
+                    let victim = self.oldest_live().expect("table full but nothing live");
+                    evicted = Some(self.evict(victim));
+                    self.stats.recycled += 1;
+                    victim
+                }
+            }
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let b = self.bucket_of(&key);
+        {
+            let head = self.buckets[b];
+            let r = &mut self.records[idx as usize];
+            r.key = key;
+            r.seq = seq;
+            r.last_used = self.now_ns;
+            r.live = true;
+            r.next = head;
+            for g in &mut r.gates {
+                *g = GateBinding::default();
+            }
+            self.buckets[b] = Some(idx);
+        }
+        self.stats.live += 1;
+        (FlowIndex(idx), evicted)
+    }
+
+    fn oldest_live(&self) -> Option<u32> {
+        // Oldest-first recycling. A scan keeps the fast path free of list
+        // maintenance; recycling only happens at the allocation cap.
+        self.records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.live)
+            .min_by_key(|(_, r)| r.seq)
+            .map(|(i, _)| i as u32)
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let b = self.bucket_of(&self.records[idx as usize].key.clone());
+        let mut cur = self.buckets[b];
+        if cur == Some(idx) {
+            self.buckets[b] = self.records[idx as usize].next;
+            return;
+        }
+        while let Some(i) = cur {
+            let next = self.records[i as usize].next;
+            if next == Some(idx) {
+                self.records[i as usize].next = self.records[idx as usize].next;
+                return;
+            }
+            cur = next;
+        }
+    }
+
+    fn evict(&mut self, idx: u32) -> EvictedFlow<V> {
+        self.unlink(idx);
+        let r = &mut self.records[idx as usize];
+        r.live = false;
+        let gates = std::mem::take(&mut r.gates);
+        r.gates = (0..self.cfg.gates).map(|_| GateBinding::default()).collect();
+        self.stats.live -= 1;
+        EvictedFlow { key: r.key, gates }
+    }
+
+    /// Remove a cached flow explicitly (e.g. when its filter is removed),
+    /// returning its bindings for eviction callbacks.
+    pub fn remove(&mut self, fix: FlowIndex) -> Option<EvictedFlow<V>> {
+        let idx = fix.0;
+        if !self.records.get(idx as usize)?.live {
+            return None;
+        }
+        let out = self.evict(idx);
+        self.free.push(idx);
+        Some(out)
+    }
+
+    /// Drop every cached flow whose key matches `spec` (the AIU calls
+    /// this when a *new* filter is installed: cached flows it matches may
+    /// now classify differently and must be re-resolved on their next
+    /// packet). Returns the evicted flows.
+    pub fn invalidate_matching(
+        &mut self,
+        spec: &crate::filter::FilterSpec,
+    ) -> Vec<EvictedFlow<V>> {
+        let victims: Vec<u32> = self
+            .records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.live && spec.matches(&r.key))
+            .map(|(i, _)| i as u32)
+            .collect();
+        victims
+            .into_iter()
+            .filter_map(|v| self.remove(FlowIndex(v)))
+            .collect()
+    }
+
+    /// Drop every cached flow derived from `filter` at `gate` (the AIU
+    /// calls this when a filter is removed — paper §4,
+    /// `deregister_instance` semantics). Returns the evicted flows.
+    pub fn invalidate_filter(&mut self, gate: usize, filter: FilterId) -> Vec<EvictedFlow<V>> {
+        let victims: Vec<u32> = self
+            .records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.live && r.gates.get(gate).and_then(|g| g.filter) == Some(filter))
+            .map(|(i, _)| i as u32)
+            .collect();
+        victims
+            .into_iter()
+            .filter_map(|v| self.remove(FlowIndex(v)))
+            .collect()
+    }
+
+    /// Access a record by FIX.
+    pub fn record(&self, fix: FlowIndex) -> Option<&FlowRecord<V>> {
+        self.records.get(fix.0 as usize).filter(|r| r.live)
+    }
+
+    /// Mutable access to a record by FIX.
+    pub fn record_mut(&mut self, fix: FlowIndex) -> Option<&mut FlowRecord<V>> {
+        self.records.get_mut(fix.0 as usize).filter(|r| r.live)
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> FlowTableStats {
+        self.stats
+    }
+
+    /// Number of live flows.
+    pub fn live(&self) -> usize {
+        self.stats.live
+    }
+}
+
+/// Bindings of a removed/recycled flow, handed back for plugin callbacks.
+pub struct EvictedFlow<V> {
+    /// The evicted flow's key.
+    pub key: FlowTuple,
+    /// Its per-gate bindings (instances + soft state).
+    pub gates: Vec<GateBinding<V>>,
+}
+
+fn dummy_key() -> FlowTuple {
+    FlowTuple {
+        src: IpAddr::V4(std::net::Ipv4Addr::UNSPECIFIED),
+        dst: IpAddr::V4(std::net::Ipv4Addr::UNSPECIFIED),
+        proto: 0,
+        sport: 0,
+        dport: 0,
+        rx_if: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn key(i: u32) -> FlowTuple {
+        FlowTuple {
+            src: IpAddr::V4(Ipv4Addr::from(0x0A00_0000 | i)),
+            dst: IpAddr::V4(Ipv4Addr::from(0x1400_0000 | i)),
+            proto: 17,
+            sport: (i % 60000) as u16,
+            dport: 80,
+            rx_if: 0,
+        }
+    }
+
+    fn small() -> FlowTable<u32> {
+        FlowTable::new(FlowTableConfig {
+            buckets: 64,
+            initial_records: 4,
+            max_records: 8,
+            gates: 2,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut t = small();
+        assert!(t.lookup(&key(1)).is_none());
+        let (fix, ev) = t.insert(key(1));
+        assert!(ev.is_none());
+        assert_eq!(t.lookup(&key(1)), Some(fix));
+        let s = t.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn bindings_round_trip() {
+        let mut t = small();
+        let (fix, _) = t.insert(key(1));
+        {
+            let r = t.record_mut(fix).unwrap();
+            r.gates[0].instance = Some(77);
+            r.gates[0].filter = Some(FilterId(5));
+            r.gates[0].soft_state = Some(Box::new("queue".to_string()));
+        }
+        let r = t.record(fix).unwrap();
+        assert_eq!(r.gates[0].instance, Some(77));
+        assert_eq!(r.gates[0].filter, Some(FilterId(5)));
+        assert_eq!(
+            r.gates[0]
+                .soft_state
+                .as_ref()
+                .unwrap()
+                .downcast_ref::<String>()
+                .unwrap(),
+            "queue"
+        );
+        assert!(r.gates[1].instance.is_none());
+    }
+
+    #[test]
+    fn exponential_growth_then_recycling() {
+        let mut t = small(); // 4 initial, max 8
+        for i in 0..8 {
+            t.insert(key(i));
+        }
+        assert_eq!(t.stats().allocated, 8);
+        assert_eq!(t.live(), 8);
+        // Ninth insert recycles the oldest (key 0).
+        let (_, ev) = t.insert(key(100));
+        let ev = ev.expect("must recycle");
+        assert_eq!(ev.key, key(0));
+        assert_eq!(t.live(), 8);
+        assert!(t.lookup(&key(0)).is_none());
+        assert!(t.lookup(&key(100)).is_some());
+        assert_eq!(t.stats().recycled, 1);
+    }
+
+    #[test]
+    fn chains_survive_unlink() {
+        // Force collisions with a single bucket.
+        let mut t: FlowTable<u32> = FlowTable::new(FlowTableConfig {
+            buckets: 1,
+            initial_records: 4,
+            max_records: 16,
+            gates: 1,
+        });
+        let (f1, _) = t.insert(key(1));
+        let (_f2, _) = t.insert(key(2));
+        let (_f3, _) = t.insert(key(3));
+        // Remove the middle of the chain.
+        t.remove(f1).unwrap();
+        assert!(t.lookup(&key(1)).is_none());
+        assert!(t.lookup(&key(2)).is_some());
+        assert!(t.lookup(&key(3)).is_some());
+        // Reuse the freed slot.
+        let (f4, _) = t.insert(key(4));
+        assert!(t.lookup(&key(4)) == Some(f4));
+    }
+
+    #[test]
+    fn invalidate_filter_drops_derived_flows() {
+        let mut t = small();
+        for i in 0..3 {
+            let (fix, _) = t.insert(key(i));
+            let r = t.record_mut(fix).unwrap();
+            r.gates[1].filter = Some(FilterId(if i == 1 { 9 } else { 5 }));
+            r.gates[1].instance = Some(i);
+        }
+        let evicted = t.invalidate_filter(1, FilterId(5));
+        assert_eq!(evicted.len(), 2);
+        assert!(t.lookup(&key(1)).is_some());
+        assert!(t.lookup(&key(0)).is_none());
+        assert!(t.lookup(&key(2)).is_none());
+    }
+
+    #[test]
+    fn hash_spreads() {
+        // Distinct flows should not all collide: over 1000 keys and 256
+        // buckets, expect a reasonable spread.
+        let mut buckets = vec![0u32; 256];
+        for i in 0..1000 {
+            buckets[(flow_hash(&key(i)) as usize) % 256] += 1;
+        }
+        let max = *buckets.iter().max().unwrap();
+        assert!(max < 30, "worst bucket has {max} of 1000 keys");
+        let empty = buckets.iter().filter(|b| **b == 0).count();
+        assert!(empty < 30, "{empty} of 256 buckets empty");
+    }
+
+    #[test]
+    fn hash_depends_on_each_field() {
+        let base = key(1);
+        let h = flow_hash(&base);
+        let mut t = base;
+        t.sport ^= 1;
+        assert_ne!(flow_hash(&t), h);
+        let mut t = base;
+        t.dport ^= 1;
+        assert_ne!(flow_hash(&t), h);
+        let mut t = base;
+        t.proto ^= 1;
+        assert_ne!(flow_hash(&t), h);
+        let mut t = base;
+        t.src = IpAddr::V4(Ipv4Addr::new(9, 9, 9, 9));
+        assert_ne!(flow_hash(&t), h);
+    }
+
+    #[test]
+    fn idle_expiry() {
+        let mut t = small();
+        t.set_now(0);
+        let (f1, _) = t.insert(key(1));
+        t.set_now(1_000_000);
+        let (_f2, _) = t.insert(key(2));
+        // Touch flow 1 at t=2ms: refreshes its idle timer.
+        t.set_now(2_000_000);
+        assert_eq!(t.lookup(&key(1)), Some(f1));
+        // At t=2.5ms with 1ms max idle: flow 2 (last used at 1ms) dies,
+        // flow 1 (used at 2ms) survives.
+        t.set_now(2_500_000);
+        let evicted = t.expire_idle(1_000_000);
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].key, key(2));
+        assert!(t.peek(&key(1)).is_some());
+        assert!(t.peek(&key(2)).is_none());
+        // Expiring again is a no-op.
+        assert!(t.expire_idle(1_000_000).is_empty());
+    }
+
+    #[test]
+    fn stale_fix_rejected() {
+        let mut t = small();
+        let (fix, _) = t.insert(key(1));
+        t.remove(fix).unwrap();
+        assert!(t.record(fix).is_none());
+        assert!(t.remove(fix).is_none());
+    }
+}

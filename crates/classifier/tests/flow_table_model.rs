@@ -1,0 +1,141 @@
+//! Model-based property test for the flow cache: random
+//! lookup/insert/remove interleavings against a simple reference model
+//! (set + insertion-order queue with oldest-first recycling).
+
+use proptest::prelude::*;
+use rp_classifier::flow_table::{FlowTable, FlowTableConfig};
+use rp_packet::FlowTuple;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+fn key(i: u16) -> FlowTuple {
+    FlowTuple {
+        src: format!("2001:db8::{:x}", i + 1).parse().unwrap(),
+        dst: "2001:db8::ffff".parse().unwrap(),
+        proto: 17,
+        sport: 1000 + i,
+        dport: 80,
+        rx_if: 0,
+    }
+}
+
+struct Model {
+    live: HashMap<u16, u64>,
+    order: VecDeque<u16>,
+    max: usize,
+    seq: u64,
+}
+
+impl Model {
+    fn new(max: usize) -> Self {
+        Model {
+            live: HashMap::new(),
+            order: VecDeque::new(),
+            max,
+            seq: 0,
+        }
+    }
+
+    fn contains(&self, k: u16) -> bool {
+        self.live.contains_key(&k)
+    }
+
+    /// Miss-path insert; returns the evicted key when the cap was hit.
+    fn insert(&mut self, k: u16) -> Option<u16> {
+        let mut evicted = None;
+        if self.live.len() == self.max {
+            // Oldest by insertion sequence.
+            let victim = *self.order.front().expect("full implies nonempty");
+            self.order.pop_front();
+            self.live.remove(&victim);
+            evicted = Some(victim);
+        }
+        self.seq += 1;
+        self.live.insert(k, self.seq);
+        self.order.push_back(k);
+        evicted
+    }
+
+    fn remove(&mut self, k: u16) -> bool {
+        if self.live.remove(&k).is_some() {
+            self.order.retain(|x| *x != k);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Classify(u16),
+    Remove(u16),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u16..40).prop_map(Op::Classify),
+        (0u16..40).prop_map(Op::Remove),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn matches_reference_model(ops in prop::collection::vec(arb_op(), 1..300)) {
+        const MAX: usize = 8;
+        let mut table: FlowTable<u32> = FlowTable::new(FlowTableConfig {
+            buckets: 16, // deliberately tiny: long chains get exercised
+            initial_records: 2,
+            max_records: MAX,
+            gates: 1,
+        });
+        let mut model = Model::new(MAX);
+        let mut fix_of = std::collections::HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Classify(k) => {
+                    let hit = table.lookup(&key(k)).is_some();
+                    prop_assert_eq!(hit, model.contains(k), "hit status for {}", k);
+                    if !hit {
+                        let (fix, evicted) = table.insert(key(k));
+                        let model_evicted = model.insert(k);
+                        match (&evicted, model_evicted) {
+                            (Some(ev), Some(mk)) => {
+                                prop_assert_eq!(ev.key, key(mk), "evicted key");
+                                fix_of.remove(&mk);
+                            }
+                            (None, None) => {}
+                            other => prop_assert!(false, "eviction mismatch: {:?}", other.1),
+                        }
+                        fix_of.insert(k, fix);
+                    }
+                }
+                Op::Remove(k) => {
+                    let model_had = model.remove(k);
+                    let fix = fix_of.remove(&k);
+                    match fix {
+                        Some(f) if model_had => {
+                            prop_assert!(table.remove(f).is_some(), "remove live {}", k);
+                        }
+                        _ => {
+                            // Key not cached (or already evicted): stale
+                            // FIX removal must be a no-op.
+                            if let Some(f) = fix {
+                                table.remove(f);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Final live-set agreement.
+        prop_assert_eq!(table.live(), model.live.len());
+        for k in 0u16..40 {
+            prop_assert_eq!(table.peek(&key(k)).is_some(), model.contains(k), "final {}", k);
+        }
+        prop_assert!(table.stats().allocated <= MAX);
+    }
+}

@@ -1,0 +1,516 @@
+//! The streamlined IPv4/IPv6 core (paper §3.1): "the (few) components
+//! required for packet processing which do not come in the form of
+//! dynamically loadable modules" — header validation, TTL / hop-limit
+//! handling, and the routing-table types. The gate traversal that stitches
+//! plugins into this path lives in [`crate::router`].
+
+use rp_lpm::{LpmTable, PatriciaTable, Prefix};
+use rp_packet::ipv4::Ipv4Packet;
+use rp_packet::ipv6::Ipv6Packet;
+use rp_packet::mbuf::IfIndex;
+use rp_packet::{IpVersion, Mbuf};
+use std::net::IpAddr;
+
+use crate::gate::Gate;
+
+/// Why a packet was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Unparseable or version-inconsistent header.
+    Malformed,
+    /// IPv4 header checksum failed.
+    BadChecksum,
+    /// TTL / hop limit expired in transit.
+    TtlExpired,
+    /// No route to the destination.
+    NoRoute,
+    /// A plugin instance dropped it (firewall, RED, IPsec failure…).
+    Plugin(Gate),
+    /// The egress queue refused it.
+    QueueFull,
+    /// Larger than the egress MTU and cannot be fragmented (IPv6, or the
+    /// IPv4 don't-fragment bit is set).
+    TooBig,
+}
+
+/// Final outcome of processing one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Emitted directly on the egress interface.
+    Forwarded(IfIndex),
+    /// Handed to the egress scheduler; will leave via `pump`.
+    Queued(IfIndex),
+    /// Dropped.
+    Dropped(DropReason),
+    /// A non-scheduling plugin took ownership (e.g. a monitor diverting a
+    /// copy, or an ESP tunnel re-injecting).
+    Consumed(Gate),
+}
+
+/// Data-path counters (Table 3 instrumentation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DataPathStats {
+    /// Packets handed to the core.
+    pub received: u64,
+    /// Packets forwarded or queued for egress.
+    pub forwarded: u64,
+    /// Drops by reason (indexed informally; see the individual counters).
+    pub dropped_malformed: u64,
+    /// TTL-expired drops.
+    pub dropped_ttl: u64,
+    /// No-route drops.
+    pub dropped_no_route: u64,
+    /// Plugin-initiated drops.
+    pub dropped_plugin: u64,
+    /// Egress-queue drops.
+    pub dropped_queue: u64,
+    /// Gate invocations that called a plugin instance.
+    pub plugin_calls: u64,
+    /// Packets fragmented at egress.
+    pub fragmented: u64,
+    /// Too-big drops (DF set or IPv6 over-MTU).
+    pub dropped_too_big: u64,
+}
+
+/// Validate the IP header and decrement TTL / hop limit in place.
+/// Returns the version on success.
+pub fn validate_and_age(mbuf: &mut Mbuf, verify_v4_checksum: bool) -> Result<IpVersion, DropReason> {
+    let version = IpVersion::of_packet(mbuf.data()).map_err(|_| DropReason::Malformed)?;
+    match version {
+        IpVersion::V4 => {
+            let mut pkt =
+                Ipv4Packet::new_checked(mbuf.data_mut()).map_err(|_| DropReason::Malformed)?;
+            if verify_v4_checksum && !pkt.verify_checksum() {
+                return Err(DropReason::BadChecksum);
+            }
+            let ttl = pkt.decrement_ttl().map_err(|_| DropReason::TtlExpired)?;
+            if ttl == 0 {
+                return Err(DropReason::TtlExpired);
+            }
+        }
+        IpVersion::V6 => {
+            let mut pkt =
+                Ipv6Packet::new_checked(mbuf.data_mut()).map_err(|_| DropReason::Malformed)?;
+            let hl = pkt.decrement_hop_limit().map_err(|_| DropReason::TtlExpired)?;
+            if hl == 0 {
+                return Err(DropReason::TtlExpired);
+            }
+        }
+    }
+    Ok(version)
+}
+
+/// A routing-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteEntry {
+    /// Egress interface.
+    pub tx_if: IfIndex,
+}
+
+/// Dual-stack longest-prefix-match routing table (PATRICIA-backed, as in
+/// the BSD kernel the paper modifies).
+pub struct RoutingTable {
+    v4: PatriciaTable<u32, RouteEntry>,
+    v6: PatriciaTable<u128, RouteEntry>,
+}
+
+impl Default for RoutingTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RoutingTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        RoutingTable {
+            v4: PatriciaTable::new(),
+            v6: PatriciaTable::new(),
+        }
+    }
+
+    /// Add a route for an address prefix.
+    pub fn add(&mut self, addr: IpAddr, prefix_len: u8, entry: RouteEntry) {
+        match addr {
+            IpAddr::V4(a) => {
+                self.v4.insert(Prefix::new(u32::from(a), prefix_len), entry);
+            }
+            IpAddr::V6(a) => {
+                self.v6
+                    .insert(Prefix::new(u128::from(a), prefix_len), entry);
+            }
+        }
+    }
+
+    /// Remove a route.
+    pub fn remove(&mut self, addr: IpAddr, prefix_len: u8) -> Option<RouteEntry> {
+        match addr {
+            IpAddr::V4(a) => self.v4.remove(Prefix::new(u32::from(a), prefix_len)),
+            IpAddr::V6(a) => self.v6.remove(Prefix::new(u128::from(a), prefix_len)),
+        }
+    }
+
+    /// Longest-prefix-match lookup.
+    pub fn lookup(&self, addr: IpAddr) -> Option<RouteEntry> {
+        match addr {
+            IpAddr::V4(a) => self.v4.lookup(u32::from(a)).map(|(e, _)| *e),
+            IpAddr::V6(a) => self.v6.lookup(u128::from(a)).map(|(e, _)| *e),
+        }
+    }
+
+    /// Number of routes (both families).
+    pub fn len(&self) -> usize {
+        self.v4.len() + self.v6.len()
+    }
+
+    /// True when no routes are installed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Fragment an IPv4 packet to fit `mtu` (RFC 791 §3.2). Returns the
+/// fragment buffers in order. Fails with [`DropReason::TooBig`] when the
+/// don't-fragment bit is set; IPv6 packets are never fragmented in
+/// transit (the caller drops and would emit Packet Too Big).
+pub fn fragment_v4(data: &[u8], mtu: usize) -> Result<Vec<Vec<u8>>, DropReason> {
+    use rp_packet::ipv4::Ipv4Packet;
+    use rp_packet::ipv4_opts::{build_options, Ipv4Option, OptionIter, OptionKind};
+    let pkt = Ipv4Packet::new_checked(data).map_err(|_| DropReason::Malformed)?;
+    if data.len() <= mtu {
+        return Ok(vec![data.to_vec()]);
+    }
+    if pkt.dont_frag() {
+        return Err(DropReason::TooBig);
+    }
+    let hdr_len = pkt.header_len();
+    // Options for fragment 1 = all; for the rest = copied-only.
+    let copied: Vec<(OptionKind, Vec<u8>)> = OptionIter::from_slice(pkt.options())
+        .filter_map(|o| o.ok())
+        .filter(|o: &Ipv4Option<'_>| o.kind.copied())
+        .map(|o| (o.kind, o.data.to_vec()))
+        .collect();
+    let copied_refs: Vec<(OptionKind, &[u8])> =
+        copied.iter().map(|(k, d)| (*k, d.as_slice())).collect();
+    let later_opts = build_options(&copied_refs);
+    let later_hdr_len = 20 + later_opts.len();
+
+    let payload = pkt.payload();
+    let base_offset = usize::from(pkt.frag_offset()) * 8;
+    let orig_mf = pkt.more_frags();
+
+    let mut frags = Vec::new();
+    let mut consumed = 0usize;
+    while consumed < payload.len() {
+        let first = consumed == 0;
+        let this_hdr = if first { hdr_len } else { later_hdr_len };
+        let room = ((mtu - this_hdr) / 8) * 8;
+        if room == 0 {
+            return Err(DropReason::TooBig);
+        }
+        let take = room.min(payload.len() - consumed);
+        let last = consumed + take == payload.len();
+        let mut buf = Vec::with_capacity(this_hdr + take);
+        buf.extend_from_slice(&data[..20]);
+        if first {
+            buf.extend_from_slice(pkt.options());
+        } else {
+            buf.extend_from_slice(&later_opts);
+        }
+        buf.extend_from_slice(&payload[consumed..consumed + take]);
+        {
+            let mut f = Ipv4Packet::new_unchecked(&mut buf[..]);
+            // IHL for this fragment.
+            let ihl = (this_hdr / 4) as u8;
+            f.set_total_len((this_hdr + take) as u16);
+            let offset_units = ((base_offset + consumed) / 8) as u16;
+            let mf = if last && !orig_mf { 0u16 } else { 0x2000 };
+            let word = mf | (offset_units & 0x1FFF);
+            let bytes = f.into_inner();
+            bytes[0] = 0x40 | ihl;
+            bytes[6] = (word >> 8) as u8;
+            bytes[7] = word as u8;
+        }
+        let mut f = Ipv4Packet::new_unchecked(&mut buf[..]);
+        f.fill_checksum();
+        frags.push(buf);
+        consumed += take;
+    }
+    Ok(frags)
+}
+
+/// Build an ICMP / ICMPv6 Time Exceeded message quoting `original`,
+/// sourced from `router_addr` and addressed to the original sender.
+/// Returns `None` when the original is unparsable or the address
+/// families mismatch.
+pub fn build_time_exceeded(router_addr: IpAddr, original: &[u8]) -> Option<Vec<u8>> {
+    use rp_packet::checksum;
+    use rp_packet::icmp;
+    use rp_packet::ipv4::{Ipv4Packet as V4, Ipv4Repr};
+    use rp_packet::ipv6::{Ipv6Packet as V6, Ipv6Repr};
+    use rp_packet::Protocol;
+
+    match (IpVersion::of_packet(original).ok()?, router_addr) {
+        (IpVersion::V4, IpAddr::V4(src)) => {
+            let orig = V4::new_checked(original).ok()?;
+            let body = icmp::time_exceeded(original);
+            let repr = Ipv4Repr {
+                src_addr: src,
+                dst_addr: orig.src_addr(),
+                protocol: Protocol::Icmp,
+                payload_len: body.len(),
+                ttl: 64,
+                tos: 0,
+            };
+            let mut buf = vec![0u8; repr.buffer_len() + body.len()];
+            let mut pkt = V4::new_unchecked(&mut buf[..]);
+            repr.emit(&mut pkt);
+            pkt.payload_mut().copy_from_slice(&body);
+            Some(buf)
+        }
+        (IpVersion::V6, IpAddr::V6(src)) => {
+            let orig = V6::new_checked(original).ok()?;
+            // ICMPv6 Time Exceeded: type 3, code 0 (hop limit exceeded),
+            // 4 reserved bytes, then as much of the packet as fits.
+            let quote = &original[..original.len().min(1232 - 8)];
+            let mut body = vec![0u8; 8 + quote.len()];
+            body[0] = 3;
+            body[8..].copy_from_slice(quote);
+            let repr = Ipv6Repr {
+                src_addr: src,
+                dst_addr: orig.src_addr(),
+                next_header: Protocol::Icmpv6,
+                payload_len: body.len(),
+                hop_limit: 64,
+                traffic_class: 0,
+                flow_label: 0,
+            };
+            // ICMPv6 checksum over pseudo-header + body.
+            let mut c = checksum::pseudo_header_v6(
+                src,
+                orig.src_addr(),
+                Protocol::Icmpv6,
+                body.len() as u32,
+            );
+            c.add_bytes(&body);
+            let sum = c.finish();
+            body[2..4].copy_from_slice(&sum.to_be_bytes());
+            let mut buf = vec![0u8; repr.buffer_len() + body.len()];
+            let mut pkt = V6::new_unchecked(&mut buf[..]);
+            repr.emit(&mut pkt);
+            pkt.payload_mut().copy_from_slice(&body);
+            Some(buf)
+        }
+        _ => None,
+    }
+}
+
+/// Destination address of a packet (for the core routing step).
+pub fn dst_of(mbuf: &Mbuf) -> Result<IpAddr, DropReason> {
+    match IpVersion::of_packet(mbuf.data()).map_err(|_| DropReason::Malformed)? {
+        IpVersion::V4 => Ok(IpAddr::V4(
+            Ipv4Packet::new_checked(mbuf.data())
+                .map_err(|_| DropReason::Malformed)?
+                .dst_addr(),
+        )),
+        IpVersion::V6 => Ok(IpAddr::V6(
+            Ipv6Packet::new_checked(mbuf.data())
+                .map_err(|_| DropReason::Malformed)?
+                .dst_addr(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_packet::builder::PacketSpec;
+    use std::net::{Ipv4Addr, Ipv6Addr};
+
+    fn v4(a: u8) -> IpAddr {
+        IpAddr::V4(Ipv4Addr::new(10, 0, 0, a))
+    }
+
+    fn v6(a: u16) -> IpAddr {
+        IpAddr::V6(Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, a))
+    }
+
+    #[test]
+    fn age_v4_updates_checksum() {
+        let buf = PacketSpec::udp(v4(1), v4(2), 1, 2, 16).build();
+        let mut m = Mbuf::new(buf, 0);
+        assert_eq!(
+            validate_and_age(&mut m, true).unwrap(),
+            IpVersion::V4
+        );
+        let pkt = Ipv4Packet::new_checked(m.data()).unwrap();
+        assert_eq!(pkt.ttl(), 63);
+        assert!(pkt.verify_checksum());
+    }
+
+    #[test]
+    fn ttl_expiry_detected() {
+        let mut spec = PacketSpec::udp(v4(1), v4(2), 1, 2, 0);
+        spec.ttl = 1;
+        let mut m = Mbuf::new(spec.build(), 0);
+        // Decrement 1 → 0: must not forward.
+        assert_eq!(
+            validate_and_age(&mut m, true).unwrap_err(),
+            DropReason::TtlExpired
+        );
+    }
+
+    #[test]
+    fn corrupt_checksum_rejected() {
+        let mut buf = PacketSpec::udp(v4(1), v4(2), 1, 2, 0).build();
+        buf[8] ^= 0xFF; // clobber TTL without fixing checksum
+        let mut m = Mbuf::new(buf, 0);
+        assert_eq!(
+            validate_and_age(&mut m, true).unwrap_err(),
+            DropReason::BadChecksum
+        );
+        // With verification off (the paper's kernel trusts its NICs), it
+        // ages fine.
+        let mut buf2 = PacketSpec::udp(v4(1), v4(2), 1, 2, 0).build();
+        buf2[10] ^= 0x01;
+        let mut m2 = Mbuf::new(buf2, 0);
+        assert!(validate_and_age(&mut m2, false).is_ok());
+    }
+
+    #[test]
+    fn age_v6() {
+        let buf = PacketSpec::udp(v6(1), v6(2), 1, 2, 16).build();
+        let mut m = Mbuf::new(buf, 0);
+        assert_eq!(validate_and_age(&mut m, true).unwrap(), IpVersion::V6);
+        let pkt = Ipv6Packet::new_checked(m.data()).unwrap();
+        assert_eq!(pkt.hop_limit(), 63);
+    }
+
+    #[test]
+    fn garbage_malformed() {
+        let mut m = Mbuf::new(vec![0xFF; 10], 0);
+        assert_eq!(
+            validate_and_age(&mut m, true).unwrap_err(),
+            DropReason::Malformed
+        );
+    }
+
+    #[test]
+    fn routing_table_lpm() {
+        let mut rt = RoutingTable::new();
+        rt.add(v4(0), 8, RouteEntry { tx_if: 1 });
+        rt.add(v4(0), 24, RouteEntry { tx_if: 2 });
+        rt.add(v6(0), 32, RouteEntry { tx_if: 3 });
+        assert_eq!(rt.lookup(v4(5)).unwrap().tx_if, 2);
+        assert_eq!(
+            rt.lookup(IpAddr::V4(Ipv4Addr::new(10, 9, 9, 9))).unwrap().tx_if,
+            1
+        );
+        assert_eq!(rt.lookup(v6(9)).unwrap().tx_if, 3);
+        assert!(rt.lookup(IpAddr::V4(Ipv4Addr::new(11, 0, 0, 1))).is_none());
+        assert_eq!(rt.len(), 3);
+        assert_eq!(rt.remove(v4(0), 24).unwrap().tx_if, 2);
+        assert_eq!(rt.lookup(v4(5)).unwrap().tx_if, 1);
+    }
+
+    #[test]
+    fn fragment_v4_copied_options() {
+        use rp_packet::ipv4::Ipv4Packet;
+        use rp_packet::ipv4_opts::{OptionIter, OptionKind};
+        // Router-alert has the copied bit; record-route does not.
+        let mut spec = PacketSpec::udp(v4(1), v4(2), 1, 2, 1000);
+        spec.v4_options = vec![
+            (OptionKind::ROUTER_ALERT.0, vec![0, 0]),
+            (OptionKind::RECORD_ROUTE.0, vec![4, 0, 0, 0, 0]),
+        ];
+        let mut buf = spec.build();
+        {
+            let mut p = Ipv4Packet::new_unchecked(&mut buf[..]);
+            let b = p.into_inner();
+            b[6] &= !0x40; // clear DF
+            let mut p = Ipv4Packet::new_unchecked(&mut buf[..]);
+            p.fill_checksum();
+        }
+        let frags = fragment_v4(&buf, 400).unwrap();
+        assert!(frags.len() >= 3);
+        // Fragment 1 keeps both options; later fragments only the copied
+        // router alert.
+        let f0 = Ipv4Packet::new_checked(&frags[0][..]).unwrap();
+        let kinds0: Vec<u8> = OptionIter::from_slice(f0.options())
+            .map(|o| o.unwrap().kind.0)
+            .collect();
+        assert!(kinds0.contains(&OptionKind::ROUTER_ALERT.0));
+        assert!(kinds0.contains(&OptionKind::RECORD_ROUTE.0));
+        let f1 = Ipv4Packet::new_checked(&frags[1][..]).unwrap();
+        let kinds1: Vec<u8> = OptionIter::from_slice(f1.options())
+            .filter_map(|o| o.ok())
+            .map(|o| o.kind.0)
+            .filter(|k| *k != 0 && *k != 1)
+            .collect();
+        assert_eq!(kinds1, vec![OptionKind::ROUTER_ALERT.0]);
+        for f in &frags {
+            assert!(Ipv4Packet::new_checked(&f[..]).unwrap().verify_checksum());
+        }
+    }
+
+    #[test]
+    fn fragment_v4_under_mtu_is_identity() {
+        let buf = PacketSpec::udp(v4(1), v4(2), 1, 2, 64).build();
+        let frags = fragment_v4(&buf, 1500).unwrap();
+        assert_eq!(frags.len(), 1);
+        assert_eq!(frags[0], buf);
+    }
+
+    #[test]
+    fn fragment_v4_df_refused() {
+        let buf = PacketSpec::udp(v4(1), v4(2), 1, 2, 2000).build(); // DF set
+        assert_eq!(fragment_v4(&buf, 600).unwrap_err(), DropReason::TooBig);
+    }
+
+    #[test]
+    fn icmp_time_exceeded_v4() {
+        let orig = PacketSpec::udp(v4(1), v4(2), 5, 6, 64).build();
+        let reply = build_time_exceeded(v4(254), &orig).unwrap();
+        let pkt = rp_packet::ipv4::Ipv4Packet::new_checked(&reply[..]).unwrap();
+        assert!(pkt.verify_checksum());
+        assert_eq!(pkt.src_addr(), Ipv4Addr::new(10, 0, 0, 254));
+        assert_eq!(pkt.dst_addr(), Ipv4Addr::new(10, 0, 0, 1));
+        let icmp = rp_packet::icmp::IcmpPacket::new_checked(pkt.payload()).unwrap();
+        assert_eq!(icmp.msg_type(), 11);
+        assert!(icmp.verify_checksum());
+    }
+
+    #[test]
+    fn icmp_time_exceeded_v6() {
+        let orig = PacketSpec::udp(v6(1), v6(2), 5, 6, 64).build();
+        let reply = build_time_exceeded(v6(254), &orig).unwrap();
+        let pkt = rp_packet::ipv6::Ipv6Packet::new_checked(&reply[..]).unwrap();
+        assert_eq!(pkt.next_header(), rp_packet::Protocol::Icmpv6);
+        assert_eq!(pkt.dst_addr().segments()[7], 1);
+        // Verify ICMPv6 checksum.
+        let mut c = rp_packet::checksum::pseudo_header_v6(
+            pkt.src_addr(),
+            pkt.dst_addr(),
+            rp_packet::Protocol::Icmpv6,
+            pkt.payload().len() as u32,
+        );
+        c.add_bytes(pkt.payload());
+        assert_eq!(c.finish(), 0);
+        assert_eq!(pkt.payload()[0], 3); // time exceeded
+    }
+
+    #[test]
+    fn icmp_family_mismatch_none() {
+        let orig = PacketSpec::udp(v4(1), v4(2), 5, 6, 8).build();
+        assert!(build_time_exceeded(v6(254), &orig).is_none());
+        assert!(build_time_exceeded(v4(254), &[0xFF; 4]).is_none());
+    }
+
+    #[test]
+    fn dst_extraction() {
+        let m = Mbuf::new(PacketSpec::udp(v4(1), v4(2), 1, 2, 0).build(), 0);
+        assert_eq!(dst_of(&m).unwrap(), v4(2));
+        let m = Mbuf::new(PacketSpec::udp(v6(1), v6(2), 1, 2, 0).build(), 0);
+        assert_eq!(dst_of(&m).unwrap(), v6(2));
+    }
+}

@@ -1,0 +1,352 @@
+//! The Plugin Manager (paper §3.1): "a simple application which takes
+//! arguments from the command line and translates them into calls to the
+//! user-space Router Plugin Library". Here it is a command interpreter
+//! over [`crate::router::Router`], used interactively (the `pmgr` example
+//! binary), from configuration scripts, and by the SSP daemon analogue.
+//!
+//! Command language (one command per line; `#` comments):
+//!
+//! ```text
+//! load <plugin>                      # modload
+//! unload <plugin>                    # modunload
+//! create <plugin> [k=v ...]          # create_instance → prints id
+//! free <plugin> <iid>                # free_instance
+//! bind <gate> <plugin> <iid> <six-tuple-filter>   # register_instance
+//! unbind <gate> <plugin> <fid>       # deregister_instance
+//! msg <plugin> [<iid>] <name> [args...]           # plugin-specific
+//! route <addr>/<len> <ifindex>       # core routing table
+//! gate <gate> on|off
+//! attach <ifindex> <plugin> <iid>    # default egress scheduler
+//! info                               # loaded plugins and stats
+//! show filters <gate>                # installed filters at a gate
+//! show instances                     # live plugin instances
+//! ```
+
+use crate::gate::Gate;
+use crate::message::{PluginMsg, PluginReply};
+use crate::plugin::{InstanceId, PluginError};
+use crate::router::Router;
+use rp_classifier::{FilterId, FilterSpec};
+use std::net::IpAddr;
+
+/// Errors from interpreting a pmgr command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PmgrError {
+    /// Could not parse the command line.
+    Syntax(String),
+    /// The router rejected the operation.
+    Plugin(String),
+}
+
+impl std::fmt::Display for PmgrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PmgrError::Syntax(m) => write!(f, "syntax error: {m}"),
+            PmgrError::Plugin(m) => write!(f, "error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PmgrError {}
+
+impl From<PluginError> for PmgrError {
+    fn from(e: PluginError) -> Self {
+        PmgrError::Plugin(e.to_string())
+    }
+}
+
+/// Execute one pmgr command against a router, returning the printed
+/// output line.
+pub fn run_command(router: &mut Router, line: &str) -> Result<String, PmgrError> {
+    let line = line.split('#').next().unwrap_or("").trim();
+    if line.is_empty() {
+        return Ok(String::new());
+    }
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    match toks[0] {
+        "load" => {
+            let name = arg(&toks, 1)?;
+            router.load_plugin(name)?;
+            Ok(format!("loaded {name}"))
+        }
+        "unload" => {
+            let name = arg(&toks, 1)?;
+            router.unload_plugin(name)?;
+            Ok(format!("unloaded {name}"))
+        }
+        "create" => {
+            let name = arg(&toks, 1)?;
+            let config = toks[2..].join(" ");
+            let reply = router.send_message(name, PluginMsg::CreateInstance { config })?;
+            match reply {
+                PluginReply::InstanceCreated(id) => Ok(format!("{name} instance {}", id.0)),
+                other => Ok(format!("{other:?}")),
+            }
+        }
+        "free" => {
+            let name = arg(&toks, 1)?;
+            let id = parse_iid(arg(&toks, 2)?)?;
+            router.send_message(name, PluginMsg::FreeInstance { id })?;
+            Ok(format!("freed {name} instance {}", id.0))
+        }
+        "bind" => {
+            let gate = parse_gate(arg(&toks, 1)?)?;
+            let name = arg(&toks, 2)?;
+            let id = parse_iid(arg(&toks, 3)?)?;
+            let filter_str = toks[4..].join(" ");
+            let filter: FilterSpec = filter_str
+                .parse()
+                .map_err(|e| PmgrError::Syntax(format!("{e}")))?;
+            let reply = router.send_message(
+                name,
+                PluginMsg::RegisterInstance { id, gate, filter },
+            )?;
+            match reply {
+                PluginReply::Registered(fid) => Ok(format!("filter {}", fid.0)),
+                other => Ok(format!("{other:?}")),
+            }
+        }
+        "unbind" => {
+            let gate = parse_gate(arg(&toks, 1)?)?;
+            let name = arg(&toks, 2)?;
+            let fid: u64 = arg(&toks, 3)?
+                .parse()
+                .map_err(|_| PmgrError::Syntax("bad filter id".into()))?;
+            router.send_message(
+                name,
+                PluginMsg::DeregisterInstance {
+                    gate,
+                    filter: FilterId(fid),
+                },
+            )?;
+            Ok(format!("unbound filter {fid}"))
+        }
+        "msg" => {
+            let name = arg(&toks, 1)?;
+            // Optional numeric instance id in position 2.
+            let (instance, rest) = match toks.get(2).and_then(|t| t.parse::<u32>().ok()) {
+                Some(n) => (Some(InstanceId(n)), 3),
+                None => (None, 2),
+            };
+            let msg_name = arg(&toks, rest)?.to_string();
+            let args = toks[rest + 1..].join(" ");
+            let reply = router.send_message(
+                name,
+                PluginMsg::Custom {
+                    instance,
+                    name: msg_name,
+                    args,
+                },
+            )?;
+            match reply {
+                PluginReply::Text(t) => Ok(t),
+                other => Ok(format!("{other:?}")),
+            }
+        }
+        "route" => {
+            let spec = arg(&toks, 1)?;
+            let (addr, len) = spec
+                .split_once('/')
+                .ok_or_else(|| PmgrError::Syntax("route <addr>/<len> <if>".into()))?;
+            let addr: IpAddr = addr
+                .parse()
+                .map_err(|_| PmgrError::Syntax(format!("bad address {addr}")))?;
+            let len: u8 = len
+                .parse()
+                .map_err(|_| PmgrError::Syntax(format!("bad prefix length {len}")))?;
+            let tx_if: u32 = arg(&toks, 2)?
+                .parse()
+                .map_err(|_| PmgrError::Syntax("bad interface".into()))?;
+            router.add_route(addr, len, tx_if);
+            Ok(format!("route {spec} → if{tx_if}"))
+        }
+        "gate" => {
+            let gate = parse_gate(arg(&toks, 1)?)?;
+            let on = match arg(&toks, 2)? {
+                "on" => true,
+                "off" => false,
+                other => return Err(PmgrError::Syntax(format!("gate … on|off, got {other}"))),
+            };
+            router.set_gate_enabled(gate, on);
+            Ok(format!("gate {gate} {}", if on { "on" } else { "off" }))
+        }
+        "attach" => {
+            let iface: u32 = arg(&toks, 1)?
+                .parse()
+                .map_err(|_| PmgrError::Syntax("bad interface".into()))?;
+            let name = arg(&toks, 2)?;
+            let id = parse_iid(arg(&toks, 3)?)?;
+            router.set_default_scheduler(iface, name, id)?;
+            Ok(format!("if{iface} default scheduler = {name} {}", id.0))
+        }
+        "show" => match arg(&toks, 1)? {
+            "filters" => {
+                let gate = parse_gate(arg(&toks, 2)?)?;
+                let lines = router.describe_filters(gate);
+                if lines.is_empty() {
+                    Ok(format!("no filters at gate {gate}"))
+                } else {
+                    Ok(lines.join("\n"))
+                }
+            }
+            "instances" => {
+                let lines = router.describe_instances();
+                if lines.is_empty() {
+                    Ok("no instances".to_string())
+                } else {
+                    Ok(lines.join("\n"))
+                }
+            }
+            other => Err(PmgrError::Syntax(format!("show filters|instances, got {other}"))),
+        },
+        "info" => {
+            let loaded = router.loader.loaded().join(", ");
+            let s = router.stats();
+            let f = router.flow_stats();
+            Ok(format!(
+                "plugins: [{loaded}]; rx={} fwd={} flows(live={} hits={} misses={})",
+                s.received, s.forwarded, f.live, f.hits, f.misses
+            ))
+        }
+        other => Err(PmgrError::Syntax(format!("unknown command {other}"))),
+    }
+}
+
+/// Run a multi-line configuration script; stops at the first error.
+/// Returns the non-empty output lines.
+pub fn run_script(router: &mut Router, script: &str) -> Result<Vec<String>, PmgrError> {
+    let mut out = Vec::new();
+    for line in script.lines() {
+        let o = run_command(router, line)?;
+        if !o.is_empty() {
+            out.push(o);
+        }
+    }
+    Ok(out)
+}
+
+fn arg<'a>(toks: &[&'a str], i: usize) -> Result<&'a str, PmgrError> {
+    toks.get(i)
+        .copied()
+        .ok_or_else(|| PmgrError::Syntax(format!("missing argument {i}")))
+}
+
+fn parse_gate(s: &str) -> Result<Gate, PmgrError> {
+    Gate::parse(s).ok_or_else(|| PmgrError::Syntax(format!("unknown gate {s}")))
+}
+
+fn parse_iid(s: &str) -> Result<InstanceId, PmgrError> {
+    s.parse::<u32>()
+        .map(InstanceId)
+        .map_err(|_| PmgrError::Syntax(format!("bad instance id {s}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plugins::register_builtin_factories;
+    use crate::router::{Router, RouterConfig};
+
+    fn router() -> Router {
+        let mut r = Router::new(RouterConfig::default());
+        register_builtin_factories(&mut r.loader);
+        r
+    }
+
+    #[test]
+    fn paper_section6_style_script() {
+        // The flavour of the paper's §6.1 listing: modload + pmgr commands
+        // configuring a DRR instance on an interface and binding a flow.
+        let mut r = router();
+        let out = run_script(
+            &mut r,
+            "# configure DRR on interface 1\n\
+             load drr\n\
+             create drr quantum=9180 limit=64\n\
+             attach 1 drr 0\n\
+             bind sched drr 0 <*, *, UDP, *, *, *>\n\
+             route 2001:db8::/32 1\n\
+             info\n",
+        )
+        .unwrap();
+        assert_eq!(out[0], "loaded drr");
+        assert_eq!(out[1], "drr instance 0");
+        assert!(out[3].starts_with("filter "));
+        assert!(out[5].contains("plugins: [drr]"));
+    }
+
+    #[test]
+    fn unknown_command_and_missing_args() {
+        let mut r = router();
+        assert!(matches!(
+            run_command(&mut r, "explode"),
+            Err(PmgrError::Syntax(_))
+        ));
+        assert!(matches!(
+            run_command(&mut r, "load"),
+            Err(PmgrError::Syntax(_))
+        ));
+        assert!(matches!(
+            run_command(&mut r, "load nonexistent"),
+            Err(PmgrError::Plugin(_))
+        ));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let mut r = router();
+        assert_eq!(run_command(&mut r, "  # nothing ").unwrap(), "");
+        assert_eq!(run_command(&mut r, "").unwrap(), "");
+    }
+
+    #[test]
+    fn gate_toggle() {
+        let mut r = router();
+        assert!(r.gate_enabled(Gate::IpSecurity));
+        run_command(&mut r, "gate ipsec off").unwrap();
+        assert!(!r.gate_enabled(Gate::IpSecurity));
+        run_command(&mut r, "gate ipsec on").unwrap();
+        assert!(r.gate_enabled(Gate::IpSecurity));
+    }
+
+    #[test]
+    fn msg_routing_with_and_without_instance() {
+        let mut r = router();
+        run_script(&mut r, "load stats\ncreate stats").unwrap();
+        let out = run_command(&mut r, "msg stats 0 report").unwrap();
+        assert!(out.contains("stats:"), "{out}");
+        assert!(run_command(&mut r, "msg stats bogus").is_err());
+    }
+
+    #[test]
+    fn show_commands() {
+        let mut r = router();
+        run_script(
+            &mut r,
+            "load stats
+create stats
+bind stats stats 0 <*, *, UDP, *, 53, *>",
+        )
+        .unwrap();
+        let out = run_command(&mut r, "show filters stats").unwrap();
+        assert!(out.contains("UDP") && out.contains("53"), "{out}");
+        let out = run_command(&mut r, "show instances").unwrap();
+        assert!(out.contains("stats 0:"), "{out}");
+        assert_eq!(
+            run_command(&mut r, "show filters fw").unwrap(),
+            "no filters at gate firewall"
+        );
+        assert!(run_command(&mut r, "show bogus").is_err());
+    }
+
+    #[test]
+    fn unbind_and_free() {
+        let mut r = router();
+        run_script(&mut r, "load firewall\ncreate firewall action=deny").unwrap();
+        let out = run_command(&mut r, "bind fw firewall 0 <10.0.0.0/8, *, *, *, *, *>").unwrap();
+        let fid: u64 = out.strip_prefix("filter ").unwrap().parse().unwrap();
+        run_command(&mut r, &format!("unbind fw firewall {fid}")).unwrap();
+        run_command(&mut r, "free firewall 0").unwrap();
+        run_command(&mut r, "unload firewall").unwrap();
+    }
+}

@@ -1,0 +1,672 @@
+//! The assembled Extended Integrated Services Router: PCU + loader + AIU +
+//! routing table + interfaces, with the gate-traversing data path of paper
+//! §3.2 and the Router Plugin Library control API of §3.1.
+
+use crate::gate::{Gate, ALL_GATES, GATE_COUNT};
+use crate::ip_core::{
+    dst_of, validate_and_age, DataPathStats, Disposition, DropReason, RouteEntry, RoutingTable,
+};
+use crate::loader::PluginLoader;
+use crate::message::{PluginMsg, PluginReply};
+use crate::pcu::Pcu;
+use crate::plugin::{InstanceId, InstanceRef, PacketCtx, PluginAction, PluginError};
+use rp_classifier::aiu::ClassifyOutcome;
+use rp_classifier::flow_table::EvictedFlow;
+use rp_classifier::{Aiu, AiuConfig, BmpKind, FilterId, FlowTableConfig};
+use rp_packet::mbuf::IfIndex;
+use rp_packet::Mbuf;
+use std::net::IpAddr;
+use std::sync::Arc;
+
+/// A network interface: egress queue plus bookkeeping. Reception is
+/// modelled by calling [`Router::receive`] with the interface id.
+pub struct Interface {
+    /// Interface id.
+    pub id: IfIndex,
+    /// MTU in bytes (the paper's ATM testbed uses 9180).
+    pub mtu: usize,
+    /// The router's own address on this interface (source of ICMP
+    /// errors; errors are suppressed when unset).
+    pub addr: Option<IpAddr>,
+    /// Scheduler instances that currently hold packets for this interface
+    /// (the default FIFO plus any flow-bound plugin instances).
+    scheds: Vec<InstanceRef>,
+    /// Transmitted packets, collected by the testbench ("the wire").
+    pub tx_log: Vec<Mbuf>,
+}
+
+impl Interface {
+    fn attach_sched(&mut self, inst: &InstanceRef) {
+        if !self.scheds.iter().any(|s| Arc::ptr_eq(s, inst)) {
+            self.scheds.push(inst.clone());
+        }
+    }
+}
+
+/// Router construction parameters.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Number of interfaces.
+    pub interfaces: usize,
+    /// MTU for every interface.
+    pub mtu: usize,
+    /// Verify IPv4 header checksums on reception.
+    pub verify_checksums: bool,
+    /// Which gates are compiled into the data path. The Table 3 baseline
+    /// ("unmodified kernel") runs with none.
+    pub enabled_gates: Vec<Gate>,
+    /// Flow-cache configuration.
+    pub flow_table: FlowTableConfig,
+    /// BMP plugin for the classifier's address levels.
+    pub bmp: BmpKind,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            interfaces: 4,
+            mtu: 9180,
+            verify_checksums: true,
+            enabled_gates: ALL_GATES.to_vec(),
+            flow_table: FlowTableConfig {
+                gates: GATE_COUNT,
+                ..FlowTableConfig::default()
+            },
+            bmp: BmpKind::Bspl,
+        }
+    }
+}
+
+/// The router.
+pub struct Router {
+    /// The Plugin Control Unit.
+    pub pcu: Pcu,
+    /// The module loader.
+    pub loader: PluginLoader,
+    aiu: Aiu<InstanceRef>,
+    routes: RoutingTable,
+    interfaces: Vec<Interface>,
+    enabled: [bool; GATE_COUNT],
+    verify_checksums: bool,
+    stats: DataPathStats,
+    now_ns: u64,
+}
+
+impl Router {
+    /// Build a router; plugins are loaded separately (see
+    /// [`crate::plugins::register_builtin_factories`]).
+    pub fn new(cfg: RouterConfig) -> Self {
+        let mut flow_cfg = cfg.flow_table;
+        flow_cfg.gates = GATE_COUNT;
+        let mut enabled = [false; GATE_COUNT];
+        for g in &cfg.enabled_gates {
+            enabled[g.index()] = true;
+        }
+        Router {
+            pcu: Pcu::new(),
+            loader: PluginLoader::new(),
+            aiu: Aiu::new(AiuConfig {
+                gates: GATE_COUNT,
+                flow_table: flow_cfg,
+                bmp: cfg.bmp,
+            }),
+            routes: RoutingTable::new(),
+            interfaces: (0..cfg.interfaces)
+                .map(|i| Interface {
+                    id: i as IfIndex,
+                    mtu: cfg.mtu,
+                    addr: None,
+                    scheds: Vec::new(),
+                    tx_log: Vec::new(),
+                })
+                .collect(),
+            enabled,
+            verify_checksums: cfg.verify_checksums,
+            stats: DataPathStats::default(),
+            now_ns: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Control path (the Router Plugin Library API)
+    // ------------------------------------------------------------------
+
+    /// `modload <name>`.
+    pub fn load_plugin(&mut self, name: &str) -> Result<(), PluginError> {
+        self.loader.load(name, &mut self.pcu)
+    }
+
+    /// `modunload <name>`.
+    pub fn unload_plugin(&mut self, name: &str) -> Result<(), PluginError> {
+        self.loader.unload(name, &mut self.pcu)
+    }
+
+    /// Send a standardized or plugin-specific message to a plugin — the
+    /// full control path of Figure 2 (PCU dispatch, AIU registration).
+    pub fn send_message(
+        &mut self,
+        plugin: &str,
+        msg: PluginMsg,
+    ) -> Result<PluginReply, PluginError> {
+        match msg {
+            PluginMsg::CreateInstance { config } => {
+                let (id, _inst) = self.pcu.create_instance(plugin, &config)?;
+                Ok(PluginReply::InstanceCreated(id))
+            }
+            PluginMsg::FreeInstance { id } => {
+                let inst = self.pcu.instance(plugin, id)?;
+                // Purge filter bindings referencing this instance.
+                for gate in ALL_GATES {
+                    let ids: Vec<FilterId> = self
+                        .aiu
+                        .filter_table(gate.index())
+                        .filter_ids()
+                        .into_iter()
+                        .filter(|fid| {
+                            self.aiu
+                                .filter_table(gate.index())
+                                .get(*fid)
+                                .map(|(_, v)| Arc::ptr_eq(v, &inst))
+                                .unwrap_or(false)
+                        })
+                        .collect();
+                    for fid in ids {
+                        self.deregister(gate, fid)?;
+                    }
+                }
+                self.pcu.free_instance(plugin, id)?;
+                Ok(PluginReply::InstanceFreed)
+            }
+            PluginMsg::RegisterInstance { id, gate, filter } => {
+                let inst = self.pcu.instance(plugin, id)?;
+                let (fid, evicted) = self
+                    .aiu
+                    .install_filter(gate.index(), filter, inst)
+                    .map_err(|e| PluginError::Filter(e.to_string()))?;
+                for ev in evicted {
+                    self.run_eviction_callbacks(ev);
+                }
+                Ok(PluginReply::Registered(fid))
+            }
+            PluginMsg::DeregisterInstance { gate, filter } => {
+                self.deregister(gate, filter)?;
+                Ok(PluginReply::Deregistered)
+            }
+            PluginMsg::Custom {
+                instance,
+                name,
+                args,
+            } => {
+                let text = self.pcu.custom_message(plugin, instance, &name, &args)?;
+                Ok(PluginReply::Text(text))
+            }
+        }
+    }
+
+    fn deregister(&mut self, gate: Gate, fid: FilterId) -> Result<(), PluginError> {
+        let (_spec, inst, evicted) = self
+            .aiu
+            .remove_filter(gate.index(), fid)
+            .map_err(|e| PluginError::Filter(e.to_string()))?;
+        inst.filter_unbound(fid);
+        for ev in evicted {
+            self.run_eviction_callbacks(ev);
+        }
+        Ok(())
+    }
+
+    fn run_eviction_callbacks(&mut self, mut ev: EvictedFlow<InstanceRef>) {
+        for g in ev.gates.iter_mut() {
+            if let Some(inst) = g.instance.take() {
+                inst.flow_unbound(&ev.key, g.soft_state.take());
+            }
+        }
+    }
+
+    /// Assign the router's own address on an interface (enables ICMP
+    /// Time Exceeded generation for packets arriving there).
+    pub fn set_interface_addr(&mut self, iface: IfIndex, addr: IpAddr) {
+        self.interfaces[iface as usize].addr = Some(addr);
+    }
+
+    /// Add a route.
+    pub fn add_route(&mut self, addr: IpAddr, prefix_len: u8, tx_if: IfIndex) {
+        self.routes.add(addr, prefix_len, RouteEntry { tx_if });
+    }
+
+    /// Remove a route.
+    pub fn remove_route(&mut self, addr: IpAddr, prefix_len: u8) -> bool {
+        self.routes.remove(addr, prefix_len).is_some()
+    }
+
+    /// Enable or disable a gate at run time.
+    pub fn set_gate_enabled(&mut self, gate: Gate, enabled: bool) {
+        self.enabled[gate.index()] = enabled;
+    }
+
+    /// Is a gate enabled?
+    pub fn gate_enabled(&self, gate: Gate) -> bool {
+        self.enabled[gate.index()]
+    }
+
+    /// Attach a scheduler instance to an interface as its default egress
+    /// queue (packets whose flow has no scheduling binding use it).
+    pub fn set_default_scheduler(
+        &mut self,
+        iface: IfIndex,
+        plugin: &str,
+        id: InstanceId,
+    ) -> Result<(), PluginError> {
+        let inst = self.pcu.instance(plugin, id)?;
+        if inst.as_scheduler().is_none() {
+            return Err(PluginError::BadConfig(format!(
+                "instance {id} of {plugin} is not a scheduler"
+            )));
+        }
+        let ifc = &mut self.interfaces[iface as usize];
+        ifc.scheds.retain(|_| false);
+        ifc.attach_sched(&inst);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Data path (paper §3.2)
+    // ------------------------------------------------------------------
+
+    /// Advance the router's virtual clock.
+    pub fn set_time_ns(&mut self, now_ns: u64) {
+        self.now_ns = now_ns;
+        self.aiu.set_now(now_ns);
+    }
+
+    /// Expire flow-cache entries idle longer than `max_idle_ns`, running
+    /// plugin eviction callbacks (paper §3.2 idle-flow removal).
+    pub fn expire_idle_flows(&mut self, max_idle_ns: u64) -> usize {
+        let evicted = self.aiu.expire_idle(max_idle_ns);
+        let n = evicted.len();
+        for ev in evicted {
+            self.run_eviction_callbacks(ev);
+        }
+        n
+    }
+
+    /// Current virtual time.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// The gate dispatch: ensure the packet is classified (first gate),
+    /// then fetch the bound instance for `gate` through the FIX — the
+    /// paper's gate macro.
+    fn at_gate(&mut self, mbuf: &mut Mbuf, gate: Gate) -> Option<InstanceRef> {
+        if mbuf.fix.is_none() {
+            match self.aiu.classify_mbuf(mbuf) {
+                Ok((ClassifyOutcome::CacheMiss(_), Some(ev))) => {
+                    self.run_eviction_callbacks(ev)
+                }
+                Ok(_) => {}
+                Err(_) => return None,
+            }
+        }
+        let fix = mbuf.fix?;
+        self.aiu.instance(fix, gate.index()).cloned()
+    }
+
+    fn call_instance(
+        &mut self,
+        inst: &InstanceRef,
+        mbuf: &mut Mbuf,
+        gate: Gate,
+    ) -> PluginAction {
+        self.stats.plugin_calls += 1;
+        let fix = mbuf.fix.expect("classified before gate call");
+        let now = self.now_ns;
+        let (filter, slot) = self
+            .aiu
+            .binding_mut(fix, gate.index())
+            .expect("live flow record");
+        let mut ctx = PacketCtx {
+            gate,
+            now_ns: now,
+            fix,
+            filter,
+            soft_state: slot,
+        };
+        inst.handle_packet(mbuf, &mut ctx)
+    }
+
+    /// Process one received packet through the full data path.
+    pub fn receive(&mut self, mut mbuf: Mbuf) -> Disposition {
+        self.stats.received += 1;
+        mbuf.timestamp_ns = self.now_ns;
+
+        // Core: validate + age. A TTL/hop-limit expiry additionally sends
+        // ICMP Time Exceeded back toward the source (RFC 792 / RFC 2463),
+        // provided the receive interface has an address configured.
+        if let Err(reason) = validate_and_age(&mut mbuf, self.verify_checksums) {
+            if reason == DropReason::TtlExpired {
+                self.emit_time_exceeded(&mbuf);
+            }
+            return self.drop(reason);
+        }
+
+        // Pre-routing gates.
+        for gate in [
+            Gate::Firewall,
+            Gate::Ipv6Options,
+            Gate::IpSecurity,
+            Gate::Routing,
+            Gate::Stats,
+        ] {
+            if !self.enabled[gate.index()] {
+                continue;
+            }
+            if let Some(inst) = self.at_gate(&mut mbuf, gate) {
+                match self.call_instance(&inst, &mut mbuf, gate) {
+                    PluginAction::Continue => {}
+                    PluginAction::Consumed => return Disposition::Consumed(gate),
+                    PluginAction::Drop => return self.drop(DropReason::Plugin(gate)),
+                }
+            }
+        }
+
+        // Core routing (unless a routing plugin already set the egress).
+        if mbuf.tx_if.is_none() {
+            let dst = match dst_of(&mbuf) {
+                Ok(d) => d,
+                Err(r) => return self.drop(r),
+            };
+            match self.routes.lookup(dst) {
+                Some(e) => mbuf.tx_if = Some(e.tx_if),
+                None => return self.drop(DropReason::NoRoute),
+            }
+        }
+        let tx_if = mbuf.tx_if.expect("routing set tx_if");
+        if tx_if as usize >= self.interfaces.len() {
+            return self.drop(DropReason::NoRoute);
+        }
+
+        // Egress MTU: fragment IPv4, refuse oversized IPv6 / DF packets
+        // (a real router would add ICMP Packet Too Big; transit routers
+        // never reassemble).
+        let mtu = self.interfaces[tx_if as usize].mtu;
+        if mbuf.len() > mtu {
+            use rp_packet::IpVersion;
+            let frags = match IpVersion::of_packet(mbuf.data()) {
+                Ok(IpVersion::V4) => match crate::ip_core::fragment_v4(mbuf.data(), mtu) {
+                    Ok(f) => f,
+                    Err(r) => {
+                        self.stats.dropped_too_big += 1;
+                        return Disposition::Dropped(r);
+                    }
+                },
+                _ => {
+                    self.stats.dropped_too_big += 1;
+                    return Disposition::Dropped(DropReason::TooBig);
+                }
+            };
+            self.stats.fragmented += 1;
+            let rx = mbuf.rx_if;
+            let fix = mbuf.fix;
+            let mut last = Disposition::Forwarded(tx_if);
+            for frag in frags {
+                let mut fm = Mbuf::new(frag, rx);
+                fm.fix = fix;
+                fm.tx_if = Some(tx_if);
+                last = self.dispatch_egress(fm, tx_if);
+            }
+            return last;
+        }
+
+        self.dispatch_egress(mbuf, tx_if)
+    }
+
+    /// Scheduling gate + emission for a packet whose egress interface is
+    /// already decided and which fits the MTU.
+    fn dispatch_egress(&mut self, mut mbuf: Mbuf, tx_if: IfIndex) -> Disposition {
+        // Scheduling gate on the egress interface.
+        if self.enabled[Gate::Scheduling.index()] {
+            if let Some(inst) = self.at_gate(&mut mbuf, Gate::Scheduling) {
+                self.interfaces[tx_if as usize].attach_sched(&inst);
+                return match self.call_instance(&inst, &mut mbuf, Gate::Scheduling) {
+                    PluginAction::Consumed => {
+                        self.stats.forwarded += 1;
+                        Disposition::Queued(tx_if)
+                    }
+                    PluginAction::Drop => self.drop(DropReason::QueueFull),
+                    PluginAction::Continue => {
+                        // Scheduler declined (e.g. pass-through): emit.
+                        self.emit(mbuf, tx_if)
+                    }
+                };
+            }
+        }
+        self.emit(mbuf, tx_if)
+    }
+
+    /// Build and transmit an ICMP(v4/v6) Time Exceeded toward the
+    /// offending packet's source, out the interface it arrived on.
+    fn emit_time_exceeded(&mut self, original: &Mbuf) {
+        let rx = original.rx_if as usize;
+        let Some(ifc) = self.interfaces.get(rx) else {
+            return;
+        };
+        let Some(addr) = ifc.addr else { return };
+        if let Some(reply) = crate::ip_core::build_time_exceeded(addr, original.data()) {
+            self.interfaces[rx].tx_log.push(Mbuf::new(reply, original.rx_if));
+        }
+    }
+
+    fn emit(&mut self, mbuf: Mbuf, tx_if: IfIndex) -> Disposition {
+        self.stats.forwarded += 1;
+        self.interfaces[tx_if as usize].tx_log.push(mbuf);
+        Disposition::Forwarded(tx_if)
+    }
+
+    fn drop(&mut self, reason: DropReason) -> Disposition {
+        match reason {
+            DropReason::Malformed | DropReason::BadChecksum => self.stats.dropped_malformed += 1,
+            DropReason::TtlExpired => self.stats.dropped_ttl += 1,
+            DropReason::NoRoute => self.stats.dropped_no_route += 1,
+            DropReason::Plugin(_) => self.stats.dropped_plugin += 1,
+            DropReason::QueueFull => self.stats.dropped_queue += 1,
+            DropReason::TooBig => self.stats.dropped_too_big += 1,
+        }
+        Disposition::Dropped(reason)
+    }
+
+    /// Drain up to `max` packets from an interface's schedulers onto its
+    /// wire (the device driver's transmit interrupt). Returns packets
+    /// transmitted.
+    pub fn pump(&mut self, iface: IfIndex, max: usize) -> usize {
+        let now = self.now_ns;
+        let ifc = &mut self.interfaces[iface as usize];
+        let mut sent = 0;
+        'outer: while sent < max {
+            let mut any = false;
+            for s in &ifc.scheds {
+                if let Some(sched) = s.as_scheduler() {
+                    if let Some(pkt) = sched.dequeue(now) {
+                        ifc.tx_log.push(pkt);
+                        sent += 1;
+                        any = true;
+                        if sent >= max {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        sent
+    }
+
+    /// Take the packets transmitted on an interface since the last call.
+    pub fn take_tx(&mut self, iface: IfIndex) -> Vec<Mbuf> {
+        std::mem::take(&mut self.interfaces[iface as usize].tx_log)
+    }
+
+    /// Data-path statistics.
+    pub fn stats(&self) -> DataPathStats {
+        self.stats
+    }
+
+    /// Flow-cache statistics (hits/misses/recycling).
+    pub fn flow_stats(&self) -> rp_classifier::flow_table::FlowTableStats {
+        self.aiu.flow_stats()
+    }
+
+    /// Classifier access statistics.
+    pub fn filter_stats(&self) -> rp_classifier::LookupStats {
+        self.aiu.filter_stats()
+    }
+
+    /// Number of interfaces.
+    pub fn interface_count(&self) -> usize {
+        self.interfaces.len()
+    }
+
+    /// Direct AIU access for tests and the testbench.
+    pub fn aiu_mut(&mut self) -> &mut Aiu<InstanceRef> {
+        &mut self.aiu
+    }
+
+    /// Human-readable dump of a gate's installed filters (pmgr `show`).
+    pub fn describe_filters(&self, gate: Gate) -> Vec<String> {
+        let table = self.aiu.filter_table(gate.index());
+        table
+            .filter_ids()
+            .into_iter()
+            .filter_map(|id| {
+                table
+                    .get(id)
+                    .map(|(spec, inst)| format!("filter {} {} → {}", id.0, spec, inst.describe()))
+            })
+            .collect()
+    }
+
+    /// Human-readable dump of every loaded plugin's instances.
+    pub fn describe_instances(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for name in self.pcu.plugin_names() {
+            if let Ok(ids) = self.pcu.instances(&name) {
+                for id in ids {
+                    if let Ok(inst) = self.pcu.instance(&name, id) {
+                        out.push(format!("{name} {}: {}", id.0, inst.describe()));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plugins::register_builtin_factories;
+    use rp_packet::builder::PacketSpec;
+    use std::net::Ipv6Addr;
+
+    fn v6(n: u16) -> IpAddr {
+        IpAddr::V6(Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, n))
+    }
+
+    fn base_router() -> Router {
+        let mut r = Router::new(RouterConfig {
+            verify_checksums: false,
+            ..RouterConfig::default()
+        });
+        register_builtin_factories(&mut r.loader);
+        r
+    }
+
+    fn udp(n: u16) -> Mbuf {
+        Mbuf::new(PacketSpec::udp(v6(n), v6(900), 5, 6, 32).build(), 0)
+    }
+
+    #[test]
+    fn route_add_remove() {
+        let mut r = base_router();
+        assert!(matches!(
+            r.receive(udp(1)),
+            crate::ip_core::Disposition::Dropped(_)
+        ));
+        r.add_route(v6(0), 32, 1);
+        assert_eq!(
+            r.receive(udp(1)),
+            crate::ip_core::Disposition::Forwarded(1)
+        );
+        assert!(r.remove_route(v6(0), 32));
+        assert!(!r.remove_route(v6(0), 32));
+        assert!(matches!(
+            r.receive(udp(2)),
+            crate::ip_core::Disposition::Dropped(_)
+        ));
+    }
+
+    #[test]
+    fn route_to_missing_interface_drops() {
+        let mut r = base_router();
+        r.add_route(v6(0), 32, 99); // only 4 interfaces exist
+        assert!(matches!(
+            r.receive(udp(1)),
+            crate::ip_core::Disposition::Dropped(_)
+        ));
+        assert_eq!(r.stats().dropped_no_route, 1);
+    }
+
+    #[test]
+    fn default_scheduler_requires_scheduler_instance() {
+        let mut r = base_router();
+        crate::pmgr::run_script(&mut r, "load null\ncreate null").unwrap();
+        let err = r
+            .set_default_scheduler(1, "null", InstanceId(0))
+            .unwrap_err();
+        assert!(matches!(err, PluginError::BadConfig(_)));
+        crate::pmgr::run_script(&mut r, "load fifo\ncreate fifo").unwrap();
+        r.set_default_scheduler(1, "fifo", InstanceId(0)).unwrap();
+    }
+
+    #[test]
+    fn pump_without_schedulers_is_zero() {
+        let mut r = base_router();
+        assert_eq!(r.pump(0, 16), 0);
+        assert_eq!(r.interface_count(), 4);
+    }
+
+    #[test]
+    fn register_unknown_instance_fails() {
+        let mut r = base_router();
+        crate::pmgr::run_script(&mut r, "load null").unwrap();
+        let err = r
+            .send_message(
+                "null",
+                crate::message::PluginMsg::RegisterInstance {
+                    id: InstanceId(9),
+                    gate: Gate::Stats,
+                    filter: rp_classifier::FilterSpec::any(),
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, PluginError::NoSuchInstance(_)));
+    }
+
+    #[test]
+    fn deregister_unknown_filter_fails() {
+        let mut r = base_router();
+        crate::pmgr::run_script(&mut r, "load null\ncreate null").unwrap();
+        let err = r
+            .send_message(
+                "null",
+                crate::message::PluginMsg::DeregisterInstance {
+                    gate: Gate::Stats,
+                    filter: rp_classifier::FilterId(42),
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, PluginError::Filter(_)));
+    }
+}

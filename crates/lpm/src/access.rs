@@ -1,0 +1,85 @@
+//! Memory-access accounting.
+//!
+//! The paper's Table 2 expresses worst-case filter-lookup cost in *memory
+//! accesses* (then multiplies by a 60 ns access delay), because on the 1998
+//! testbed every hash probe and trie-node visit was a likely cache miss.
+//! Each LPM structure here charges one unit per node visit / hash-bucket
+//! probe through a shared [`AccessCounter`], so the benches can report the
+//! same deterministic metric regardless of the host machine.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Shared memory-access counter. Cloning shares the underlying count
+/// (single-threaded `Rc<Cell>`; the data path is single-threaded per the
+/// paper's in-kernel design).
+#[derive(Debug, Clone, Default)]
+pub struct AccessCounter {
+    count: Rc<Cell<u64>>,
+}
+
+impl AccessCounter {
+    /// New counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge `n` memory accesses.
+    #[inline]
+    pub fn charge(&self, n: u64) {
+        self.count.set(self.count.get() + n);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.count.get()
+    }
+
+    /// Reset to zero.
+    pub fn reset(&self) {
+        self.count.set(0);
+    }
+
+    /// Run `f` and return `(result, accesses charged during f)`.
+    pub fn measure<T>(&self, f: impl FnOnce() -> T) -> (T, u64) {
+        let before = self.get();
+        let out = f();
+        (out, self.get() - before)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_count() {
+        let a = AccessCounter::new();
+        let b = a.clone();
+        a.charge(3);
+        b.charge(2);
+        assert_eq!(a.get(), 5);
+        assert_eq!(b.get(), 5);
+    }
+
+    #[test]
+    fn measure_delta() {
+        let c = AccessCounter::new();
+        c.charge(10);
+        let (v, delta) = c.measure(|| {
+            c.charge(7);
+            42
+        });
+        assert_eq!(v, 42);
+        assert_eq!(delta, 7);
+        assert_eq!(c.get(), 17);
+    }
+
+    #[test]
+    fn reset() {
+        let c = AccessCounter::new();
+        c.charge(5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Address-width abstraction: the LPM structures are generic over the
+//! machine word that holds an address (`u32` for IPv4, `u128` for IPv6).
+
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// An unsigned word usable as an IP address of `BITS` bits.
+pub trait Bits: Copy + Clone + Eq + Ord + Hash + Debug {
+    /// Address width in bits (32 or 128).
+    const BITS: u32;
+    /// The all-zero address.
+    const ZERO: Self;
+
+    /// Keep only the top `len` bits (the canonical form of a prefix of
+    /// length `len`). `len == 0` yields zero; `len == BITS` is identity.
+    fn mask(self, len: u8) -> Self;
+
+    /// Value of the bit at position `index` counted from the most
+    /// significant bit (bit 0 = MSB).
+    fn bit(self, index: u8) -> bool;
+
+    /// The top `count` bits as a `usize` (for stride indexing;
+    /// `count <= 16`).
+    fn top_bits(self, count: u8) -> usize;
+
+    /// Shift left by `n` bits (for stride walking).
+    fn shl(self, n: u8) -> Self;
+
+    /// Length of the longest common prefix of `self` and `other`, capped at
+    /// `max` bits.
+    fn common_len(self, other: Self, max: u8) -> u8;
+}
+
+impl Bits for u32 {
+    const BITS: u32 = 32;
+    const ZERO: Self = 0;
+
+    #[inline]
+    fn mask(self, len: u8) -> Self {
+        if len == 0 {
+            0
+        } else {
+            self & (u32::MAX << (32 - u32::from(len)))
+        }
+    }
+
+    #[inline]
+    fn bit(self, index: u8) -> bool {
+        (self >> (31 - u32::from(index))) & 1 == 1
+    }
+
+    #[inline]
+    fn top_bits(self, count: u8) -> usize {
+        if count == 0 {
+            0
+        } else {
+            (self >> (32 - u32::from(count))) as usize
+        }
+    }
+
+    #[inline]
+    fn shl(self, n: u8) -> Self {
+        if n >= 32 {
+            0
+        } else {
+            self << n
+        }
+    }
+
+    #[inline]
+    fn common_len(self, other: Self, max: u8) -> u8 {
+        let lz = (self ^ other).leading_zeros().min(32) as u8;
+        lz.min(max)
+    }
+}
+
+impl Bits for u128 {
+    const BITS: u32 = 128;
+    const ZERO: Self = 0;
+
+    #[inline]
+    fn mask(self, len: u8) -> Self {
+        if len == 0 {
+            0
+        } else {
+            self & (u128::MAX << (128 - u32::from(len)))
+        }
+    }
+
+    #[inline]
+    fn bit(self, index: u8) -> bool {
+        (self >> (127 - u32::from(index))) & 1 == 1
+    }
+
+    #[inline]
+    fn top_bits(self, count: u8) -> usize {
+        if count == 0 {
+            0
+        } else {
+            (self >> (128 - u32::from(count))) as usize
+        }
+    }
+
+    #[inline]
+    fn shl(self, n: u8) -> Self {
+        if n >= 128 {
+            0
+        } else {
+            self << n
+        }
+    }
+
+    #[inline]
+    fn common_len(self, other: Self, max: u8) -> u8 {
+        let lz = (self ^ other).leading_zeros().min(128) as u8;
+        lz.min(max)
+    }
+}
+
+/// Convert an [`Ipv4Addr`] to its `u32` bits.
+pub fn v4_bits(a: Ipv4Addr) -> u32 {
+    u32::from(a)
+}
+
+/// Convert an [`Ipv6Addr`] to its `u128` bits.
+pub fn v6_bits(a: Ipv6Addr) -> u128 {
+    u128::from(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_u32() {
+        let a: u32 = 0xFFFF_FFFF;
+        assert_eq!(a.mask(0), 0);
+        assert_eq!(a.mask(8), 0xFF00_0000);
+        assert_eq!(a.mask(32), a);
+        let b: u32 = 0x8180_9901; // 129.128.153.1
+        assert_eq!(b.mask(8), 0x8100_0000);
+    }
+
+    #[test]
+    fn bit_u32_msb_first() {
+        let a: u32 = 0x8000_0001;
+        assert!(a.bit(0));
+        assert!(!a.bit(1));
+        assert!(a.bit(31));
+    }
+
+    #[test]
+    fn top_bits_u32() {
+        let a: u32 = 0xAB00_0000;
+        assert_eq!(a.top_bits(8), 0xAB);
+        assert_eq!(a.top_bits(4), 0xA);
+        assert_eq!(a.top_bits(0), 0);
+    }
+
+    #[test]
+    fn mask_u128() {
+        let a: u128 = u128::MAX;
+        assert_eq!(a.mask(0), 0);
+        assert_eq!(a.mask(64), 0xFFFF_FFFF_FFFF_FFFF_0000_0000_0000_0000);
+        assert_eq!(a.mask(128), a);
+    }
+
+    #[test]
+    fn bit_u128() {
+        let a: u128 = 1u128 << 127 | 1;
+        assert!(a.bit(0));
+        assert!(a.bit(127));
+        assert!(!a.bit(64));
+    }
+
+    #[test]
+    fn shl_saturates() {
+        assert_eq!(5u32.shl(32), 0);
+        assert_eq!(5u128.shl(128), 0);
+        assert_eq!(1u32.shl(3), 8);
+    }
+
+    #[test]
+    fn common_len_cases() {
+        assert_eq!(0xFF00_0000u32.common_len(0xFF00_0000, 32), 32);
+        assert_eq!(0xFF00_0000u32.common_len(0xFE00_0000, 32), 7);
+        assert_eq!(0x0000_0000u32.common_len(0x8000_0000, 32), 0);
+        assert_eq!(0xFF00_0000u32.common_len(0xFF00_0000, 16), 16);
+        assert_eq!(u128::MAX.common_len(u128::MAX, 128), 128);
+        assert_eq!(u128::MAX.common_len(u128::MAX - 1, 128), 127);
+    }
+}

@@ -1,0 +1,307 @@
+//! Controlled Prefix Expansion (Srinivasan & Varghese, SIGMETRICS '98): a
+//! fixed-stride multibit trie. The paper cites CPE as the state-of-the-art
+//! BMP that makes its DAG classifier "more or less independent of the
+//! number of filters"; worst-case lookup cost is the number of stride
+//! levels, each charged as one memory access.
+//!
+//! Prefixes whose length falls inside a stride are *expanded* into all
+//! matching slots of that level; on collision the longer original prefix
+//! wins (it is more specific by construction).
+
+use crate::access::AccessCounter;
+use crate::bits::Bits;
+use crate::patricia::PatriciaTable;
+use crate::table::{LpmTable, Prefix};
+
+struct Slot<V> {
+    /// Best expanded prefix ending at this level: value + original length.
+    value: Option<(V, u8)>,
+    child: Option<Box<Node<V>>>,
+}
+
+impl<V> Default for Slot<V> {
+    fn default() -> Self {
+        Slot {
+            value: None,
+            child: None,
+        }
+    }
+}
+
+struct Node<V> {
+    slots: Vec<Slot<V>>,
+}
+
+impl<V> Node<V> {
+    fn new(stride: u8) -> Box<Self> {
+        let mut slots = Vec::with_capacity(1 << stride);
+        slots.resize_with(1 << stride, Slot::default);
+        Box::new(Node { slots })
+    }
+}
+
+/// Fixed-stride multibit trie with controlled prefix expansion.
+pub struct CpeTable<A: Bits, V: Clone> {
+    root: Box<Node<V>>,
+    strides: Vec<u8>,
+    /// Source of truth, used for removal rebuilds and exact gets.
+    real: PatriciaTable<A, V>,
+    counter: AccessCounter,
+}
+
+impl<A: Bits, V: Clone> CpeTable<A, V> {
+    /// Build with the given stride schedule, which must sum to the address
+    /// width. The canonical schedules are [`CpeTable::new_v4`] /
+    /// [`CpeTable::new_v6`].
+    ///
+    /// # Panics
+    /// Panics when the strides do not sum to `A::BITS` or any stride
+    /// exceeds 16 bits (slot vectors get unreasonably large beyond that).
+    pub fn with_strides(strides: Vec<u8>) -> Self {
+        let total: u32 = strides.iter().map(|s| u32::from(*s)).sum();
+        assert_eq!(total, A::BITS, "strides must cover the address width");
+        assert!(strides.iter().all(|s| *s > 0 && *s <= 16));
+        CpeTable {
+            root: Node::new(strides[0]),
+            strides,
+            real: PatriciaTable::new(),
+            counter: AccessCounter::new(),
+        }
+    }
+
+    /// The access counter used by this table.
+    pub fn counter(&self) -> &AccessCounter {
+        &self.counter
+    }
+
+    /// Number of stride levels (= worst-case memory accesses per lookup).
+    pub fn levels(&self) -> usize {
+        self.strides.len()
+    }
+
+    fn insert_expanded(&mut self, prefix: Prefix<A>, value: V) {
+        let mut node = &mut self.root;
+        let mut consumed: u8 = 0;
+        let mut level = 0usize;
+        let mut bits = prefix.bits();
+        loop {
+            let stride = self.strides[level];
+            if prefix.len() <= consumed + stride {
+                // Expand into this level: all slots whose top bits match.
+                let fixed = prefix.len() - consumed;
+                let base = bits.top_bits(fixed) << (stride - fixed);
+                let count = 1usize << (stride - fixed);
+                for idx in base..base + count {
+                    let slot = &mut node.slots[idx];
+                    let replace = match &slot.value {
+                        Some((_, l)) => prefix.len() >= *l,
+                        None => true,
+                    };
+                    if replace {
+                        slot.value = Some((value.clone(), prefix.len()));
+                    }
+                }
+                return;
+            }
+            let idx = bits.top_bits(stride);
+            bits = bits.shl(stride);
+            consumed += stride;
+            let next_stride = self.strides[level + 1];
+            node = node.slots[idx]
+                .child
+                .get_or_insert_with(|| Node::new(next_stride));
+            level += 1;
+        }
+    }
+
+    fn rebuild(&mut self) {
+        self.root = Node::new(self.strides[0]);
+        for p in self.real.prefixes() {
+            // Re-expansion order doesn't matter: longer-wins comparison is
+            // order-independent.
+            let v = self.real.get(p).expect("prefix just listed").clone();
+            self.insert_expanded(p, v);
+        }
+    }
+}
+
+impl<V: Clone> CpeTable<u32, V> {
+    /// IPv4 schedule 8-8-8-8 (4 levels).
+    pub fn new_v4() -> CpeTable<u32, V> {
+        CpeTable::with_strides(vec![8, 8, 8, 8])
+    }
+}
+
+impl<V: Clone> CpeTable<u128, V> {
+    /// IPv6 schedule 16×8 (8 levels).
+    pub fn new_v6() -> CpeTable<u128, V> {
+        CpeTable::with_strides(vec![16; 8])
+    }
+}
+
+impl<A: Bits, V: Clone> LpmTable<A, V> for CpeTable<A, V> {
+    fn insert(&mut self, prefix: Prefix<A>, value: V) -> Option<V> {
+        let old = self.real.insert(prefix, value.clone());
+        // Re-expansion alone is correct for replacement too: a slot holds
+        // the longest covering prefix, and two distinct prefixes of equal
+        // length never share a slot, so the equal-length overwrite below
+        // hits exactly the slots whose best prefix is `prefix`.
+        self.insert_expanded(prefix, value);
+        old
+    }
+
+    fn remove(&mut self, prefix: Prefix<A>) -> Option<V> {
+        let old = self.real.remove(prefix)?;
+        // Expansion is lossy (slots do not remember what they overwrote),
+        // so removal rebuilds. Removals are control-path events.
+        self.rebuild();
+        Some(old)
+    }
+
+    fn lookup(&self, addr: A) -> Option<(&V, u8)> {
+        let mut node = &self.root;
+        let mut bits = addr;
+        let mut best: Option<(&V, u8)> = None;
+        for (level, stride) in self.strides.iter().enumerate() {
+            self.counter.charge(1);
+            let idx = bits.top_bits(*stride);
+            let slot = &node.slots[idx];
+            if let Some((v, l)) = &slot.value {
+                best = Some((v, *l));
+            }
+            match &slot.child {
+                Some(child) if level + 1 < self.strides.len() => {
+                    node = child;
+                    bits = bits.shl(*stride);
+                }
+                _ => break,
+            }
+        }
+        best
+    }
+
+    fn get(&self, prefix: Prefix<A>) -> Option<&V> {
+        self.real.get(prefix)
+    }
+
+    fn len(&self) -> usize {
+        self.real.len()
+    }
+
+    fn prefixes(&self) -> Vec<Prefix<A>> {
+        self.real.prefixes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(bits: u32, len: u8) -> Prefix<u32> {
+        Prefix::new(bits, len)
+    }
+
+    fn table() -> CpeTable<u32, &'static str> {
+        CpeTable::<u32, &'static str>::new_v4()
+    }
+
+    #[test]
+    fn paper_table1_prefixes() {
+        let mut t = table();
+        t.insert(p(0x8100_0000, 8), "129.*");
+        t.insert(p(0x80FC_9901, 32), "128.252.153.1");
+        t.insert(p(0x80FC_9900, 24), "128.252.153.*");
+        assert_eq!(t.lookup(0x80FC_9901).unwrap(), (&"128.252.153.1", 32));
+        assert_eq!(t.lookup(0x80FC_994D).unwrap(), (&"128.252.153.*", 24));
+        assert_eq!(t.lookup(0x8101_0203).unwrap(), (&"129.*", 8));
+        assert!(t.lookup(0x8201_0203).is_none());
+    }
+
+    #[test]
+    fn mid_stride_expansion() {
+        let mut t = table();
+        // /6 expands into 4 slots of the first 8-bit level.
+        t.insert(p(0x8800_0000, 6), "a"); // 136.0.0.0/6 → 136..139
+        assert_eq!(t.lookup(0x8801_0000).unwrap(), (&"a", 6));
+        assert_eq!(t.lookup(0x8B01_0000).unwrap(), (&"a", 6)); // 139.x
+        assert!(t.lookup(0x8C01_0000).is_none()); // 140.x
+        // A /7 inside the /6 takes priority in its half.
+        t.insert(p(0x8A00_0000, 7), "b"); // 138..139
+        assert_eq!(t.lookup(0x8B01_0000).unwrap(), (&"b", 7));
+        assert_eq!(t.lookup(0x8901_0000).unwrap(), (&"a", 6));
+    }
+
+    #[test]
+    fn lookup_cost_is_levels() {
+        let mut t = table();
+        t.insert(p(0xFFFF_FFFF, 32), "deep");
+        t.counter().reset();
+        let _ = t.lookup(0xFFFF_FFFF);
+        assert_eq!(t.counter().get(), 4);
+        // Shallow miss costs a single access.
+        t.counter().reset();
+        let _ = t.lookup(0x0000_0001);
+        assert_eq!(t.counter().get(), 1);
+    }
+
+    #[test]
+    fn remove_rebuilds() {
+        let mut t = table();
+        t.insert(p(0x0A00_0000, 8), "eight");
+        t.insert(p(0x0A0A_0000, 16), "sixteen");
+        assert_eq!(t.remove(p(0x0A0A_0000, 16)), Some("sixteen"));
+        assert_eq!(t.lookup(0x0A0A_0101).unwrap(), (&"eight", 8));
+        assert_eq!(t.remove(p(0x0A0A_0000, 16)), None);
+    }
+
+    #[test]
+    fn insert_shorter_does_not_shadow_longer() {
+        let mut t = table();
+        t.insert(p(0x0A0A_0000, 16), "long");
+        t.insert(p(0x0A00_0000, 8), "short");
+        assert_eq!(t.lookup(0x0A0A_0101).unwrap(), (&"long", 16));
+        assert_eq!(t.lookup(0x0A0B_0101).unwrap(), (&"short", 8));
+    }
+
+    #[test]
+    fn v6_strides() {
+        let mut t = CpeTable::<u128, u32>::new_v6();
+        let base: u128 = 0x2001_0db8 << 96;
+        t.insert(Prefix::new(base, 32), 1);
+        t.insert(Prefix::new(base | 42, 128), 2);
+        assert_eq!(t.levels(), 8);
+        assert_eq!(t.lookup(base | 42).unwrap(), (&2, 128));
+        assert_eq!(t.lookup(base | 43).unwrap(), (&1, 32));
+        t.counter().reset();
+        let _ = t.lookup(base | 42);
+        assert_eq!(t.counter().get(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the address width")]
+    fn bad_strides_panic() {
+        let _ = CpeTable::<u32, u8>::with_strides(vec![8, 8]);
+    }
+
+    #[test]
+    fn randomised_against_patricia() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cpe = table();
+        let mut pat = PatriciaTable::new();
+        for _ in 0..300 {
+            let bits: u32 = (rng.gen::<u32>() & 0x0F0F_FFFF) | 0x0A00_0000;
+            let len: u8 = rng.gen_range(1..=32);
+            let pfx = Prefix::new(bits, len);
+            cpe.insert(pfx, "x");
+            pat.insert(pfx, "x");
+        }
+        for _ in 0..2000 {
+            let addr: u32 = (rng.gen::<u32>() & 0x0F0F_FFFF) | 0x0A00_0000;
+            assert_eq!(
+                cpe.lookup(addr).map(|(_, l)| l),
+                pat.lookup(addr).map(|(_, l)| l)
+            );
+        }
+    }
+}

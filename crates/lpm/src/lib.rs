@@ -1,0 +1,31 @@
+//! # rp-lpm — longest-prefix-match algorithms (the paper's "BMP plugins")
+//!
+//! The Router Plugins architecture makes the best-matching-prefix (BMP)
+//! function itself a plugin: the DAG classifier calls a pluggable matcher at
+//! each IP-address level (paper §5.1.1). The paper ships two BMP plugins —
+//! a PATRICIA trie ("slower but freely available") and *binary search on
+//! prefix lengths* (Waldvogel et al., SIGCOMM '97). This crate implements
+//! both, plus controlled prefix expansion (Srinivasan & Varghese,
+//! SIGMETRICS '98), which the paper cites as the state of the art.
+//!
+//! All structures are generic over the address width through the [`Bits`]
+//! trait (`u32` for IPv4, `u128` for IPv6) and count their **memory
+//! accesses** through an [`AccessCounter`], because the paper's Table 2 is
+//! denominated in memory accesses, not nanoseconds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod bits;
+pub mod bspl;
+pub mod cpe;
+pub mod patricia;
+pub mod table;
+
+pub use access::AccessCounter;
+pub use bits::Bits;
+pub use bspl::BsplTable;
+pub use cpe::CpeTable;
+pub use patricia::PatriciaTable;
+pub use table::{LpmTable, Prefix};

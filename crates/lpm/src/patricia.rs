@@ -1,0 +1,452 @@
+//! PATRICIA-style path-compressed radix trie.
+//!
+//! This is the paper's "slower but freely available" BMP plugin, modelled on
+//! the BSD radix tree (Sklower). Lookup walks at most one node per differing
+//! bit region, charging one memory access per node visited, so its
+//! worst-case access count grows with the trie depth — exactly the property
+//! that motivates the paper's preference for binary search on prefix
+//! lengths in Table 2.
+
+use crate::access::AccessCounter;
+use crate::bits::Bits;
+use crate::table::{LpmTable, Prefix};
+
+struct Node<A: Bits, V> {
+    prefix: Prefix<A>,
+    value: Option<V>,
+    children: [Option<Box<Node<A, V>>>; 2],
+}
+
+impl<A: Bits, V> Node<A, V> {
+    fn leaf(prefix: Prefix<A>, value: Option<V>) -> Box<Self> {
+        Box::new(Node {
+            prefix,
+            value,
+            children: [None, None],
+        })
+    }
+}
+
+/// Path-compressed binary trie keyed by prefixes.
+///
+/// ```
+/// use rp_lpm::{PatriciaTable, LpmTable, Prefix};
+///
+/// let mut t = PatriciaTable::new();
+/// t.insert(Prefix::new(0x0A00_0000u32, 8), 1);
+/// assert_eq!(t.lookup(0x0A01_0203), Some((&1, 8)));
+/// assert_eq!(t.lookup(0x0B01_0203), None);
+/// ```
+pub struct PatriciaTable<A: Bits, V> {
+    root: Box<Node<A, V>>,
+    len: usize,
+    counter: AccessCounter,
+}
+
+impl<A: Bits, V> Default for PatriciaTable<A, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: Bits, V> PatriciaTable<A, V> {
+    /// Empty trie.
+    pub fn new() -> Self {
+        PatriciaTable {
+            root: Node::leaf(Prefix::default_route(), None),
+            len: 0,
+            counter: AccessCounter::new(),
+        }
+    }
+
+    /// Empty trie charging accesses to `counter`.
+    pub fn with_counter(counter: AccessCounter) -> Self {
+        PatriciaTable {
+            root: Node::leaf(Prefix::default_route(), None),
+            len: 0,
+            counter,
+        }
+    }
+
+    /// The access counter used by this table.
+    pub fn counter(&self) -> &AccessCounter {
+        &self.counter
+    }
+
+    fn insert_at(node: &mut Box<Node<A, V>>, prefix: Prefix<A>, value: V, len: &mut usize) -> Option<V> {
+        debug_assert!(node.prefix.covers(&prefix));
+        if node.prefix == prefix {
+            let old = node.value.replace(value);
+            if old.is_none() {
+                *len += 1;
+            }
+            return old;
+        }
+        let bit = usize::from(prefix.bits().bit(node.prefix.len()));
+        match &mut node.children[bit] {
+            slot @ None => {
+                *slot = Some(Node::leaf(prefix, Some(value)));
+                *len += 1;
+                None
+            }
+            Some(child) => {
+                let common = prefix
+                    .bits()
+                    .common_len(child.prefix.bits(), prefix.len().min(child.prefix.len()));
+                if common == child.prefix.len() {
+                    // Child's prefix covers ours: descend.
+                    Self::insert_at(child, prefix, value, len)
+                } else if common == prefix.len() {
+                    // Our prefix covers the child: splice ourselves in.
+                    let old_child = node.children[bit].take().unwrap();
+                    let mut new_node = Node::leaf(prefix, Some(value));
+                    let cbit = usize::from(old_child.prefix.bits().bit(prefix.len()));
+                    new_node.children[cbit] = Some(old_child);
+                    node.children[bit] = Some(new_node);
+                    *len += 1;
+                    None
+                } else {
+                    // Diverge below a common ancestor: split.
+                    let old_child = node.children[bit].take().unwrap();
+                    let mut mid = Node::leaf(Prefix::new(prefix.bits(), common), None);
+                    let cbit = usize::from(old_child.prefix.bits().bit(common));
+                    let pbit = usize::from(prefix.bits().bit(common));
+                    debug_assert_ne!(cbit, pbit);
+                    mid.children[cbit] = Some(old_child);
+                    mid.children[pbit] = Some(Node::leaf(prefix, Some(value)));
+                    node.children[bit] = Some(mid);
+                    *len += 1;
+                    None
+                }
+            }
+        }
+    }
+
+    /// Longest-prefix match restricted to prefixes of length at most
+    /// `max_len`. Used by the BSPL structure to precompute marker
+    /// best-match values ("bmp" in Waldvogel et al.).
+    pub fn lookup_max_len(&self, addr: A, max_len: u8) -> Option<(&V, u8)> {
+        let mut node = &self.root;
+        let mut best: Option<(&V, u8)> = None;
+        loop {
+            if !node.prefix.matches(addr) || node.prefix.len() > max_len {
+                break;
+            }
+            if let Some(v) = &node.value {
+                best = Some((v, node.prefix.len()));
+            }
+            if u32::from(node.prefix.len()) >= A::BITS {
+                break;
+            }
+            let bit = usize::from(addr.bit(node.prefix.len()));
+            match &node.children[bit] {
+                Some(child) => node = child,
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// All stored prefixes covered by `prefix` (i.e. equal or more
+    /// specific), in unspecified order. Control-path helper for the BSPL
+    /// structure's incremental best-match maintenance.
+    pub fn covered_by(&self, prefix: Prefix<A>) -> Vec<Prefix<A>> {
+        fn collect<A: Bits, V>(node: &Node<A, V>, out: &mut Vec<Prefix<A>>) {
+            if node.value.is_some() {
+                out.push(node.prefix);
+            }
+            for c in node.children.iter().flatten() {
+                collect(c, out);
+            }
+        }
+        // Descend to the node region covered by `prefix`, then collect.
+        let mut node = &self.root;
+        let mut out = Vec::new();
+        loop {
+            if prefix.covers(&node.prefix) {
+                collect(node, &mut out);
+                return out;
+            }
+            if !node.prefix.covers(&prefix) {
+                return out;
+            }
+            if u32::from(node.prefix.len()) >= A::BITS {
+                return out;
+            }
+            let bit = usize::from(prefix.bits().bit(node.prefix.len()));
+            match &node.children[bit] {
+                Some(child) => node = child,
+                None => return out,
+            }
+        }
+    }
+
+    /// Splice out `child` slots that hold valueless single/zero-child nodes.
+    fn compact(node: &mut Box<Node<A, V>>, bit: usize) {
+        let splice = match &node.children[bit] {
+            Some(c) if c.value.is_none() => {
+                let kids = c.children.iter().filter(|k| k.is_some()).count();
+                kids <= 1
+            }
+            _ => false,
+        };
+        if splice {
+            let mut c = node.children[bit].take().unwrap();
+            let grand = c.children.iter_mut().find_map(|k| k.take());
+            node.children[bit] = grand;
+        }
+    }
+}
+
+impl<A: Bits, V> LpmTable<A, V> for PatriciaTable<A, V> {
+    fn insert(&mut self, prefix: Prefix<A>, value: V) -> Option<V> {
+        let mut len = self.len;
+        let out = Self::insert_at(&mut self.root, prefix, value, &mut len);
+        self.len = len;
+        out
+    }
+
+    fn remove(&mut self, prefix: Prefix<A>) -> Option<V> {
+        // Iterative descent recording the path would fight the borrow
+        // checker; recursion depth is bounded by the address width.
+        fn rec<A: Bits, V>(node: &mut Box<Node<A, V>>, prefix: Prefix<A>) -> Option<V> {
+            if node.prefix == prefix {
+                return node.value.take();
+            }
+            if !node.prefix.covers(&prefix) {
+                return None;
+            }
+            let bit = usize::from(prefix.bits().bit(node.prefix.len()));
+            let out = match &mut node.children[bit] {
+                Some(child) if child.prefix.covers(&prefix) => rec(child, prefix),
+                _ => None,
+            };
+            if out.is_some() {
+                PatriciaTable::compact(node, bit);
+            }
+            out
+        }
+        let out = rec(&mut self.root, prefix);
+        if out.is_some() {
+            self.len -= 1;
+        }
+        out
+    }
+
+    fn lookup(&self, addr: A) -> Option<(&V, u8)> {
+        let mut node = &self.root;
+        let mut best: Option<(&V, u8)> = None;
+        loop {
+            self.counter.charge(1);
+            if !node.prefix.matches(addr) {
+                break;
+            }
+            if let Some(v) = &node.value {
+                best = Some((v, node.prefix.len()));
+            }
+            if u32::from(node.prefix.len()) >= A::BITS {
+                break;
+            }
+            let bit = usize::from(addr.bit(node.prefix.len()));
+            match &node.children[bit] {
+                Some(child) => node = child,
+                None => break,
+            }
+        }
+        best
+    }
+
+    fn get(&self, prefix: Prefix<A>) -> Option<&V> {
+        let mut node = &self.root;
+        loop {
+            if node.prefix == prefix {
+                return node.value.as_ref();
+            }
+            if !node.prefix.covers(&prefix) {
+                return None;
+            }
+            let bit = usize::from(prefix.bits().bit(node.prefix.len()));
+            match &node.children[bit] {
+                Some(child) if child.prefix.covers(&prefix) => node = child,
+                _ => return None,
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn prefixes(&self) -> Vec<Prefix<A>> {
+        fn walk<A: Bits, V>(node: &Node<A, V>, out: &mut Vec<Prefix<A>>) {
+            if node.value.is_some() {
+                out.push(node.prefix);
+            }
+            for c in node.children.iter().flatten() {
+                walk(c, out);
+            }
+        }
+        let mut out = Vec::with_capacity(self.len);
+        walk(&self.root, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(bits: u32, len: u8) -> Prefix<u32> {
+        Prefix::new(bits, len)
+    }
+
+    #[test]
+    fn paper_table1_prefixes() {
+        // Source-address column of the paper's Table 1.
+        let mut t = PatriciaTable::new();
+        t.insert(p(0x8100_0000, 8), "129.*"); // filter 1
+        t.insert(p(0x80FC_9901, 32), "128.252.153.1"); // filters 2,3
+        t.insert(p(0x80FC_9900, 24), "128.252.153.*"); // filter 4
+        assert_eq!(t.len(), 3);
+
+        // 128.252.153.1 → the /32, most specific.
+        assert_eq!(t.lookup(0x80FC_9901).unwrap(), (&"128.252.153.1", 32));
+        // 128.252.153.77 → the /24.
+        assert_eq!(t.lookup(0x80FC_994D).unwrap(), (&"128.252.153.*", 24));
+        // 129.1.2.3 → the /8.
+        assert_eq!(t.lookup(0x8101_0203).unwrap(), (&"129.*", 8));
+        // 130.x matches nothing.
+        assert!(t.lookup(0x8201_0203).is_none());
+    }
+
+    #[test]
+    fn default_route() {
+        let mut t = PatriciaTable::new();
+        t.insert(Prefix::default_route(), 0u32);
+        t.insert(p(0x0A00_0000, 8), 1);
+        assert_eq!(t.lookup(0x0A01_0101).unwrap(), (&1, 8));
+        assert_eq!(t.lookup(0xC0A8_0101).unwrap(), (&0, 0));
+    }
+
+    #[test]
+    fn replace_returns_old() {
+        let mut t = PatriciaTable::new();
+        assert_eq!(t.insert(p(0x0A00_0000, 8), 1), None);
+        assert_eq!(t.insert(p(0x0A00_0000, 8), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(0x0A01_0101).unwrap(), (&2, 8));
+    }
+
+    #[test]
+    fn remove_and_compact() {
+        let mut t = PatriciaTable::new();
+        t.insert(p(0x0A00_0000, 8), 1);
+        t.insert(p(0x0A0A_0000, 16), 2);
+        t.insert(p(0x0A0B_0000, 16), 3);
+        assert_eq!(t.remove(p(0x0A0A_0000, 16)), Some(2));
+        assert_eq!(t.len(), 2);
+        assert!(t.lookup(0x0A0A_0101).map(|(v, _)| *v) == Some(1));
+        assert_eq!(t.remove(p(0x0A0A_0000, 16)), None);
+        assert_eq!(t.remove(p(0x0A00_0000, 8)), Some(1));
+        assert_eq!(t.lookup(0x0A0A_0101).map(|(v, _)| *v), None);
+        assert_eq!(t.lookup(0x0A0B_0101).unwrap(), (&3, 16));
+    }
+
+    #[test]
+    fn split_on_divergence() {
+        let mut t = PatriciaTable::new();
+        // 10.128/9 and 10.0/9 diverge at bit 8 under a common 10/8 ancestor
+        // that holds no value.
+        t.insert(p(0x0A80_0000, 9), "hi");
+        t.insert(p(0x0A00_0000, 9), "lo");
+        assert_eq!(t.lookup(0x0A80_0001).unwrap(), (&"hi", 9));
+        assert_eq!(t.lookup(0x0A00_0001).unwrap(), (&"lo", 9));
+        assert!(t.lookup(0x0B00_0001).is_none());
+    }
+
+    #[test]
+    fn get_exact() {
+        let mut t = PatriciaTable::new();
+        t.insert(p(0x0A00_0000, 8), 1);
+        t.insert(p(0x0A00_0000, 16), 2);
+        assert_eq!(t.get(p(0x0A00_0000, 8)), Some(&1));
+        assert_eq!(t.get(p(0x0A00_0000, 16)), Some(&2));
+        assert_eq!(t.get(p(0x0A00_0000, 12)), None);
+    }
+
+    #[test]
+    fn host_routes_v6() {
+        let mut t: PatriciaTable<u128, u32> = PatriciaTable::new();
+        for i in 0..100u128 {
+            t.insert(Prefix::new(i << 16, 128), i as u32);
+        }
+        for i in 0..100u128 {
+            assert_eq!(t.lookup(i << 16).unwrap(), (&(i as u32), 128));
+        }
+        assert!(t.lookup(1).is_none());
+    }
+
+    #[test]
+    fn access_counting() {
+        let t: PatriciaTable<u32, u32> = PatriciaTable::new();
+        t.counter().reset();
+        t.lookup(42);
+        assert!(t.counter().get() >= 1);
+    }
+
+    #[test]
+    fn lookup_max_len_restricts() {
+        let mut t = PatriciaTable::new();
+        t.insert(p(0x0A00_0000, 8), 8u8);
+        t.insert(p(0x0A0A_0000, 16), 16);
+        t.insert(p(0x0A0A_0A00, 24), 24);
+        let addr = 0x0A0A_0A01;
+        assert_eq!(t.lookup_max_len(addr, 32).unwrap(), (&24, 24));
+        assert_eq!(t.lookup_max_len(addr, 24).unwrap(), (&24, 24));
+        assert_eq!(t.lookup_max_len(addr, 23).unwrap(), (&16, 16));
+        assert_eq!(t.lookup_max_len(addr, 15).unwrap(), (&8, 8));
+        assert_eq!(t.lookup_max_len(addr, 7), None);
+    }
+
+    #[test]
+    fn covered_by_enumerates_descendants() {
+        let mut t = PatriciaTable::new();
+        t.insert(p(0x0A00_0000, 8), ());
+        t.insert(p(0x0A0A_0000, 16), ());
+        t.insert(p(0x0A0A_0A00, 24), ());
+        t.insert(p(0x0B00_0000, 8), ());
+        let mut got = t.covered_by(p(0x0A00_0000, 8));
+        got.sort();
+        assert_eq!(got, vec![p(0x0A00_0000, 8), p(0x0A0A_0000, 16), p(0x0A0A_0A00, 24)]);
+        assert_eq!(t.covered_by(p(0x0A0A_0A00, 24)), vec![p(0x0A0A_0A00, 24)]);
+        assert_eq!(t.covered_by(p(0x0C00_0000, 8)), vec![]);
+        // The whole table under the default prefix.
+        assert_eq!(t.covered_by(Prefix::default_route()).len(), 4);
+    }
+
+    #[test]
+    fn randomised_against_linear_scan() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut t = PatriciaTable::new();
+        let mut reference: Vec<(Prefix<u32>, u32)> = Vec::new();
+        for i in 0..500u32 {
+            let bits: u32 = rng.gen();
+            let len: u8 = rng.gen_range(0..=32);
+            let pfx = Prefix::new(bits, len);
+            t.insert(pfx, i);
+            reference.retain(|(q, _)| *q != pfx);
+            reference.push((pfx, i));
+        }
+        for _ in 0..2000 {
+            let addr: u32 = rng.gen();
+            let expect = reference
+                .iter()
+                .filter(|(q, _)| q.matches(addr))
+                .max_by_key(|(q, _)| q.len())
+                .map(|(q, v)| (*v, q.len()));
+            let got = t.lookup(addr).map(|(v, l)| (*v, l));
+            assert_eq!(got, expect);
+        }
+    }
+}

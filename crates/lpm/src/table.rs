@@ -1,0 +1,129 @@
+//! The common LPM interface implemented by every BMP algorithm, mirroring
+//! how the paper treats best-matching-prefix functions as interchangeable
+//! plugins behind one interface.
+
+use crate::bits::Bits;
+use std::fmt;
+
+/// A prefix: the canonical (masked) address bits plus a length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Prefix<A: Bits> {
+    bits: A,
+    len: u8,
+}
+
+impl<A: Bits> Prefix<A> {
+    /// Construct, canonicalising (masking off bits beyond `len`).
+    ///
+    /// # Panics
+    /// Panics if `len` exceeds the address width — a programming error, not
+    /// a data error.
+    pub fn new(bits: A, len: u8) -> Self {
+        assert!(u32::from(len) <= A::BITS, "prefix length out of range");
+        Prefix {
+            bits: bits.mask(len),
+            len,
+        }
+    }
+
+    /// The default (zero-length, match-everything) prefix.
+    pub fn default_route() -> Self {
+        Prefix {
+            bits: A::ZERO,
+            len: 0,
+        }
+    }
+
+    /// Masked address bits.
+    pub fn bits(&self) -> A {
+        self.bits
+    }
+
+    /// Prefix length.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// True for the zero-length prefix.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Does this prefix cover `addr`?
+    pub fn matches(&self, addr: A) -> bool {
+        addr.mask(self.len) == self.bits
+    }
+
+    /// Does this prefix cover all addresses covered by `other`? (i.e. is it
+    /// equal or shorter and agreeing on its bits)
+    pub fn covers(&self, other: &Prefix<A>) -> bool {
+        self.len <= other.len && other.bits.mask(self.len) == self.bits
+    }
+}
+
+impl<A: Bits> fmt::Display for Prefix<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}/{}", self.bits, self.len)
+    }
+}
+
+/// The interface every BMP algorithm implements. `V` is the value attached
+/// to each prefix (a next hop, a DAG child pointer, …).
+pub trait LpmTable<A: Bits, V> {
+    /// Insert or replace the value for `prefix`. Returns the previous value
+    /// if the prefix was present.
+    fn insert(&mut self, prefix: Prefix<A>, value: V) -> Option<V>;
+
+    /// Remove a prefix, returning its value.
+    fn remove(&mut self, prefix: Prefix<A>) -> Option<V>;
+
+    /// Longest-prefix match: the value and length of the most specific
+    /// prefix covering `addr`.
+    fn lookup(&self, addr: A) -> Option<(&V, u8)>;
+
+    /// Exact-match fetch of a stored prefix.
+    fn get(&self, prefix: Prefix<A>) -> Option<&V>;
+
+    /// Number of stored prefixes.
+    fn len(&self) -> usize;
+
+    /// True when no prefixes are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate all stored prefixes (order unspecified).
+    fn prefixes(&self) -> Vec<Prefix<A>>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalises() {
+        let p = Prefix::new(0x8180_9901u32, 8); // 129.128.153.1/8
+        assert_eq!(p.bits(), 0x8100_0000);
+        assert_eq!(p.len(), 8);
+    }
+
+    #[test]
+    fn matches_and_covers() {
+        let p8 = Prefix::new(0x8100_0000u32, 8); // 129/8
+        let p16 = Prefix::new(0x8101_0000u32, 16); // 129.1/16
+        assert!(p8.matches(0x8122_3344));
+        assert!(!p8.matches(0x8022_3344));
+        assert!(p8.covers(&p16));
+        assert!(!p16.covers(&p8));
+        assert!(p8.covers(&p8));
+        let def = Prefix::<u32>::default_route();
+        assert!(def.matches(0xFFFF_FFFF));
+        assert!(def.covers(&p8));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn overlong_prefix_panics() {
+        Prefix::new(0u32, 33);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests: all three BMP implementations must agree with each
+//! other (and with a naive reference) on longest-prefix-match semantics,
+//! under arbitrary insert/remove interleavings.
+
+use proptest::prelude::*;
+use rp_lpm::{BsplTable, CpeTable, LpmTable, PatriciaTable, Prefix};
+
+/// Naive reference: a list scanned for the longest matching prefix.
+struct Reference {
+    entries: Vec<(Prefix<u32>, u32)>,
+}
+
+impl Reference {
+    fn new() -> Self {
+        Reference {
+            entries: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, p: Prefix<u32>, v: u32) {
+        self.entries.retain(|(q, _)| *q != p);
+        self.entries.push((p, v));
+    }
+
+    fn remove(&mut self, p: Prefix<u32>) {
+        self.entries.retain(|(q, _)| *q != p);
+    }
+
+    fn lookup(&self, addr: u32) -> Option<(u32, u8)> {
+        self.entries
+            .iter()
+            .filter(|(q, _)| q.matches(addr))
+            .max_by_key(|(q, _)| q.len())
+            .map(|(q, v)| (*v, q.len()))
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32, u8, u32),
+    Remove(u32, u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // Clustered address space (10.0.0.0/8-ish) so prefixes nest.
+    let addr = (0u32..1 << 20).prop_map(|a| 0x0A00_0000 | a);
+    prop_oneof![
+        (addr.clone(), 8u8..=32, any::<u32>()).prop_map(|(a, l, v)| Op::Insert(a, l, v)),
+        (addr, 8u8..=32).prop_map(|(a, l)| Op::Remove(a, l)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_implementations_agree(
+        ops in prop::collection::vec(arb_op(), 1..120),
+        probes in prop::collection::vec(0u32..1 << 20, 1..200),
+    ) {
+        let mut reference = Reference::new();
+        let mut pat = PatriciaTable::new();
+        let mut bspl = BsplTable::new();
+        let mut cpe = CpeTable::<u32, u32>::new_v4();
+        for op in ops {
+            match op {
+                Op::Insert(a, l, v) => {
+                    let p = Prefix::new(a, l);
+                    reference.insert(p, v);
+                    pat.insert(p, v);
+                    bspl.insert(p, v);
+                    cpe.insert(p, v);
+                }
+                Op::Remove(a, l) => {
+                    let p = Prefix::new(a, l);
+                    reference.remove(p);
+                    pat.remove(p);
+                    bspl.remove(p);
+                    cpe.remove(p);
+                }
+            }
+        }
+        for probe in probes {
+            let addr = 0x0A00_0000 | probe;
+            let want = reference.lookup(addr);
+            prop_assert_eq!(pat.lookup(addr).map(|(v, l)| (*v, l)), want, "patricia @ {:08x}", addr);
+            prop_assert_eq!(bspl.lookup(addr).map(|(v, l)| (*v, l)), want, "bspl @ {:08x}", addr);
+            prop_assert_eq!(cpe.lookup(addr).map(|(v, l)| (*v, l)), want, "cpe @ {:08x}", addr);
+        }
+        // Size bookkeeping agrees too.
+        prop_assert_eq!(pat.len(), reference.entries.len());
+        prop_assert_eq!(bspl.len(), reference.entries.len());
+        prop_assert_eq!(cpe.len(), reference.entries.len());
+    }
+
+    #[test]
+    fn bspl_probe_bound_holds(
+        lens in prop::collection::btree_set(1u8..=32, 1..32),
+        probes in prop::collection::vec(any::<u32>(), 1..64),
+    ) {
+        // Worst-case probes must never exceed ceil(log2(k+1)).
+        let mut t = BsplTable::new();
+        for (i, l) in lens.iter().enumerate() {
+            t.insert(Prefix::new(0xFFFF_FFFFu32, *l), i as u32);
+            t.insert(Prefix::new((i as u32) << 12, *l), i as u32);
+        }
+        let bound = t.worst_case_probes() as u64;
+        for p in probes {
+            t.counter().reset();
+            let _ = t.lookup(p);
+            prop_assert!(t.counter().get() <= bound,
+                "probes {} > bound {} with {} lengths", t.counter().get(), bound, lens.len());
+        }
+    }
+}
+
+#[test]
+fn v6_agreement_smoke() {
+    let mut pat: PatriciaTable<u128, u32> = PatriciaTable::new();
+    let mut bspl: BsplTable<u128, u32> = BsplTable::new();
+    let base: u128 = 0x2001_0db8u128 << 96;
+    let prefixes = [
+        (base, 32u8),
+        (base | (0xau128 << 64), 64),
+        (base | (0xau128 << 64) | 5, 128),
+        (base | (0xbu128 << 64), 64),
+    ];
+    for (i, (bits, len)) in prefixes.iter().enumerate() {
+        pat.insert(Prefix::new(*bits, *len), i as u32);
+        bspl.insert(Prefix::new(*bits, *len), i as u32);
+    }
+    for probe in [
+        base,
+        base | (0xau128 << 64),
+        base | (0xau128 << 64) | 5,
+        base | (0xau128 << 64) | 6,
+        base | (0xbu128 << 64) | 1,
+        base | (0xcu128 << 64),
+        1u128,
+    ] {
+        assert_eq!(
+            pat.lookup(probe).map(|(v, l)| (*v, l)),
+            bspl.lookup(probe).map(|(v, l)| (*v, l)),
+            "probe {probe:x}"
+        );
+    }
+}

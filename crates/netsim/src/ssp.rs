@@ -1,0 +1,247 @@
+//! SSP daemon analogue (paper §3.1: "The RSVP, SSP (a simplified version
+//! of RSVP), and route daemon are linked against the Router Plugin
+//! Library … We implemented an SSP daemon for our system").
+//!
+//! SSP ("State Setup Protocol", Adiseshu & Parulkar) carries per-flow
+//! reservation state; here the daemon's *effect* on the router is what
+//! matters: each accepted reservation installs a fully specified filter
+//! at the scheduling gate bound to the interface's DRR instance and sets
+//! the flow's weight — §6.1's "dynamically recalculated" reserved-flow
+//! weights.
+
+use router_core::message::PluginMsg;
+use router_core::plugin::{InstanceId, PluginError};
+use router_core::{Gate, Router};
+use rp_classifier::{FilterId, FilterSpec};
+use rp_packet::FlowTuple;
+use std::collections::HashMap;
+
+/// One live reservation.
+#[derive(Debug, Clone)]
+pub struct Reservation {
+    /// The reserved flow.
+    pub flow: FlowTuple,
+    /// DRR weight granted.
+    pub weight: u32,
+    /// The filter realising it.
+    pub filter: FilterId,
+    /// Soft-state deadline: the reservation dies unless refreshed
+    /// (RSVP-style; SSP is "a simplified version of RSVP").
+    pub expires_at_ns: u64,
+}
+
+/// The SSP daemon: manages reservations against one DRR instance.
+pub struct SspDaemon {
+    plugin: String,
+    instance: InstanceId,
+    reservations: HashMap<u64, Reservation>,
+    next_session: u64,
+    /// Admission limit: total weight the daemon may hand out.
+    pub max_total_weight: u32,
+    /// Soft-state lifetime: reservations expire this long after their
+    /// last refresh.
+    pub lifetime_ns: u64,
+}
+
+impl SspDaemon {
+    /// A daemon managing reservations on `plugin` instance `instance`
+    /// (typically the DRR scheduler on the bottleneck interface).
+    pub fn new(plugin: &str, instance: InstanceId, max_total_weight: u32) -> Self {
+        SspDaemon {
+            plugin: plugin.to_string(),
+            instance,
+            reservations: HashMap::new(),
+            next_session: 1,
+            max_total_weight,
+            lifetime_ns: 30_000_000_000, // 30 s, RSVP's classic refresh period
+        }
+    }
+
+    /// Currently granted total weight.
+    pub fn granted(&self) -> u32 {
+        self.reservations.values().map(|r| r.weight).sum()
+    }
+
+    /// Process a reservation request: admission control, filter install,
+    /// weight assignment. Returns a session id. The reservation is soft
+    /// state: it expires `lifetime_ns` after the last [`SspDaemon::refresh`]
+    /// unless swept by [`SspDaemon::sweep`].
+    pub fn reserve(
+        &mut self,
+        router: &mut Router,
+        flow: FlowTuple,
+        weight: u32,
+    ) -> Result<u64, PluginError> {
+        self.reserve_at(router, flow, weight, 0)
+    }
+
+    /// [`SspDaemon::reserve`] with an explicit current time.
+    pub fn reserve_at(
+        &mut self,
+        router: &mut Router,
+        flow: FlowTuple,
+        weight: u32,
+        now_ns: u64,
+    ) -> Result<u64, PluginError> {
+        if self.granted() + weight > self.max_total_weight {
+            return Err(PluginError::Busy(format!(
+                "admission control: {} + {weight} exceeds {}",
+                self.granted(),
+                self.max_total_weight
+            )));
+        }
+        let reply = router.send_message(
+            &self.plugin,
+            PluginMsg::RegisterInstance {
+                id: self.instance,
+                gate: Gate::Scheduling,
+                filter: FilterSpec::exact(&flow),
+            },
+        )?;
+        let filter = reply.filter().expect("register replies with a filter");
+        router.send_message(
+            &self.plugin,
+            PluginMsg::Custom {
+                instance: Some(self.instance),
+                name: "setweight".to_string(),
+                args: format!("filter={} weight={}", filter.0, weight),
+            },
+        )?;
+        let session = self.next_session;
+        self.next_session += 1;
+        self.reservations.insert(
+            session,
+            Reservation {
+                flow,
+                weight,
+                filter,
+                expires_at_ns: now_ns + self.lifetime_ns,
+            },
+        );
+        Ok(session)
+    }
+
+    /// Refresh a session's soft state (the periodic PATH/RESV refresh of
+    /// RSVP). Returns false for unknown sessions.
+    pub fn refresh(&mut self, session: u64, now_ns: u64) -> bool {
+        match self.reservations.get_mut(&session) {
+            Some(r) => {
+                r.expires_at_ns = now_ns + self.lifetime_ns;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Tear down every reservation whose soft state expired. Returns the
+    /// sessions removed.
+    pub fn sweep(&mut self, router: &mut Router, now_ns: u64) -> Vec<u64> {
+        let expired: Vec<u64> = self
+            .reservations
+            .iter()
+            .filter(|(_, r)| r.expires_at_ns <= now_ns)
+            .map(|(s, _)| *s)
+            .collect();
+        let mut out = Vec::new();
+        for s in expired {
+            if self.teardown(router, s).is_ok() {
+                out.push(s);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Tear a reservation down, releasing its filter and weight.
+    pub fn teardown(&mut self, router: &mut Router, session: u64) -> Result<(), PluginError> {
+        let res = self
+            .reservations
+            .remove(&session)
+            .ok_or_else(|| PluginError::Busy(format!("no session {session}")))?;
+        router.send_message(
+            &self.plugin,
+            PluginMsg::DeregisterInstance {
+                gate: Gate::Scheduling,
+                filter: res.filter,
+            },
+        )?;
+        Ok(())
+    }
+
+    /// Live sessions.
+    pub fn sessions(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.reservations.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::v6_host;
+    use router_core::plugins::register_builtin_factories;
+    use router_core::RouterConfig;
+
+    fn setup() -> (Router, SspDaemon) {
+        let mut r = Router::new(RouterConfig::default());
+        register_builtin_factories(&mut r.loader);
+        router_core::pmgr::run_script(&mut r, "load drr\ncreate drr quantum=9180").unwrap();
+        let d = SspDaemon::new("drr", InstanceId(0), 10);
+        (r, d)
+    }
+
+    fn flow(n: u16) -> FlowTuple {
+        FlowTuple {
+            src: v6_host(n),
+            dst: v6_host(100),
+            proto: 17,
+            sport: 1000 + n,
+            dport: 2000,
+            rx_if: 0,
+        }
+    }
+
+    #[test]
+    fn reserve_and_teardown() {
+        let (mut r, mut d) = setup();
+        let s1 = d.reserve(&mut r, flow(1), 4).unwrap();
+        let s2 = d.reserve(&mut r, flow(2), 4).unwrap();
+        assert_eq!(d.granted(), 8);
+        assert_eq!(d.sessions(), vec![s1, s2]);
+        d.teardown(&mut r, s1).unwrap();
+        assert_eq!(d.granted(), 4);
+        assert!(d.teardown(&mut r, s1).is_err());
+    }
+
+    #[test]
+    fn soft_state_expiry_and_refresh() {
+        let (mut r, mut d) = setup();
+        d.lifetime_ns = 1_000;
+        let s1 = d.reserve_at(&mut r, flow(1), 2, 0).unwrap();
+        let s2 = d.reserve_at(&mut r, flow(2), 2, 0).unwrap();
+        // Refresh s1 at t=900; s2 goes stale.
+        assert!(d.refresh(s1, 900));
+        assert!(!d.refresh(999, 900));
+        let swept = d.sweep(&mut r, 1_500);
+        assert_eq!(swept, vec![s2]);
+        assert_eq!(d.sessions(), vec![s1]);
+        assert_eq!(d.granted(), 2);
+        // s1 expires at 1900.
+        let swept = d.sweep(&mut r, 2_000);
+        assert_eq!(swept, vec![s1]);
+        assert!(d.sessions().is_empty());
+    }
+
+    #[test]
+    fn admission_control() {
+        let (mut r, mut d) = setup();
+        d.reserve(&mut r, flow(1), 8).unwrap();
+        let err = d.reserve(&mut r, flow(2), 4).unwrap_err();
+        assert!(matches!(err, PluginError::Busy(_)));
+        // After teardown, capacity frees up.
+        let s = d.sessions()[0];
+        d.teardown(&mut r, s).unwrap();
+        d.reserve(&mut r, flow(2), 4).unwrap();
+    }
+}

@@ -1,0 +1,217 @@
+//! The measurement harness: plays a workload through a router
+//! configuration and reports per-packet cost — the software analogue of
+//! the paper's device-driver cycle-counter timestamps ("we added a time
+//! stamp function into the ATM device driver which timestamped every
+//! incoming packet … compared to the CPU cycle counter right before the
+//! packet was output").
+
+use crate::traffic::Workload;
+use router_core::ip_core::Disposition;
+use router_core::monolithic::{AltqDrrRouter, BestEffortRouter};
+use router_core::Router;
+use rp_packet::Mbuf;
+use std::time::Instant;
+
+/// Results of one measured run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunStats {
+    /// Packets offered.
+    pub packets: u64,
+    /// Packets forwarded/queued.
+    pub forwarded: u64,
+    /// Packets dropped.
+    pub dropped: u64,
+    /// Total processing wall time (ns) across all packets.
+    pub total_ns: u64,
+    /// Flow-cache hits (0 for routers without one).
+    pub cache_hits: u64,
+    /// Flow-cache misses.
+    pub cache_misses: u64,
+}
+
+impl RunStats {
+    /// Mean per-packet cost in nanoseconds.
+    pub fn ns_per_packet(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.packets as f64
+        }
+    }
+
+    /// Throughput in packets per second implied by the mean cost.
+    pub fn packets_per_sec(&self) -> f64 {
+        if self.total_ns == 0 {
+            0.0
+        } else {
+            self.packets as f64 * 1e9 / self.total_ns as f64
+        }
+    }
+
+    /// Cycles per packet at a given clock (the paper reports a 233 MHz
+    /// P6; pass `233_000_000.0` to convert into its units).
+    pub fn cycles_per_packet(&self, clock_hz: f64) -> f64 {
+        self.ns_per_packet() * clock_hz / 1e9
+    }
+}
+
+/// The testbench: replays workloads and accumulates statistics.
+pub struct Testbench {
+    /// Prebuilt packet sequence (built once; cloned per repetition).
+    packets: Vec<Mbuf>,
+}
+
+impl Testbench {
+    /// Build from a workload.
+    pub fn new(workload: &Workload) -> Self {
+        Testbench {
+            packets: workload.build(),
+        }
+    }
+
+    /// Replay through the plugin router `reps` times; the scheduling gate
+    /// is drained (`pump`) after each packet, mirroring the testbed's
+    /// immediate retransmission on the output ATM port.
+    pub fn run_router(&self, router: &mut Router, reps: usize) -> RunStats {
+        let mut stats = RunStats::default();
+        let h0 = router.flow_stats();
+        for _ in 0..reps {
+            for pkt in &self.packets {
+                let m = pkt.clone();
+                let t0 = Instant::now();
+                let d = router.receive(m);
+                let queued_if = match d {
+                    Disposition::Queued(i) => Some(i),
+                    _ => None,
+                };
+                if let Some(i) = queued_if {
+                    router.pump(i, 1);
+                }
+                stats.total_ns += t0.elapsed().as_nanos() as u64;
+                stats.packets += 1;
+                match d {
+                    Disposition::Forwarded(_) | Disposition::Queued(_) => stats.forwarded += 1,
+                    Disposition::Dropped(_) => stats.dropped += 1,
+                    Disposition::Consumed(_) => {}
+                }
+            }
+            // Clear tx logs so memory stays bounded across reps.
+            for i in 0..router.interface_count() {
+                router.take_tx(i as u32);
+            }
+        }
+        let h1 = router.flow_stats();
+        stats.cache_hits = h1.hits - h0.hits;
+        stats.cache_misses = h1.misses - h0.misses;
+        stats
+    }
+
+    /// Replay through the best-effort baseline.
+    pub fn run_best_effort(&self, router: &mut BestEffortRouter, reps: usize) -> RunStats {
+        let mut stats = RunStats::default();
+        for _ in 0..reps {
+            for pkt in &self.packets {
+                let m = pkt.clone();
+                let t0 = Instant::now();
+                let d = router.receive(m);
+                stats.total_ns += t0.elapsed().as_nanos() as u64;
+                stats.packets += 1;
+                match d {
+                    Disposition::Forwarded(_) => stats.forwarded += 1,
+                    _ => stats.dropped += 1,
+                }
+            }
+            for i in 0..4u32 {
+                let _ = router.take_tx(i % 4);
+            }
+        }
+        stats
+    }
+
+    /// Replay through the monolithic ALTQ-DRR baseline.
+    pub fn run_altq(&self, router: &mut AltqDrrRouter, reps: usize) -> RunStats {
+        let mut stats = RunStats::default();
+        let mut now = 0u64;
+        for _ in 0..reps {
+            for pkt in &self.packets {
+                let m = pkt.clone();
+                now += 1000;
+                let t0 = Instant::now();
+                let d = router.receive(m, now);
+                if let Disposition::Queued(i) = d {
+                    router.pump(i, 1, now);
+                }
+                stats.total_ns += t0.elapsed().as_nanos() as u64;
+                stats.packets += 1;
+                match d {
+                    Disposition::Queued(_) | Disposition::Forwarded(_) => stats.forwarded += 1,
+                    _ => stats.dropped += 1,
+                }
+            }
+            for i in 0..4u32 {
+                let _ = router.take_tx(i % 4);
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{v6_host, Workload};
+    use router_core::plugins::register_builtin_factories;
+    use router_core::{Router, RouterConfig};
+
+    fn plugin_router(gates: Vec<router_core::Gate>) -> Router {
+        let mut r = Router::new(RouterConfig {
+            enabled_gates: gates,
+            verify_checksums: false,
+            ..RouterConfig::default()
+        });
+        register_builtin_factories(&mut r.loader);
+        r.add_route(v6_host(0), 32, 1);
+        r
+    }
+
+    #[test]
+    fn plugin_router_forwards_workload() {
+        let mut r = plugin_router(vec![]);
+        let tb = Testbench::new(&Workload::paper_table3());
+        let stats = tb.run_router(&mut r, 2);
+        assert_eq!(stats.packets, 600);
+        assert_eq!(stats.forwarded, 600);
+        assert_eq!(stats.dropped, 0);
+        assert!(stats.total_ns > 0);
+        assert!(stats.ns_per_packet() > 0.0);
+    }
+
+    #[test]
+    fn flow_cache_amortizes() {
+        let mut r = plugin_router(router_core::gate::ALL_GATES.to_vec());
+        router_core::pmgr::run_script(
+            &mut r,
+            "load null\ncreate null\nbind stats null 0 <*, *, *, *, *, *>",
+        )
+        .unwrap();
+        let tb = Testbench::new(&Workload::paper_table3());
+        let stats = tb.run_router(&mut r, 1);
+        // 3 flows → 3 misses, 297 hits.
+        assert_eq!(stats.cache_misses, 3);
+        assert_eq!(stats.cache_hits, 297);
+    }
+
+    #[test]
+    fn baselines_forward_too() {
+        let tb = Testbench::new(&Workload::paper_table3());
+        let mut be = BestEffortRouter::new(4, false);
+        be.add_route(v6_host(0), 32, 1);
+        let s = tb.run_best_effort(&mut be, 1);
+        assert_eq!(s.forwarded, 300);
+
+        let mut altq = AltqDrrRouter::new(4, 64, 9180, false);
+        altq.add_route(v6_host(0), 32, 1);
+        let s = tb.run_altq(&mut altq, 1);
+        assert_eq!(s.forwarded, 300);
+    }
+}

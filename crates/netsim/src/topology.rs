@@ -1,0 +1,331 @@
+//! Multi-router topologies: wire several [`Router`]s together with
+//! simulated links and step packets between them — the harness behind
+//! multi-hop scenarios (VPN chains, QoS domains) that single-router tests
+//! cannot express.
+//!
+//! Interfaces without a link are *host-facing*: whatever leaves there is
+//! a delivery, collected per node for assertions.
+
+use router_core::ip_core::Disposition;
+use router_core::Router;
+use rp_packet::mbuf::IfIndex;
+use rp_packet::Mbuf;
+use std::collections::{HashMap, VecDeque};
+use std::net::IpAddr;
+
+/// Node handle in a topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub usize);
+
+/// One attachment point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Port {
+    /// The node.
+    pub node: NodeId,
+    /// Interface on that node.
+    pub iface: IfIndex,
+}
+
+/// A simulated network of routers.
+pub struct Topology {
+    nodes: Vec<Router>,
+    /// Bidirectional links: port → peer port.
+    links: HashMap<Port, Port>,
+    /// Packets delivered on host-facing interfaces, per node.
+    delivered: HashMap<NodeId, Vec<Mbuf>>,
+    /// Networks attached at host-facing ports: (port, prefix, len).
+    networks: Vec<(Port, IpAddr, u8)>,
+    /// Total packets moved across links.
+    pub forwarded_hops: u64,
+}
+
+impl Topology {
+    /// Empty topology.
+    pub fn new() -> Self {
+        Topology {
+            nodes: Vec::new(),
+            links: HashMap::new(),
+            delivered: HashMap::new(),
+            networks: Vec::new(),
+            forwarded_hops: 0,
+        }
+    }
+
+    /// Add a router.
+    pub fn add_node(&mut self, router: Router) -> NodeId {
+        self.nodes.push(router);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Access a node's router (configuration, stats).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Router {
+        &mut self.nodes[id.0]
+    }
+
+    /// Connect two ports with a bidirectional link.
+    ///
+    /// # Panics
+    /// Panics if either port is already connected.
+    pub fn connect(&mut self, a: Port, b: Port) {
+        assert!(!self.links.contains_key(&a), "port {a:?} already linked");
+        assert!(!self.links.contains_key(&b), "port {b:?} already linked");
+        self.links.insert(a, b);
+        self.links.insert(b, a);
+    }
+
+    /// Declare that the network `addr/len` hangs off a host-facing port.
+    /// [`Topology::install_routes`] then propagates reachability.
+    pub fn attach_network(&mut self, port: Port, addr: IpAddr, len: u8) {
+        self.networks.push((port, addr, len));
+    }
+
+    /// The route-daemon analogue (paper §3.1 mentions a `routed` linked
+    /// against the Router Plugin Library): compute shortest paths over
+    /// the link graph with BFS and install a route for every attached
+    /// network on every node.
+    pub fn install_routes(&mut self) {
+        let networks = self.networks.clone();
+        for (home, addr, len) in networks {
+            // BFS outward from the home node; each node learns the
+            // interface of its first hop back toward `home`.
+            let mut next_if: HashMap<usize, IfIndex> = HashMap::new();
+            let mut visited = vec![false; self.nodes.len()];
+            visited[home.node.0] = true;
+            let mut queue = VecDeque::from([home.node.0]);
+            while let Some(cur) = queue.pop_front() {
+                for (a, b) in self.links.iter() {
+                    if a.node.0 == cur && !visited[b.node.0] {
+                        visited[b.node.0] = true;
+                        next_if.insert(b.node.0, b.iface);
+                        queue.push_back(b.node.0);
+                    }
+                }
+            }
+            self.nodes[home.node.0].add_route(addr, len, home.iface);
+            for (node, iface) in next_if {
+                self.nodes[node].add_route(addr, len, iface);
+            }
+        }
+    }
+
+    /// Inject a packet arriving at a node's interface (from a host).
+    pub fn inject(&mut self, at: Port, data: Vec<u8>) -> Disposition {
+        self.nodes[at.node.0].receive(Mbuf::new(data, at.iface))
+    }
+
+    /// Move every transmitted packet one hop: pump schedulers, collect
+    /// tx logs, deliver across links (re-receiving at the peer) or into
+    /// the host-delivery buckets. Returns the number of packets moved.
+    pub fn step(&mut self) -> usize {
+        let mut moved = 0;
+        // Gather (source port → packets) first to avoid borrow tangles.
+        let mut in_flight: Vec<(Port, Vec<Mbuf>)> = Vec::new();
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            for iface in 0..node.interface_count() as IfIndex {
+                node.pump(iface, usize::MAX / 2);
+                let tx = node.take_tx(iface);
+                if !tx.is_empty() {
+                    in_flight.push((
+                        Port {
+                            node: NodeId(i),
+                            iface,
+                        },
+                        tx,
+                    ));
+                }
+            }
+        }
+        for (port, pkts) in in_flight {
+            match self.links.get(&port).copied() {
+                Some(peer) => {
+                    for m in pkts {
+                        self.forwarded_hops += 1;
+                        moved += 1;
+                        let mut m2 = Mbuf::new(m.into_data(), peer.iface);
+                        m2.fix = None;
+                        let _ = self.nodes[peer.node.0].receive(m2);
+                    }
+                }
+                None => {
+                    moved += pkts.len();
+                    self.delivered.entry(port.node).or_default().extend(pkts);
+                }
+            }
+        }
+        moved
+    }
+
+    /// Step until no packets are in flight (or `max_steps` passes).
+    /// Returns the number of steps executed.
+    pub fn run_until_idle(&mut self, max_steps: usize) -> usize {
+        for s in 0..max_steps {
+            if self.step() == 0 {
+                return s;
+            }
+        }
+        max_steps
+    }
+
+    /// Take packets delivered at a node's host-facing interfaces.
+    pub fn take_delivered(&mut self, node: NodeId) -> Vec<Mbuf> {
+        self.delivered.remove(&node).unwrap_or_default()
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::v6_host;
+    use router_core::plugins::register_builtin_factories;
+    use router_core::pmgr::run_script;
+    use router_core::RouterConfig;
+    use rp_packet::builder::PacketSpec;
+    use rp_packet::FlowTuple;
+
+    fn router(script: &str) -> Router {
+        let mut r = Router::new(RouterConfig {
+            verify_checksums: false,
+            ..RouterConfig::default()
+        });
+        register_builtin_factories(&mut r.loader);
+        r.add_route(v6_host(0), 32, 1);
+        run_script(&mut r, script).unwrap();
+        r
+    }
+
+    /// host → A → B → C → host, three hops, hop limits age accordingly.
+    #[test]
+    fn linear_chain_delivery() {
+        let mut topo = Topology::new();
+        let a = topo.add_node(router(""));
+        let b = topo.add_node(router(""));
+        let c = topo.add_node(router(""));
+        // A.if1 ↔ B.if0 and B.if1 ↔ C.if0; C.if1 is host-facing.
+        topo.connect(
+            Port { node: a, iface: 1 },
+            Port { node: b, iface: 0 },
+        );
+        topo.connect(
+            Port { node: b, iface: 1 },
+            Port { node: c, iface: 0 },
+        );
+        let pkt = PacketSpec::udp(v6_host(1), v6_host(200), 7, 8, 100).build();
+        let d = topo.inject(Port { node: a, iface: 0 }, pkt.clone());
+        assert!(matches!(d, Disposition::Forwarded(1)));
+        let steps = topo.run_until_idle(10);
+        assert!(steps <= 3, "took {steps} steps");
+        let got = topo.take_delivered(c);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].data()[7], pkt[7] - 3, "three hop-limit decrements");
+        assert_eq!(topo.forwarded_hops, 2);
+    }
+
+    /// A VPN spanning the chain: encrypt at A, decrypt at C, fair-queue
+    /// at B — three routers running different plugin mixes.
+    #[test]
+    fn chain_with_heterogeneous_plugins() {
+        let mut topo = Topology::new();
+        let a = topo.add_node(router(
+            "load esp\ncreate esp mode=encap key=topo spi=3\n\
+             bind ipsec esp 0 <*, *, UDP, *, *, *>",
+        ));
+        let b = topo.add_node(router(
+            "load drr\ncreate drr quantum=9180\nattach 1 drr 0\n\
+             bind sched drr 0 <*, *, *, *, *, *>",
+        ));
+        let c = topo.add_node(router(
+            "load esp\ncreate esp mode=decap key=topo spi=3\n\
+             bind ipsec esp 0 <*, *, ESP, *, *, *>",
+        ));
+        topo.connect(Port { node: a, iface: 1 }, Port { node: b, iface: 0 });
+        topo.connect(Port { node: b, iface: 1 }, Port { node: c, iface: 0 });
+        for i in 0..8u16 {
+            let pkt = PacketSpec::udp(v6_host(1), v6_host(200), 6000 + i, 443, 256).build();
+            topo.inject(Port { node: a, iface: 0 }, pkt);
+        }
+        topo.run_until_idle(10);
+        let got = topo.take_delivered(c);
+        assert_eq!(got.len(), 8);
+        for m in &got {
+            let t = FlowTuple::from_mbuf(m).unwrap();
+            assert_eq!(t.dport, 443, "decrypted back to cleartext UDP");
+        }
+    }
+
+    /// install_routes computes next hops over a small mesh: a diamond
+    /// A—{B,C}—D with two networks attached at A and D.
+    #[test]
+    fn route_daemon_installs_shortest_paths() {
+        fn bare() -> Router {
+            let mut r = Router::new(RouterConfig {
+                verify_checksums: false,
+                ..RouterConfig::default()
+            });
+            register_builtin_factories(&mut r.loader);
+            r
+        }
+        let mut topo = Topology::new();
+        let a = topo.add_node(bare());
+        let b = topo.add_node(bare());
+        let c = topo.add_node(bare());
+        let d = topo.add_node(bare());
+        topo.connect(Port { node: a, iface: 1 }, Port { node: b, iface: 0 });
+        topo.connect(Port { node: a, iface: 2 }, Port { node: c, iface: 0 });
+        topo.connect(Port { node: b, iface: 1 }, Port { node: d, iface: 0 });
+        topo.connect(Port { node: c, iface: 1 }, Port { node: d, iface: 1 });
+        // net-left (…:a::/96-ish) hangs off A.if0; net-right off D.if2.
+        let left: std::net::IpAddr = "2001:db8:a::0".parse().unwrap();
+        let right: std::net::IpAddr = "2001:db8:d::0".parse().unwrap();
+        topo.attach_network(Port { node: a, iface: 0 }, left, 48);
+        topo.attach_network(Port { node: d, iface: 2 }, right, 48);
+        topo.install_routes();
+
+        // A host on the left sends to the right network: delivered at D.
+        let pkt = PacketSpec::udp(
+            "2001:db8:a::1".parse().unwrap(),
+            "2001:db8:d::9".parse().unwrap(),
+            5,
+            6,
+            64,
+        )
+        .build();
+        let disp = topo.inject(Port { node: a, iface: 0 }, pkt.clone());
+        assert!(matches!(disp, Disposition::Forwarded(_)), "{disp:?}");
+        topo.run_until_idle(10);
+        let got = topo.take_delivered(d);
+        assert_eq!(got.len(), 1);
+        // Exactly two transit hops (A→B or C→D): hop limit aged twice…
+        // plus once at D = 3 decrements total? A decrements, middle
+        // decrements, D decrements → 3.
+        assert_eq!(got[0].data()[7], pkt[7] - 3);
+        // And the reverse direction works symmetrically.
+        let back = PacketSpec::udp(
+            "2001:db8:d::9".parse().unwrap(),
+            "2001:db8:a::1".parse().unwrap(),
+            6,
+            5,
+            64,
+        )
+        .build();
+        topo.inject(Port { node: d, iface: 2 }, back);
+        topo.run_until_idle(10);
+        assert_eq!(topo.take_delivered(a).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already linked")]
+    fn double_connect_panics() {
+        let mut topo = Topology::new();
+        let a = topo.add_node(router(""));
+        let b = topo.add_node(router(""));
+        let c = topo.add_node(router(""));
+        topo.connect(Port { node: a, iface: 1 }, Port { node: b, iface: 0 });
+        topo.connect(Port { node: a, iface: 1 }, Port { node: c, iface: 0 });
+    }
+}

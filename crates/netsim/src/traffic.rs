@@ -1,0 +1,299 @@
+//! Traffic and filter-set generators.
+//!
+//! Reproduces the paper's workloads: flow-structured traffic (the
+//! Section 7 testbed sends 8 KB UDP/IPv6 datagrams over three concurrent
+//! flows, 100 packets each), plus the large random filter sets (50,000)
+//! used to evaluate worst-case classification in Table 2.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rp_classifier::FilterSpec;
+use rp_packet::builder::PacketSpec;
+use rp_packet::mbuf::IfIndex;
+use rp_packet::Mbuf;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// One flow's traffic description.
+#[derive(Debug, Clone)]
+pub struct FlowSpec {
+    /// Source address.
+    pub src: IpAddr,
+    /// Destination address.
+    pub dst: IpAddr,
+    /// UDP source port.
+    pub sport: u16,
+    /// UDP destination port.
+    pub dport: u16,
+    /// Transport payload bytes per packet.
+    pub payload_len: usize,
+    /// Packets to send.
+    pub count: usize,
+    /// Arrival interface.
+    pub rx_if: IfIndex,
+}
+
+/// How flows interleave on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interleave {
+    /// Round-robin between flows (the paper's "concurrently").
+    RoundRobin,
+    /// All of flow 1, then all of flow 2, …
+    Sequential,
+    /// Uniform random order (seeded).
+    Random(u64),
+}
+
+/// A set of flows plus an interleaving.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The flows.
+    pub flows: Vec<FlowSpec>,
+    /// Wire order.
+    pub interleave: Interleave,
+}
+
+/// Test address helpers (the 2001:db8::/32 documentation prefix).
+pub fn v6_host(n: u16) -> IpAddr {
+    IpAddr::V6(Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, n))
+}
+
+/// Test IPv4 host in 10/8.
+pub fn v4_host(b: u8, c: u8, d: u8) -> IpAddr {
+    IpAddr::V4(Ipv4Addr::new(10, b, c, d))
+}
+
+impl Workload {
+    /// The paper's Table 3 workload: "We sent 8 KByte UDP/IPv6 datagrams
+    /// belonging to three different flows concurrently through our router
+    /// … a total of 100 packets per flow."
+    pub fn paper_table3() -> Workload {
+        Workload {
+            flows: (0..3)
+                .map(|i| FlowSpec {
+                    src: v6_host(10 + i),
+                    dst: v6_host(100 + i),
+                    sport: 5000 + i,
+                    dport: 6000 + i,
+                    payload_len: 8192,
+                    count: 100,
+                    rx_if: 0,
+                })
+                .collect(),
+            interleave: Interleave::RoundRobin,
+        }
+    }
+
+    /// `n` concurrent flows of `pkts` packets each (flow-cache stress).
+    pub fn uniform(n: usize, pkts: usize, payload_len: usize) -> Workload {
+        Workload {
+            flows: (0..n)
+                .map(|i| FlowSpec {
+                    src: v6_host((i % 60000) as u16),
+                    dst: v6_host(((i / 60000) + 100) as u16),
+                    sport: 1024 + (i % 50000) as u16,
+                    dport: 80,
+                    payload_len,
+                    count: pkts,
+                    rx_if: 0,
+                })
+                .collect(),
+            interleave: Interleave::RoundRobin,
+        }
+    }
+
+    /// Total packet count.
+    pub fn total_packets(&self) -> usize {
+        self.flows.iter().map(|f| f.count).sum()
+    }
+
+    /// Materialise the packet sequence. Packets are built once; the
+    /// testbench clones per run so generation cost stays out of the
+    /// measurement.
+    pub fn build(&self) -> Vec<Mbuf> {
+        // Pre-build one template packet per flow.
+        let templates: Vec<Mbuf> = self
+            .flows
+            .iter()
+            .map(|f| {
+                Mbuf::new(
+                    PacketSpec::udp(f.src, f.dst, f.sport, f.dport, f.payload_len).build(),
+                    f.rx_if,
+                )
+            })
+            .collect();
+        let mut remaining: Vec<usize> = self.flows.iter().map(|f| f.count).collect();
+        let mut out = Vec::with_capacity(self.total_packets());
+        match self.interleave {
+            Interleave::Sequential => {
+                for (i, t) in templates.iter().enumerate() {
+                    for _ in 0..remaining[i] {
+                        out.push(t.clone());
+                    }
+                }
+            }
+            Interleave::RoundRobin => {
+                let mut any = true;
+                while any {
+                    any = false;
+                    for (i, t) in templates.iter().enumerate() {
+                        if remaining[i] > 0 {
+                            remaining[i] -= 1;
+                            out.push(t.clone());
+                            any = true;
+                        }
+                    }
+                }
+            }
+            Interleave::Random(seed) => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut live: Vec<usize> = (0..templates.len()).collect();
+                while !live.is_empty() {
+                    let pick = rng.gen_range(0..live.len());
+                    let i = live[pick];
+                    remaining[i] -= 1;
+                    out.push(templates[i].clone());
+                    if remaining[i] == 0 {
+                        live.swap_remove(pick);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Generate `n` random six-tuple filters with a realistic CIDR length
+/// distribution — the Table 2 experiment installs ~50,000 of these.
+/// `v6` selects the address family. Port fields are exact ports or
+/// wildcards (partially overlapping ranges would be rejected by the DAG).
+pub fn random_filters(n: usize, v6: bool, seed: u64) -> Vec<FilterSpec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let spec = if v6 {
+            const V6_LENS: [u8; 12] = [24, 32, 32, 40, 44, 48, 48, 48, 56, 64, 64, 128];
+            let len = V6_LENS[rng.gen_range(0..V6_LENS.len())];
+            let addr = Ipv6Addr::new(
+                0x2000 | rng.gen_range(0..0x1000),
+                rng.gen(),
+                rng.gen(),
+                rng.gen(),
+                rng.gen(),
+                rng.gen(),
+                rng.gen(),
+                rng.gen(),
+            );
+            let dlen = *[32u8, 48, 64, 128].get(rng.gen_range(0..4)).unwrap();
+            let daddr = Ipv6Addr::new(
+                0x2000 | rng.gen_range(0..0x1000),
+                rng.gen(),
+                rng.gen(),
+                rng.gen(),
+                rng.gen(),
+                rng.gen(),
+                rng.gen(),
+                rng.gen(),
+            );
+            format!(
+                "{addr}/{len}, {daddr}/{dlen}, {}, {}, {}, *",
+                proto_tok(&mut rng),
+                port_tok(&mut rng),
+                port_tok(&mut rng)
+            )
+        } else {
+            // Realistic CIDR length mix (BGP-table-like: /24-heavy, /8
+            // rare). Short prefixes nest under many longer ones and blow
+            // up set-pruning replication, exactly as real tables avoid.
+            const V4_LENS: [u8; 16] = [
+                8, 16, 16, 19, 20, 21, 22, 22, 23, 24, 24, 24, 24, 24, 32, 32,
+            ];
+            let len = V4_LENS[rng.gen_range(0..V4_LENS.len())];
+            let addr = Ipv4Addr::from(rng.gen::<u32>());
+            let dlen = V4_LENS[rng.gen_range(0..V4_LENS.len())];
+            let daddr = Ipv4Addr::from(rng.gen::<u32>());
+            format!(
+                "{addr}/{len}, {daddr}/{dlen}, {}, {}, {}, *",
+                proto_tok(&mut rng),
+                port_tok(&mut rng),
+                port_tok(&mut rng)
+            )
+        };
+        out.push(spec.parse().expect("generated filter parses"));
+    }
+    out
+}
+
+fn proto_tok(rng: &mut StdRng) -> String {
+    match rng.gen_range(0..3) {
+        0 => "TCP".into(),
+        1 => "UDP".into(),
+        _ => "*".into(),
+    }
+}
+
+fn port_tok(rng: &mut StdRng) -> String {
+    if rng.gen_bool(0.5) {
+        "*".into()
+    } else {
+        format!("{}", rng.gen_range(1u16..=u16::MAX))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_packet::FlowTuple;
+
+    #[test]
+    fn paper_workload_shape() {
+        let w = Workload::paper_table3();
+        assert_eq!(w.total_packets(), 300);
+        let pkts = w.build();
+        assert_eq!(pkts.len(), 300);
+        // Round-robin: first three packets belong to distinct flows.
+        let t0 = FlowTuple::from_mbuf(&pkts[0]).unwrap();
+        let t1 = FlowTuple::from_mbuf(&pkts[1]).unwrap();
+        let t2 = FlowTuple::from_mbuf(&pkts[2]).unwrap();
+        assert_ne!(t0, t1);
+        assert_ne!(t1, t2);
+        // 8 KB payload: packet bigger than 8 KB, below ATM MTU 9180.
+        assert!(pkts[0].len() > 8192 && pkts[0].len() <= 9180);
+    }
+
+    #[test]
+    fn interleave_modes() {
+        let mut w = Workload::uniform(2, 3, 64);
+        w.interleave = Interleave::Sequential;
+        let seq = w.build();
+        let first = FlowTuple::from_mbuf(&seq[0]).unwrap();
+        let second = FlowTuple::from_mbuf(&seq[1]).unwrap();
+        assert_eq!(first, second);
+        w.interleave = Interleave::Random(1);
+        let r1 = w.build();
+        w.interleave = Interleave::Random(1);
+        let r2 = w.build();
+        assert_eq!(r1.len(), 6);
+        // Deterministic under the same seed.
+        let k1: Vec<_> = r1.iter().map(|m| FlowTuple::from_mbuf(m).unwrap()).collect();
+        let k2: Vec<_> = r2.iter().map(|m| FlowTuple::from_mbuf(m).unwrap()).collect();
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn random_filters_parse_and_vary() {
+        for v6 in [false, true] {
+            let fs = random_filters(200, v6, 42);
+            assert_eq!(fs.len(), 200);
+            // Reasonable diversity.
+            let mut dedup = fs.clone();
+            dedup.sort_by_key(|f| format!("{f}"));
+            dedup.dedup();
+            assert!(dedup.len() > 190);
+        }
+    }
+
+    #[test]
+    fn random_filters_deterministic() {
+        assert_eq!(random_filters(50, false, 7), random_filters(50, false, 7));
+    }
+}

@@ -1,0 +1,273 @@
+//! Convenience packet constructors used by tests, examples and the traffic
+//! generators: one call builds a complete, checksummed UDP or TCP datagram
+//! inside either IP version.
+
+use crate::ext_hdr;
+use crate::ip::Protocol;
+use crate::ipv4::{Ipv4Packet, Ipv4Repr};
+use crate::ipv6::{Ipv6Packet, Ipv6Repr};
+use crate::tcp::{TcpFlags, TcpPacket, TcpRepr};
+use crate::udp::{UdpPacket, UdpRepr};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// Declarative description of a test/workload packet.
+#[derive(Debug, Clone)]
+pub struct PacketSpec {
+    /// Source address (family selects the IP version; must match `dst`).
+    pub src: IpAddr,
+    /// Destination address.
+    pub dst: IpAddr,
+    /// Transport protocol: only [`Protocol::Udp`] and [`Protocol::Tcp`]
+    /// produce transport headers; anything else yields a raw payload.
+    pub proto: Protocol,
+    /// Source port.
+    pub sport: u16,
+    /// Destination port.
+    pub dport: u16,
+    /// Transport payload length in bytes.
+    pub payload_len: usize,
+    /// TTL / hop limit.
+    pub ttl: u8,
+    /// Hop-by-hop options to insert (IPv6 only): `(type, data)` pairs.
+    pub hop_by_hop: Vec<(u8, Vec<u8>)>,
+    /// IPv4 header options to insert (IPv4 only): `(kind, data)` pairs.
+    pub v4_options: Vec<(u8, Vec<u8>)>,
+}
+
+impl PacketSpec {
+    /// A UDP packet between two addresses with the given ports and payload
+    /// size — the common case in the paper's experiments.
+    pub fn udp(src: IpAddr, dst: IpAddr, sport: u16, dport: u16, payload_len: usize) -> Self {
+        PacketSpec {
+            src,
+            dst,
+            proto: Protocol::Udp,
+            sport,
+            dport,
+            payload_len,
+            ttl: 64,
+            hop_by_hop: Vec::new(),
+            v4_options: Vec::new(),
+        }
+    }
+
+    /// A TCP packet (header only + payload, ACK flag set).
+    pub fn tcp(src: IpAddr, dst: IpAddr, sport: u16, dport: u16, payload_len: usize) -> Self {
+        PacketSpec {
+            src,
+            dst,
+            proto: Protocol::Tcp,
+            sport,
+            dport,
+            payload_len,
+            ttl: 64,
+            hop_by_hop: Vec::new(),
+            v4_options: Vec::new(),
+        }
+    }
+
+    /// Add a hop-by-hop option (IPv6 only; ignored for IPv4).
+    pub fn with_hbh_option(mut self, kind: u8, data: Vec<u8>) -> Self {
+        self.hop_by_hop.push((kind, data));
+        self
+    }
+
+    /// Add an IPv4 header option (IPv4 only; ignored for IPv6).
+    pub fn with_v4_option(mut self, kind: u8, data: Vec<u8>) -> Self {
+        self.v4_options.push((kind, data));
+        self
+    }
+
+    /// Materialise the packet bytes.
+    pub fn build(&self) -> Vec<u8> {
+        match (self.src, self.dst) {
+            (IpAddr::V4(s), IpAddr::V4(d)) => self.build_v4(s, d),
+            (IpAddr::V6(s), IpAddr::V6(d)) => self.build_v6(s, d),
+            _ => panic!("PacketSpec: src/dst address family mismatch"),
+        }
+    }
+
+    fn transport(&self, src6: Option<(Ipv6Addr, Ipv6Addr)>) -> Vec<u8> {
+        match self.proto {
+            Protocol::Udp => {
+                let repr = UdpRepr {
+                    src_port: self.sport,
+                    dst_port: self.dport,
+                    payload_len: self.payload_len,
+                };
+                let mut buf = vec![0u8; repr.buffer_len()];
+                let mut u = UdpPacket::new_unchecked(&mut buf[..]);
+                repr.emit(&mut u);
+                fill_payload(u.payload_mut());
+                if let Some((s, d)) = src6 {
+                    u.fill_checksum_v6(s, d);
+                }
+                buf
+            }
+            Protocol::Tcp => {
+                let repr = TcpRepr {
+                    src_port: self.sport,
+                    dst_port: self.dport,
+                    seq: 1,
+                    ack: 1,
+                    flags: TcpFlags::ACK,
+                    window: 65535,
+                    payload_len: self.payload_len,
+                };
+                let mut buf = vec![0u8; repr.buffer_len()];
+                let mut t = TcpPacket::new_unchecked(&mut buf[..]);
+                repr.emit(&mut t);
+                fill_payload(&mut buf[20..]);
+                if let Some((s, d)) = src6 {
+                    let mut t = TcpPacket::new_unchecked(&mut buf[..]);
+                    t.fill_checksum_v6(s, d);
+                }
+                buf
+            }
+            _ => {
+                let mut buf = vec![0u8; self.payload_len];
+                fill_payload(&mut buf);
+                buf
+            }
+        }
+    }
+
+    fn build_v4(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Vec<u8> {
+        let transport = self.transport(None);
+        let opts: Vec<(crate::ipv4_opts::OptionKind, &[u8])> = self
+            .v4_options
+            .iter()
+            .map(|(k, d)| (crate::ipv4_opts::OptionKind(*k), d.as_slice()))
+            .collect();
+        let opt_bytes = crate::ipv4_opts::build_options(&opts);
+        let ip = Ipv4Repr {
+            src_addr: src,
+            dst_addr: dst,
+            protocol: self.proto,
+            payload_len: transport.len(),
+            ttl: self.ttl,
+            tos: 0,
+        };
+        let hdr_len = ip.buffer_len() + opt_bytes.len();
+        let mut buf = vec![0u8; hdr_len + transport.len()];
+        {
+            let mut pkt = Ipv4Packet::new_unchecked(&mut buf[..]);
+            ip.emit(&mut pkt);
+        }
+        if !opt_bytes.is_empty() {
+            // Widen the header: set IHL, splice options, refresh lengths.
+            buf[0] = 0x40 | ((hdr_len / 4) as u8);
+            buf[20..20 + opt_bytes.len()].copy_from_slice(&opt_bytes);
+            let mut pkt = Ipv4Packet::new_unchecked(&mut buf[..]);
+            pkt.set_total_len((hdr_len + transport.len()) as u16);
+            pkt.fill_checksum();
+        }
+        let mut pkt = Ipv4Packet::new_unchecked(&mut buf[..]);
+        pkt.payload_mut().copy_from_slice(&transport);
+        if self.proto == Protocol::Udp {
+            let mut u = UdpPacket::new_unchecked(pkt.payload_mut());
+            u.fill_checksum_v4(src, dst);
+        }
+        buf
+    }
+
+    fn build_v6(&self, src: Ipv6Addr, dst: Ipv6Addr) -> Vec<u8> {
+        let transport = self.transport(Some((src, dst)));
+        let (first_header, chain) = if self.hop_by_hop.is_empty() {
+            (self.proto, Vec::new())
+        } else {
+            let opts: Vec<(u8, &[u8])> = self
+                .hop_by_hop
+                .iter()
+                .map(|(k, d)| (*k, d.as_slice()))
+                .collect();
+            (
+                Protocol::HopByHop,
+                ext_hdr::build_hop_by_hop(self.proto, &opts),
+            )
+        };
+        let payload_len = chain.len() + transport.len();
+        let ip = Ipv6Repr {
+            src_addr: src,
+            dst_addr: dst,
+            next_header: first_header,
+            payload_len,
+            hop_limit: self.ttl,
+            traffic_class: 0,
+            flow_label: 0,
+        };
+        let mut buf = vec![0u8; ip.buffer_len() + payload_len];
+        let mut pkt = Ipv6Packet::new_unchecked(&mut buf[..]);
+        ip.emit(&mut pkt);
+        pkt.payload_mut()[..chain.len()].copy_from_slice(&chain);
+        pkt.payload_mut()[chain.len()..].copy_from_slice(&transport);
+        buf
+    }
+}
+
+fn fill_payload(buf: &mut [u8]) {
+    for (i, b) in buf.iter_mut().enumerate() {
+        *b = (i & 0xFF) as u8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowTuple;
+
+    fn v4(a: u8) -> IpAddr {
+        IpAddr::V4(Ipv4Addr::new(10, 0, 0, a))
+    }
+
+    fn v6(a: u16) -> IpAddr {
+        IpAddr::V6(Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, a))
+    }
+
+    #[test]
+    fn udp_v4_is_parseable_and_checksummed() {
+        let buf = PacketSpec::udp(v4(1), v4(2), 100, 200, 64).build();
+        let ip = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert!(ip.verify_checksum());
+        let udp = UdpPacket::new_checked(ip.payload()).unwrap();
+        assert!(udp.verify_checksum_v4(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2)));
+        let t = FlowTuple::extract(&buf, 0).unwrap();
+        assert_eq!((t.sport, t.dport), (100, 200));
+    }
+
+    #[test]
+    fn udp_v6_with_hbh() {
+        let buf = PacketSpec::udp(v6(1), v6(2), 5, 6, 32)
+            .with_hbh_option(crate::ext_hdr::Ipv6Option::ROUTER_ALERT, vec![0, 0])
+            .build();
+        let t = FlowTuple::extract(&buf, 0).unwrap();
+        assert_eq!(t.proto, 17);
+        assert_eq!((t.sport, t.dport), (5, 6));
+        let ip = Ipv6Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(ip.next_header(), Protocol::HopByHop);
+    }
+
+    #[test]
+    fn tcp_v6_checksum_valid() {
+        let buf = PacketSpec::tcp(v6(1), v6(2), 443, 80, 100).build();
+        let ip = Ipv6Packet::new_checked(&buf[..]).unwrap();
+        let tcp = TcpPacket::new_checked(ip.payload()).unwrap();
+        assert!(tcp.verify_checksum_v6(ip.src_addr(), ip.dst_addr()));
+    }
+
+    #[test]
+    #[should_panic(expected = "family mismatch")]
+    fn family_mismatch_panics() {
+        PacketSpec::udp(v4(1), v6(2), 1, 2, 0).build();
+    }
+
+    #[test]
+    fn paper_workload_8k_datagram() {
+        // The paper forwards 8 KB UDP/IPv6 datagrams, ATM MTU 9180, no
+        // fragmentation. Make sure such a packet builds and parses.
+        let buf = PacketSpec::udp(v6(1), v6(2), 1111, 2222, 8192).build();
+        assert!(buf.len() <= 9180);
+        let t = FlowTuple::extract(&buf, 0).unwrap();
+        assert_eq!(t.proto, 17);
+    }
+}

@@ -1,0 +1,176 @@
+//! The Internet checksum (RFC 1071) and its incremental update (RFC 1624).
+//!
+//! The forwarding fast path decrements the IPv4 TTL on every packet; the
+//! paper's best-effort baseline (and every real router) uses the incremental
+//! form rather than recomputing the sum over the whole header, so both are
+//! provided and benchmarked.
+
+use crate::ip::Protocol;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Running ones-complement sum, fed 16-bit words in network order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Checksum {
+    sum: u32,
+}
+
+impl Checksum {
+    /// Start a fresh sum.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a byte slice. Odd-length slices are padded with a zero byte, per
+    /// RFC 1071 — callers chaining multiple slices must therefore only pass
+    /// an odd-length slice as the final one.
+    pub fn add_bytes(&mut self, data: &[u8]) {
+        let mut chunks = data.chunks_exact(2);
+        for c in &mut chunks {
+            self.sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+        }
+        if let [last] = chunks.remainder() {
+            self.sum += u32::from(u16::from_be_bytes([*last, 0]));
+        }
+    }
+
+    /// Add a single 16-bit word.
+    pub fn add_u16(&mut self, word: u16) {
+        self.sum += u32::from(word);
+    }
+
+    /// Add a 32-bit value as two 16-bit words.
+    pub fn add_u32(&mut self, word: u32) {
+        self.add_u16((word >> 16) as u16);
+        self.add_u16(word as u16);
+    }
+
+    /// Finish: fold carries and take the ones complement.
+    pub fn finish(self) -> u16 {
+        let mut sum = self.sum;
+        while sum >> 16 != 0 {
+            sum = (sum & 0xFFFF) + (sum >> 16);
+        }
+        !(sum as u16)
+    }
+}
+
+/// Compute the checksum of `data` (e.g. an IPv4 header with its checksum
+/// field zeroed, or zeroed implicitly by summing around it).
+pub fn checksum(data: &[u8]) -> u16 {
+    let mut c = Checksum::new();
+    c.add_bytes(data);
+    c.finish()
+}
+
+/// Verify a buffer that *includes* its checksum field: the total must be
+/// zero (i.e. the folded sum is `0xFFFF` before complementing).
+pub fn verify(data: &[u8]) -> bool {
+    checksum(data) == 0
+}
+
+/// RFC 1624 incremental update: given the old checksum and one 16-bit field
+/// changing `old` → `new`, return the new checksum. Used for TTL/hop-limit
+/// rewrites on the fast path.
+pub fn update_u16(old_checksum: u16, old: u16, new: u16) -> u16 {
+    // HC' = ~(~HC + ~m + m')   (RFC 1624 eq. 3, avoids the -0 pitfall)
+    let mut sum = u32::from(!old_checksum) + u32::from(!old) + u32::from(new);
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Pseudo-header sum for IPv4 transport checksums (UDP/TCP).
+pub fn pseudo_header_v4(src: Ipv4Addr, dst: Ipv4Addr, protocol: Protocol, length: u32) -> Checksum {
+    let mut c = Checksum::new();
+    c.add_u32(u32::from(src));
+    c.add_u32(u32::from(dst));
+    c.add_u16(u16::from(u8::from(protocol)));
+    c.add_u32(length);
+    c
+}
+
+/// Pseudo-header sum for IPv6 transport checksums (RFC 2460 §8.1).
+pub fn pseudo_header_v6(src: Ipv6Addr, dst: Ipv6Addr, protocol: Protocol, length: u32) -> Checksum {
+    let mut c = Checksum::new();
+    c.add_bytes(&src.octets());
+    c.add_bytes(&dst.octets());
+    c.add_u32(length);
+    c.add_u32(u32::from(u8::from(protocol)));
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Worked example from RFC 1071 §3: the sequence 00 01 f2 03 f4 f5 f6 f7
+    /// sums to ddf2 (before complement).
+    #[test]
+    fn rfc1071_example() {
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_pads_zero() {
+        assert_eq!(checksum(&[0x12]), !0x1200);
+        assert_eq!(checksum(&[0x12, 0x00]), !0x1200);
+    }
+
+    #[test]
+    fn verify_detects_corruption() {
+        // A real IPv4 header (from RFC 1071-era examples / tcpdump capture).
+        let mut hdr = [
+            0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8,
+            0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
+        ];
+        let c = checksum(&hdr);
+        hdr[10..12].copy_from_slice(&c.to_be_bytes());
+        // Known value for this classic example header.
+        assert_eq!(c, 0xb861);
+        assert!(verify(&hdr));
+        hdr[8] = hdr[8].wrapping_sub(1); // corrupt TTL
+        assert!(!verify(&hdr));
+    }
+
+    #[test]
+    fn incremental_matches_full_recompute() {
+        let mut hdr = [
+            0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8,
+            0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
+        ];
+        let c0 = checksum(&hdr);
+        hdr[10..12].copy_from_slice(&c0.to_be_bytes());
+
+        // Decrement the TTL: the ttl/protocol pair is bytes 8..10.
+        let old_word = u16::from_be_bytes([hdr[8], hdr[9]]);
+        hdr[8] -= 1;
+        let new_word = u16::from_be_bytes([hdr[8], hdr[9]]);
+        let incr = update_u16(c0, old_word, new_word);
+
+        hdr[10] = 0;
+        hdr[11] = 0;
+        let full = checksum(&hdr);
+        assert_eq!(incr, full);
+    }
+
+    #[test]
+    fn incremental_is_involutive() {
+        // Applying the inverse change restores the original checksum.
+        let c0 = 0x1234u16;
+        let c1 = update_u16(c0, 0x4011, 0x3f11);
+        let c2 = update_u16(c1, 0x3f11, 0x4011);
+        assert_eq!(c0, c2);
+    }
+
+    #[test]
+    fn u32_equals_two_u16() {
+        let mut a = Checksum::new();
+        a.add_u32(0xDEAD_BEEF);
+        let mut b = Checksum::new();
+        b.add_u16(0xDEAD);
+        b.add_u16(0xBEEF);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,50 @@
+//! Error types shared by all wire-format parsers in this crate.
+
+use core::fmt;
+
+/// Errors produced while parsing or emitting packet headers.
+///
+/// Following the smoltcp idiom, parsers return `Err` instead of panicking on
+/// malformed input: a router must survive any byte pattern arriving from the
+/// wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The buffer is shorter than the fixed header of the protocol.
+    Truncated,
+    /// A length field points outside the buffer (e.g. IPv4 `total_len`
+    /// exceeding the slice, or UDP `len` shorter than its header).
+    BadLength,
+    /// The version field does not match the parser (e.g. parsing an IPv6
+    /// packet with the IPv4 wrapper).
+    BadVersion,
+    /// A checksum failed verification.
+    BadChecksum,
+    /// A field holds a value the protocol forbids (e.g. IPv4 IHL < 5).
+    Malformed,
+    /// An IPv6 extension-header chain is cyclic or longer than the permitted
+    /// maximum (defensive bound against crafted packets).
+    ExtensionChainTooLong,
+    /// The requested operation needs a protocol this crate does not model.
+    Unsupported,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Error::Truncated => "buffer truncated",
+            Error::BadLength => "length field inconsistent with buffer",
+            Error::BadVersion => "IP version mismatch",
+            Error::BadChecksum => "checksum verification failed",
+            Error::Malformed => "malformed header field",
+            Error::ExtensionChainTooLong => "IPv6 extension chain too long",
+            Error::Unsupported => "unsupported protocol element",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = core::result::Result<T, Error>;

@@ -1,0 +1,334 @@
+//! IPv6 extension headers: the generic `(next_header, hdr_ext_len)` framing
+//! shared by hop-by-hop, destination-options and routing headers, plus a TLV
+//! option iterator for the options headers.
+//!
+//! The paper's architecture puts a *gate* at IPv6 option processing and
+//! dispatches each option to an option plugin; this module supplies the
+//! parsing that gate relies on.
+
+use crate::ip::Protocol;
+use crate::{Error, Result};
+
+/// Defensive bound on the number of chained extension headers; real chains
+/// have a handful, crafted packets could otherwise loop the walker.
+pub const MAX_EXTENSION_HEADERS: usize = 16;
+
+/// Generic extension-header view: `next_header` (1 byte), `hdr_ext_len`
+/// (length in 8-byte units, *not including* the first 8 bytes), body.
+#[derive(Debug, Clone)]
+pub struct ExtHeader<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> ExtHeader<T> {
+    /// Wrap and validate that the buffer covers the declared length.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let hdr = ExtHeader { buffer };
+        let data = hdr.buffer.as_ref();
+        if data.len() < 8 {
+            return Err(Error::Truncated);
+        }
+        if data.len() < hdr.total_len() {
+            return Err(Error::BadLength);
+        }
+        Ok(hdr)
+    }
+
+    /// The protocol following this header.
+    pub fn next_header(&self) -> Protocol {
+        Protocol::from(self.buffer.as_ref()[0])
+    }
+
+    /// Total length of this header in bytes: `(hdr_ext_len + 1) * 8`.
+    pub fn total_len(&self) -> usize {
+        (usize::from(self.buffer.as_ref()[1]) + 1) * 8
+    }
+
+    /// Option/body area (after the 2 framing bytes, within `total_len`).
+    pub fn body(&self) -> &[u8] {
+        &self.buffer.as_ref()[2..self.total_len()]
+    }
+
+    /// Iterate the TLV options in an options-type header (hop-by-hop or
+    /// destination options).
+    pub fn options(&self) -> OptionIter<'_> {
+        OptionIter {
+            data: self.body(),
+            pos: 0,
+        }
+    }
+}
+
+/// One TLV option inside an options extension header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv6Option<'a> {
+    /// Option type byte. The two high bits encode the required action when
+    /// the option is unrecognised (RFC 2460 §4.2).
+    pub kind: u8,
+    /// Option data (empty for Pad1).
+    pub data: &'a [u8],
+}
+
+impl Ipv6Option<'_> {
+    /// Pad1 option type.
+    pub const PAD1: u8 = 0;
+    /// PadN option type.
+    pub const PADN: u8 = 1;
+    /// Router alert (RFC 2711) — the classic "a router must look at me"
+    /// option, used by the example option plugins.
+    pub const ROUTER_ALERT: u8 = 5;
+
+    /// Action required when the option is unrecognised: 0 = skip,
+    /// 1 = discard, 2/3 = discard + ICMP.
+    pub fn unrecognised_action(&self) -> u8 {
+        self.kind >> 6
+    }
+
+    /// True for padding options that carry no semantics.
+    pub fn is_padding(&self) -> bool {
+        self.kind == Self::PAD1 || self.kind == Self::PADN
+    }
+}
+
+/// Iterator over the TLV options of an options header body.
+#[derive(Debug)]
+pub struct OptionIter<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Iterator for OptionIter<'a> {
+    type Item = Result<Ipv6Option<'a>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.data.len() {
+            return None;
+        }
+        let kind = self.data[self.pos];
+        if kind == Ipv6Option::PAD1 {
+            self.pos += 1;
+            return Some(Ok(Ipv6Option { kind, data: &[] }));
+        }
+        if self.pos + 2 > self.data.len() {
+            self.pos = self.data.len();
+            return Some(Err(Error::Truncated));
+        }
+        let len = usize::from(self.data[self.pos + 1]);
+        let start = self.pos + 2;
+        if start + len > self.data.len() {
+            self.pos = self.data.len();
+            return Some(Err(Error::Truncated));
+        }
+        self.pos = start + len;
+        Some(Ok(Ipv6Option {
+            kind,
+            data: &self.data[start..start + len],
+        }))
+    }
+}
+
+/// Result of walking an IPv6 extension chain to the upper-layer protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainWalk {
+    /// The first non-extension protocol found (e.g. UDP, TCP, ESP).
+    pub upper_protocol: Protocol,
+    /// Offset of that protocol's header from the start of the IPv6 payload.
+    pub upper_offset: usize,
+    /// Number of extension headers traversed.
+    pub ext_count: usize,
+    /// Offset of the hop-by-hop header if present (always 0 when present).
+    pub hop_by_hop: Option<usize>,
+}
+
+/// Walk the extension-header chain of an IPv6 payload starting at
+/// `first_header`, returning where the upper-layer protocol begins.
+///
+/// ESP terminates the walk (its contents are encrypted); AH participates in
+/// the chain (RFC 2402 gives it the standard framing, with its length field
+/// in 4-byte units — handled as a special case).
+pub fn walk_chain(first_header: Protocol, payload: &[u8]) -> Result<ChainWalk> {
+    let mut proto = first_header;
+    let mut offset = 0usize;
+    let mut count = 0usize;
+    let mut hbh = None;
+
+    while proto.is_ipv6_extension() {
+        if count >= MAX_EXTENSION_HEADERS {
+            return Err(Error::ExtensionChainTooLong);
+        }
+        let rest = payload.get(offset..).ok_or(Error::Truncated)?;
+        if rest.len() < 8 {
+            return Err(Error::Truncated);
+        }
+        if proto == Protocol::HopByHop {
+            if offset != 0 {
+                // Hop-by-hop is only legal as the first header.
+                return Err(Error::Malformed);
+            }
+            hbh = Some(0);
+        }
+        let (next, len) = if proto == Protocol::Ah {
+            // AH: payload len field counts 4-byte units minus 2.
+            let units = usize::from(rest[1]) + 2;
+            (Protocol::from(rest[0]), units * 4)
+        } else {
+            let hdr = ExtHeader::new_checked(rest)?;
+            (hdr.next_header(), hdr.total_len())
+        };
+        if offset + len > payload.len() {
+            return Err(Error::BadLength);
+        }
+        offset += len;
+        proto = next;
+        count += 1;
+    }
+
+    Ok(ChainWalk {
+        upper_protocol: proto,
+        upper_offset: offset,
+        ext_count: count,
+        hop_by_hop: hbh,
+    })
+}
+
+/// Build a hop-by-hop options header containing the given options, padded to
+/// an 8-byte multiple, with `next_header` as its successor. Returns raw
+/// bytes ready to prepend to the transport payload.
+pub fn build_hop_by_hop(next_header: Protocol, options: &[(u8, &[u8])]) -> Vec<u8> {
+    let mut body = Vec::new();
+    for (kind, data) in options {
+        body.push(*kind);
+        body.push(data.len() as u8);
+        body.extend_from_slice(data);
+    }
+    // Pad (2 framing bytes + body) to a multiple of 8 using Pad1/PadN.
+    let total = 2 + body.len();
+    let pad = (8 - total % 8) % 8;
+    match pad {
+        0 => {}
+        1 => body.push(Ipv6Option::PAD1),
+        n => {
+            body.push(Ipv6Option::PADN);
+            body.push((n - 2) as u8);
+            body.extend(std::iter::repeat(0).take(n - 2));
+        }
+    }
+    let mut out = Vec::with_capacity(2 + body.len());
+    out.push(next_header.into());
+    out.push(((2 + body.len()) / 8 - 1) as u8);
+    out.extend_from_slice(&body);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_iterate_hbh() {
+        let hbh = build_hop_by_hop(Protocol::Udp, &[(Ipv6Option::ROUTER_ALERT, &[0, 0])]);
+        assert_eq!(hbh.len() % 8, 0);
+        let hdr = ExtHeader::new_checked(&hbh[..]).unwrap();
+        assert_eq!(hdr.next_header(), Protocol::Udp);
+        let opts: Vec<_> = hdr.options().map(|o| o.unwrap()).collect();
+        assert_eq!(opts[0].kind, Ipv6Option::ROUTER_ALERT);
+        assert_eq!(opts[0].data, &[0, 0]);
+        // Remaining options are padding.
+        assert!(opts[1..].iter().all(|o| o.is_padding()));
+    }
+
+    #[test]
+    fn walk_plain_udp() {
+        let walk = walk_chain(Protocol::Udp, &[0u8; 64]).unwrap();
+        assert_eq!(walk.upper_protocol, Protocol::Udp);
+        assert_eq!(walk.upper_offset, 0);
+        assert_eq!(walk.ext_count, 0);
+        assert!(walk.hop_by_hop.is_none());
+    }
+
+    #[test]
+    fn walk_hbh_then_udp() {
+        let mut payload = build_hop_by_hop(Protocol::Udp, &[(Ipv6Option::ROUTER_ALERT, &[0, 0])]);
+        let hbh_len = payload.len();
+        payload.extend_from_slice(&[0u8; 16]); // pretend UDP
+        let walk = walk_chain(Protocol::HopByHop, &payload).unwrap();
+        assert_eq!(walk.upper_protocol, Protocol::Udp);
+        assert_eq!(walk.upper_offset, hbh_len);
+        assert_eq!(walk.ext_count, 1);
+        assert_eq!(walk.hop_by_hop, Some(0));
+    }
+
+    #[test]
+    fn hbh_not_first_is_malformed() {
+        // dst-opts followed by hop-by-hop: illegal.
+        let mut payload = build_hop_by_hop(Protocol::HopByHop, &[]);
+        payload.extend(build_hop_by_hop(Protocol::Udp, &[]));
+        let err = walk_chain(Protocol::Ipv6Opts, &payload).unwrap_err();
+        assert_eq!(err, Error::Malformed);
+    }
+
+    #[test]
+    fn cyclic_chain_bounded() {
+        // A hop-by-hop header pointing at dst-opts pointing at itself forever
+        // would loop; length accounting walks forward so craft a long chain.
+        let mut payload = Vec::new();
+        for _ in 0..MAX_EXTENSION_HEADERS + 1 {
+            payload.extend(build_hop_by_hop(Protocol::Ipv6Opts, &[]));
+        }
+        // Rewrite each header's next to Ipv6Opts so the walk keeps going;
+        // first header type is HopByHop only at position 0.
+        let err = walk_chain(Protocol::HopByHop, &payload);
+        // Either too-long or truncated is acceptable; must not loop.
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn walk_through_routing_header() {
+        // A type-0-style routing header uses the generic framing: next,
+        // hdr_ext_len, then routing data. 8 + 16 bytes here.
+        let mut payload = vec![Protocol::Udp.into(), 2u8];
+        payload.extend_from_slice(&[0u8; 22]); // routing data to 24 bytes
+        payload.extend_from_slice(&[0u8; 16]); // pretend UDP
+        let walk = walk_chain(Protocol::Ipv6Route, &payload).unwrap();
+        assert_eq!(walk.upper_protocol, Protocol::Udp);
+        assert_eq!(walk.upper_offset, 24);
+        assert_eq!(walk.ext_count, 1);
+    }
+
+    #[test]
+    fn walk_through_ah_framing() {
+        // AH length is in 4-byte units minus 2: payload_len=4 → 24 bytes.
+        let mut payload = vec![Protocol::Tcp.into(), 4u8];
+        payload.extend_from_slice(&[0u8; 22]);
+        payload.extend_from_slice(&[0u8; 20]); // pretend TCP
+        let walk = walk_chain(Protocol::Ah, &payload).unwrap();
+        assert_eq!(walk.upper_protocol, Protocol::Tcp);
+        assert_eq!(walk.upper_offset, 24);
+    }
+
+    #[test]
+    fn esp_terminates_walk() {
+        let payload = vec![0u8; 32];
+        let walk = walk_chain(Protocol::Esp, &payload).unwrap();
+        assert_eq!(walk.upper_protocol, Protocol::Esp);
+        assert_eq!(walk.upper_offset, 0);
+    }
+
+    #[test]
+    fn truncated_option_reported() {
+        // An options body claiming a 10-byte option in 4 bytes of space.
+        let raw = [Protocol::Udp.into(), 0u8, 0x05, 10, 0, 0, 0, 0];
+        let hdr = ExtHeader::new_checked(&raw[..]).unwrap();
+        let first = hdr.options().next().unwrap();
+        assert_eq!(first.unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn pad1_advances_one_byte() {
+        let raw = [Protocol::Udp.into(), 0u8, 0, 0, 0, 0, 0, 0];
+        let hdr = ExtHeader::new_checked(&raw[..]).unwrap();
+        let opts: Vec<_> = hdr.options().map(|o| o.unwrap()).collect();
+        assert_eq!(opts.len(), 6);
+        assert!(opts.iter().all(|o| o.kind == Ipv6Option::PAD1));
+    }
+}

@@ -1,0 +1,229 @@
+//! The six-tuple `<source address, destination address, protocol, source
+//! port, destination port, incoming interface>` (paper §3) and its
+//! extraction from raw packets.
+//!
+//! Extraction is the part of classification every gate shares: parse the IP
+//! header, walk IPv6 extension headers to the transport protocol, read the
+//! ports. The AIU hashes the resulting [`FlowTuple`] into the flow table and
+//! matches it against filter tables.
+
+use crate::ext_hdr;
+use crate::ip::{IpVersion, Protocol};
+use crate::ipv4::Ipv4Packet;
+use crate::ipv6::Ipv6Packet;
+use crate::mbuf::{IfIndex, Mbuf};
+use crate::wire::get_u16;
+use crate::Result;
+use std::fmt;
+use std::net::IpAddr;
+
+/// A fully specified flow identity — the paper's six-tuple with no
+/// wildcards. Flow-table entries are keyed by this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowTuple {
+    /// Source IP address.
+    pub src: IpAddr,
+    /// Destination IP address.
+    pub dst: IpAddr,
+    /// Transport protocol number.
+    pub proto: u8,
+    /// Source port (0 when the protocol has none).
+    pub sport: u16,
+    /// Destination port (0 when the protocol has none).
+    pub dport: u16,
+    /// Incoming interface.
+    pub rx_if: IfIndex,
+}
+
+impl FlowTuple {
+    /// Extract the six-tuple from a packet buffer plus its receive
+    /// interface. For IPv6, walks the extension chain to the upper-layer
+    /// protocol; for port-less protocols the ports are zero.
+    pub fn extract(data: &[u8], rx_if: IfIndex) -> Result<FlowTuple> {
+        match IpVersion::of_packet(data)? {
+            IpVersion::V4 => {
+                let ip = Ipv4Packet::new_checked(data)?;
+                let proto = ip.protocol();
+                let (sport, dport) = ports_of(proto, ip.payload());
+                Ok(FlowTuple {
+                    src: IpAddr::V4(ip.src_addr()),
+                    dst: IpAddr::V4(ip.dst_addr()),
+                    proto: proto.into(),
+                    sport,
+                    dport,
+                    rx_if,
+                })
+            }
+            IpVersion::V6 => {
+                let ip = Ipv6Packet::new_checked(data)?;
+                let walk = ext_hdr::walk_chain(ip.next_header(), ip.payload())?;
+                let upper = &ip.payload()[walk.upper_offset..];
+                let (sport, dport) = ports_of(walk.upper_protocol, upper);
+                Ok(FlowTuple {
+                    src: IpAddr::V6(ip.src_addr()),
+                    dst: IpAddr::V6(ip.dst_addr()),
+                    proto: walk.upper_protocol.into(),
+                    sport,
+                    dport,
+                    rx_if,
+                })
+            }
+        }
+    }
+
+    /// Extract from an [`Mbuf`], using its receive interface.
+    pub fn from_mbuf(mbuf: &Mbuf) -> Result<FlowTuple> {
+        Self::extract(mbuf.data(), mbuf.rx_if)
+    }
+
+    /// The IP version of the flow (source address decides; a flow never
+    /// mixes families).
+    pub fn version(&self) -> IpVersion {
+        match self.src {
+            IpAddr::V4(_) => IpVersion::V4,
+            IpAddr::V6(_) => IpVersion::V6,
+        }
+    }
+}
+
+impl fmt::Display for FlowTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "<{}, {}, {}, {}, {}, if{}>",
+            self.src,
+            self.dst,
+            Protocol::from(self.proto),
+            self.sport,
+            self.dport,
+            self.rx_if
+        )
+    }
+}
+
+fn ports_of(proto: Protocol, transport: &[u8]) -> (u16, u16) {
+    if proto.has_ports() && transport.len() >= 4 {
+        (get_u16(transport, 0), get_u16(transport, 2))
+    } else {
+        (0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipv4::Ipv4Repr;
+    use crate::ipv6::Ipv6Repr;
+    use crate::udp::{UdpPacket, UdpRepr};
+    use std::net::{Ipv4Addr, Ipv6Addr};
+
+    fn build_v4_udp(src: Ipv4Addr, dst: Ipv4Addr, sport: u16, dport: u16) -> Vec<u8> {
+        let udp = UdpRepr {
+            src_port: sport,
+            dst_port: dport,
+            payload_len: 4,
+        };
+        let ip = Ipv4Repr {
+            src_addr: src,
+            dst_addr: dst,
+            protocol: Protocol::Udp,
+            payload_len: udp.buffer_len(),
+            ttl: 64,
+            tos: 0,
+        };
+        let mut buf = vec![0u8; ip.buffer_len() + ip.payload_len];
+        let mut pkt = Ipv4Packet::new_unchecked(&mut buf[..]);
+        ip.emit(&mut pkt);
+        let mut u = UdpPacket::new_unchecked(pkt.payload_mut());
+        udp.emit(&mut u);
+        buf
+    }
+
+    #[test]
+    fn v4_udp_tuple() {
+        let buf = build_v4_udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            5000,
+            53,
+        );
+        let t = FlowTuple::extract(&buf, 3).unwrap();
+        assert_eq!(t.src, IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1)));
+        assert_eq!(t.dst, IpAddr::V4(Ipv4Addr::new(10, 0, 0, 2)));
+        assert_eq!(t.proto, 17);
+        assert_eq!(t.sport, 5000);
+        assert_eq!(t.dport, 53);
+        assert_eq!(t.rx_if, 3);
+        assert_eq!(t.version(), IpVersion::V4);
+    }
+
+    #[test]
+    fn v6_udp_behind_hop_by_hop() {
+        let udp = UdpRepr {
+            src_port: 9999,
+            dst_port: 80,
+            payload_len: 0,
+        };
+        let hbh = ext_hdr::build_hop_by_hop(Protocol::Udp, &[]);
+        let payload_len = hbh.len() + udp.buffer_len();
+        let ip = Ipv6Repr {
+            src_addr: Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 1),
+            dst_addr: Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 2),
+            next_header: Protocol::HopByHop,
+            payload_len,
+            hop_limit: 64,
+            traffic_class: 0,
+            flow_label: 0,
+        };
+        let mut buf = vec![0u8; ip.buffer_len() + payload_len];
+        let mut pkt = Ipv6Packet::new_unchecked(&mut buf[..]);
+        ip.emit(&mut pkt);
+        pkt.payload_mut()[..hbh.len()].copy_from_slice(&hbh);
+        let mut u = UdpPacket::new_unchecked(&mut pkt.payload_mut()[hbh.len()..]);
+        udp.emit(&mut u);
+
+        let t = FlowTuple::extract(&buf, 0).unwrap();
+        assert_eq!(t.proto, 17);
+        assert_eq!(t.sport, 9999);
+        assert_eq!(t.dport, 80);
+        assert_eq!(t.version(), IpVersion::V6);
+    }
+
+    #[test]
+    fn portless_protocol_zero_ports() {
+        let mut buf = build_v4_udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            5000,
+            53,
+        );
+        buf[9] = 47; // GRE
+        // Fix the checksum so new_checked still passes (it doesn't verify
+        // checksums, only lengths, so no fix needed actually).
+        let t = FlowTuple::extract(&buf, 0).unwrap();
+        assert_eq!(t.proto, 47);
+        assert_eq!(t.sport, 0);
+        assert_eq!(t.dport, 0);
+    }
+
+    #[test]
+    fn display_format() {
+        let buf = build_v4_udp(
+            Ipv4Addr::new(128, 252, 153, 1),
+            Ipv4Addr::new(128, 252, 153, 7),
+            1024,
+            2048,
+        );
+        let t = FlowTuple::extract(&buf, 1).unwrap();
+        assert_eq!(
+            t.to_string(),
+            "<128.252.153.1, 128.252.153.7, UDP, 1024, 2048, if1>"
+        );
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(FlowTuple::extract(&[], 0).is_err());
+        assert!(FlowTuple::extract(&[0xFF; 64], 0).is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! HMAC-SHA1 (RFC 2104 / RFC 2202) for the AH security plugin.
+
+use crate::sha1::{Sha1, BLOCK_LEN, DIGEST_LEN};
+
+/// HMAC-SHA1 keyed MAC.
+#[derive(Clone)]
+pub struct HmacSha1 {
+    inner: Sha1,
+    opad_key: [u8; BLOCK_LEN],
+}
+
+impl HmacSha1 {
+    /// Initialise with a key of any length (long keys are hashed first, per
+    /// RFC 2104).
+    pub fn new(key: &[u8]) -> Self {
+        let mut k = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            k[..DIGEST_LEN].copy_from_slice(&Sha1::digest(key));
+        } else {
+            k[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0u8; BLOCK_LEN];
+        let mut opad = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad[i] = k[i] ^ 0x36;
+            opad[i] = k[i] ^ 0x5C;
+        }
+        let mut inner = Sha1::new();
+        inner.update(&ipad);
+        HmacSha1 {
+            inner,
+            opad_key: opad,
+        }
+    }
+
+    /// Feed message data.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Produce the 20-byte MAC.
+    pub fn finalize(self) -> [u8; DIGEST_LEN] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha1::new();
+        outer.update(&self.opad_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// One-shot MAC.
+    pub fn mac(key: &[u8], data: &[u8]) -> [u8; DIGEST_LEN] {
+        let mut h = HmacSha1::new(key);
+        h.update(data);
+        h.finalize()
+    }
+
+    /// The truncated 96-bit MAC used by AH (RFC 2404: HMAC-SHA-1-96).
+    pub fn mac_96(key: &[u8], data: &[u8]) -> [u8; 12] {
+        let full = Self::mac(key, data);
+        let mut out = [0u8; 12];
+        out.copy_from_slice(&full[..12]);
+        out
+    }
+}
+
+/// Constant-time comparison of two MACs (length must match).
+pub fn verify_mac(expected: &[u8], computed: &[u8]) -> bool {
+    if expected.len() != computed.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (a, b) in expected.iter().zip(computed) {
+        diff |= a ^ b;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// RFC 2202 HMAC-SHA1 test cases 1–7.
+    #[test]
+    fn rfc2202_vectors() {
+        let cases: &[(&[u8], &[u8], &str)] = &[
+            (
+                &[0x0b; 20],
+                b"Hi There",
+                "b617318655057264e28bc0b6fb378c8ef146be00",
+            ),
+            (
+                b"Jefe",
+                b"what do ya want for nothing?",
+                "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79",
+            ),
+            (
+                &[0xaa; 20],
+                &[0xdd; 50],
+                "125d7342b9ac11cd91a39af48aa17b4f63f175d3",
+            ),
+            (
+                &[
+                    0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+                    0x0e, 0x0f, 0x10, 0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17, 0x18, 0x19,
+                ],
+                &[0xcd; 50],
+                "4c9007f4026250c6bc8414f9bf50c86c2d7235da",
+            ),
+            (
+                &[0x0c; 20],
+                b"Test With Truncation",
+                "4c1a03424b55e07fe7f27be1d58bb9324a9a5a04",
+            ),
+            (
+                &[0xaa; 80],
+                b"Test Using Larger Than Block-Size Key - Hash Key First",
+                "aa4ae5e15272d00e95705637ce8a3b55ed402112",
+            ),
+            (
+                &[0xaa; 80],
+                b"Test Using Larger Than Block-Size Key and Larger Than One Block-Size Data",
+                "e8e99d0f45237d786d6bbaa7965c7808bbff1a91",
+            ),
+        ];
+        for (i, (key, data, want)) in cases.iter().enumerate() {
+            assert_eq!(hex(&HmacSha1::mac(key, data)), *want, "case {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn mac96_is_prefix() {
+        let full = HmacSha1::mac(b"key", b"data");
+        let short = HmacSha1::mac_96(b"key", b"data");
+        assert_eq!(&full[..12], &short[..]);
+    }
+
+    #[test]
+    fn verify_rejects_mismatch() {
+        let a = HmacSha1::mac(b"key", b"data");
+        let mut b = a;
+        assert!(verify_mac(&a, &b));
+        b[0] ^= 1;
+        assert!(!verify_mac(&a, &b));
+        assert!(!verify_mac(&a[..10], &a));
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let mut h = HmacSha1::new(b"secret");
+        h.update(b"hello ");
+        h.update(b"world");
+        assert_eq!(h.finalize(), HmacSha1::mac(b"secret", b"hello world"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Minimal ICMP (v4 and v6 share the layout a router cares about): type,
+//! code, checksum. The router generates Time Exceeded / Hop Limit Exceeded
+//! messages when TTL expires, and the firewall plugin matches on ICMP types.
+
+use crate::checksum;
+use crate::wire::{get_u16, set_u16};
+use crate::{Error, Result};
+
+/// ICMP header length (type, code, checksum + 4 bytes rest-of-header).
+pub const HEADER_LEN: usize = 8;
+
+/// ICMPv4 message types the router emits or inspects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Icmpv4Type {
+    /// Echo reply.
+    EchoReply,
+    /// Destination unreachable.
+    DestUnreachable,
+    /// Echo request.
+    EchoRequest,
+    /// Time exceeded (TTL expired in transit) — what a router sends when
+    /// `decrement_ttl` fails.
+    TimeExceeded,
+    /// Any other type.
+    Other(u8),
+}
+
+impl From<u8> for Icmpv4Type {
+    fn from(v: u8) -> Self {
+        match v {
+            0 => Icmpv4Type::EchoReply,
+            3 => Icmpv4Type::DestUnreachable,
+            8 => Icmpv4Type::EchoRequest,
+            11 => Icmpv4Type::TimeExceeded,
+            other => Icmpv4Type::Other(other),
+        }
+    }
+}
+
+impl From<Icmpv4Type> for u8 {
+    fn from(t: Icmpv4Type) -> u8 {
+        match t {
+            Icmpv4Type::EchoReply => 0,
+            Icmpv4Type::DestUnreachable => 3,
+            Icmpv4Type::EchoRequest => 8,
+            Icmpv4Type::TimeExceeded => 11,
+            Icmpv4Type::Other(v) => v,
+        }
+    }
+}
+
+/// A read/write view of an ICMP message.
+#[derive(Debug, Clone)]
+pub struct IcmpPacket<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> IcmpPacket<T> {
+    /// Wrap without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        IcmpPacket { buffer }
+    }
+
+    /// Wrap and validate length.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let pkt = Self::new_unchecked(buffer);
+        if pkt.buffer.as_ref().len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        Ok(pkt)
+    }
+
+    /// Message type byte.
+    pub fn msg_type(&self) -> u8 {
+        self.buffer.as_ref()[0]
+    }
+
+    /// Message code byte.
+    pub fn msg_code(&self) -> u8 {
+        self.buffer.as_ref()[1]
+    }
+
+    /// Checksum field.
+    pub fn checksum(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 2)
+    }
+
+    /// Verify the ICMPv4 checksum (over the whole message, no pseudo-header).
+    pub fn verify_checksum(&self) -> bool {
+        checksum::verify(self.buffer.as_ref())
+    }
+
+    /// Body after the 8-byte header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> IcmpPacket<T> {
+    /// Set the type byte.
+    pub fn set_msg_type(&mut self, t: u8) {
+        self.buffer.as_mut()[0] = t;
+    }
+
+    /// Set the code byte.
+    pub fn set_msg_code(&mut self, c: u8) {
+        self.buffer.as_mut()[1] = c;
+    }
+
+    /// Set the checksum field.
+    pub fn set_checksum(&mut self, c: u16) {
+        set_u16(self.buffer.as_mut(), 2, c);
+    }
+
+    /// Compute and store the ICMPv4 checksum.
+    pub fn fill_checksum(&mut self) {
+        self.set_checksum(0);
+        let sum = checksum::checksum(self.buffer.as_ref());
+        self.set_checksum(sum);
+    }
+}
+
+/// Build a Time Exceeded message quoting the offending packet's header +
+/// first 8 payload bytes, per RFC 792.
+pub fn time_exceeded(original: &[u8]) -> Vec<u8> {
+    let quote = &original[..original.len().min(28)];
+    let mut buf = vec![0u8; HEADER_LEN + quote.len()];
+    buf[HEADER_LEN..].copy_from_slice(quote);
+    let mut pkt = IcmpPacket::new_unchecked(&mut buf[..]);
+    pkt.set_msg_type(Icmpv4Type::TimeExceeded.into());
+    pkt.set_msg_code(0);
+    pkt.fill_checksum();
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_roundtrip() {
+        for v in 0..=255u8 {
+            assert_eq!(u8::from(Icmpv4Type::from(v)), v);
+        }
+    }
+
+    #[test]
+    fn time_exceeded_checksums() {
+        let orig = vec![0x45u8; 40];
+        let msg = time_exceeded(&orig);
+        let pkt = IcmpPacket::new_checked(&msg[..]).unwrap();
+        assert_eq!(pkt.msg_type(), 11);
+        assert!(pkt.verify_checksum());
+        assert_eq!(pkt.payload().len(), 28);
+    }
+
+    #[test]
+    fn short_quote() {
+        let orig = vec![0x45u8; 10];
+        let msg = time_exceeded(&orig);
+        assert_eq!(msg.len(), HEADER_LEN + 10);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(
+            IcmpPacket::new_checked(&[0u8; 7][..]).unwrap_err(),
+            Error::Truncated
+        );
+    }
+}

@@ -1,0 +1,364 @@
+//! IPv4 header wrapper and high-level representation.
+//!
+//! `Ipv4Packet<T>` is a zero-copy view: field accessors read straight from
+//! the underlying buffer; with `T: AsMut<[u8]>` the same type supports
+//! in-place mutation (the forwarding path rewrites TTL + checksum without
+//! copying the packet). `Ipv4Repr` is the parsed value type used when
+//! *constructing* packets (traffic generators, tests).
+
+use crate::checksum;
+use crate::ip::Protocol;
+use crate::wire::{get_u16, get_u32, set_u16, set_u32};
+use crate::{Error, Result};
+use std::net::Ipv4Addr;
+
+/// Minimum IPv4 header length (IHL = 5).
+pub const HEADER_LEN: usize = 20;
+
+/// A read/write view of an IPv4 packet over any byte container.
+#[derive(Debug, Clone)]
+pub struct Ipv4Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Ipv4Packet<T> {
+    /// Wrap a buffer without validation. Use [`Ipv4Packet::new_checked`] for
+    /// data arriving from the wire.
+    pub fn new_unchecked(buffer: T) -> Self {
+        Ipv4Packet { buffer }
+    }
+
+    /// Wrap and validate: version, IHL, and the length fields must be
+    /// consistent with the buffer.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let pkt = Self::new_unchecked(buffer);
+        pkt.check()?;
+        Ok(pkt)
+    }
+
+    fn check(&self) -> Result<()> {
+        let data = self.buffer.as_ref();
+        if data.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        if data[0] >> 4 != 4 {
+            return Err(Error::BadVersion);
+        }
+        let ihl = usize::from(data[0] & 0x0F) * 4;
+        if ihl < HEADER_LEN {
+            return Err(Error::Malformed);
+        }
+        let total = usize::from(get_u16(data, 2));
+        if total < ihl {
+            return Err(Error::BadLength);
+        }
+        if data.len() < total {
+            return Err(Error::BadLength);
+        }
+        Ok(())
+    }
+
+    /// Consume the wrapper and return the inner buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Header length in bytes (IHL × 4).
+    pub fn header_len(&self) -> usize {
+        usize::from(self.buffer.as_ref()[0] & 0x0F) * 4
+    }
+
+    /// Differentiated services code point + ECN byte (historic ToS).
+    pub fn tos(&self) -> u8 {
+        self.buffer.as_ref()[1]
+    }
+
+    /// Total length field (header + payload) in bytes.
+    pub fn total_len(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 2)
+    }
+
+    /// Identification field.
+    pub fn ident(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 4)
+    }
+
+    /// Don't-fragment flag.
+    pub fn dont_frag(&self) -> bool {
+        self.buffer.as_ref()[6] & 0x40 != 0
+    }
+
+    /// More-fragments flag.
+    pub fn more_frags(&self) -> bool {
+        self.buffer.as_ref()[6] & 0x20 != 0
+    }
+
+    /// Fragment offset in 8-byte units.
+    pub fn frag_offset(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 6) & 0x1FFF
+    }
+
+    /// Time to live.
+    pub fn ttl(&self) -> u8 {
+        self.buffer.as_ref()[8]
+    }
+
+    /// Upper-layer protocol.
+    pub fn protocol(&self) -> Protocol {
+        Protocol::from(self.buffer.as_ref()[9])
+    }
+
+    /// Header checksum field.
+    pub fn checksum(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 10)
+    }
+
+    /// Source address.
+    pub fn src_addr(&self) -> Ipv4Addr {
+        Ipv4Addr::from(get_u32(self.buffer.as_ref(), 12))
+    }
+
+    /// Destination address.
+    pub fn dst_addr(&self) -> Ipv4Addr {
+        Ipv4Addr::from(get_u32(self.buffer.as_ref(), 16))
+    }
+
+    /// Verify the header checksum over IHL bytes.
+    pub fn verify_checksum(&self) -> bool {
+        let data = self.buffer.as_ref();
+        checksum::verify(&data[..self.header_len()])
+    }
+
+    /// The options area (between the fixed header and the payload; empty
+    /// when IHL = 5).
+    pub fn options(&self) -> &[u8] {
+        &self.buffer.as_ref()[20..self.header_len()]
+    }
+
+    /// Payload (everything after the header, bounded by `total_len`).
+    pub fn payload(&self) -> &[u8] {
+        let data = self.buffer.as_ref();
+        let start = self.header_len();
+        let end = usize::from(self.total_len()).min(data.len());
+        &data[start..end]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
+    /// Set the ToS byte.
+    pub fn set_tos(&mut self, v: u8) {
+        self.buffer.as_mut()[1] = v;
+    }
+
+    /// Set the total-length field.
+    pub fn set_total_len(&mut self, v: u16) {
+        set_u16(self.buffer.as_mut(), 2, v);
+    }
+
+    /// Set the identification field.
+    pub fn set_ident(&mut self, v: u16) {
+        set_u16(self.buffer.as_mut(), 4, v);
+    }
+
+    /// Set the TTL (does not touch the checksum; see
+    /// [`Ipv4Packet::decrement_ttl`] for the fast-path combined update).
+    pub fn set_ttl(&mut self, v: u8) {
+        self.buffer.as_mut()[8] = v;
+    }
+
+    /// Set the protocol field.
+    pub fn set_protocol(&mut self, p: Protocol) {
+        self.buffer.as_mut()[9] = p.into();
+    }
+
+    /// Set the checksum field.
+    pub fn set_checksum(&mut self, v: u16) {
+        set_u16(self.buffer.as_mut(), 10, v);
+    }
+
+    /// Set the source address.
+    pub fn set_src_addr(&mut self, a: Ipv4Addr) {
+        set_u32(self.buffer.as_mut(), 12, u32::from(a));
+    }
+
+    /// Set the destination address.
+    pub fn set_dst_addr(&mut self, a: Ipv4Addr) {
+        set_u32(self.buffer.as_mut(), 16, u32::from(a));
+    }
+
+    /// Recompute and store the header checksum.
+    pub fn fill_checksum(&mut self) {
+        self.set_checksum(0);
+        let len = self.header_len();
+        let sum = checksum::checksum(&self.buffer.as_ref()[..len]);
+        self.set_checksum(sum);
+    }
+
+    /// Forwarding fast path: decrement TTL and incrementally patch the
+    /// checksum (RFC 1624). Returns the new TTL, or `Err(Malformed)` if the
+    /// TTL was already zero (the packet must be dropped, not forwarded).
+    pub fn decrement_ttl(&mut self) -> Result<u8> {
+        let data = self.buffer.as_mut();
+        if data[8] == 0 {
+            return Err(Error::Malformed);
+        }
+        let old_word = u16::from_be_bytes([data[8], data[9]]);
+        data[8] -= 1;
+        let new_word = u16::from_be_bytes([data[8], data[9]]);
+        let old_sum = get_u16(data, 10);
+        set_u16(data, 10, checksum::update_u16(old_sum, old_word, new_word));
+        Ok(data[8])
+    }
+
+    /// Mutable payload view.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let start = self.header_len();
+        let end = usize::from(self.total_len());
+        let data = self.buffer.as_mut();
+        let end = end.min(data.len());
+        &mut data[start..end]
+    }
+}
+
+/// Parsed IPv4 header, used to build packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Repr {
+    /// Source address.
+    pub src_addr: Ipv4Addr,
+    /// Destination address.
+    pub dst_addr: Ipv4Addr,
+    /// Upper-layer protocol.
+    pub protocol: Protocol,
+    /// Payload length in bytes (not counting this header).
+    pub payload_len: usize,
+    /// Time to live.
+    pub ttl: u8,
+    /// ToS/DSCP byte.
+    pub tos: u8,
+}
+
+impl Ipv4Repr {
+    /// Parse a validated packet into a repr.
+    pub fn parse<T: AsRef<[u8]>>(packet: &Ipv4Packet<T>) -> Ipv4Repr {
+        Ipv4Repr {
+            src_addr: packet.src_addr(),
+            dst_addr: packet.dst_addr(),
+            protocol: packet.protocol(),
+            payload_len: usize::from(packet.total_len()) - packet.header_len(),
+            ttl: packet.ttl(),
+            tos: packet.tos(),
+        }
+    }
+
+    /// Bytes this header occupies when emitted (no options).
+    pub fn buffer_len(&self) -> usize {
+        HEADER_LEN
+    }
+
+    /// Emit the header into the front of `buffer` (which must be at least
+    /// `buffer_len() + payload_len` bytes) and fill the checksum.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, packet: &mut Ipv4Packet<T>) {
+        let data = packet.buffer.as_mut();
+        data[0] = 0x45; // version 4, IHL 5
+        data[1] = self.tos;
+        set_u16(data, 2, (HEADER_LEN + self.payload_len) as u16);
+        set_u16(data, 4, 0);
+        set_u16(data, 6, 0x4000); // DF set, as modern stacks do
+        data[8] = self.ttl;
+        data[9] = self.protocol.into();
+        set_u16(data, 10, 0);
+        set_u32(data, 12, u32::from(self.src_addr));
+        set_u32(data, 16, u32::from(self.dst_addr));
+        packet.fill_checksum();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let repr = Ipv4Repr {
+            src_addr: Ipv4Addr::new(128, 252, 153, 1),
+            dst_addr: Ipv4Addr::new(128, 252, 153, 7),
+            protocol: Protocol::Udp,
+            payload_len: 12,
+            ttl: 64,
+            tos: 0,
+        };
+        let mut buf = vec![0u8; repr.buffer_len() + repr.payload_len];
+        let mut pkt = Ipv4Packet::new_unchecked(&mut buf[..]);
+        repr.emit(&mut pkt);
+        buf
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let buf = sample();
+        let pkt = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(pkt.src_addr(), Ipv4Addr::new(128, 252, 153, 1));
+        assert_eq!(pkt.dst_addr(), Ipv4Addr::new(128, 252, 153, 7));
+        assert_eq!(pkt.protocol(), Protocol::Udp);
+        assert_eq!(pkt.ttl(), 64);
+        assert_eq!(pkt.total_len(), 32);
+        assert!(pkt.verify_checksum());
+        assert_eq!(pkt.payload().len(), 12);
+    }
+
+    #[test]
+    fn checked_rejects_garbage() {
+        assert_eq!(
+            Ipv4Packet::new_checked(&[0u8; 10][..]).unwrap_err(),
+            Error::Truncated
+        );
+        let mut buf = sample();
+        buf[0] = 0x65; // version 6
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..]).unwrap_err(),
+            Error::BadVersion
+        );
+        let mut buf = sample();
+        buf[0] = 0x44; // IHL 4 < 5
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..]).unwrap_err(),
+            Error::Malformed
+        );
+        let mut buf = sample();
+        buf[3] = 0xFF; // total_len beyond buffer
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..]).unwrap_err(),
+            Error::BadLength
+        );
+    }
+
+    #[test]
+    fn ttl_decrement_keeps_checksum_valid() {
+        let mut buf = sample();
+        let mut pkt = Ipv4Packet::new_unchecked(&mut buf[..]);
+        for expected in (0..64u8).rev() {
+            let ttl = pkt.decrement_ttl().unwrap();
+            assert_eq!(ttl, expected);
+            assert!(pkt.verify_checksum(), "checksum broken at ttl {expected}");
+        }
+        // TTL now 0: further decrement refuses.
+        assert_eq!(pkt.decrement_ttl().unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn repr_parse_matches_emit() {
+        let buf = sample();
+        let pkt = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        let repr = Ipv4Repr::parse(&pkt);
+        assert_eq!(repr.payload_len, 12);
+        assert_eq!(repr.protocol, Protocol::Udp);
+    }
+
+    #[test]
+    fn total_len_bounds_payload() {
+        // Buffer longer than total_len: payload must stop at total_len.
+        let mut buf = sample();
+        buf.extend_from_slice(&[0xAA; 8]);
+        let pkt = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(pkt.payload().len(), 12);
+    }
+}

@@ -1,0 +1,159 @@
+//! IPv4 header options (RFC 791 §3.1): the original "IP option plugin"
+//! target — the paper notes an IP option plugin can be "a dozen lines of
+//! code". This module supplies the option iterator and builders the
+//! `opt4` plugin consumes.
+
+use crate::{Error, Result};
+
+/// Option kinds the router recognises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptionKind(pub u8);
+
+impl OptionKind {
+    /// End of option list.
+    pub const EOL: OptionKind = OptionKind(0);
+    /// No-operation padding.
+    pub const NOP: OptionKind = OptionKind(1);
+    /// Record route.
+    pub const RECORD_ROUTE: OptionKind = OptionKind(7);
+    /// Internet timestamp.
+    pub const TIMESTAMP: OptionKind = OptionKind(68);
+    /// Router alert (RFC 2113) — "routers should examine this packet".
+    pub const ROUTER_ALERT: OptionKind = OptionKind(148);
+
+    /// The copied flag (bit 7): option must be copied into fragments.
+    pub fn copied(self) -> bool {
+        self.0 & 0x80 != 0
+    }
+}
+
+/// One parsed IPv4 option.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Option<'a> {
+    /// Kind byte.
+    pub kind: OptionKind,
+    /// Option payload (without kind/length bytes).
+    pub data: &'a [u8],
+}
+
+/// Iterator over the options area of an IPv4 header.
+pub struct OptionIter<'a> {
+    data: &'a [u8],
+    pos: usize,
+    done: bool,
+}
+
+impl<'a> OptionIter<'a> {
+    /// Iterate a raw options slice (see [`crate::ipv4::Ipv4Packet::options`]).
+    pub fn from_slice(data: &'a [u8]) -> OptionIter<'a> {
+        OptionIter {
+            data,
+            pos: 0,
+            done: false,
+        }
+    }
+}
+
+impl<'a> Iterator for OptionIter<'a> {
+    type Item = Result<Ipv4Option<'a>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done || self.pos >= self.data.len() {
+            return None;
+        }
+        let kind = OptionKind(self.data[self.pos]);
+        match kind {
+            OptionKind::EOL => {
+                self.done = true;
+                None
+            }
+            OptionKind::NOP => {
+                self.pos += 1;
+                Some(Ok(Ipv4Option { kind, data: &[] }))
+            }
+            _ => {
+                if self.pos + 2 > self.data.len() {
+                    self.done = true;
+                    return Some(Err(Error::Truncated));
+                }
+                let len = usize::from(self.data[self.pos + 1]);
+                if len < 2 || self.pos + len > self.data.len() {
+                    self.done = true;
+                    return Some(Err(Error::Malformed));
+                }
+                let data = &self.data[self.pos + 2..self.pos + len];
+                self.pos += len;
+                Some(Ok(Ipv4Option { kind, data }))
+            }
+        }
+    }
+}
+
+/// Serialise options into a header options area, padded with EOL to a
+/// 4-byte multiple. Returns the padded bytes (possibly empty).
+pub fn build_options(options: &[(OptionKind, &[u8])]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (kind, data) in options {
+        match *kind {
+            OptionKind::NOP => out.push(OptionKind::NOP.0),
+            k => {
+                out.push(k.0);
+                out.push((data.len() + 2) as u8);
+                out.extend_from_slice(data);
+            }
+        }
+    }
+    while out.len() % 4 != 0 {
+        out.push(OptionKind::EOL.0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_iterate() {
+        let opts = build_options(&[
+            (OptionKind::NOP, &[]),
+            (OptionKind::ROUTER_ALERT, &[0, 0]),
+        ]);
+        assert_eq!(opts.len() % 4, 0);
+        let parsed: Vec<_> = OptionIter::from_slice(&opts).map(|o| o.unwrap()).collect();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].kind, OptionKind::NOP);
+        assert_eq!(parsed[1].kind, OptionKind::ROUTER_ALERT);
+        assert_eq!(parsed[1].data, &[0, 0]);
+    }
+
+    #[test]
+    fn eol_terminates() {
+        let raw = [1u8, 0, 7, 7, 7, 7]; // NOP, EOL, then garbage
+        let parsed: Vec<_> = OptionIter::from_slice(&raw).collect();
+        assert_eq!(parsed.len(), 1);
+    }
+
+    #[test]
+    fn malformed_lengths() {
+        // Length 1 is illegal.
+        let raw = [148u8, 1, 0, 0];
+        let out: Vec<_> = OptionIter::from_slice(&raw).collect();
+        assert_eq!(out.len(), 1);
+        assert!(out[0].is_err());
+        // Length beyond the buffer.
+        let raw = [148u8, 40, 0, 0];
+        let out: Vec<_> = OptionIter::from_slice(&raw).collect();
+        assert!(out[0].is_err());
+        // Truncated at the kind byte boundary.
+        let raw = [148u8];
+        let out: Vec<_> = OptionIter::from_slice(&raw).collect();
+        assert!(out[0].is_err());
+    }
+
+    #[test]
+    fn copied_flag() {
+        assert!(OptionKind::ROUTER_ALERT.copied());
+        assert!(!OptionKind::RECORD_ROUTE.copied());
+    }
+}

@@ -1,0 +1,290 @@
+//! IPv6 header wrapper and representation.
+//!
+//! The paper's testbed forwards 8 KB UDP/IPv6 datagrams (flow label unused),
+//! so IPv6 is the primary wire format of the reproduction. Extension-header
+//! handling lives in [`crate::ext_hdr`].
+
+use crate::ip::Protocol;
+use crate::wire::{get_u128, get_u16, get_u32, set_u128, set_u16, set_u32};
+use crate::{Error, Result};
+use std::net::Ipv6Addr;
+
+/// Fixed IPv6 header length.
+pub const HEADER_LEN: usize = 40;
+
+/// A read/write view of an IPv6 packet over any byte container.
+#[derive(Debug, Clone)]
+pub struct Ipv6Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Ipv6Packet<T> {
+    /// Wrap a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        Ipv6Packet { buffer }
+    }
+
+    /// Wrap and validate version and length consistency.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let pkt = Self::new_unchecked(buffer);
+        pkt.check()?;
+        Ok(pkt)
+    }
+
+    fn check(&self) -> Result<()> {
+        let data = self.buffer.as_ref();
+        if data.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        if data[0] >> 4 != 6 {
+            return Err(Error::BadVersion);
+        }
+        let payload = usize::from(get_u16(data, 4));
+        if data.len() < HEADER_LEN + payload {
+            return Err(Error::BadLength);
+        }
+        Ok(())
+    }
+
+    /// Consume the wrapper and return the inner buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Traffic class byte.
+    pub fn traffic_class(&self) -> u8 {
+        let data = self.buffer.as_ref();
+        (data[0] << 4) | (data[1] >> 4)
+    }
+
+    /// 20-bit flow label. The paper notes its testbed does *not* use the
+    /// flow label — classification is on the six-tuple — but the field is
+    /// modelled for completeness.
+    pub fn flow_label(&self) -> u32 {
+        get_u32(self.buffer.as_ref(), 0) & 0x000F_FFFF
+    }
+
+    /// Payload length (everything after the fixed header, including
+    /// extension headers).
+    pub fn payload_len(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 4)
+    }
+
+    /// Next header directly after the fixed header.
+    pub fn next_header(&self) -> Protocol {
+        Protocol::from(self.buffer.as_ref()[6])
+    }
+
+    /// Hop limit.
+    pub fn hop_limit(&self) -> u8 {
+        self.buffer.as_ref()[7]
+    }
+
+    /// Source address.
+    pub fn src_addr(&self) -> Ipv6Addr {
+        Ipv6Addr::from(get_u128(self.buffer.as_ref(), 8))
+    }
+
+    /// Destination address.
+    pub fn dst_addr(&self) -> Ipv6Addr {
+        Ipv6Addr::from(get_u128(self.buffer.as_ref(), 24))
+    }
+
+    /// Payload slice (extension headers + upper-layer data).
+    pub fn payload(&self) -> &[u8] {
+        let data = self.buffer.as_ref();
+        let end = (HEADER_LEN + usize::from(self.payload_len())).min(data.len());
+        &data[HEADER_LEN..end]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv6Packet<T> {
+    /// Set the traffic class.
+    pub fn set_traffic_class(&mut self, tc: u8) {
+        let data = self.buffer.as_mut();
+        data[0] = (data[0] & 0xF0) | (tc >> 4);
+        data[1] = (data[1] & 0x0F) | (tc << 4);
+    }
+
+    /// Set the flow label (lower 20 bits used).
+    pub fn set_flow_label(&mut self, label: u32) {
+        let data = self.buffer.as_mut();
+        let word = (get_u32(data, 0) & 0xFFF0_0000) | (label & 0x000F_FFFF);
+        set_u32(data, 0, word);
+    }
+
+    /// Set the payload length.
+    pub fn set_payload_len(&mut self, len: u16) {
+        set_u16(self.buffer.as_mut(), 4, len);
+    }
+
+    /// Set the next-header field.
+    pub fn set_next_header(&mut self, p: Protocol) {
+        self.buffer.as_mut()[6] = p.into();
+    }
+
+    /// Set the hop limit.
+    pub fn set_hop_limit(&mut self, hl: u8) {
+        self.buffer.as_mut()[7] = hl;
+    }
+
+    /// Set the source address.
+    pub fn set_src_addr(&mut self, a: Ipv6Addr) {
+        set_u128(self.buffer.as_mut(), 8, u128::from(a));
+    }
+
+    /// Set the destination address.
+    pub fn set_dst_addr(&mut self, a: Ipv6Addr) {
+        set_u128(self.buffer.as_mut(), 24, u128::from(a));
+    }
+
+    /// Forwarding fast path: decrement the hop limit. IPv6 has no header
+    /// checksum, so this is a single byte store. Errors if already zero.
+    pub fn decrement_hop_limit(&mut self) -> Result<u8> {
+        let data = self.buffer.as_mut();
+        if data[7] == 0 {
+            return Err(Error::Malformed);
+        }
+        data[7] -= 1;
+        Ok(data[7])
+    }
+
+    /// Mutable payload slice.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let end = HEADER_LEN + usize::from(self.payload_len());
+        let data = self.buffer.as_mut();
+        let end = end.min(data.len());
+        &mut data[HEADER_LEN..end]
+    }
+}
+
+/// Parsed IPv6 fixed header, used to build packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv6Repr {
+    /// Source address.
+    pub src_addr: Ipv6Addr,
+    /// Destination address.
+    pub dst_addr: Ipv6Addr,
+    /// Next header after the fixed header.
+    pub next_header: Protocol,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+    /// Hop limit.
+    pub hop_limit: u8,
+    /// Traffic class.
+    pub traffic_class: u8,
+    /// Flow label (20 bits).
+    pub flow_label: u32,
+}
+
+impl Ipv6Repr {
+    /// Parse a validated packet into a repr.
+    pub fn parse<T: AsRef<[u8]>>(packet: &Ipv6Packet<T>) -> Ipv6Repr {
+        Ipv6Repr {
+            src_addr: packet.src_addr(),
+            dst_addr: packet.dst_addr(),
+            next_header: packet.next_header(),
+            payload_len: usize::from(packet.payload_len()),
+            hop_limit: packet.hop_limit(),
+            traffic_class: packet.traffic_class(),
+            flow_label: packet.flow_label(),
+        }
+    }
+
+    /// Bytes this header occupies when emitted.
+    pub fn buffer_len(&self) -> usize {
+        HEADER_LEN
+    }
+
+    /// Emit the fixed header into the front of the packet buffer.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, packet: &mut Ipv6Packet<T>) {
+        {
+            let data = packet.buffer.as_mut();
+            data[0] = 0x60;
+        }
+        packet.set_traffic_class(self.traffic_class);
+        packet.set_flow_label(self.flow_label);
+        packet.set_payload_len(self.payload_len as u16);
+        packet.set_next_header(self.next_header);
+        packet.set_hop_limit(self.hop_limit);
+        packet.set_src_addr(self.src_addr);
+        packet.set_dst_addr(self.dst_addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(last: u16) -> Ipv6Addr {
+        Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, last)
+    }
+
+    fn sample() -> Vec<u8> {
+        let repr = Ipv6Repr {
+            src_addr: addr(1),
+            dst_addr: addr(2),
+            next_header: Protocol::Udp,
+            payload_len: 16,
+            hop_limit: 64,
+            traffic_class: 0xA5,
+            flow_label: 0xBEEF,
+        };
+        let mut buf = vec![0u8; repr.buffer_len() + repr.payload_len];
+        let mut pkt = Ipv6Packet::new_unchecked(&mut buf[..]);
+        repr.emit(&mut pkt);
+        buf
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let buf = sample();
+        let pkt = Ipv6Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(pkt.src_addr(), addr(1));
+        assert_eq!(pkt.dst_addr(), addr(2));
+        assert_eq!(pkt.next_header(), Protocol::Udp);
+        assert_eq!(pkt.hop_limit(), 64);
+        assert_eq!(pkt.traffic_class(), 0xA5);
+        assert_eq!(pkt.flow_label(), 0xBEEF);
+        assert_eq!(pkt.payload().len(), 16);
+    }
+
+    #[test]
+    fn traffic_class_and_flow_label_are_independent() {
+        let mut buf = sample();
+        let mut pkt = Ipv6Packet::new_unchecked(&mut buf[..]);
+        pkt.set_flow_label(0xFFFFF);
+        assert_eq!(pkt.traffic_class(), 0xA5);
+        pkt.set_traffic_class(0x00);
+        assert_eq!(pkt.flow_label(), 0xFFFFF);
+    }
+
+    #[test]
+    fn checked_rejects_garbage() {
+        assert_eq!(
+            Ipv6Packet::new_checked(&[0u8; 39][..]).unwrap_err(),
+            Error::Truncated
+        );
+        let mut buf = sample();
+        buf[0] = 0x45;
+        assert_eq!(
+            Ipv6Packet::new_checked(&buf[..]).unwrap_err(),
+            Error::BadVersion
+        );
+        let mut buf = sample();
+        buf[5] = 0xFF; // payload_len too large
+        assert_eq!(
+            Ipv6Packet::new_checked(&buf[..]).unwrap_err(),
+            Error::BadLength
+        );
+    }
+
+    #[test]
+    fn hop_limit_decrement() {
+        let mut buf = sample();
+        let mut pkt = Ipv6Packet::new_unchecked(&mut buf[..]);
+        assert_eq!(pkt.decrement_hop_limit().unwrap(), 63);
+        pkt.set_hop_limit(0);
+        assert!(pkt.decrement_hop_limit().is_err());
+    }
+}

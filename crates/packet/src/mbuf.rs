@@ -1,0 +1,116 @@
+//! [`Mbuf`] — the BSD `mbuf` analogue.
+//!
+//! In the paper, the mbuf carries the *flow index* (FIX): after the first
+//! gate classifies a packet, the FIX points at the packet's row in the flow
+//! table so that every subsequent gate retrieves its plugin instance with a
+//! single indexed load instead of calling the AIU again (Section 3.2,
+//! "Associating the packet with a flow index").
+
+use std::fmt;
+
+/// Index of a row in the AIU's flow table, cached in the packet between
+/// gates. Opaque to everything except the flow table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowIndex(pub u32);
+
+/// Interface identifier (port number on the router).
+pub type IfIndex = u32;
+
+/// An owned packet buffer with router metadata.
+///
+/// Single contiguous allocation (the paper's ATM testbed had no
+/// fragmentation at MTU 9180; chained mbufs add nothing the architecture
+/// depends on).
+#[derive(Clone)]
+pub struct Mbuf {
+    data: Vec<u8>,
+    /// Interface the packet arrived on — the sixth field of the six-tuple.
+    pub rx_if: IfIndex,
+    /// Cached flow-table row, set by the first gate's AIU call.
+    pub fix: Option<FlowIndex>,
+    /// Arrival timestamp in simulated nanoseconds (set by the driver;
+    /// mirrors the paper's device-driver cycle-counter timestamping).
+    pub timestamp_ns: u64,
+    /// Egress interface decided by the routing step.
+    pub tx_if: Option<IfIndex>,
+}
+
+impl Mbuf {
+    /// Wrap raw packet bytes received on `rx_if`.
+    pub fn new(data: Vec<u8>, rx_if: IfIndex) -> Self {
+        Mbuf {
+            data,
+            rx_if,
+            fix: None,
+            timestamp_ns: 0,
+            tx_if: None,
+        }
+    }
+
+    /// Packet bytes.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable packet bytes.
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Packet length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Replace the packet contents (used by transforms that change length,
+    /// e.g. ESP encapsulation), preserving metadata.
+    pub fn replace_data(&mut self, data: Vec<u8>) {
+        self.data = data;
+    }
+
+    /// Take the buffer out, consuming the mbuf.
+    pub fn into_data(self) -> Vec<u8> {
+        self.data
+    }
+}
+
+impl fmt::Debug for Mbuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mbuf")
+            .field("len", &self.data.len())
+            .field("rx_if", &self.rx_if)
+            .field("fix", &self.fix)
+            .field("tx_if", &self.tx_if)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metadata_defaults() {
+        let m = Mbuf::new(vec![1, 2, 3], 4);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.rx_if, 4);
+        assert!(m.fix.is_none());
+        assert!(m.tx_if.is_none());
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn replace_preserves_metadata() {
+        let mut m = Mbuf::new(vec![1, 2, 3], 4);
+        m.fix = Some(FlowIndex(9));
+        m.replace_data(vec![0; 100]);
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.fix, Some(FlowIndex(9)));
+        assert_eq!(m.rx_if, 4);
+    }
+}

@@ -1,0 +1,185 @@
+//! SHA-1 (RFC 3174), implemented from the specification.
+//!
+//! Used only by the AH security plugin; no cryptographic crate exists in the
+//! offline dependency set and the algorithm is ~100 lines. SHA-1 is what the
+//! paper-era IPsec (RFC 1852 / 2404) actually used. This is a faithful,
+//! test-vectored implementation — but 1998-era HMAC-SHA1, so do not reuse it
+//! for modern systems.
+
+/// Digest size in bytes.
+pub const DIGEST_LEN: usize = 20;
+/// Internal block size in bytes (relevant to HMAC).
+pub const BLOCK_LEN: usize = 64;
+
+/// Incremental SHA-1 hasher.
+#[derive(Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    buffer: [u8; BLOCK_LEN],
+    buffered: usize,
+    length_bits: u64,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Create a hasher in the RFC 3174 initial state.
+    pub fn new() -> Self {
+        Sha1 {
+            state: [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0],
+            buffer: [0u8; BLOCK_LEN],
+            buffered: 0,
+            length_bits: 0,
+        }
+    }
+
+    /// Feed data.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.length_bits = self
+            .length_bits
+            .wrapping_add((data.len() as u64).wrapping_mul(8));
+        if self.buffered > 0 {
+            let take = (BLOCK_LEN - self.buffered).min(data.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if self.buffered == BLOCK_LEN {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            } else {
+                // Data fully absorbed into the partial block; the tail
+                // below must not clobber `buffered`.
+                return;
+            }
+        }
+        while data.len() >= BLOCK_LEN {
+            let mut block = [0u8; BLOCK_LEN];
+            block.copy_from_slice(&data[..BLOCK_LEN]);
+            self.compress(&block);
+            data = &data[BLOCK_LEN..];
+        }
+        self.buffer[..data.len()].copy_from_slice(data);
+        self.buffered = data.len();
+    }
+
+    /// Finish and produce the digest.
+    pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
+        let len_bits = self.length_bits;
+        self.update(&[0x80]);
+        while self.buffered != 56 {
+            self.update(&[0]);
+        }
+        // Length goes in directly (bypassing update's length accounting,
+        // which we snapshotted before padding).
+        self.buffer[56..64].copy_from_slice(&len_bits.to_be_bytes());
+        let block = self.buffer;
+        self.compress(&block);
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// One-shot convenience.
+    pub fn digest(data: &[u8]) -> [u8; DIGEST_LEN] {
+        let mut h = Sha1::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A827999),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// RFC 3174 §7.3 test vectors.
+    #[test]
+    fn rfc3174_vectors() {
+        assert_eq!(
+            hex(&Sha1::digest(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+        assert_eq!(
+            hex(&Sha1::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+        let a1m: Vec<u8> = std::iter::repeat(b'a').take(1_000_000).collect();
+        assert_eq!(
+            hex(&Sha1::digest(&a1m)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+        assert_eq!(
+            hex(&Sha1::digest(
+                &b"0123456701234567012345670123456701234567012345670123456701234567"
+                    .repeat(10)
+            )),
+            "dea356a2cddd90c7a7ecedc5ebb563934f460452"
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(
+            hex(&Sha1::digest(b"")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        for split in [0, 1, 63, 64, 65, 500, 999, 1000] {
+            let mut h = Sha1::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), Sha1::digest(&data), "split {split}");
+        }
+    }
+}

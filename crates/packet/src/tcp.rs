@@ -1,0 +1,299 @@
+//! TCP header wrapper (the subset a router needs: ports, sequence numbers,
+//! flags — for classification, firewalling and the TCP-monitoring plugin the
+//! paper lists among envisioned plugin types).
+
+use crate::checksum::{self};
+use crate::ip::Protocol;
+use crate::wire::{get_u16, get_u32, set_u16, set_u32};
+use crate::{Error, Result};
+use std::net::Ipv6Addr;
+
+/// Minimum TCP header length (data offset = 5).
+pub const HEADER_LEN: usize = 20;
+
+/// TCP flag bits (byte 13 of the header), a transparent newtype over the
+/// raw flag byte (the `bitflags` crate is not in the offline set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// FIN — sender is done.
+    pub const FIN: TcpFlags = TcpFlags(0x01);
+    /// SYN — connection setup.
+    pub const SYN: TcpFlags = TcpFlags(0x02);
+    /// RST — reset.
+    pub const RST: TcpFlags = TcpFlags(0x04);
+    /// PSH — push.
+    pub const PSH: TcpFlags = TcpFlags(0x08);
+    /// ACK — acknowledgment field valid.
+    pub const ACK: TcpFlags = TcpFlags(0x10);
+    /// URG — urgent pointer valid.
+    pub const URG: TcpFlags = TcpFlags(0x20);
+
+    /// True if every bit of `other` is set in `self`.
+    pub fn contains(self, other: TcpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Union of two flag sets.
+    pub fn union(self, other: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | other.0)
+    }
+}
+
+/// A read/write view of a TCP segment.
+#[derive(Debug, Clone)]
+pub struct TcpPacket<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> TcpPacket<T> {
+    /// Wrap without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        TcpPacket { buffer }
+    }
+
+    /// Wrap and validate the fixed header and data offset.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let pkt = Self::new_unchecked(buffer);
+        let data = pkt.buffer.as_ref();
+        if data.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let off = pkt.header_len();
+        if off < HEADER_LEN || off > data.len() {
+            return Err(Error::Malformed);
+        }
+        Ok(pkt)
+    }
+
+    /// Consume the wrapper and return the inner buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 0)
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 2)
+    }
+
+    /// Sequence number.
+    pub fn seq_number(&self) -> u32 {
+        get_u32(self.buffer.as_ref(), 4)
+    }
+
+    /// Acknowledgment number.
+    pub fn ack_number(&self) -> u32 {
+        get_u32(self.buffer.as_ref(), 8)
+    }
+
+    /// Header length in bytes (data offset × 4).
+    pub fn header_len(&self) -> usize {
+        usize::from(self.buffer.as_ref()[12] >> 4) * 4
+    }
+
+    /// Flag byte.
+    pub fn flags(&self) -> TcpFlags {
+        TcpFlags(self.buffer.as_ref()[13] & 0x3F)
+    }
+
+    /// Receive window.
+    pub fn window(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 14)
+    }
+
+    /// Checksum field.
+    pub fn checksum(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 16)
+    }
+
+    /// Payload (after the variable-length header).
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[self.header_len()..]
+    }
+
+    /// Verify checksum with an IPv6 pseudo-header; `segment_len` is the TCP
+    /// header + payload length from the IP layer.
+    pub fn verify_checksum_v6(&self, src: Ipv6Addr, dst: Ipv6Addr) -> bool {
+        let data = self.buffer.as_ref();
+        let mut c =
+            checksum::pseudo_header_v6(src, dst, Protocol::Tcp, data.len() as u32);
+        c.add_bytes(data);
+        c.finish() == 0
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> TcpPacket<T> {
+    /// Set the source port.
+    pub fn set_src_port(&mut self, p: u16) {
+        set_u16(self.buffer.as_mut(), 0, p);
+    }
+
+    /// Set the destination port.
+    pub fn set_dst_port(&mut self, p: u16) {
+        set_u16(self.buffer.as_mut(), 2, p);
+    }
+
+    /// Set the sequence number.
+    pub fn set_seq_number(&mut self, v: u32) {
+        set_u32(self.buffer.as_mut(), 4, v);
+    }
+
+    /// Set the acknowledgment number.
+    pub fn set_ack_number(&mut self, v: u32) {
+        set_u32(self.buffer.as_mut(), 8, v);
+    }
+
+    /// Set data offset (header length in bytes; must be a multiple of 4).
+    pub fn set_header_len(&mut self, bytes: usize) {
+        debug_assert_eq!(bytes % 4, 0);
+        let data = self.buffer.as_mut();
+        data[12] = ((bytes / 4) as u8) << 4;
+    }
+
+    /// Set the flag byte.
+    pub fn set_flags(&mut self, f: TcpFlags) {
+        let data = self.buffer.as_mut();
+        data[13] = (data[13] & 0xC0) | (f.0 & 0x3F);
+    }
+
+    /// Set the receive window.
+    pub fn set_window(&mut self, w: u16) {
+        set_u16(self.buffer.as_mut(), 14, w);
+    }
+
+    /// Set the checksum field.
+    pub fn set_checksum(&mut self, c: u16) {
+        set_u16(self.buffer.as_mut(), 16, c);
+    }
+
+    /// Compute and store the checksum with an IPv6 pseudo-header.
+    pub fn fill_checksum_v6(&mut self, src: Ipv6Addr, dst: Ipv6Addr) {
+        self.set_checksum(0);
+        let data = self.buffer.as_ref();
+        let mut c =
+            checksum::pseudo_header_v6(src, dst, Protocol::Tcp, data.len() as u32);
+        c.add_bytes(data);
+        let sum = c.finish();
+        self.set_checksum(sum);
+    }
+}
+
+/// Parsed TCP header essentials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpRepr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgment number.
+    pub ack: u32,
+    /// Flags.
+    pub flags: TcpFlags,
+    /// Window.
+    pub window: u16,
+    /// Payload length.
+    pub payload_len: usize,
+}
+
+impl TcpRepr {
+    /// Bytes occupied when emitted (no options).
+    pub fn buffer_len(&self) -> usize {
+        HEADER_LEN + self.payload_len
+    }
+
+    /// Emit header fields into a zeroed buffer.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, packet: &mut TcpPacket<T>) {
+        packet.set_src_port(self.src_port);
+        packet.set_dst_port(self.dst_port);
+        packet.set_seq_number(self.seq);
+        packet.set_ack_number(self.ack);
+        packet.set_header_len(HEADER_LEN);
+        packet.set_flags(self.flags);
+        packet.set_window(self.window);
+        packet.set_checksum(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let repr = TcpRepr {
+            src_port: 443,
+            dst_port: 51000,
+            seq: 0x11223344,
+            ack: 0x55667788,
+            flags: TcpFlags::SYN.union(TcpFlags::ACK),
+            window: 65535,
+            payload_len: 3,
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut pkt = TcpPacket::new_unchecked(&mut buf[..]);
+        repr.emit(&mut pkt);
+        pkt.payload_mut_for_test().copy_from_slice(b"abc");
+
+        let pkt = TcpPacket::new_checked(&buf[..]).unwrap();
+        assert_eq!(pkt.src_port(), 443);
+        assert_eq!(pkt.dst_port(), 51000);
+        assert_eq!(pkt.seq_number(), 0x11223344);
+        assert!(pkt.flags().contains(TcpFlags::SYN));
+        assert!(pkt.flags().contains(TcpFlags::ACK));
+        assert!(!pkt.flags().contains(TcpFlags::FIN));
+        assert_eq!(pkt.payload(), b"abc");
+    }
+
+    impl<T: AsRef<[u8]> + AsMut<[u8]>> TcpPacket<T> {
+        fn payload_mut_for_test(&mut self) -> &mut [u8] {
+            let off = self.header_len();
+            &mut self.buffer.as_mut()[off..]
+        }
+    }
+
+    #[test]
+    fn checksum_v6() {
+        let src = Ipv6Addr::new(0xfe80, 0, 0, 0, 0, 0, 0, 1);
+        let dst = Ipv6Addr::new(0xfe80, 0, 0, 0, 0, 0, 0, 2);
+        let repr = TcpRepr {
+            src_port: 1,
+            dst_port: 2,
+            seq: 7,
+            ack: 8,
+            flags: TcpFlags::ACK,
+            window: 1000,
+            payload_len: 0,
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut pkt = TcpPacket::new_unchecked(&mut buf[..]);
+        repr.emit(&mut pkt);
+        pkt.fill_checksum_v6(src, dst);
+        assert!(pkt.verify_checksum_v6(src, dst));
+        buf[14] ^= 0xFF;
+        let pkt = TcpPacket::new_checked(&buf[..]).unwrap();
+        assert!(!pkt.verify_checksum_v6(src, dst));
+    }
+
+    #[test]
+    fn bad_offset_rejected() {
+        let mut buf = [0u8; 20];
+        buf[12] = 0x30; // data offset 3 (12 bytes) < 20
+        assert_eq!(
+            TcpPacket::new_checked(&buf[..]).unwrap_err(),
+            Error::Malformed
+        );
+        buf[12] = 0xF0; // 60 bytes > buffer
+        assert_eq!(
+            TcpPacket::new_checked(&buf[..]).unwrap_err(),
+            Error::Malformed
+        );
+    }
+}

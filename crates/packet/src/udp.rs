@@ -1,0 +1,250 @@
+//! UDP header wrapper and representation.
+
+use crate::checksum::{self, Checksum};
+use crate::ip::Protocol;
+use crate::wire::{get_u16, set_u16};
+use crate::{Error, Result};
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// UDP header length.
+pub const HEADER_LEN: usize = 8;
+
+/// A read/write view of a UDP datagram.
+#[derive(Debug, Clone)]
+pub struct UdpPacket<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> UdpPacket<T> {
+    /// Wrap without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        UdpPacket { buffer }
+    }
+
+    /// Wrap and validate the length field against the buffer.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let pkt = Self::new_unchecked(buffer);
+        let data = pkt.buffer.as_ref();
+        if data.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let len = usize::from(get_u16(data, 4));
+        if len < HEADER_LEN || len > data.len() {
+            return Err(Error::BadLength);
+        }
+        Ok(pkt)
+    }
+
+    /// Consume the wrapper and return the inner buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 0)
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 2)
+    }
+
+    /// Length field (header + payload).
+    pub fn len(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 4)
+    }
+
+    /// True when the datagram carries no payload.
+    pub fn is_empty(&self) -> bool {
+        self.len() == HEADER_LEN as u16
+    }
+
+    /// Checksum field (0 = not computed, legal for UDP over IPv4).
+    pub fn checksum(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 6)
+    }
+
+    /// Payload slice.
+    pub fn payload(&self) -> &[u8] {
+        let end = usize::from(self.len()).min(self.buffer.as_ref().len());
+        &self.buffer.as_ref()[HEADER_LEN..end]
+    }
+
+    /// Verify the checksum given the IPv6 pseudo-header.
+    pub fn verify_checksum_v6(&self, src: Ipv6Addr, dst: Ipv6Addr) -> bool {
+        let mut c = checksum::pseudo_header_v6(src, dst, Protocol::Udp, u32::from(self.len()));
+        c.add_bytes(&self.buffer.as_ref()[..usize::from(self.len())]);
+        c.finish() == 0
+    }
+
+    /// Verify the checksum given the IPv4 pseudo-header. A zero checksum
+    /// means "not computed" and verifies trivially (RFC 768).
+    pub fn verify_checksum_v4(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        if self.checksum() == 0 {
+            return true;
+        }
+        let mut c = checksum::pseudo_header_v4(src, dst, Protocol::Udp, u32::from(self.len()));
+        c.add_bytes(&self.buffer.as_ref()[..usize::from(self.len())]);
+        c.finish() == 0
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> UdpPacket<T> {
+    /// Set the source port.
+    pub fn set_src_port(&mut self, p: u16) {
+        set_u16(self.buffer.as_mut(), 0, p);
+    }
+
+    /// Set the destination port.
+    pub fn set_dst_port(&mut self, p: u16) {
+        set_u16(self.buffer.as_mut(), 2, p);
+    }
+
+    /// Set the length field.
+    pub fn set_len(&mut self, l: u16) {
+        set_u16(self.buffer.as_mut(), 4, l);
+    }
+
+    /// Set the checksum field.
+    pub fn set_checksum(&mut self, c: u16) {
+        set_u16(self.buffer.as_mut(), 6, c);
+    }
+
+    /// Compute and store the checksum with an IPv6 pseudo-header.
+    pub fn fill_checksum_v6(&mut self, src: Ipv6Addr, dst: Ipv6Addr) {
+        self.set_checksum(0);
+        let len = self.len();
+        let mut c: Checksum =
+            checksum::pseudo_header_v6(src, dst, Protocol::Udp, u32::from(len));
+        c.add_bytes(&self.buffer.as_ref()[..usize::from(len)]);
+        let sum = c.finish();
+        // An all-zero computed checksum is transmitted as 0xFFFF (RFC 768/2460).
+        self.set_checksum(if sum == 0 { 0xFFFF } else { sum });
+    }
+
+    /// Compute and store the checksum with an IPv4 pseudo-header.
+    pub fn fill_checksum_v4(&mut self, src: Ipv4Addr, dst: Ipv4Addr) {
+        self.set_checksum(0);
+        let len = self.len();
+        let mut c: Checksum =
+            checksum::pseudo_header_v4(src, dst, Protocol::Udp, u32::from(len));
+        c.add_bytes(&self.buffer.as_ref()[..usize::from(len)]);
+        let sum = c.finish();
+        self.set_checksum(if sum == 0 { 0xFFFF } else { sum });
+    }
+
+    /// Mutable payload slice.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let end = usize::from(self.len());
+        let data = self.buffer.as_mut();
+        let end = end.min(data.len());
+        &mut data[HEADER_LEN..end]
+    }
+}
+
+/// Parsed UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpRepr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+}
+
+impl UdpRepr {
+    /// Total bytes when emitted.
+    pub fn buffer_len(&self) -> usize {
+        HEADER_LEN + self.payload_len
+    }
+
+    /// Emit header fields (ports + length); the caller fills the payload and
+    /// then calls one of the `fill_checksum_*` methods.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, packet: &mut UdpPacket<T>) {
+        packet.set_src_port(self.src_port);
+        packet.set_dst_port(self.dst_port);
+        packet.set_len((HEADER_LEN + self.payload_len) as u16);
+        packet.set_checksum(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_with_v6_checksum() {
+        let src = Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 1);
+        let dst = Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 2);
+        let repr = UdpRepr {
+            src_port: 5001,
+            dst_port: 53,
+            payload_len: 5,
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut pkt = UdpPacket::new_unchecked(&mut buf[..]);
+        repr.emit(&mut pkt);
+        pkt.payload_mut().copy_from_slice(b"hello");
+        pkt.fill_checksum_v6(src, dst);
+        assert!(pkt.verify_checksum_v6(src, dst));
+
+        let pkt = UdpPacket::new_checked(&buf[..]).unwrap();
+        assert_eq!(pkt.src_port(), 5001);
+        assert_eq!(pkt.dst_port(), 53);
+        assert_eq!(pkt.payload(), b"hello");
+    }
+
+    #[test]
+    fn v4_zero_checksum_is_valid() {
+        let repr = UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+            payload_len: 0,
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut pkt = UdpPacket::new_unchecked(&mut buf[..]);
+        repr.emit(&mut pkt);
+        assert!(pkt.verify_checksum_v4(Ipv4Addr::LOCALHOST, Ipv4Addr::LOCALHOST));
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        let repr = UdpRepr {
+            src_port: 9,
+            dst_port: 10,
+            payload_len: 4,
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut pkt = UdpPacket::new_unchecked(&mut buf[..]);
+        repr.emit(&mut pkt);
+        pkt.payload_mut().copy_from_slice(b"data");
+        pkt.fill_checksum_v4(src, dst);
+        assert!(pkt.verify_checksum_v4(src, dst));
+        buf[8] ^= 1;
+        let pkt = UdpPacket::new_checked(&buf[..]).unwrap();
+        assert!(!pkt.verify_checksum_v4(src, dst));
+    }
+
+    #[test]
+    fn length_validation() {
+        assert_eq!(
+            UdpPacket::new_checked(&[0u8; 4][..]).unwrap_err(),
+            Error::Truncated
+        );
+        let mut buf = [0u8; 8];
+        buf[5] = 4; // len 4 < header
+        assert_eq!(
+            UdpPacket::new_checked(&buf[..]).unwrap_err(),
+            Error::BadLength
+        );
+        buf[5] = 200; // len beyond buffer
+        assert_eq!(
+            UdpPacket::new_checked(&buf[..]).unwrap_err(),
+            Error::BadLength
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Small helpers shared by the wire-format wrapper types: network-order
+//! reads/writes over byte slices with explicit bounds handling.
+//!
+//! All accessors in the header wrappers go through these functions so that
+//! byte-order handling lives in exactly one place.
+
+/// Read a big-endian `u16` at `offset`.
+///
+/// # Panics
+/// Panics if the slice is too short; wrapper types validate lengths in
+/// `new_checked` before any field accessor runs, so this is an internal
+/// invariant, not an input-validation path.
+#[inline]
+pub fn get_u16(data: &[u8], offset: usize) -> u16 {
+    u16::from_be_bytes([data[offset], data[offset + 1]])
+}
+
+/// Read a big-endian `u32` at `offset`.
+#[inline]
+pub fn get_u32(data: &[u8], offset: usize) -> u32 {
+    u32::from_be_bytes([
+        data[offset],
+        data[offset + 1],
+        data[offset + 2],
+        data[offset + 3],
+    ])
+}
+
+/// Read a big-endian `u128` at `offset` (IPv6 addresses).
+#[inline]
+pub fn get_u128(data: &[u8], offset: usize) -> u128 {
+    let mut b = [0u8; 16];
+    b.copy_from_slice(&data[offset..offset + 16]);
+    u128::from_be_bytes(b)
+}
+
+/// Write a big-endian `u16` at `offset`.
+#[inline]
+pub fn set_u16(data: &mut [u8], offset: usize, value: u16) {
+    data[offset..offset + 2].copy_from_slice(&value.to_be_bytes());
+}
+
+/// Write a big-endian `u32` at `offset`.
+#[inline]
+pub fn set_u32(data: &mut [u8], offset: usize, value: u32) {
+    data[offset..offset + 4].copy_from_slice(&value.to_be_bytes());
+}
+
+/// Write a big-endian `u128` at `offset`.
+#[inline]
+pub fn set_u128(data: &mut [u8], offset: usize, value: u128) {
+    data[offset..offset + 16].copy_from_slice(&value.to_be_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u16() {
+        let mut buf = [0u8; 4];
+        set_u16(&mut buf, 1, 0xBEEF);
+        assert_eq!(get_u16(&buf, 1), 0xBEEF);
+        assert_eq!(buf, [0, 0xBE, 0xEF, 0]);
+    }
+
+    #[test]
+    fn roundtrip_u32() {
+        let mut buf = [0u8; 6];
+        set_u32(&mut buf, 2, 0xDEAD_BEEF);
+        assert_eq!(get_u32(&buf, 2), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn roundtrip_u128() {
+        let mut buf = [0u8; 16];
+        set_u128(&mut buf, 0, 0x0102_0304_0506_0708_090A_0B0C_0D0E_0F10);
+        assert_eq!(get_u128(&buf, 0), 0x0102_0304_0506_0708_090A_0B0C_0D0E_0F10);
+        assert_eq!(buf[0], 1);
+        assert_eq!(buf[15], 0x10);
+    }
+
+    #[test]
+    fn big_endian_order() {
+        let buf = [0x12, 0x34, 0x56, 0x78];
+        assert_eq!(get_u16(&buf, 0), 0x1234);
+        assert_eq!(get_u32(&buf, 0), 0x1234_5678);
+    }
+}

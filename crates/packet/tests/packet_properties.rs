@@ -1,0 +1,156 @@
+//! Property tests for the wire formats: parse∘emit identity, checksum
+//! invariants under mutation, six-tuple extraction robustness on
+//! arbitrary bytes (the parser must never panic), and IPsec transform
+//! round-trips.
+
+use proptest::prelude::*;
+use rp_packet::builder::PacketSpec;
+use rp_packet::checksum;
+use rp_packet::ipsec::{esp_decapsulate, esp_encapsulate, ToyCipher};
+use rp_packet::ipv4::Ipv4Packet;
+use rp_packet::{FlowTuple, Protocol};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+proptest! {
+    /// Any byte soup: extraction returns Ok or Err but never panics, and
+    /// Ok implies internally consistent lengths.
+    #[test]
+    fn extraction_never_panics(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = FlowTuple::extract(&data, 0);
+    }
+
+    /// Parse-what-you-emit for UDP/IPv4 across the parameter space.
+    #[test]
+    fn udp_v4_roundtrip(
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        len in 0usize..2048,
+        ttl in 1u8..=255,
+    ) {
+        let mut spec = PacketSpec::udp(
+            IpAddr::V4(Ipv4Addr::from(src)),
+            IpAddr::V4(Ipv4Addr::from(dst)),
+            sport, dport, len,
+        );
+        spec.ttl = ttl;
+        let buf = spec.build();
+        let pkt = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        prop_assert!(pkt.verify_checksum());
+        prop_assert_eq!(pkt.ttl(), ttl);
+        let t = FlowTuple::extract(&buf, 7).unwrap();
+        prop_assert_eq!(t.src, IpAddr::V4(Ipv4Addr::from(src)));
+        prop_assert_eq!(t.dst, IpAddr::V4(Ipv4Addr::from(dst)));
+        prop_assert_eq!(t.sport, sport);
+        prop_assert_eq!(t.dport, dport);
+        prop_assert_eq!(t.rx_if, 7);
+    }
+
+    /// TTL decrement keeps the IPv4 header checksum valid from any
+    /// starting checksum state.
+    #[test]
+    fn incremental_checksum_invariant(
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        ttl in 2u8..=255,
+    ) {
+        let mut spec = PacketSpec::udp(
+            IpAddr::V4(Ipv4Addr::from(src)),
+            IpAddr::V4(Ipv4Addr::from(dst)),
+            1, 2, 8,
+        );
+        spec.ttl = ttl;
+        let mut buf = spec.build();
+        let mut pkt = Ipv4Packet::new_unchecked(&mut buf[..]);
+        pkt.decrement_ttl().unwrap();
+        prop_assert!(pkt.verify_checksum());
+    }
+
+    /// RFC 1624 incremental update equals full recomputation for any
+    /// 16-bit field change.
+    #[test]
+    fn rfc1624_equivalence(words in prop::collection::vec(any::<u16>(), 4..20), idx in 0usize..4, new in any::<u16>()) {
+        let mut data: Vec<u8> = words.iter().flat_map(|w| w.to_be_bytes()).collect();
+        let old_sum = checksum::checksum(&data);
+        let idx = idx % words.len();
+        let old_word = words[idx];
+        data[idx * 2..idx * 2 + 2].copy_from_slice(&new.to_be_bytes());
+        let full = checksum::checksum(&data);
+        let incr = checksum::update_u16(old_sum, old_word, new);
+        prop_assert_eq!(full, incr);
+    }
+
+    /// ESP decapsulation inverts encapsulation for any payload/keys.
+    #[test]
+    fn esp_roundtrip(
+        key in prop::collection::vec(any::<u8>(), 1..40),
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+        spi in any::<u32>(),
+        seq in 1u32..u32::MAX,
+    ) {
+        let cipher = ToyCipher::new(&key);
+        let pkt = esp_encapsulate(&cipher, spi, seq, Protocol::Tcp, &payload);
+        let (next, plain) = esp_decapsulate(&cipher, &pkt).unwrap();
+        prop_assert_eq!(next, Protocol::Tcp);
+        prop_assert_eq!(plain, payload);
+    }
+
+    /// v6 flows with hop-by-hop options still classify to the transport
+    /// protocol.
+    #[test]
+    fn v6_hbh_extraction(
+        tail in any::<u16>(),
+        sport in any::<u16>(),
+        optlen in 0usize..16,
+    ) {
+        let buf = PacketSpec::udp(
+            IpAddr::V6(Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, tail)),
+            IpAddr::V6(Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 2)),
+            sport, 443, 32,
+        )
+        .with_hbh_option(0x1E, vec![0u8; optlen])
+        .build();
+        let t = FlowTuple::extract(&buf, 0).unwrap();
+        prop_assert_eq!(t.proto, 17);
+        prop_assert_eq!(t.sport, sport);
+        prop_assert_eq!(t.dport, 443);
+    }
+}
+
+#[test]
+fn truncation_sweep_udp_v4() {
+    // Every truncation point of a valid packet must yield Err or a
+    // consistent parse — never a panic or out-of-bounds.
+    let buf = PacketSpec::udp(
+        IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1)),
+        IpAddr::V4(Ipv4Addr::new(10, 0, 0, 2)),
+        1111,
+        2222,
+        64,
+    )
+    .build();
+    for cut in 0..buf.len() {
+        let _ = FlowTuple::extract(&buf[..cut], 0);
+        let _ = Ipv4Packet::new_checked(&buf[..cut]);
+    }
+}
+
+#[test]
+fn bitflip_sweep_never_panics() {
+    let buf = PacketSpec::udp(
+        IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1)),
+        IpAddr::V4(Ipv4Addr::new(10, 0, 0, 2)),
+        1111,
+        2222,
+        32,
+    )
+    .build();
+    for byte in 0..buf.len() {
+        for bit in 0..8 {
+            let mut b = buf.clone();
+            b[byte] ^= 1 << bit;
+            let _ = FlowTuple::extract(&b, 0);
+        }
+    }
+}

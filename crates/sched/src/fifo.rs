@@ -1,0 +1,81 @@
+//! FIFO (drop-tail) queueing — the best-effort baseline every comparison
+//! in the paper starts from.
+
+use crate::link::{SchedPacket, Scheduler};
+use std::collections::VecDeque;
+
+/// Single drop-tail queue with a packet-count limit.
+pub struct FifoScheduler {
+    queue: VecDeque<SchedPacket>,
+    limit: usize,
+    drops: u64,
+}
+
+impl FifoScheduler {
+    /// FIFO with space for `limit` packets.
+    pub fn new(limit: usize) -> Self {
+        FifoScheduler {
+            queue: VecDeque::with_capacity(limit.min(4096)),
+            limit,
+            drops: 0,
+        }
+    }
+
+    /// Packets dropped at the tail so far.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+}
+
+impl Scheduler for FifoScheduler {
+    fn enqueue(&mut self, pkt: SchedPacket, _now_ns: u64) -> bool {
+        if self.queue.len() >= self.limit {
+            self.drops += 1;
+            return false;
+        }
+        self.queue.push_back(pkt);
+        true
+    }
+
+    fn dequeue(&mut self, _now_ns: u64) -> Option<SchedPacket> {
+        self.queue.pop_front()
+    }
+
+    fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(flow: u32, len: u32) -> SchedPacket {
+        SchedPacket {
+            flow,
+            len,
+            arrival_ns: 0,
+            cookie: 0,
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = FifoScheduler::new(10);
+        assert!(q.enqueue(pkt(1, 100), 0));
+        assert!(q.enqueue(pkt(2, 200), 0));
+        assert_eq!(q.dequeue(0).unwrap().flow, 1);
+        assert_eq!(q.dequeue(0).unwrap().flow, 2);
+        assert!(q.dequeue(0).is_none());
+    }
+
+    #[test]
+    fn drop_tail_at_limit() {
+        let mut q = FifoScheduler::new(2);
+        assert!(q.enqueue(pkt(1, 1), 0));
+        assert!(q.enqueue(pkt(1, 1), 0));
+        assert!(!q.enqueue(pkt(1, 1), 0));
+        assert_eq!(q.drops(), 1);
+        assert_eq!(q.backlog(), 2);
+    }
+}

@@ -1,0 +1,121 @@
+//! Cross-scheduler invariants on the link simulator: work conservation,
+//! byte conservation, and fairness properties that E6/E7 rely on.
+
+use rp_sched::link::{LinkSim, SchedPacket, Scheduler};
+use rp_sched::red::RedConfig;
+use rp_sched::{DrrScheduler, FifoScheduler, HfscScheduler, HsfScheduler, RedQueue};
+
+const MBPS: u64 = 1_000_000;
+
+fn offered_equals_transmitted<S: Scheduler>(sched: S) {
+    let mut sim = LinkSim::new(sched, 10 * MBPS);
+    let mut offered = 0u64;
+    for i in 0..500u32 {
+        if sim.offer(i % 5, 400 + (i % 7) * 100, u64::from(i)) {
+            offered += u64::from(400 + (i % 7) * 100);
+        }
+    }
+    sim.drain();
+    assert_eq!(sim.total_tx_bytes(), offered, "bytes conserved");
+}
+
+#[test]
+fn byte_conservation_all_schedulers() {
+    offered_equals_transmitted(FifoScheduler::new(10_000));
+    let mut drr = DrrScheduler::new(1500, 10_000);
+    for f in 0..5 {
+        drr.set_weight(f, 1 + f);
+    }
+    offered_equals_transmitted(drr);
+    let mut hfsc = HfscScheduler::new(10 * MBPS, 10_000);
+    let root = hfsc.root();
+    let c = hfsc.add_class(root, 10 * MBPS, None);
+    hfsc.set_default_class(c);
+    offered_equals_transmitted(hfsc);
+    let mut hsf = HsfScheduler::new(10 * MBPS, 1500, 10_000);
+    let root = hsf.root();
+    let leaf = hsf.add_leaf(root, 10 * MBPS, None);
+    hsf.set_default_leaf(leaf);
+    offered_equals_transmitted(hsf);
+    offered_equals_transmitted(RedQueue::new(
+        RedConfig {
+            limit: 10_000,
+            min_th: 9_000.0,
+            max_th: 9_500.0,
+            ..RedConfig::default()
+        },
+        3,
+    ));
+}
+
+#[test]
+fn work_conservation_under_backlog() {
+    // A backlogged work-conserving scheduler keeps the link ~100% busy:
+    // transmitted bytes ≈ rate × time.
+    let mut drr = DrrScheduler::new(1500, 64);
+    let _ = &mut drr;
+    let mut sim = LinkSim::new(drr, 8 * MBPS);
+    sim.run_backlogged(&[(1, 1000), (2, 500)], 1_000_000_000);
+    let expected = 1e9 * 8e6 / 8.0 / 1e9; // bytes in 1 s at 8 Mb/s
+    let got = sim.total_tx_bytes() as f64;
+    assert!(
+        (got - expected).abs() / expected < 0.02,
+        "link utilisation off: got {got}, expected {expected}"
+    );
+}
+
+#[test]
+fn drr_fairness_is_robust_to_flow_count() {
+    for flows in [2u32, 5, 16] {
+        let mut sim = LinkSim::new(DrrScheduler::new(1500, 64), 50 * MBPS);
+        let specs: Vec<(u32, u32)> = (0..flows).map(|f| (f, 200 + f * 137 % 1300)).collect();
+        sim.run_backlogged(&specs, 1_000_000_000);
+        let ids: Vec<u32> = (0..flows).collect();
+        let j = sim.jain_index(&ids, None);
+        assert!(j > 0.99, "jain {j} at {flows} flows");
+    }
+}
+
+#[test]
+fn hfsc_guarantee_holds_under_any_competing_weight() {
+    // 2 Mb/s real-time guarantee on a 10 Mb/s link must survive a
+    // link-share hog.
+    let mut hfsc = HfscScheduler::new(10 * MBPS, 256);
+    let root = hfsc.root();
+    let rt = hfsc.add_class(
+        root,
+        MBPS / 100,
+        Some(rp_sched::ServiceCurve::linear(2 * MBPS)),
+    );
+    let hog = hfsc.add_class(root, 100 * MBPS, None);
+    hfsc.bind_flow(1, rt);
+    hfsc.bind_flow(2, hog);
+    let mut sim = LinkSim::new(hfsc, 10 * MBPS);
+    sim.run_backlogged(&[(1, 800), (2, 1500)], 2_000_000_000);
+    let secs = sim.now_ns() as f64 / 1e9;
+    let rate = sim.stats(1).bytes as f64 * 8.0 / secs;
+    assert!(rate > 1.85e6, "guaranteed flow got {:.2} Mb/s", rate / 1e6);
+}
+
+#[test]
+fn fifo_is_unfair_where_drr_is_fair() {
+    // Sanity for the whole comparison: with one aggressive flow (twice
+    // the offered packets), FIFO gives it ~2× bandwidth, DRR equalises.
+    fn run<S: Scheduler>(s: S) -> (f64, f64) {
+        let mut sim = LinkSim::new(s, 10 * MBPS);
+        let end = 1_000_000_000;
+        while sim.now_ns() < end {
+            sim.offer(1, 1000, 0);
+            sim.offer(1, 1000, 0); // flow 1 offers double
+            sim.offer(2, 1000, 0);
+            if sim.transmit_one().is_none() {
+                sim.advance(1000);
+            }
+        }
+        (sim.stats(1).bytes as f64, sim.stats(2).bytes as f64)
+    }
+    let (f1, f2) = run(FifoScheduler::new(64));
+    assert!(f1 / f2 > 1.6, "FIFO ratio {}", f1 / f2);
+    let (d1, d2) = run(DrrScheduler::new(1500, 64));
+    assert!((d1 / d2 - 1.0).abs() < 0.1, "DRR ratio {}", d1 / d2);
+}

@@ -1,0 +1,108 @@
+//! Link sharing with the weighted DRR plugin and the SSP daemon — the
+//! demo the paper calls "extremely useful … for demonstrations of the
+//! link-sharing capabilities of our architecture" (§6.1).
+//!
+//! Three best-effort flows share an interface fairly; then SSP grants one
+//! of them a weight-4 reservation and its share quadruples — all while
+//! traffic keeps flowing (plugins reconfigure at run time).
+//!
+//! Run with: `cargo run --example link_sharing`
+
+use router_plugins::core::plugin::InstanceId;
+use router_plugins::core::plugins::register_builtin_factories;
+use router_plugins::core::pmgr::run_script;
+use router_plugins::core::{Router, RouterConfig};
+use router_plugins::netsim::ssp::SspDaemon;
+use router_plugins::netsim::traffic::v6_host;
+use router_plugins::packet::builder::PacketSpec;
+use router_plugins::packet::{FlowTuple, Mbuf};
+use std::collections::HashMap;
+
+/// Offer one packet per flow per round, draining 1 packet per round
+/// (a 3:1 overload), and count egress bytes per flow.
+fn run_phase(router: &mut Router, flows: &[Vec<u8>], rounds: usize) -> HashMap<u16, u64> {
+    let mut out: HashMap<u16, u64> = HashMap::new();
+    for _ in 0..rounds {
+        for f in flows {
+            let _ = router.receive(Mbuf::new(f.clone(), 0));
+        }
+        router.pump(1, 1);
+        for m in router.take_tx(1) {
+            let t = FlowTuple::from_mbuf(&m).unwrap();
+            *out.entry(t.sport).or_insert(0) += m.len() as u64;
+        }
+    }
+    // Drain what's left without counting: phases stay independent.
+    loop {
+        if router.pump(1, 64) == 0 {
+            break;
+        }
+        router.take_tx(1);
+    }
+    out
+}
+
+fn main() {
+    let mut router = Router::new(RouterConfig {
+        verify_checksums: false,
+        ..RouterConfig::default()
+    });
+    register_builtin_factories(&mut router.loader);
+    run_script(
+        &mut router,
+        "
+        route 2001:db8::/32 1
+        load drr
+        create drr quantum=1500 limit=16
+        attach 1 drr 0
+        bind sched drr 0 <*, *, UDP, *, *, *>
+        ",
+    )
+    .unwrap();
+
+    let flows: Vec<Vec<u8>> = (0..3u16)
+        .map(|i| PacketSpec::udp(v6_host(i + 1), v6_host(100), 7000 + i, 9000, 1000).build())
+        .collect();
+
+    println!("phase 1: three best-effort flows, equal weights");
+    let shares = run_phase(&mut router, &flows, 3000);
+    let total: u64 = shares.values().sum();
+    for port in [7000u16, 7001, 7002] {
+        let pct = 100.0 * *shares.get(&port).unwrap_or(&0) as f64 / total as f64;
+        println!("  flow sport={port}: {pct:.1}% of egress bytes");
+    }
+    let f0 = *shares.get(&7000).unwrap() as f64 / total as f64;
+    assert!((f0 - 1.0 / 3.0).abs() < 0.05, "fair share off: {f0}");
+
+    println!("phase 2: SSP reserves weight 4 for flow 7000 (others stay 1)");
+    let mut ssp = SspDaemon::new("drr", InstanceId(0), 100);
+    let reserved_flow = FlowTuple {
+        src: v6_host(1),
+        dst: v6_host(100),
+        proto: 17,
+        sport: 7000,
+        dport: 9000,
+        rx_if: 0,
+    };
+    let session = ssp
+        .reserve(&mut router, reserved_flow, 4)
+        .expect("admission");
+    let shares = run_phase(&mut router, &flows, 3000);
+    let total: u64 = shares.values().sum();
+    for port in [7000u16, 7001, 7002] {
+        let pct = 100.0 * *shares.get(&port).unwrap_or(&0) as f64 / total as f64;
+        println!("  flow sport={port}: {pct:.1}% of egress bytes");
+    }
+    let f0 = *shares.get(&7000).unwrap() as f64 / total as f64;
+    assert!((f0 - 4.0 / 6.0).abs() < 0.06, "reserved share off: {f0}");
+
+    println!("phase 3: reservation torn down, fairness returns");
+    ssp.teardown(&mut router, session).unwrap();
+    let shares = run_phase(&mut router, &flows, 3000);
+    let total: u64 = shares.values().sum();
+    let f0 = *shares.get(&7000).unwrap() as f64 / total as f64;
+    println!("  flow sport=7000 back to {:.1}%", 100.0 * f0);
+    assert!((f0 - 1.0 / 3.0).abs() < 0.05, "post-teardown share: {f0}");
+
+    println!("link_sharing OK");
+}

@@ -1,0 +1,80 @@
+//! Quickstart: assemble an EISR, load plugins at run time, bind them to
+//! flows, and forward packets.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use router_plugins::core::plugins::register_builtin_factories;
+use router_plugins::core::pmgr::run_script;
+use router_plugins::core::{Router, RouterConfig};
+use router_plugins::netsim::traffic::v6_host;
+use router_plugins::packet::builder::PacketSpec;
+use router_plugins::packet::Mbuf;
+
+fn main() {
+    // 1. A router with every gate compiled in.
+    let mut router = Router::new(RouterConfig::default());
+    register_builtin_factories(&mut router.loader);
+
+    // 2. Configuration, exactly as a boot script (or an operator at the
+    //    pmgr prompt) would issue it — the paper's §6.1 flavour.
+    let out = run_script(
+        &mut router,
+        "
+        # routes
+        route 2001:db8::/32 1
+
+        # statistics on everything
+        load stats
+        create stats
+        bind stats stats 0 <*, *, *, *, *, *>
+
+        # a firewall instance denying TCP from one prefix
+        load firewall
+        create firewall action=deny
+        bind fw firewall 0 <2001:db8::bad:0/112, *, TCP, *, *, *>
+
+        # fair queueing on the egress interface
+        load drr
+        create drr quantum=9180 limit=64
+        attach 1 drr 0
+        bind sched drr 0 <*, *, UDP, *, *, *>
+        ",
+    )
+    .expect("configuration script");
+    for line in &out {
+        println!("pmgr: {line}");
+    }
+
+    // 3. Traffic: a UDP flow (forwarded + scheduled), and a TCP packet
+    //    from the banned prefix (dropped by the firewall plugin).
+    let udp = PacketSpec::udp(v6_host(1), v6_host(100), 5000, 6000, 512).build();
+    for i in 0..5 {
+        let d = router.receive(Mbuf::new(udp.clone(), 0));
+        println!("udp packet {i}: {d:?}");
+    }
+    let sent = router.pump(1, 16);
+    println!("pumped {sent} packets out of the DRR queue on if1");
+
+    let bad_src: std::net::IpAddr = "2001:db8::bad:1".parse().unwrap();
+    let tcp = PacketSpec::tcp(bad_src, v6_host(100), 4000, 80, 64).build();
+    let d = router.receive(Mbuf::new(tcp, 0));
+    println!("tcp from banned prefix: {d:?}");
+
+    // 4. Observability.
+    println!(
+        "stats plugin says: {}",
+        run_script(&mut router, "msg stats 0 report").unwrap()[0]
+    );
+    let f = router.flow_stats();
+    println!(
+        "flow cache: {} live, {} hits, {} misses",
+        f.live, f.hits, f.misses
+    );
+    let s = router.stats();
+    println!(
+        "data path: rx={} fwd={} plugin_drops={}",
+        s.received, s.forwarded, s.dropped_plugin
+    );
+    assert_eq!(s.dropped_plugin, 1);
+    println!("quickstart OK");
+}

@@ -1,0 +1,44 @@
+//! # router-plugins — Router Plugins (SIGCOMM '98) in Rust
+//!
+//! Umbrella crate re-exporting the workspace: a full reproduction of
+//! *Decasper, Dittia, Parulkar, Plattner — "Router Plugins: A Software
+//! Architecture for Next Generation Routers"*.
+//!
+//! ```
+//! use router_plugins::core::{Router, RouterConfig};
+//! use router_plugins::core::plugins::register_builtin_factories;
+//! use router_plugins::core::pmgr::run_script;
+//!
+//! let mut router = Router::new(RouterConfig::default());
+//! register_builtin_factories(&mut router.loader);
+//! run_script(&mut router, "
+//!     load drr
+//!     create drr quantum=9180
+//!     attach 1 drr 0
+//!     bind sched drr 0 <*, *, UDP, *, *, *>
+//!     route 2001:db8::/32 1
+//! ").unwrap();
+//! ```
+//!
+//! See `README.md` for the architecture tour, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for the paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+
+/// Wire formats, checksums, `Mbuf`, the six-tuple (`rp-packet`).
+pub use rp_packet as packet;
+
+/// Longest-prefix-match algorithms — the BMP plugins (`rp-lpm`).
+pub use rp_lpm as lpm;
+
+/// The AIU: DAG filter tables + flow cache (`rp-classifier`).
+pub use rp_classifier as classifier;
+
+/// Packet schedulers: DRR, H-FSC, FIFO, RED (`rp-sched`).
+pub use rp_sched as sched;
+
+/// The plugin framework and router (`router-core`).
+pub use router_core as core;
+
+/// Simulated testbed: workloads, testbench, SSP daemon (`rp-netsim`).
+pub use rp_netsim as netsim;

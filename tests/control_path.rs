@@ -1,0 +1,202 @@
+//! E9 — control-path lifecycle across the whole stack: modload → create
+//! instance → create filter → bind → traffic → deregister → free →
+//! modunload, exercised through the pmgr command language exactly as the
+//! paper's §3.1 configuration sequence describes.
+
+use router_plugins::core::ip_core::Disposition;
+use router_plugins::core::plugins::register_builtin_factories;
+use router_plugins::core::pmgr::{run_command, run_script, PmgrError};
+use router_plugins::core::{Gate, Router, RouterConfig};
+use router_plugins::netsim::traffic::v6_host;
+use router_plugins::packet::builder::PacketSpec;
+use router_plugins::packet::Mbuf;
+
+fn router() -> Router {
+    let mut r = Router::new(RouterConfig {
+        verify_checksums: false,
+        ..RouterConfig::default()
+    });
+    register_builtin_factories(&mut r.loader);
+    r.add_route(v6_host(0), 32, 1);
+    r
+}
+
+fn udp_packet(sport: u16) -> Mbuf {
+    Mbuf::new(
+        PacketSpec::udp(v6_host(1), v6_host(100), sport, 9000, 128).build(),
+        0,
+    )
+}
+
+#[test]
+fn full_configuration_lifecycle() {
+    let mut r = router();
+
+    // §3.1 step 1: loading a plugin.
+    run_command(&mut r, "load stats").unwrap();
+    assert_eq!(r.loader.loaded(), vec!["stats"]);
+
+    // Step 2: creating an instance.
+    let out = run_command(&mut r, "create stats").unwrap();
+    assert_eq!(out, "stats instance 0");
+
+    // Steps 3+4: creating a filter and binding it to the instance.
+    let out = run_command(&mut r, "bind stats stats 0 <*, *, UDP, *, *, *>").unwrap();
+    let fid: u64 = out.strip_prefix("filter ").unwrap().parse().unwrap();
+
+    // Data flows through the bound instance.
+    assert_eq!(r.receive(udp_packet(1000)), Disposition::Forwarded(1));
+    assert_eq!(r.receive(udp_packet(1000)), Disposition::Forwarded(1));
+    let report = run_command(&mut r, "msg stats 0 report").unwrap();
+    assert!(report.contains("2 pkts"), "{report}");
+
+    // Deregister: flows derived from the filter are invalidated.
+    run_command(&mut r, &format!("unbind stats stats {fid}")).unwrap();
+    assert_eq!(r.receive(udp_packet(1000)), Disposition::Forwarded(1));
+    let report = run_command(&mut r, "msg stats 0 report").unwrap();
+    assert!(report.contains("2 pkts"), "unbound instance must stop counting: {report}");
+
+    // Free + unload.
+    run_command(&mut r, "free stats 0").unwrap();
+    run_command(&mut r, "unload stats").unwrap();
+    assert!(r.loader.loaded().is_empty());
+}
+
+#[test]
+fn free_instance_purges_bindings() {
+    let mut r = router();
+    run_script(
+        &mut r,
+        "load firewall\ncreate firewall action=deny\nbind fw firewall 0 <*, *, UDP, *, *, *>",
+    )
+    .unwrap();
+    assert!(matches!(
+        r.receive(udp_packet(1)),
+        Disposition::Dropped(_)
+    ));
+    // Free while the filter is still installed: the Router must purge the
+    // binding first (the paper: "all references to it are removed from
+    // the flow table and the filter table").
+    run_command(&mut r, "free firewall 0").unwrap();
+    assert_eq!(r.receive(udp_packet(1)), Disposition::Forwarded(1));
+    // And the plugin can now be unloaded.
+    run_command(&mut r, "unload firewall").unwrap();
+}
+
+#[test]
+fn unload_refused_while_instances_live() {
+    let mut r = router();
+    run_script(&mut r, "load null\ncreate null").unwrap();
+    let err = run_command(&mut r, "unload null").unwrap_err();
+    assert!(matches!(err, PmgrError::Plugin(_)));
+    run_command(&mut r, "free null 0").unwrap();
+    run_command(&mut r, "unload null").unwrap();
+}
+
+#[test]
+fn multiple_instances_coexist_per_flow() {
+    // "One of the novel features of our design is the ability to bind
+    // different plugins to individual flows; this allows distinct plugin
+    // implementations to seamlessly coexist."
+    let mut r = router();
+    run_script(
+        &mut r,
+        "load firewall\n\
+         create firewall action=deny\n\
+         create firewall action=allow\n\
+         bind fw firewall 0 <2001:db8::/64, *, UDP, *, *, *>\n\
+         bind fw firewall 1 <2001:db8::1, *, UDP, *, *, *>\n",
+    )
+    .unwrap();
+    // Host ::1 matches the more specific allow instance.
+    assert_eq!(r.receive(udp_packet(7)), Disposition::Forwarded(1));
+    // Another host in the /64 hits the deny instance.
+    let other = Mbuf::new(
+        PacketSpec::udp(v6_host(2), v6_host(100), 7, 9000, 64).build(),
+        0,
+    );
+    assert!(matches!(r.receive(other), Disposition::Dropped(_)));
+}
+
+#[test]
+fn same_instance_multiple_filters() {
+    // "The same instance may be registered multiple times with the AIU
+    // with different filter specifications."
+    let mut r = router();
+    run_script(
+        &mut r,
+        "load stats\ncreate stats\n\
+         bind stats stats 0 <*, *, UDP, *, 1000, *>\n\
+         bind stats stats 0 <*, *, UDP, *, 2000, *>\n",
+    )
+    .unwrap();
+    let mk = |dport: u16| {
+        Mbuf::new(
+            PacketSpec::udp(v6_host(1), v6_host(100), 5, dport, 64).build(),
+            0,
+        )
+    };
+    r.receive(mk(1000));
+    r.receive(mk(2000));
+    r.receive(mk(3000)); // matches no filter
+    let report = run_command(&mut r, "msg stats 0 report").unwrap();
+    assert!(report.contains("2 pkts"), "{report}");
+}
+
+#[test]
+fn gates_toggle_at_runtime() {
+    let mut r = router();
+    run_script(
+        &mut r,
+        "load firewall\ncreate firewall action=deny\nbind fw firewall 0 <*, *, *, *, *, *>",
+    )
+    .unwrap();
+    assert!(matches!(r.receive(udp_packet(1)), Disposition::Dropped(_)));
+    r.set_gate_enabled(Gate::Firewall, false);
+    assert_eq!(r.receive(udp_packet(2)), Disposition::Forwarded(1));
+    r.set_gate_enabled(Gate::Firewall, true);
+    assert!(matches!(r.receive(udp_packet(3)), Disposition::Dropped(_)));
+}
+
+#[test]
+fn reload_after_unload_gets_fresh_state() {
+    let mut r = router();
+    run_script(&mut r, "load stats\ncreate stats\nbind stats stats 0 <*, *, *, *, *, *>").unwrap();
+    r.receive(udp_packet(1));
+    run_script(&mut r, "free stats 0\nunload stats\nload stats\ncreate stats").unwrap();
+    let report = run_command(&mut r, "msg stats 0 report").unwrap();
+    assert!(report.contains("0 pkts"), "fresh module must start clean: {report}");
+}
+
+#[test]
+fn new_filter_applies_to_already_cached_flows() {
+    // Paper §6.1: "these commands can be executed at any time, even when
+    // network traffic is transiting through the system." A more specific
+    // filter installed mid-flow must take effect on the very next packet
+    // of an already-cached flow.
+    let mut r = router();
+    run_script(
+        &mut r,
+        "load firewall\ncreate firewall action=allow\n\
+         bind fw firewall 0 <*, *, UDP, *, *, *>",
+    )
+    .unwrap();
+    // Cache the flow under the allow-all filter.
+    assert_eq!(r.receive(udp_packet(777)), Disposition::Forwarded(1));
+    assert_eq!(r.receive(udp_packet(777)), Disposition::Forwarded(1));
+    assert_eq!(r.flow_stats().hits, 1);
+    // Now deny that specific source port, while traffic is "in flight".
+    run_script(
+        &mut r,
+        "create firewall action=deny\n\
+         bind fw firewall 1 <*, *, UDP, 777, *, *>",
+    )
+    .unwrap();
+    // The cached flow was invalidated and reclassifies to the deny rule.
+    assert!(matches!(
+        r.receive(udp_packet(777)),
+        Disposition::Dropped(_)
+    ));
+    // Unrelated flows are unaffected.
+    assert_eq!(r.receive(udp_packet(778)), Disposition::Forwarded(1));
+}
