@@ -21,6 +21,10 @@ use rp_packet::{FlowTuple, Mbuf};
 /// `router-core`; the AIU just numbers them).
 pub type GateId = usize;
 
+/// A flow record's gate binding, fetched in one slab access: the filter
+/// the binding was derived from plus the per-flow soft-state slot.
+pub type BindingMut<'a> = (Option<FilterId>, &'a mut Option<Box<dyn std::any::Any>>);
+
 /// AIU construction parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct AiuConfig {
@@ -184,11 +188,7 @@ impl<V: Clone> Aiu<V> {
     /// Single-access fetch of a gate binding's filter id and soft-state
     /// slot (the data path calls this once per gate; splitting it into
     /// two record lookups would double the fast-path slab accesses).
-    pub fn binding_mut(
-        &mut self,
-        fix: FlowIndex,
-        gate: GateId,
-    ) -> Option<(Option<FilterId>, &mut Option<Box<dyn std::any::Any>>)> {
+    pub fn binding_mut(&mut self, fix: FlowIndex, gate: GateId) -> Option<BindingMut<'_>> {
         let b = self.flow_table.record_mut(fix)?.gates.get_mut(gate)?;
         Some((b.filter, &mut b.soft_state))
     }
@@ -207,6 +207,16 @@ impl<V: Clone> Aiu<V> {
                 .get_mut(gate)?
                 .soft_state,
         )
+    }
+
+    /// Drop every cached flow whose record satisfies `pred` (the router
+    /// quarantining a faulted instance invalidates all flows still bound
+    /// to it, at any gate). Returns the evicted flows for callbacks.
+    pub fn invalidate_flows_where(
+        &mut self,
+        pred: impl FnMut(&crate::flow_table::FlowRecord<V>) -> bool,
+    ) -> Vec<EvictedFlow<V>> {
+        self.flow_table.invalidate_where(pred)
     }
 
     /// Advance the AIU's virtual clock (idle-expiry bookkeeping).

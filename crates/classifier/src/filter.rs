@@ -213,10 +213,10 @@ impl FilterSpec {
     pub fn matches(&self, t: &FlowTuple) -> bool {
         self.src.matches(t.src)
             && self.dst.matches(t.dst)
-            && self.proto.map_or(true, |p| p == t.proto)
+            && self.proto.is_none_or(|p| p == t.proto)
             && self.sport.matches(t.sport)
             && self.dport.matches(t.dport)
-            && self.rx_if.map_or(true, |i| i == t.rx_if)
+            && self.rx_if.is_none_or(|i| i == t.rx_if)
     }
 
     /// Specificity vector compared lexicographically in the DAG's field

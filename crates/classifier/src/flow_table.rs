@@ -365,6 +365,28 @@ impl<V> FlowTable<V> {
             .collect()
     }
 
+    /// Drop every cached flow for which `pred` holds (the router calls
+    /// this when it quarantines a faulted plugin instance: any record
+    /// still binding that instance at *any* gate must be re-resolved so
+    /// its flows fall back to the gate's default path). Returns the
+    /// evicted flows.
+    pub fn invalidate_where(
+        &mut self,
+        mut pred: impl FnMut(&FlowRecord<V>) -> bool,
+    ) -> Vec<EvictedFlow<V>> {
+        let victims: Vec<u32> = self
+            .records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.live && pred(r))
+            .map(|(i, _)| i as u32)
+            .collect();
+        victims
+            .into_iter()
+            .filter_map(|v| self.remove(FlowIndex(v)))
+            .collect()
+    }
+
     /// Access a record by FIX.
     pub fn record(&self, fix: FlowIndex) -> Option<&FlowRecord<V>> {
         self.records.get(fix.0 as usize).filter(|r| r.live)
@@ -520,6 +542,29 @@ mod tests {
         assert!(t.lookup(&key(1)).is_some());
         assert!(t.lookup(&key(0)).is_none());
         assert!(t.lookup(&key(2)).is_none());
+    }
+
+    #[test]
+    fn invalidate_where_drops_matching_records() {
+        let mut t = small();
+        for i in 0..4 {
+            let (fix, _) = t.insert(key(i));
+            let r = t.record_mut(fix).unwrap();
+            // Bind instance 7 at gate 0 for even flows only.
+            if i % 2 == 0 {
+                r.gates[0].instance = Some(7);
+            }
+        }
+        let evicted = t.invalidate_where(|r| r.gates.iter().any(|g| g.instance == Some(7)));
+        assert_eq!(evicted.len(), 2);
+        assert!(t.peek(&key(0)).is_none());
+        assert!(t.peek(&key(1)).is_some());
+        assert!(t.peek(&key(2)).is_none());
+        assert!(t.peek(&key(3)).is_some());
+        // Idempotent once the matching records are gone.
+        assert!(t
+            .invalidate_where(|r| r.gates.iter().any(|g| g.instance == Some(7)))
+            .is_empty());
     }
 
     #[test]

@@ -31,6 +31,14 @@ pub enum DropReason {
     /// Larger than the egress MTU and cannot be fragmented (IPv6, or the
     /// IPv4 don't-fragment bit is set).
     TooBig,
+    /// A plugin instance faulted (panicked or blew its packet budget)
+    /// while holding the packet; the supervisor counted the fault and
+    /// dropped the packet rather than forwarding possibly-torn state.
+    PluginFault(Gate),
+    /// The data path found its own state inconsistent (e.g. a flow record
+    /// vanished between classification and the gate call). Counted, never
+    /// a panic.
+    Internal,
 }
 
 /// Final outcome of processing one packet.
@@ -70,6 +78,17 @@ pub struct DataPathStats {
     pub fragmented: u64,
     /// Too-big drops (DF set or IPv6 over-MTU).
     pub dropped_too_big: u64,
+    /// Plugin faults observed by the supervisor (panics and packet-budget
+    /// overruns, across all instances).
+    pub plugin_faults: u64,
+    /// Packets dropped because the instance processing them faulted.
+    pub dropped_fault: u64,
+    /// Packets dropped on internal data-path inconsistencies.
+    pub dropped_internal: u64,
+    /// Instances moved to quarantine.
+    pub plugin_quarantines: u64,
+    /// Successful supervised instance restarts.
+    pub plugin_restarts: u64,
 }
 
 /// Validate the IP header and decrement TTL / hop limit in place.

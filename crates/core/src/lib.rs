@@ -23,9 +23,15 @@
 //!   H-FSC, FIFO, RED, BMP classifiers, statistics, firewall.
 //! * [`monolithic`] — the Table 3 baselines: an unmodified best-effort
 //!   fast path and an ALTQ-style hardwired DRR kernel.
+//! * [`supervisor`] — plugin fault isolation: panic containment, health
+//!   tracking (Healthy → Degraded → Quarantined), and restart with
+//!   capped exponential backoff in simulated time.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The data path must never panic on behalf of a packet: `unwrap`/`expect`
+// in non-test code need an explicit, justified `#[allow]` at the site.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod gate;
 pub mod ip_core;
@@ -37,8 +43,10 @@ pub mod plugin;
 pub mod plugins;
 pub mod pmgr;
 pub mod router;
+pub mod supervisor;
 
 pub use gate::Gate;
 pub use message::{PluginMsg, PluginReply};
 pub use plugin::{InstanceId, Plugin, PluginAction, PluginCode, PluginInstance, PluginType};
 pub use router::{Router, RouterConfig};
+pub use supervisor::{FaultPolicy, HealthState};

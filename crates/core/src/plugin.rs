@@ -121,6 +121,11 @@ pub struct PacketCtx<'a> {
     /// The plugin's private per-flow soft state slot in the flow record
     /// (the second pointer of the paper's per-gate pointer pair).
     pub soft_state: &'a mut Option<Box<dyn Any>>,
+    /// Processing cost the instance charges for this call, in netsim
+    /// clock units (ns). Starts at 0; the supervisor compares it against
+    /// [`crate::supervisor::FaultPolicy::packet_budget_ns`] after the
+    /// call, so a modelled stall is a countable fault instead of a hang.
+    pub cost_ns: u64,
 }
 
 /// A plugin *instance*: the run-time object bound to flows and called at

@@ -1,0 +1,289 @@
+//! Chaos plugin: deliberate fault injection for supervision testing.
+//!
+//! A chaos instance misbehaves on demand — panicking, dropping, stalling
+//! (charging absurd per-packet cost) or corrupting packet bytes — so the
+//! supervisor's containment ([`crate::supervisor`]) can be exercised from
+//! `pmgr` scripts and tests. Configured at `create` time and rearmed at
+//! run time through the `set` custom message:
+//!
+//! ```text
+//! create chaos mode=panic every=3
+//! msg chaos 0 set mode=stall cost=99999999
+//! msg chaos 0 status
+//! ```
+//!
+//! * `mode` — `none` (default), `panic`, `drop`, `stall`, `corrupt`
+//! * `every` — fault on every Nth call (default 1 = every call)
+//! * `cost` — cost in ns charged in `stall` mode (default 10^9)
+
+use crate::plugin::{
+    InstanceRef, PacketCtx, Plugin, PluginAction, PluginCode, PluginError, PluginInstance,
+    PluginType,
+};
+use rp_packet::Mbuf;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+
+const MODE_NONE: u8 = 0;
+const MODE_PANIC: u8 = 1;
+const MODE_DROP: u8 = 2;
+const MODE_STALL: u8 = 3;
+const MODE_CORRUPT: u8 = 4;
+
+fn parse_mode(s: &str) -> Result<u8, PluginError> {
+    match s {
+        "none" => Ok(MODE_NONE),
+        "panic" => Ok(MODE_PANIC),
+        "drop" => Ok(MODE_DROP),
+        "stall" => Ok(MODE_STALL),
+        "corrupt" => Ok(MODE_CORRUPT),
+        other => Err(PluginError::BadConfig(format!("bad mode={other}"))),
+    }
+}
+
+fn mode_name(m: u8) -> &'static str {
+    match m {
+        MODE_PANIC => "panic",
+        MODE_DROP => "drop",
+        MODE_STALL => "stall",
+        MODE_CORRUPT => "corrupt",
+        _ => "none",
+    }
+}
+
+/// A chaos instance. All knobs are atomics so a bound instance can be
+/// rearmed mid-stream through a custom message.
+pub struct ChaosInstance {
+    mode: AtomicU8,
+    every: AtomicU64,
+    cost_ns: AtomicU64,
+    calls: AtomicU64,
+}
+
+impl ChaosInstance {
+    fn new(mode: u8, every: u64, cost_ns: u64) -> Self {
+        ChaosInstance {
+            mode: AtomicU8::new(mode),
+            every: AtomicU64::new(every.max(1)),
+            cost_ns: AtomicU64::new(cost_ns),
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    fn configure(&self, args: &str) -> Result<(), PluginError> {
+        let map = super::config_map(args);
+        if let Some(m) = map.get("mode") {
+            self.mode.store(parse_mode(m)?, Ordering::Relaxed);
+        }
+        let every = super::config_num(&map, "every", self.every.load(Ordering::Relaxed))?;
+        self.every.store(every.max(1), Ordering::Relaxed);
+        let cost = super::config_num(&map, "cost", self.cost_ns.load(Ordering::Relaxed))?;
+        self.cost_ns.store(cost, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn status(&self) -> String {
+        format!(
+            "mode={} every={} cost={} calls={}",
+            mode_name(self.mode.load(Ordering::Relaxed)),
+            self.every.load(Ordering::Relaxed),
+            self.cost_ns.load(Ordering::Relaxed),
+            self.calls.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl PluginInstance for ChaosInstance {
+    fn handle_packet(&self, mbuf: &mut Mbuf, ctx: &mut PacketCtx<'_>) -> PluginAction {
+        let n = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
+        let every = self.every.load(Ordering::Relaxed).max(1);
+        if !n.is_multiple_of(every) {
+            return PluginAction::Continue;
+        }
+        match self.mode.load(Ordering::Relaxed) {
+            MODE_PANIC => panic!("chaos: injected panic on call {n}"),
+            MODE_DROP => PluginAction::Drop,
+            MODE_STALL => {
+                ctx.cost_ns = self.cost_ns.load(Ordering::Relaxed);
+                PluginAction::Continue
+            }
+            MODE_CORRUPT => {
+                // Flip one payload-ish byte (past the basic header so the
+                // packet stays parseable and the damage travels end to
+                // end, like a bad link would inflict).
+                let data = mbuf.data_mut();
+                if let Some(b) = data.last_mut() {
+                    *b ^= 0xFF;
+                }
+                PluginAction::Continue
+            }
+            _ => PluginAction::Continue,
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("chaos {}", self.status())
+    }
+}
+
+/// The chaos plugin module. Keeps concrete handles to its instances so
+/// custom messages can reach their atomics (matched by pointer identity,
+/// as the scheduler plugins do).
+#[derive(Default)]
+pub struct ChaosPlugin {
+    instances: Vec<Arc<ChaosInstance>>,
+}
+
+impl Plugin for ChaosPlugin {
+    fn name(&self) -> &str {
+        "chaos"
+    }
+
+    fn code(&self) -> PluginCode {
+        // A statistics-type code: chaos binds anywhere a filter points it,
+        // like a monitoring plugin would.
+        PluginCode::new(PluginType::STATS, 99)
+    }
+
+    fn create_instance(&mut self, config: &str) -> Result<InstanceRef, PluginError> {
+        let inst = ChaosInstance::new(MODE_NONE, 1, 1_000_000_000);
+        inst.configure(config)?;
+        let inst = Arc::new(inst);
+        self.instances.push(inst.clone());
+        Ok(inst)
+    }
+
+    fn free_instance(&mut self, instance: &InstanceRef) {
+        self.instances
+            .retain(|i| !Arc::ptr_eq(&(i.clone() as InstanceRef), instance));
+    }
+
+    fn custom_message(
+        &mut self,
+        instance: Option<&InstanceRef>,
+        name: &str,
+        args: &str,
+    ) -> Result<String, PluginError> {
+        let target = instance
+            .ok_or_else(|| PluginError::BadConfig("chaos message needs an instance".into()))?;
+        let inst = self
+            .instances
+            .iter()
+            .find(|i| Arc::ptr_eq(&((*i).clone() as InstanceRef), target))
+            .ok_or_else(|| PluginError::BadConfig("not a chaos instance".into()))?
+            .clone();
+        match name {
+            "set" => {
+                inst.configure(args)?;
+                Ok(inst.status())
+            }
+            "status" => Ok(inst.status()),
+            other => Err(PluginError::UnknownMessage(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+    use rp_packet::builder::PacketSpec;
+    use std::net::{IpAddr, Ipv4Addr};
+
+    fn pkt() -> Mbuf {
+        Mbuf::new(
+            PacketSpec::udp(
+                IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1)),
+                IpAddr::V4(Ipv4Addr::new(10, 0, 0, 2)),
+                1,
+                2,
+                16,
+            )
+            .build(),
+            0,
+        )
+    }
+
+    fn call(inst: &ChaosInstance, m: &mut Mbuf) -> PluginAction {
+        let mut soft = None;
+        let mut ctx = PacketCtx {
+            gate: Gate::Stats,
+            now_ns: 0,
+            fix: rp_packet::mbuf::FlowIndex(0),
+            filter: None,
+            soft_state: &mut soft,
+            cost_ns: 0,
+        };
+        inst.handle_packet(m, &mut ctx)
+    }
+
+    #[test]
+    fn none_mode_passes_everything() {
+        let inst = ChaosInstance::new(MODE_NONE, 1, 0);
+        let mut m = pkt();
+        for _ in 0..10 {
+            assert_eq!(call(&inst, &mut m), PluginAction::Continue);
+        }
+    }
+
+    #[test]
+    fn drop_every_third() {
+        let inst = ChaosInstance::new(MODE_DROP, 3, 0);
+        let mut m = pkt();
+        let actions: Vec<_> = (0..9).map(|_| call(&inst, &mut m)).collect();
+        let drops = actions.iter().filter(|a| **a == PluginAction::Drop).count();
+        assert_eq!(drops, 3);
+        assert_eq!(actions[2], PluginAction::Drop);
+        assert_eq!(actions[0], PluginAction::Continue);
+    }
+
+    #[test]
+    fn stall_charges_cost() {
+        let inst = ChaosInstance::new(MODE_STALL, 1, 42_000);
+        let mut m = pkt();
+        let mut soft = None;
+        let mut ctx = PacketCtx {
+            gate: Gate::Stats,
+            now_ns: 0,
+            fix: rp_packet::mbuf::FlowIndex(0),
+            filter: None,
+            soft_state: &mut soft,
+            cost_ns: 0,
+        };
+        assert_eq!(inst.handle_packet(&mut m, &mut ctx), PluginAction::Continue);
+        assert_eq!(ctx.cost_ns, 42_000);
+    }
+
+    #[test]
+    fn corrupt_flips_a_byte() {
+        let inst = ChaosInstance::new(MODE_CORRUPT, 1, 0);
+        let mut m = pkt();
+        let before = m.data().to_vec();
+        call(&inst, &mut m);
+        assert_ne!(m.data(), &before[..]);
+    }
+
+    #[test]
+    fn panic_mode_panics() {
+        let inst = ChaosInstance::new(MODE_PANIC, 1, 0);
+        let mut m = pkt();
+        let err = crate::supervisor::run_isolated(|| call(&inst, &mut m)).unwrap_err();
+        assert!(err.contains("injected panic"), "{err}");
+    }
+
+    #[test]
+    fn config_and_reconfig() {
+        let mut plugin = ChaosPlugin::default();
+        let inst = plugin.create_instance("mode=drop every=2").unwrap();
+        let reply = plugin
+            .custom_message(Some(&inst), "status", "")
+            .unwrap();
+        assert!(reply.contains("mode=drop every=2"), "{reply}");
+        let reply = plugin
+            .custom_message(Some(&inst), "set", "mode=panic every=5")
+            .unwrap();
+        assert!(reply.contains("mode=panic every=5"), "{reply}");
+        assert!(plugin.create_instance("mode=bogus").is_err());
+        assert!(plugin.custom_message(None, "status", "").is_err());
+    }
+}

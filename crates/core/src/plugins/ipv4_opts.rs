@@ -113,6 +113,7 @@ mod tests {
             fix: FlowIndex(0),
             filter: None,
             soft_state: &mut soft,
+            cost_ns: 0,
         };
         inst.handle_packet(&mut m, &mut ctx)
     }

@@ -9,6 +9,7 @@
 //! [`rp_classifier::BmpKind`] — they plug into the classifier, not into a
 //! gate.)
 
+pub mod chaos;
 pub mod firewall;
 pub mod ipsec;
 pub mod ipv4_opts;
@@ -23,6 +24,10 @@ use crate::loader::PluginLoader;
 
 /// Register every built-in plugin factory with a loader ("put the modules
 /// on disk"). Individual plugins still need `load_plugin` to become live.
+// Each name is registered exactly once into a caller-supplied loader, so
+// a duplicate-name failure here is a compile-time-style programming error
+// worth an immediate panic, not a recoverable condition.
+#[allow(clippy::expect_used)]
 pub fn register_builtin_factories(loader: &mut PluginLoader) {
     loader
         .add_factory("null", || Box::new(null::NullPlugin::default()))
@@ -69,6 +74,9 @@ pub fn register_builtin_factories(loader: &mut PluginLoader) {
     loader
         .add_factory("vclock", || Box::new(sched::VcPlugin::default()))
         .expect("fresh loader");
+    loader
+        .add_factory("chaos", || Box::new(chaos::ChaosPlugin::default()))
+        .expect("fresh loader");
 }
 
 /// Parse `key=value` pairs from an instance-config string. Unknown keys
@@ -109,7 +117,7 @@ mod tests {
         for name in loader.available() {
             loader.load(&name, &mut pcu).unwrap();
         }
-        assert_eq!(loader.loaded().len(), 15);
+        assert_eq!(loader.loaded().len(), 16);
     }
 
     #[test]

@@ -88,6 +88,7 @@ mod tests {
             fix: FlowIndex(0),
             filter: None,
             soft_state: &mut soft,
+            cost_ns: 0,
         };
         assert_eq!(inst.handle_packet(&mut m, &mut ctx), PluginAction::Continue);
         assert_eq!(m.tx_if, Some(3));

@@ -948,6 +948,7 @@ mod tests {
             fix: FlowIndex(fix),
             filter: None,
             soft_state: &mut soft,
+            cost_ns: 0,
         };
         inst.handle_packet(&mut m, &mut ctx)
     }

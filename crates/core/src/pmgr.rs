@@ -8,7 +8,8 @@
 //!
 //! ```text
 //! load <plugin>                      # modload
-//! unload <plugin>                    # modunload
+//! unload <plugin> [force]            # modunload; force frees live
+//!                                    # instances and their bindings first
 //! create <plugin> [k=v ...]          # create_instance → prints id
 //! free <plugin> <iid>                # free_instance
 //! bind <gate> <plugin> <iid> <six-tuple-filter>   # register_instance
@@ -20,6 +21,8 @@
 //! info                               # loaded plugins and stats
 //! show filters <gate>                # installed filters at a gate
 //! show instances                     # live plugin instances
+//! health                             # supervision state per instance
+//! faults                             # fault/quarantine/restart counters
 //! ```
 
 use crate::gate::Gate;
@@ -71,8 +74,19 @@ pub fn run_command(router: &mut Router, line: &str) -> Result<String, PmgrError>
         }
         "unload" => {
             let name = arg(&toks, 1)?;
-            router.unload_plugin(name)?;
-            Ok(format!("unloaded {name}"))
+            match toks.get(2) {
+                Some(&"force") => {
+                    router.force_unload_plugin(name)?;
+                    Ok(format!("force-unloaded {name}"))
+                }
+                Some(other) => Err(PmgrError::Syntax(format!(
+                    "unload <plugin> [force], got {other}"
+                ))),
+                None => {
+                    router.unload_plugin(name)?;
+                    Ok(format!("unloaded {name}"))
+                }
+            }
         }
         "create" => {
             let name = arg(&toks, 1)?;
@@ -199,6 +213,41 @@ pub fn run_command(router: &mut Router, line: &str) -> Result<String, PmgrError>
             }
             other => Err(PmgrError::Syntax(format!("show filters|instances, got {other}"))),
         },
+        "health" => {
+            let reports = router.health_reports();
+            if reports.is_empty() {
+                return Ok("no supervised instances".to_string());
+            }
+            Ok(reports
+                .into_iter()
+                .map(|r| {
+                    let mut line = format!(
+                        "{} {}: {} faults={}/{} restarts={}",
+                        r.plugin, r.id.0, r.health, r.faults, r.total_faults, r.restarts
+                    );
+                    if let Some(at) = r.restart_at_ns {
+                        line.push_str(&format!(" restart_at={at}ns"));
+                    }
+                    if let Some(f) = r.last_fault {
+                        line.push_str(&format!(" last=\"{f}\""));
+                    }
+                    line
+                })
+                .collect::<Vec<_>>()
+                .join("\n"))
+        }
+        "faults" => {
+            let s = router.stats();
+            Ok(format!(
+                "plugin_calls={} faults={} dropped_fault={} dropped_internal={} quarantines={} restarts={}",
+                s.plugin_calls,
+                s.plugin_faults,
+                s.dropped_fault,
+                s.dropped_internal,
+                s.plugin_quarantines,
+                s.plugin_restarts
+            ))
+        }
         "info" => {
             let loaded = router.loader.loaded().join(", ");
             let s = router.stats();

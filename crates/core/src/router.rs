@@ -10,6 +10,7 @@ use crate::loader::PluginLoader;
 use crate::message::{PluginMsg, PluginReply};
 use crate::pcu::Pcu;
 use crate::plugin::{InstanceId, InstanceRef, PacketCtx, PluginAction, PluginError};
+use crate::supervisor::{self, FaultKind, FaultPolicy, HealthReport, Supervisor};
 use rp_classifier::aiu::ClassifyOutcome;
 use rp_classifier::flow_table::EvictedFlow;
 use rp_classifier::{Aiu, AiuConfig, BmpKind, FilterId, FlowTableConfig};
@@ -59,6 +60,8 @@ pub struct RouterConfig {
     pub flow_table: FlowTableConfig,
     /// BMP plugin for the classifier's address levels.
     pub bmp: BmpKind,
+    /// Plugin fault-handling policy (thresholds, budget, restart).
+    pub fault_policy: FaultPolicy,
 }
 
 impl Default for RouterConfig {
@@ -73,6 +76,7 @@ impl Default for RouterConfig {
                 ..FlowTableConfig::default()
             },
             bmp: BmpKind::Bspl,
+            fault_policy: FaultPolicy::default(),
         }
     }
 }
@@ -90,6 +94,18 @@ pub struct Router {
     verify_checksums: bool,
     stats: DataPathStats,
     now_ns: u64,
+    supervisor: Supervisor,
+}
+
+/// Result of one supervised gate invocation (internal to the data path).
+enum GateOutcome {
+    /// The instance ran to completion and returned an action.
+    Action(PluginAction),
+    /// The instance faulted mid-packet; the packet must be dropped (and
+    /// counted) rather than forwarded with possibly-torn state.
+    Fault,
+    /// The data path's own flow state was inconsistent.
+    Internal,
 }
 
 impl Router {
@@ -124,6 +140,7 @@ impl Router {
             verify_checksums: cfg.verify_checksums,
             stats: DataPathStats::default(),
             now_ns: 0,
+            supervisor: Supervisor::new(cfg.fault_policy),
         }
     }
 
@@ -141,6 +158,20 @@ impl Router {
         self.loader.unload(name, &mut self.pcu)
     }
 
+    /// Forced `modunload`: free every live instance first — deregistering
+    /// its filters, flushing its cached flows, and detaching it from
+    /// interface egress queues — then unload the module. The plain
+    /// [`Router::unload_plugin`] keeps the refusal semantics when
+    /// instances are live; this is the operator's escape hatch for a
+    /// misbehaving module with flows still bound mid-stream.
+    pub fn force_unload_plugin(&mut self, name: &str) -> Result<(), PluginError> {
+        let ids = self.pcu.instances(name)?;
+        for id in ids {
+            self.send_message(name, PluginMsg::FreeInstance { id })?;
+        }
+        self.loader.unload(name, &mut self.pcu)
+    }
+
     /// Send a standardized or plugin-specific message to a plugin — the
     /// full control path of Figure 2 (PCU dispatch, AIU registration).
     pub fn send_message(
@@ -150,11 +181,22 @@ impl Router {
     ) -> Result<PluginReply, PluginError> {
         match msg {
             PluginMsg::CreateInstance { config } => {
-                let (id, _inst) = self.pcu.create_instance(plugin, &config)?;
+                let (id, inst) = self.pcu.create_instance(plugin, &config)?;
+                // Supervise it: the name + config are what a restart needs
+                // to rebuild the instance from the plugin's factory.
+                self.supervisor.track(plugin, id, &config, &inst);
                 Ok(PluginReply::InstanceCreated(id))
             }
             PluginMsg::FreeInstance { id } => {
                 let inst = self.pcu.instance(plugin, id)?;
+                // Drain any egress queue the instance holds onto the wire
+                // first: deregistering below runs the instance's own
+                // flow-eviction callbacks, which (for schedulers) discard
+                // the flow's backlog — those packets were already counted
+                // forwarded and must not be blackholed. This also detaches
+                // the instance so the data path can't dequeue from it
+                // after the free.
+                self.detach_sched_everywhere(&inst);
                 // Purge filter bindings referencing this instance.
                 for gate in ALL_GATES {
                     let ids: Vec<FilterId> = self
@@ -174,6 +216,7 @@ impl Router {
                         self.deregister(gate, fid)?;
                     }
                 }
+                self.supervisor.untrack(&inst);
                 self.pcu.free_instance(plugin, id)?;
                 Ok(PluginReply::InstanceFreed)
             }
@@ -181,8 +224,9 @@ impl Router {
                 let inst = self.pcu.instance(plugin, id)?;
                 let (fid, evicted) = self
                     .aiu
-                    .install_filter(gate.index(), filter, inst)
+                    .install_filter(gate.index(), filter.clone(), inst.clone())
                     .map_err(|e| PluginError::Filter(e.to_string()))?;
+                self.supervisor.note_binding(&inst, gate, filter, fid);
                 for ev in evicted {
                     self.run_eviction_callbacks(ev);
                 }
@@ -208,17 +252,33 @@ impl Router {
             .aiu
             .remove_filter(gate.index(), fid)
             .map_err(|e| PluginError::Filter(e.to_string()))?;
-        inst.filter_unbound(fid);
+        self.supervisor.note_unbinding(&inst, gate, fid);
+        let _ = supervisor::run_isolated(|| inst.filter_unbound(fid));
         for ev in evicted {
             self.run_eviction_callbacks(ev);
         }
         Ok(())
     }
 
-    fn run_eviction_callbacks(&mut self, mut ev: EvictedFlow<InstanceRef>) {
+    fn run_eviction_callbacks(&mut self, ev: EvictedFlow<InstanceRef>) {
+        self.run_eviction_callbacks_skipping(ev, None);
+    }
+
+    /// Run per-flow eviction callbacks, isolated from panics. `skip`
+    /// suppresses the callback for one instance — used when quarantining
+    /// a faulted instance, whose code must not run again.
+    fn run_eviction_callbacks_skipping(
+        &mut self,
+        mut ev: EvictedFlow<InstanceRef>,
+        skip: Option<&InstanceRef>,
+    ) {
         for g in ev.gates.iter_mut() {
             if let Some(inst) = g.instance.take() {
-                inst.flow_unbound(&ev.key, g.soft_state.take());
+                if skip.is_some_and(|s| Arc::ptr_eq(s, &inst)) {
+                    continue;
+                }
+                let soft = g.soft_state.take();
+                let _ = supervisor::run_isolated(|| inst.flow_unbound(&ev.key, soft));
             }
         }
     }
@@ -273,10 +333,12 @@ impl Router {
     // Data path (paper §3.2)
     // ------------------------------------------------------------------
 
-    /// Advance the router's virtual clock.
+    /// Advance the router's virtual clock. Restart backoffs run on this
+    /// clock, so advancing it also attempts any due restarts.
     pub fn set_time_ns(&mut self, now_ns: u64) {
         self.now_ns = now_ns;
         self.aiu.set_now(now_ns);
+        self.poll_restarts();
     }
 
     /// Expire flow-cache entries idle longer than `max_idle_ns`, running
@@ -309,34 +371,189 @@ impl Router {
             }
         }
         let fix = mbuf.fix?;
-        self.aiu.instance(fix, gate.index()).cloned()
+        let inst = self.aiu.instance(fix, gate.index()).cloned()?;
+        // Defense in depth: a quarantined instance never sees another
+        // packet, even through a stale cached binding.
+        if self.supervisor.is_quarantined(&inst) {
+            return None;
+        }
+        Some(inst)
     }
 
-    fn call_instance(
-        &mut self,
-        inst: &InstanceRef,
-        mbuf: &mut Mbuf,
-        gate: Gate,
-    ) -> PluginAction {
+    /// Invoke an instance at a gate under supervision: the call is
+    /// panic-isolated, charged against the policy's packet budget, and
+    /// any fault is counted against the instance's health.
+    fn call_instance(&mut self, inst: &InstanceRef, mbuf: &mut Mbuf, gate: Gate) -> GateOutcome {
         self.stats.plugin_calls += 1;
-        let fix = mbuf.fix.expect("classified before gate call");
-        let now = self.now_ns;
-        let (filter, slot) = self
-            .aiu
-            .binding_mut(fix, gate.index())
-            .expect("live flow record");
-        let mut ctx = PacketCtx {
-            gate,
-            now_ns: now,
-            fix,
-            filter,
-            soft_state: slot,
+        let Some(fix) = mbuf.fix else {
+            // Gates run only after classification; no FIX here means the
+            // data path lost track of its own state. Count, don't panic.
+            return GateOutcome::Internal;
         };
-        inst.handle_packet(mbuf, &mut ctx)
+        let now = self.now_ns;
+        let budget = self.supervisor.policy().packet_budget_ns;
+        // The AIU borrow lives only inside this block: fault handling
+        // below needs `&mut self` again.
+        let call = {
+            let Some((filter, slot)) = self.aiu.binding_mut(fix, gate.index()) else {
+                // The flow record vanished between classification and the
+                // gate call (e.g. recycled under pressure mid-pipeline).
+                return GateOutcome::Internal;
+            };
+            let mut ctx = PacketCtx {
+                gate,
+                now_ns: now,
+                fix,
+                filter,
+                soft_state: slot,
+                cost_ns: 0,
+            };
+            supervisor::run_isolated(|| {
+                let action = inst.handle_packet(mbuf, &mut ctx);
+                (action, ctx.cost_ns)
+            })
+        };
+        match call {
+            Ok((action, cost_ns)) => {
+                if budget > 0 && cost_ns > budget {
+                    // A modelled stall: the call "completed" but charged
+                    // more processing time than the policy tolerates.
+                    let kind = FaultKind::BudgetExceeded {
+                        cost_ns,
+                        budget_ns: budget,
+                    };
+                    if self.note_fault(inst, &kind) {
+                        mbuf.fix = None; // quarantined: reclassify downstream
+                    }
+                }
+                GateOutcome::Action(action)
+            }
+            Err(msg) => {
+                if self.note_fault(inst, &FaultKind::Panic(msg)) {
+                    mbuf.fix = None;
+                }
+                GateOutcome::Fault
+            }
+        }
+    }
+
+    /// Count one fault; on the quarantine edge, pull the instance off the
+    /// data path. Returns true when the instance was just quarantined.
+    fn note_fault(&mut self, inst: &InstanceRef, kind: &FaultKind) -> bool {
+        self.stats.plugin_faults += 1;
+        let verdict = self.supervisor.record_fault(inst, kind);
+        if verdict.newly_quarantined {
+            self.quarantine(inst);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove a quarantined instance from the data path: its filters go,
+    /// its cached flows are invalidated (falling back to each gate's
+    /// default path on their next packet), its egress queues drain to the
+    /// wire, and a restart is scheduled per policy.
+    fn quarantine(&mut self, inst: &InstanceRef) {
+        self.stats.plugin_quarantines += 1;
+        // Filters first — otherwise the next classification would re-bind
+        // the dead instance. The instance's own callbacks are skipped (its
+        // code must not run again); other instances' callbacks still fire.
+        for gate in ALL_GATES {
+            let table = self.aiu.filter_table(gate.index());
+            let ids: Vec<FilterId> = table
+                .filter_ids()
+                .into_iter()
+                .filter(|fid| {
+                    table
+                        .get(*fid)
+                        .map(|(_, v)| Arc::ptr_eq(v, inst))
+                        .unwrap_or(false)
+                })
+                .collect();
+            for fid in ids {
+                if let Ok((_spec, _inst, evicted)) = self.aiu.remove_filter(gate.index(), fid) {
+                    for ev in evicted {
+                        self.run_eviction_callbacks_skipping(ev, Some(inst));
+                    }
+                }
+            }
+        }
+        // Then any cached flow still binding it at any gate (filters
+        // installed behind the router's back, recycled records, …).
+        let dead = inst.clone();
+        let evicted = self.aiu.invalidate_flows_where(|r| {
+            r.gates
+                .iter()
+                .any(|g| g.instance.as_ref().is_some_and(|v| Arc::ptr_eq(v, &dead)))
+        });
+        for ev in evicted {
+            self.run_eviction_callbacks_skipping(ev, Some(inst));
+        }
+        self.detach_sched_everywhere(inst);
+        let _ = self.supervisor.schedule_restart(inst, self.now_ns);
+    }
+
+    /// Detach an instance from every interface's scheduler list, draining
+    /// whatever its queue still holds onto the wire first (those packets
+    /// were already counted forwarded when they were queued; dropping
+    /// them silently would blackhole them).
+    fn detach_sched_everywhere(&mut self, inst: &InstanceRef) {
+        let now = self.now_ns;
+        for ifc in &mut self.interfaces {
+            if !ifc.scheds.iter().any(|s| Arc::ptr_eq(s, inst)) {
+                continue;
+            }
+            if let Some(sched) = inst.as_scheduler() {
+                while let Ok(Some(pkt)) = supervisor::run_isolated(|| sched.dequeue(now)) {
+                    ifc.tx_log.push(pkt);
+                }
+            }
+            ifc.scheds.retain(|s| !Arc::ptr_eq(s, inst));
+        }
+    }
+
+    /// Attempt every due restart: free the dead instance, rebuild it from
+    /// the plugin's factory with the original config, and re-install its
+    /// filter bindings for the fresh instance.
+    fn poll_restarts(&mut self) {
+        if !self.supervisor.restart_due(self.now_ns) {
+            return;
+        }
+        for t in self.supervisor.take_due(self.now_ns) {
+            let _ = self.pcu.free_instance(&t.plugin, t.id);
+            match self.pcu.create_instance(&t.plugin, &t.config) {
+                Ok((new_id, new_inst)) => {
+                    let mut new_bindings = Vec::new();
+                    for (gate, spec) in &t.bindings {
+                        if let Ok((fid, evicted)) = self.aiu.install_filter(
+                            gate.index(),
+                            spec.clone(),
+                            new_inst.clone(),
+                        ) {
+                            for ev in evicted {
+                                self.run_eviction_callbacks(ev);
+                            }
+                            new_bindings.push((*gate, spec.clone(), fid));
+                        }
+                    }
+                    self.stats.plugin_restarts += 1;
+                    self.supervisor
+                        .complete_restart(&t.plugin, t.id, new_id, &new_inst, new_bindings);
+                }
+                Err(_) => {
+                    // Factory refused (or the plugin was unloaded while
+                    // the instance sat in quarantine): re-arm the backoff
+                    // or give up, per policy.
+                    self.supervisor.fail_restart(&t.plugin, t.id, self.now_ns);
+                }
+            }
+        }
     }
 
     /// Process one received packet through the full data path.
     pub fn receive(&mut self, mut mbuf: Mbuf) -> Disposition {
+        self.poll_restarts();
         self.stats.received += 1;
         mbuf.timestamp_ns = self.now_ns;
 
@@ -363,9 +580,15 @@ impl Router {
             }
             if let Some(inst) = self.at_gate(&mut mbuf, gate) {
                 match self.call_instance(&inst, &mut mbuf, gate) {
-                    PluginAction::Continue => {}
-                    PluginAction::Consumed => return Disposition::Consumed(gate),
-                    PluginAction::Drop => return self.drop(DropReason::Plugin(gate)),
+                    GateOutcome::Action(PluginAction::Continue) => {}
+                    GateOutcome::Action(PluginAction::Consumed) => {
+                        return Disposition::Consumed(gate)
+                    }
+                    GateOutcome::Action(PluginAction::Drop) => {
+                        return self.drop(DropReason::Plugin(gate))
+                    }
+                    GateOutcome::Fault => return self.drop(DropReason::PluginFault(gate)),
+                    GateOutcome::Internal => return self.drop(DropReason::Internal),
                 }
             }
         }
@@ -381,7 +604,11 @@ impl Router {
                 None => return self.drop(DropReason::NoRoute),
             }
         }
-        let tx_if = mbuf.tx_if.expect("routing set tx_if");
+        let Some(tx_if) = mbuf.tx_if else {
+            // Both branches above either set tx_if or returned; reaching
+            // here means the routing state is inconsistent. Count it.
+            return self.drop(DropReason::Internal);
+        };
         if tx_if as usize >= self.interfaces.len() {
             return self.drop(DropReason::NoRoute);
         }
@@ -429,15 +656,17 @@ impl Router {
             if let Some(inst) = self.at_gate(&mut mbuf, Gate::Scheduling) {
                 self.interfaces[tx_if as usize].attach_sched(&inst);
                 return match self.call_instance(&inst, &mut mbuf, Gate::Scheduling) {
-                    PluginAction::Consumed => {
+                    GateOutcome::Action(PluginAction::Consumed) => {
                         self.stats.forwarded += 1;
                         Disposition::Queued(tx_if)
                     }
-                    PluginAction::Drop => self.drop(DropReason::QueueFull),
-                    PluginAction::Continue => {
+                    GateOutcome::Action(PluginAction::Drop) => self.drop(DropReason::QueueFull),
+                    GateOutcome::Action(PluginAction::Continue) => {
                         // Scheduler declined (e.g. pass-through): emit.
                         self.emit(mbuf, tx_if)
                     }
+                    GateOutcome::Fault => self.drop(DropReason::PluginFault(Gate::Scheduling)),
+                    GateOutcome::Internal => self.drop(DropReason::Internal),
                 };
             }
         }
@@ -471,6 +700,8 @@ impl Router {
             DropReason::Plugin(_) => self.stats.dropped_plugin += 1,
             DropReason::QueueFull => self.stats.dropped_queue += 1,
             DropReason::TooBig => self.stats.dropped_too_big += 1,
+            DropReason::PluginFault(_) => self.stats.dropped_fault += 1,
+            DropReason::Internal => self.stats.dropped_internal += 1,
         }
         Disposition::Dropped(reason)
     }
@@ -480,25 +711,40 @@ impl Router {
     /// transmitted.
     pub fn pump(&mut self, iface: IfIndex, max: usize) -> usize {
         let now = self.now_ns;
-        let ifc = &mut self.interfaces[iface as usize];
         let mut sent = 0;
-        'outer: while sent < max {
-            let mut any = false;
-            for s in &ifc.scheds {
-                if let Some(sched) = s.as_scheduler() {
-                    if let Some(pkt) = sched.dequeue(now) {
-                        ifc.tx_log.push(pkt);
-                        sent += 1;
-                        any = true;
-                        if sent >= max {
-                            break 'outer;
+        // Dequeue panics are collected here and counted after the
+        // interface borrow ends (fault handling needs `&mut self`).
+        let mut faulted: Vec<(InstanceRef, String)> = Vec::new();
+        {
+            let ifc = &mut self.interfaces[iface as usize];
+            'outer: while sent < max {
+                let mut any = false;
+                for s in &ifc.scheds {
+                    if faulted.iter().any(|(f, _)| Arc::ptr_eq(f, s)) {
+                        continue;
+                    }
+                    if let Some(sched) = s.as_scheduler() {
+                        match supervisor::run_isolated(|| sched.dequeue(now)) {
+                            Ok(Some(pkt)) => {
+                                ifc.tx_log.push(pkt);
+                                sent += 1;
+                                any = true;
+                                if sent >= max {
+                                    break 'outer;
+                                }
+                            }
+                            Ok(None) => {}
+                            Err(msg) => faulted.push((s.clone(), msg)),
                         }
                     }
                 }
+                if !any {
+                    break;
+                }
             }
-            if !any {
-                break;
-            }
+        }
+        for (inst, msg) in faulted {
+            self.note_fault(&inst, &FaultKind::Panic(msg));
         }
         sent
     }
@@ -531,6 +777,16 @@ impl Router {
     /// Direct AIU access for tests and the testbench.
     pub fn aiu_mut(&mut self) -> &mut Aiu<InstanceRef> {
         &mut self.aiu
+    }
+
+    /// Supervision snapshot of every tracked instance (pmgr `health`).
+    pub fn health_reports(&self) -> Vec<HealthReport> {
+        self.supervisor.reports()
+    }
+
+    /// The supervisor (policy and health inspection).
+    pub fn supervisor(&self) -> &Supervisor {
+        &self.supervisor
     }
 
     /// Human-readable dump of a gate's installed filters (pmgr `show`).

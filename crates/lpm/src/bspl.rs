@@ -209,7 +209,7 @@ impl<A: Bits, V: Clone> BsplTable<A, V> {
         lengths.sort_unstable();
         self.lengths = lengths;
         for p in prefixes {
-            if p.len() > 0 {
+            if !p.is_empty() {
                 self.install_paths(p);
             }
         }
@@ -226,7 +226,7 @@ impl<A: Bits, V: Clone> BsplTable<A, V> {
 
 impl<A: Bits, V: Clone> LpmTable<A, V> for BsplTable<A, V> {
     fn insert(&mut self, prefix: Prefix<A>, value: V) -> Option<V> {
-        if prefix.len() == 0 {
+        if prefix.is_empty() {
             let old = self.default_value.replace(value.clone());
             self.real.insert(prefix, value);
             return old;
@@ -251,7 +251,7 @@ impl<A: Bits, V: Clone> LpmTable<A, V> for BsplTable<A, V> {
     }
 
     fn remove(&mut self, prefix: Prefix<A>) -> Option<V> {
-        if prefix.len() == 0 {
+        if prefix.is_empty() {
             self.real.remove(prefix);
             return self.default_value.take();
         }
@@ -315,7 +315,7 @@ impl<A: Bits, V: Clone> LpmTable<A, V> for BsplTable<A, V> {
     }
 
     fn get(&self, prefix: Prefix<A>) -> Option<&V> {
-        if prefix.len() == 0 {
+        if prefix.is_empty() {
             return self.default_value.as_ref();
         }
         self.real.get(prefix)

@@ -26,17 +26,37 @@ pub struct Port {
     pub iface: IfIndex,
 }
 
+/// Fault state of one link direction (applied at the source port as
+/// packets leave it). All counters are per-direction.
+#[derive(Debug, Clone, Copy, Default)]
+struct LinkFault {
+    /// Interface administratively down: everything leaving is lost.
+    down: bool,
+    /// Lose every Nth packet crossing (0 = no loss).
+    loss_every: u64,
+    /// Corrupt every Nth packet crossing (0 = no corruption).
+    corrupt_every: u64,
+    /// Packets that attempted to cross this direction.
+    crossed: u64,
+}
+
 /// A simulated network of routers.
 pub struct Topology {
     nodes: Vec<Router>,
     /// Bidirectional links: port → peer port.
     links: HashMap<Port, Port>,
+    /// Per-direction fault injection, keyed by source port.
+    faults: HashMap<Port, LinkFault>,
     /// Packets delivered on host-facing interfaces, per node.
     delivered: HashMap<NodeId, Vec<Mbuf>>,
     /// Networks attached at host-facing ports: (port, prefix, len).
     networks: Vec<(Port, IpAddr, u8)>,
     /// Total packets moved across links.
     pub forwarded_hops: u64,
+    /// Packets lost to injected link faults (down or loss).
+    pub lost_to_faults: u64,
+    /// Packets corrupted by injected link faults.
+    pub corrupted_by_faults: u64,
 }
 
 impl Topology {
@@ -45,9 +65,12 @@ impl Topology {
         Topology {
             nodes: Vec::new(),
             links: HashMap::new(),
+            faults: HashMap::new(),
             delivered: HashMap::new(),
             networks: Vec::new(),
             forwarded_hops: 0,
+            lost_to_faults: 0,
+            corrupted_by_faults: 0,
         }
     }
 
@@ -71,6 +94,24 @@ impl Topology {
         assert!(!self.links.contains_key(&b), "port {b:?} already linked");
         self.links.insert(a, b);
         self.links.insert(b, a);
+    }
+
+    /// Administratively take one link direction down (or back up):
+    /// everything leaving `from` is lost until re-enabled. The reverse
+    /// direction is unaffected — model a full outage by downing both.
+    pub fn set_link_down(&mut self, from: Port, down: bool) {
+        self.faults.entry(from).or_default().down = down;
+    }
+
+    /// Lose every `every`-th packet leaving `from` (0 disables loss).
+    pub fn set_link_loss(&mut self, from: Port, every: u64) {
+        self.faults.entry(from).or_default().loss_every = every;
+    }
+
+    /// Corrupt (bit-flip) every `every`-th packet leaving `from`
+    /// (0 disables corruption).
+    pub fn set_link_corruption(&mut self, from: Port, every: u64) {
+        self.faults.entry(from).or_default().corrupt_every = every;
     }
 
     /// Declare that the network `addr/len` hangs off a host-facing port.
@@ -136,19 +177,31 @@ impl Topology {
             }
         }
         for (port, pkts) in in_flight {
-            match self.links.get(&port).copied() {
-                Some(peer) => {
-                    for m in pkts {
+            let peer = self.links.get(&port).copied();
+            for mut m in pkts {
+                // Source-side link faults fire before the packet crosses.
+                if let Some(f) = self.faults.get_mut(&port) {
+                    f.crossed += 1;
+                    if f.down || (f.loss_every > 0 && f.crossed % f.loss_every == 0) {
+                        self.lost_to_faults += 1;
+                        continue;
+                    }
+                    if f.corrupt_every > 0 && f.crossed % f.corrupt_every == 0 {
+                        if let Some(b) = m.data_mut().last_mut() {
+                            *b ^= 0xFF;
+                        }
+                        self.corrupted_by_faults += 1;
+                    }
+                }
+                moved += 1;
+                match peer {
+                    Some(peer) => {
                         self.forwarded_hops += 1;
-                        moved += 1;
                         let mut m2 = Mbuf::new(m.into_data(), peer.iface);
                         m2.fix = None;
                         let _ = self.nodes[peer.node.0].receive(m2);
                     }
-                }
-                None => {
-                    moved += pkts.len();
-                    self.delivered.entry(port.node).or_default().extend(pkts);
+                    None => self.delivered.entry(port.node).or_default().push(m),
                 }
             }
         }
@@ -316,6 +369,67 @@ mod tests {
         topo.inject(Port { node: d, iface: 2 }, back);
         topo.run_until_idle(10);
         assert_eq!(topo.take_delivered(a).len(), 1);
+    }
+
+    /// Periodic link loss: every 2nd packet leaving A.if1 vanishes and is
+    /// accounted as a fault loss, the rest are delivered downstream.
+    #[test]
+    fn link_loss_drops_every_nth() {
+        let mut topo = Topology::new();
+        let a = topo.add_node(router(""));
+        let b = topo.add_node(router(""));
+        topo.connect(Port { node: a, iface: 1 }, Port { node: b, iface: 0 });
+        topo.set_link_loss(Port { node: a, iface: 1 }, 2);
+        for i in 0..10u16 {
+            let pkt = PacketSpec::udp(v6_host(1), v6_host(200), 100 + i, 9, 64).build();
+            topo.inject(Port { node: a, iface: 0 }, pkt);
+        }
+        topo.run_until_idle(10);
+        assert_eq!(topo.take_delivered(b).len(), 5);
+        assert_eq!(topo.lost_to_faults, 5);
+    }
+
+    /// Interface-down blackholes the direction until re-enabled; traffic
+    /// resumes afterwards.
+    #[test]
+    fn link_down_blackholes_until_reenabled() {
+        let mut topo = Topology::new();
+        let a = topo.add_node(router(""));
+        let b = topo.add_node(router(""));
+        let link = Port { node: a, iface: 1 };
+        topo.connect(link, Port { node: b, iface: 0 });
+        topo.set_link_down(link, true);
+        for i in 0..3u16 {
+            let pkt = PacketSpec::udp(v6_host(1), v6_host(200), 100 + i, 9, 64).build();
+            topo.inject(Port { node: a, iface: 0 }, pkt);
+        }
+        topo.run_until_idle(10);
+        assert_eq!(topo.take_delivered(b).len(), 0);
+        assert_eq!(topo.lost_to_faults, 3);
+        topo.set_link_down(link, false);
+        let pkt = PacketSpec::udp(v6_host(1), v6_host(200), 200, 9, 64).build();
+        topo.inject(Port { node: a, iface: 0 }, pkt);
+        topo.run_until_idle(10);
+        assert_eq!(topo.take_delivered(b).len(), 1);
+    }
+
+    /// Corruption flips a byte in flight: the packet still arrives but its
+    /// payload differs from what was sent.
+    #[test]
+    fn link_corruption_flips_payload() {
+        let mut topo = Topology::new();
+        let a = topo.add_node(router(""));
+        let b = topo.add_node(router(""));
+        topo.connect(Port { node: a, iface: 1 }, Port { node: b, iface: 0 });
+        topo.set_link_corruption(Port { node: a, iface: 1 }, 1);
+        let pkt = PacketSpec::udp(v6_host(1), v6_host(200), 100, 9, 64).build();
+        topo.inject(Port { node: a, iface: 0 }, pkt.clone());
+        topo.run_until_idle(10);
+        let got = topo.take_delivered(b);
+        assert_eq!(got.len(), 1);
+        assert_eq!(topo.corrupted_by_faults, 1);
+        let last = *got[0].data().last().unwrap();
+        assert_eq!(last, pkt.last().unwrap() ^ 0xFF, "payload byte flipped");
     }
 
     #[test]

@@ -210,7 +210,7 @@ pub fn build_hop_by_hop(next_header: Protocol, options: &[(u8, &[u8])]) -> Vec<u
         n => {
             body.push(Ipv6Option::PADN);
             body.push((n - 2) as u8);
-            body.extend(std::iter::repeat(0).take(n - 2));
+            body.extend(std::iter::repeat_n(0, n - 2));
         }
     }
     let mut out = Vec::with_capacity(2 + body.len());

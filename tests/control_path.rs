@@ -94,6 +94,71 @@ fn unload_refused_while_instances_live() {
 }
 
 #[test]
+fn force_unload_mid_flow_flushes_bindings() {
+    let mut r = router();
+    run_script(
+        &mut r,
+        "load stats\ncreate stats\nbind stats stats 0 <*, *, UDP, *, *, *>",
+    )
+    .unwrap();
+    // Traffic caches a live flow bound to the instance.
+    assert_eq!(r.receive(udp_packet(1000)), Disposition::Forwarded(1));
+    assert_eq!(r.receive(udp_packet(1000)), Disposition::Forwarded(1));
+    // Plain unload keeps the refusal semantics while instances live…
+    assert!(run_command(&mut r, "unload stats").is_err());
+    // …and a bogus modifier is a syntax error, not a force.
+    assert!(matches!(
+        run_command(&mut r, "unload stats now"),
+        Err(PmgrError::Syntax(_))
+    ));
+    // `force` frees the instance — deregistering its filter and flushing
+    // the cached mid-stream flow — then unloads the module.
+    let out = run_command(&mut r, "unload stats force").unwrap();
+    assert_eq!(out, "force-unloaded stats");
+    assert!(r.loader.loaded().is_empty());
+    // The flow keeps flowing on the default path; no stale binding left.
+    assert_eq!(r.receive(udp_packet(1000)), Disposition::Forwarded(1));
+    assert_eq!(r.receive(udp_packet(1001)), Disposition::Forwarded(1));
+}
+
+#[test]
+fn force_unload_scheduler_drains_queue_to_wire() {
+    let mut r = router();
+    run_script(
+        &mut r,
+        "load drr\ncreate drr quantum=1500\nattach 1 drr 0\n\
+         bind sched drr 0 <*, *, UDP, *, *, *>",
+    )
+    .unwrap();
+    assert!(matches!(r.receive(udp_packet(1)), Disposition::Queued(1)));
+    assert!(matches!(r.receive(udp_packet(2)), Disposition::Queued(1)));
+    run_command(&mut r, "unload drr force").unwrap();
+    // The queued packets were pushed to the wire, not blackholed.
+    assert_eq!(r.take_tx(1).len(), 2);
+    assert_eq!(r.receive(udp_packet(3)), Disposition::Forwarded(1));
+}
+
+#[test]
+fn pmgr_health_and_faults_commands() {
+    let mut r = router();
+    assert_eq!(
+        run_command(&mut r, "health").unwrap(),
+        "no supervised instances"
+    );
+    run_script(&mut r, "load null\ncreate null").unwrap();
+    let h = run_command(&mut r, "health").unwrap();
+    assert!(h.contains("null 0: healthy faults=0/0 restarts=0"), "{h}");
+    let f = run_command(&mut r, "faults").unwrap();
+    assert!(f.contains("faults=0"), "{f}");
+    assert!(f.contains("quarantines=0"), "{f}");
+    run_command(&mut r, "free null 0").unwrap();
+    assert_eq!(
+        run_command(&mut r, "health").unwrap(),
+        "no supervised instances"
+    );
+}
+
+#[test]
 fn multiple_instances_coexist_per_flow() {
     // "One of the novel features of our design is the ability to bind
     // different plugins to individual flows; this allows distinct plugin

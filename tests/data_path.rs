@@ -250,7 +250,7 @@ fn oversized_v4_is_fragmented_at_egress() {
     // The builder sets DF; clear it and fix the checksum.
     let mut clear_df = original.clone();
     {
-        let mut p = Ipv4Packet::new_unchecked(&mut clear_df[..]);
+        let p = Ipv4Packet::new_unchecked(&mut clear_df[..]);
         let b = p.into_inner();
         b[6] &= !0x40;
         let mut p = Ipv4Packet::new_unchecked(&mut clear_df[..]);

@@ -1,0 +1,228 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so `criterion` is
+//! vendored as a minimal timed-loop harness (see `vendor/README.md`). It
+//! covers the API subset the `rp-bench` benches use: `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is intentionally simple: each benchmark is warmed up,
+//! then timed over an adaptively chosen iteration count, and the mean
+//! per-iteration wall time is printed. There are no statistics, plots,
+//! or saved baselines — enough to compare kernels by eye, not to
+//! publish confidence intervals.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement window per benchmark.
+const MEASURE_TARGET: Duration = Duration::from_millis(200);
+/// Warm-up window per benchmark.
+const WARMUP_TARGET: Duration = Duration::from_millis(50);
+
+/// Passed to bench closures; `iter` runs and times the workload.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    mean_ns: f64,
+    iters_run: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, choosing an iteration count that fills the
+    /// measurement window.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm up and estimate per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_TARGET {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let iters = ((MEASURE_TARGET.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(10, 50_000_000);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.mean_ns = elapsed.as_nanos() as f64 / iters as f64;
+        self.iters_run = iters;
+    }
+}
+
+/// Units processed per iteration, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements (e.g. packets) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A parameterised benchmark name, e.g. `lookup/1024`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name and a parameter into one id.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            full: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+fn report(group: &str, name: &str, mean_ns: f64, iters: u64, throughput: Option<Throughput>) {
+    let label = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    let mut line = format!("{label:<48} {mean_ns:>12.1} ns/iter ({iters} iters)");
+    match throughput {
+        Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+            let rate = n as f64 * 1e9 / mean_ns;
+            line.push_str(&format!("  {rate:>12.0} elem/s"));
+        }
+        Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+            let rate = n as f64 * 1e9 / mean_ns;
+            line.push_str(&format!("  {:>12.1} MiB/s", rate / (1024.0 * 1024.0)));
+        }
+        _ => {}
+    }
+    println!("{line}");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the units processed per iteration for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            iters_run: 0,
+        };
+        f(&mut b);
+        report(&self.name, &id.to_string(), b.mean_ns, b.iters_run, self.throughput);
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            iters_run: 0,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.to_string(), b.mean_ns, b.iters_run, self.throughput);
+        self
+    }
+
+    /// End the group (prints nothing extra in this stand-in).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level bench driver handed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            iters_run: 0,
+        };
+        f(&mut b);
+        report("", &id.to_string(), b.mean_ns, b.iters_run, None);
+        self
+    }
+}
+
+/// Collect bench functions under a group name (matches criterion's macro
+/// shape; configuration arms are not supported by this stand-in).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Produce `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_trivial(c: &mut Criterion) {
+        let mut group = c.benchmark_group("trivial");
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3u64)));
+        group.bench_with_input(BenchmarkId::new("mul", 7), &7u64, |b, &n| {
+            b.iter(|| black_box(n) * 3)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, bench_trivial);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("lookup", 1024).to_string(), "lookup/1024");
+    }
+}

@@ -1,0 +1,418 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so `proptest` is
+//! vendored as a small deterministic random-sampling harness (see
+//! `vendor/README.md`). It implements the API subset this workspace's
+//! property tests use: the `proptest!` macro (with optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`), `Strategy`
+//! with `prop_map`, tuple/range/`Just`/`any` strategies, `prop_oneof!`,
+//! `prop::collection::{vec, btree_set}`, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest: cases are sampled from a seed derived
+//! from the test name (fully reproducible run-to-run), and there is **no
+//! shrinking** — a failure reports the sampled inputs as-is via the
+//! assertion message. That trade-off keeps the harness tiny while
+//! preserving the property coverage of the original tests.
+
+pub use ::rand;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Runner configuration.
+pub mod test_runner {
+    /// Subset of proptest's config: just the case count.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use super::*;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for producing random values of `Self::Value`.
+    ///
+    /// Real proptest separates strategies from value trees to support
+    /// shrinking; this stand-in samples values directly.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transform every sampled value with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy that always yields a clone of its payload.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Box a strategy for storage in a [`Union`] (used by `prop_oneof!`).
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    /// Uniform choice among several strategies with a common value type.
+    pub struct Union<V> {
+        arms: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Union<V> {
+        /// Build a union over `arms`; `prop_oneof!` calls this.
+        ///
+        /// Panics if `arms` is empty (matching real proptest, where an
+        /// empty `prop_oneof!` is a compile error).
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut StdRng) -> V {
+            let idx = rng.gen_range(0..self.arms.len());
+            self.arms[idx].sample(rng)
+        }
+    }
+
+    impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+        fn sample(&self, rng: &mut StdRng) -> V {
+            (**self).sample(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A.0);
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+}
+
+/// Types with a canonical whole-domain strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draw one value uniformly over the domain.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, u128, bool);
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> strategy::Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy covering the whole domain of `T` (proptest's `any::<T>()`).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Collection strategies (`prop::collection::*`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with lengths drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A `Vec` of `size.start..size.end` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy for `BTreeSet`s with target sizes drawn from a range.
+    ///
+    /// As in real proptest, duplicate draws collapse, so the resulting
+    /// set may be smaller than the drawn target size.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A `BTreeSet` built from `size` draws of `element`.
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+}
+
+/// Everything a property test module usually imports.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of
+/// `fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            // FNV-1a over the test name: a stable per-test seed.
+            let mut __seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for __b in stringify!($name).bytes() {
+                __seed = (__seed ^ u64::from(__b)).wrapping_mul(0x0100_0000_01b3);
+            }
+            let mut __rng = <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(__seed);
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_items! { @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Assert a condition inside a property (no shrinking: maps to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a property (maps to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Assert inequality inside a property (maps to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice among strategies sharing a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($arm)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Shape {
+        Dot,
+        Line(u8),
+        Rect(u8, u8),
+    }
+
+    fn arb_shape() -> impl Strategy<Value = Shape> {
+        prop_oneof![
+            Just(Shape::Dot),
+            (1u8..10).prop_map(Shape::Line),
+            (1u8..10, 1u8..10).prop_map(|(w, h)| Shape::Rect(w, h)),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges stay in bounds and tuples compose.
+        fn ranges_and_tuples(x in 3u32..17, y in 0u16..=4, fill in any::<u8>()) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 4);
+            let _ = fill;
+        }
+
+        fn vec_sizes(v in prop::collection::vec(any::<u8>(), 2..9)) {
+            prop_assert!((2..9).contains(&v.len()), "len {}", v.len());
+        }
+
+        fn sets_are_bounded(s in prop::collection::btree_set(1u8..=32, 1..8)) {
+            prop_assert!(s.len() < 8);
+            prop_assert!(s.iter().all(|&v| (1..=32).contains(&v)));
+        }
+
+        fn oneof_covers_arms(shapes in prop::collection::vec(arb_shape(), 1..40)) {
+            for s in &shapes {
+                match s {
+                    Shape::Dot => {}
+                    Shape::Line(n) => prop_assert!((1..10).contains(n)),
+                    Shape::Rect(w, h) => {
+                        prop_assert!((1..10).contains(w));
+                        prop_assert!((1..10).contains(h));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_name() {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let strat = (0u32..1000, 0u32..1000);
+        let mut a = StdRng::seed_from_u64(77);
+        let mut b = StdRng::seed_from_u64(77);
+        for _ in 0..50 {
+            assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+        }
+    }
+}
