@@ -1,0 +1,200 @@
+//! E7 — scaling of the sharded parallel data plane.
+//!
+//! A uniform 64-flow UDP/IPv6 workload is replayed through
+//! [`ParallelRouter`] arrays of 1/2/4/8 flow-affine shards, each shard a
+//! complete single-threaded plugin router (gates enabled, a null plugin
+//! bound, DRR attached), plus the plain single-threaded [`Router`] as the
+//! no-sharding reference.
+//!
+//! ## Methodology
+//!
+//! The quantity reported is the **aggregate throughput a one-core-per-
+//! shard array sustains**: total packets divided by the busiest shard's
+//! CPU time (the array's critical path). Per-shard CPU demand is read
+//! from the shard thread's CPU clock (`/proc/thread-self/stat`), which is
+//! immune to preemption inflation when the measurement host has fewer
+//! cores than shards — wall-clock speedup on such a host measures the
+//! host, not the architecture, and is reported separately as
+//! `wall_ns` only. Flow-affine dispatch (`flow_hash % N`) means shards
+//! share no state, so per-shard CPU cost is independent of N and the
+//! speedup is set by dispatch balance: `speedup ≈ N / balance_ratio`.
+//!
+//! Output: a text table on stdout and `BENCH_parallel.json`
+//! (schema: `bench`, `schema_version`, `workload` metadata, and `rows`
+//! with `shards`, `packets`, `forwarded`, `dropped`,
+//! `max_shard_busy_ns`, `total_busy_ns`, `wall_ns`, `aggregate_pps`,
+//! `speedup_vs_1shard`, `balance_ratio`, `shard_packets`).
+//!
+//! Run: `cargo run --release -p rp-bench --bin parallel_scaling`
+
+use router_core::plugins::register_builtin_factories;
+use router_core::pmgr::run_script;
+use router_core::{
+    ControlPlane, ParallelRouter, ParallelRouterConfig, Router, RouterConfig,
+};
+use rp_bench::report::{write_bench_json, Json, Table};
+use rp_netsim::testbench::Testbench;
+use rp_netsim::traffic::{v6_host, Workload};
+
+const FLOWS: usize = 64;
+const PKTS_PER_FLOW: usize = 200;
+const REPS: usize = 150;
+const WARMUP_REPS: usize = 2;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The per-shard configuration every variant runs: all gates on, a null
+/// plugin observing every flow at the stats gate, DRR scheduling egress.
+const CONFIG_SCRIPT: &str = "load null\n\
+     create null\n\
+     bind stats null 0 <*, *, *, *, *, *>\n\
+     load drr\n\
+     create drr quantum=9180 limit=512\n\
+     attach 1 drr 0\n\
+     bind sched drr 0 <*, *, UDP, *, *, *>\n";
+
+fn router_config() -> RouterConfig {
+    RouterConfig {
+        verify_checksums: false,
+        ..RouterConfig::default()
+    }
+}
+
+fn configure<C: ControlPlane>(cp: &mut C) {
+    cp.cp_add_route(v6_host(0), 32, 1);
+    run_script(cp, CONFIG_SCRIPT).expect("configure data plane");
+}
+
+fn main() {
+    let workload = Workload::uniform(FLOWS, PKTS_PER_FLOW, 512);
+    let tb = Testbench::new(&workload);
+    let per_rep = workload.total_packets();
+    eprintln!(
+        "[parallel_scaling] {FLOWS} flows × {PKTS_PER_FLOW} pkts = {per_rep}/rep, \
+         {WARMUP_REPS}+{REPS} reps per variant…"
+    );
+
+    // Reference: the paper-faithful single-threaded router (no dispatch,
+    // no channels).
+    let mut single = Router::new(router_config());
+    register_builtin_factories(&mut single.loader);
+    configure(&mut single);
+    tb.run_router(&mut single, WARMUP_REPS);
+    let s_single = tb.run_router(&mut single, REPS);
+    eprintln!(
+        "[parallel_scaling] single-threaded reference: {:.0} pkt/s",
+        s_single.packets_per_sec()
+    );
+
+    // Shared plugin factory table (the single on-disk module set).
+    let mut template = router_core::loader::PluginLoader::new();
+    register_builtin_factories(&mut template);
+
+    let mut rows_json = Vec::new();
+    let mut results = Vec::new();
+    for &shards in &SHARD_COUNTS {
+        let mut pr = ParallelRouter::new(
+            ParallelRouterConfig {
+                shards,
+                router: router_config(),
+                ingress_depth: 1024,
+            },
+            &template,
+        );
+        configure(&mut pr);
+        tb.run_parallel(&mut pr, WARMUP_REPS);
+        let s = tb.run_parallel(&mut pr, REPS);
+        eprintln!(
+            "[parallel_scaling] {shards} shard(s): {:.0} pkt/s aggregate, balance {:.2}",
+            s.aggregate_pps(),
+            s.balance_ratio()
+        );
+        results.push((shards, s));
+    }
+
+    let base_pps = results[0].1.aggregate_pps();
+    println!();
+    println!("Parallel data plane scaling (uniform {FLOWS}-flow UDP/IPv6 workload)");
+    println!(
+        "(aggregate rate = packets ÷ busiest shard's CPU time: the critical path of a"
+    );
+    println!("one-core-per-shard array; measurement host has {} core(s))", num_cpus());
+    println!();
+    let mut t = Table::new(&[
+        "Shards",
+        "pkt/s (aggregate)",
+        "speedup vs 1",
+        "balance (max/mean)",
+        "µs/pkt (per shard)",
+    ]);
+    t.row(&[
+        "single-threaded ref".into(),
+        format!("{:.0}", s_single.packets_per_sec()),
+        "—".into(),
+        "—".into(),
+        format!("{:.2}", s_single.ns_per_packet() / 1000.0),
+    ]);
+    for (shards, s) in &results {
+        let speedup = s.aggregate_pps() / base_pps;
+        t.row(&[
+            shards.to_string(),
+            format!("{:.0}", s.aggregate_pps()),
+            format!("{speedup:.2}×"),
+            format!("{:.2}", s.balance_ratio()),
+            format!("{:.2}", s.ns_per_packet() / 1000.0),
+        ]);
+        rows_json.push(Json::obj(vec![
+            ("shards", Json::from(*shards)),
+            ("packets", Json::from(s.packets)),
+            ("forwarded", Json::from(s.forwarded)),
+            ("dropped", Json::from(s.dropped)),
+            ("max_shard_busy_ns", Json::from(s.max_shard_busy_ns)),
+            ("total_busy_ns", Json::from(s.total_busy_ns)),
+            ("wall_ns", Json::from(s.wall_ns)),
+            ("aggregate_pps", Json::from(s.aggregate_pps())),
+            ("speedup_vs_1shard", Json::from(speedup)),
+            ("balance_ratio", Json::from(s.balance_ratio())),
+            ("shard_packets", Json::from(s.shard_packets.clone())),
+        ]));
+    }
+    t.print();
+
+    let four = results
+        .iter()
+        .find(|(n, _)| *n == 4)
+        .map(|(_, s)| s.aggregate_pps() / base_pps)
+        .unwrap_or(0.0);
+    println!();
+    println!(
+        "4-shard aggregate speedup: {four:.2}× (acceptance floor: 3.0×); per-flow order"
+    );
+    println!("and delivery parity with the single-threaded router are asserted by the");
+    println!("differential test (tests/parallel_dataplane.rs).");
+
+    let extra = vec![
+        (
+            "workload",
+            Json::obj(vec![
+                ("flows", Json::from(FLOWS)),
+                ("pkts_per_flow", Json::from(PKTS_PER_FLOW)),
+                ("reps", Json::from(REPS)),
+                ("payload_len", Json::from(512usize)),
+            ]),
+        ),
+        (
+            "single_threaded_pps",
+            Json::from(s_single.packets_per_sec()),
+        ),
+        ("host_cores", Json::from(num_cpus())),
+        ("speedup_4shard", Json::from(four)),
+    ];
+    match write_bench_json("parallel", rows_json, extra) {
+        Ok(p) => eprintln!("[parallel_scaling] wrote {}", p.display()),
+        Err(e) => eprintln!("[parallel_scaling] could not write JSON: {e}"),
+    }
+}
+
+fn num_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}

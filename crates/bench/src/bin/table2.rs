@@ -27,7 +27,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rp_bench::report::Table;
+use rp_bench::report::{write_bench_json, Json, Table};
 use rp_classifier::{AddrMatch, BmpKind, DagTable, FilterSpec, LookupStats, PortMatch};
 use rp_lpm::Prefix;
 use rp_netsim::traffic::random_filters;
@@ -232,6 +232,21 @@ fn print_table(title: &str, w4: LookupStats, n4: usize, w6: LookupStats, n6: usi
     );
 }
 
+fn json_row(section: &str, family: &str, w: &LookupStats, n: usize, paper_total: u64) -> Json {
+    Json::obj(vec![
+        ("section", Json::from(section)),
+        ("family", Json::from(family)),
+        ("filters", Json::from(n)),
+        ("bmp_fn_ptr", Json::from(w.bmp_fn_ptr)),
+        ("hash_fn_ptr", Json::from(w.hash_fn_ptr)),
+        ("addr_probes", Json::from(w.addr_probes)),
+        ("port_probes", Json::from(w.port_probes)),
+        ("dag_edges", Json::from(w.dag_edges)),
+        ("total", Json::from(w.total())),
+        ("paper_total", Json::from(paper_total)),
+    ])
+}
+
 fn main() {
     eprintln!("[table2] adversarial length population…");
     let (a4, an4) = adversarial(false);
@@ -258,4 +273,19 @@ fn main() {
     println!("Both sections are independent of the number of filters (the paper's");
     println!("headline property); the bound 20/24 is met exactly in the adversarial");
     println!("regime and undercut with realistic length distributions.");
+
+    let rows = vec![
+        json_row("adversarial", "v4", &a4, an4, 20),
+        json_row("adversarial", "v6", &a6, an6, 24),
+        json_row("realistic", "v4", &r4, rn4, 20),
+        json_row("realistic", "v6", &r6, rn6, 24),
+    ];
+    let extra = vec![
+        ("filters_requested", Json::from(FILTERS)),
+        ("probes", Json::from(PROBES)),
+    ];
+    match write_bench_json("table2", rows, extra) {
+        Ok(p) => eprintln!("[table2] wrote {}", p.display()),
+        Err(e) => eprintln!("[table2] could not write JSON: {e}"),
+    }
 }

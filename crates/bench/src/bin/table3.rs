@@ -22,7 +22,7 @@ use router_core::monolithic::{AltqDrrRouter, BestEffortRouter};
 use router_core::plugins::register_builtin_factories;
 use router_core::pmgr::run_script;
 use router_core::{Gate, Router, RouterConfig};
-use rp_bench::report::Table;
+use rp_bench::report::{write_bench_json, Json, Table};
 use rp_netsim::testbench::{RunStats, Testbench};
 use rp_netsim::traffic::{v6_host, Workload};
 
@@ -160,6 +160,34 @@ fn main() {
         "+1650 (+25.5%)",
     ));
     t.print();
+
+    let json_row = |name: &str, s: &RunStats| {
+        let ns = s.ns_per_packet();
+        Json::obj(vec![
+            ("kernel", Json::from(name)),
+            ("ns_per_pkt", Json::from(ns)),
+            ("overhead_vs_lean_pct", Json::from(100.0 * (ns - base) / base)),
+            ("added_host_cycles", Json::from((ns - base) * hz / 1e9)),
+            ("pps", Json::from(s.packets_per_sec())),
+            ("cache_hits", Json::from(s.cache_hits)),
+            ("cache_misses", Json::from(s.cache_misses)),
+        ])
+    };
+    let rows = vec![
+        json_row("best_effort", &s_be),
+        json_row("plugin_framework", &s_fw),
+        json_row("monolithic_altq_drr", &s_altq),
+        json_row("plugin_framework_drr", &s_pd),
+    ];
+    let extra = vec![
+        ("host_hz", Json::from(hz)),
+        ("reps", Json::from(REPS)),
+        ("packets_per_rep", Json::from(workload.total_packets())),
+    ];
+    match write_bench_json("table3", rows, extra) {
+        Ok(p) => eprintln!("[table3] wrote {}", p.display()),
+        Err(e) => eprintln!("[table3] could not write JSON: {e}"),
+    }
 
     println!();
     let fw_added = (s_fw.ns_per_packet() - base) * hz / 1e9;

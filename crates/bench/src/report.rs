@@ -1,6 +1,13 @@
 //! Table-formatting helpers shared by the experiment binaries: fixed-width
 //! text tables resembling the paper's layout, written to stdout so runs can
-//! be `tee`d into EXPERIMENTS.md.
+//! be `tee`d into EXPERIMENTS.md, plus a dependency-free JSON emitter so
+//! every experiment also leaves a machine-readable `BENCH_<name>.json`
+//! behind (consumed by CI artifacts and regression tooling).
+//!
+//! JSON schema (shared by all emitters): the top-level object always has
+//! `"bench"` (the experiment name), `"schema_version"` (integer, bumped on
+//! breaking layout changes), and `"rows"` (array of per-measurement
+//! objects whose keys are experiment-specific but stable per bench).
 
 /// A simple left-aligned text table.
 pub struct Table {
@@ -64,6 +71,163 @@ pub fn us(ns: f64) -> String {
     format!("{:.2}", ns / 1000.0)
 }
 
+/// A JSON value (no external dependencies; just enough for bench output).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (serialized via `{:?}` on f64; integers stay integral).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Num(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::Num(v as f64)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::Num(v as f64)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Self {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs, preserving order.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Serialize with 2-space indentation.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s, 0);
+        s.push('\n');
+        s
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n:?}"));
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    out.push_str("  ");
+                    item.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    out.push_str(&pad);
+                    out.push_str("  ");
+                    Json::Str(k.clone()).write(out, indent + 1);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                    if i + 1 < pairs.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Write a bench result as `BENCH_<name>.json` in the current directory
+/// (the repo root under `cargo run`). `rows` become the standard
+/// `"rows"` array; `extra` pairs are appended at the top level. Returns
+/// the path written.
+pub fn write_bench_json(
+    name: &str,
+    rows: Vec<Json>,
+    extra: Vec<(&str, Json)>,
+) -> std::io::Result<std::path::PathBuf> {
+    let mut pairs = vec![
+        ("bench", Json::from(name)),
+        ("schema_version", Json::from(1u64)),
+    ];
+    pairs.extend(extra);
+    pairs.push(("rows", Json::Arr(rows)));
+    let doc = Json::obj(pairs);
+    let path = std::path::PathBuf::from(format!("BENCH_{name}.json"));
+    std::fs::write(&path, doc.render())?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,5 +246,34 @@ mod tests {
     #[should_panic(expected = "arity")]
     fn arity_checked() {
         Table::new(&["a", "b"]).row(&["x".into()]);
+    }
+
+    #[test]
+    fn json_renders_types_and_escapes() {
+        let j = Json::obj(vec![
+            ("name", Json::from("say \"hi\"\n")),
+            ("n", Json::from(42u64)),
+            ("pi", Json::from(3.5)),
+            ("ok", Json::from(true)),
+            ("none", Json::Null),
+            ("xs", Json::from(vec![1u64, 2, 3])),
+        ]);
+        let s = j.render();
+        assert!(s.contains("\"say \\\"hi\\\"\\n\""), "{s}");
+        assert!(s.contains("\"n\": 42"), "{s}");
+        assert!(s.contains("\"pi\": 3.5"), "{s}");
+        assert!(s.contains("\"none\": null"), "{s}");
+        assert!(s.contains('['), "{s}");
+    }
+
+    #[test]
+    fn json_integers_stay_integral() {
+        assert_eq!(Json::from(1_000_000u64).render().trim(), "1000000");
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Json::Arr(vec![]).render().trim(), "[]");
+        assert_eq!(Json::Obj(vec![]).render().trim(), "{}");
     }
 }

@@ -23,7 +23,10 @@ pub type GateId = usize;
 
 /// A flow record's gate binding, fetched in one slab access: the filter
 /// the binding was derived from plus the per-flow soft-state slot.
-pub type BindingMut<'a> = (Option<FilterId>, &'a mut Option<Box<dyn std::any::Any>>);
+pub type BindingMut<'a> = (
+    Option<FilterId>,
+    &'a mut Option<Box<dyn std::any::Any + Send>>,
+);
 
 /// AIU construction parameters.
 #[derive(Debug, Clone, Copy)]
@@ -198,7 +201,7 @@ impl<V: Clone> Aiu<V> {
         &mut self,
         fix: FlowIndex,
         gate: GateId,
-    ) -> Option<&mut Option<Box<dyn std::any::Any>>> {
+    ) -> Option<&mut Option<Box<dyn std::any::Any + Send>>> {
         Some(
             &mut self
                 .flow_table

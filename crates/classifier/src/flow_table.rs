@@ -56,8 +56,9 @@ pub struct GateBinding<V> {
     pub instance: Option<V>,
     /// The filter this binding was derived from.
     pub filter: Option<FilterId>,
-    /// Plugin-private per-flow soft state.
-    pub soft_state: Option<Box<dyn Any>>,
+    /// Plugin-private per-flow soft state (`Send` so flow records can live
+    /// on data-plane worker shards).
+    pub soft_state: Option<Box<dyn Any + Send>>,
 }
 
 impl<V> Default for GateBinding<V> {
@@ -124,6 +125,19 @@ pub struct FlowTableStats {
     pub allocated: usize,
     /// Live records.
     pub live: usize,
+}
+
+impl FlowTableStats {
+    /// Fold another table's counters into this one. A sharded data plane
+    /// runs one flow table per worker; control-plane reporting sums them
+    /// into the view a single-table router would show.
+    pub fn absorb(&mut self, other: &FlowTableStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.recycled += other.recycled;
+        self.allocated += other.allocated;
+        self.live += other.live;
+    }
 }
 
 /// The flow cache.

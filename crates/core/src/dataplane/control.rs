@@ -1,0 +1,246 @@
+//! The single control plane over N data-plane shards.
+//!
+//! The paper's control path (pmgr → Router Plugin Library → PCU) stays
+//! one logical entity: every command fans out to all shards in per-shard
+//! FIFO order with the data path, and the replies are aggregated back
+//! into the one answer a single-router operator would see. Because every
+//! shard applies the identical command sequence, instance and filter ids
+//! assigned by the per-shard PCU/AIU stay in lockstep — an id returned by
+//! `create` names the same logical instance on every shard.
+//!
+//! [`ControlPlane`] is the trait `pmgr` drives; it is implemented by the
+//! single-threaded [`Router`](crate::router::Router) (trivially) and by
+//! [`ParallelRouter`](super::ParallelRouter) (fan-out + aggregation).
+
+use crate::gate::Gate;
+use crate::ip_core::DataPathStats;
+use crate::message::{PluginMsg, PluginReply};
+use crate::plugin::{InstanceId, PluginError};
+use crate::router::Router;
+use crate::supervisor::HealthReport;
+use rp_classifier::flow_table::FlowTableStats;
+use rp_packet::mbuf::IfIndex;
+use std::net::IpAddr;
+
+/// A supervision report with its origin: `None` on a single router,
+/// `Some(shard)` on a parallel data plane.
+#[derive(Debug, Clone)]
+pub struct ShardHealthReport {
+    /// Which shard the report came from (None = unsharded router).
+    pub shard: Option<usize>,
+    /// The instance's supervision snapshot.
+    pub report: HealthReport,
+}
+
+/// One row of a `stats` report: a label ("total", "shard 0", …) plus the
+/// data-path and flow-cache counters behind it.
+#[derive(Debug, Clone)]
+pub struct StatsRow {
+    /// Row label.
+    pub label: String,
+    /// Data-path counters.
+    pub data: DataPathStats,
+    /// Flow-cache counters.
+    pub flows: FlowTableStats,
+}
+
+/// The control-plane surface `pmgr` (and the daemons) drive. One
+/// implementation per data-plane shape; the command language is identical
+/// over both.
+pub trait ControlPlane {
+    /// `modload <name>`.
+    fn cp_load_plugin(&mut self, name: &str) -> Result<(), PluginError>;
+    /// `modunload <name>`.
+    fn cp_unload_plugin(&mut self, name: &str) -> Result<(), PluginError>;
+    /// Forced `modunload`: free live instances and their bindings first.
+    fn cp_force_unload_plugin(&mut self, name: &str) -> Result<(), PluginError>;
+    /// Standardized / plugin-specific message dispatch.
+    fn cp_send_message(
+        &mut self,
+        plugin: &str,
+        msg: PluginMsg,
+    ) -> Result<PluginReply, PluginError>;
+    /// Add a core route.
+    fn cp_add_route(&mut self, addr: IpAddr, prefix_len: u8, tx_if: IfIndex);
+    /// Remove a core route.
+    fn cp_remove_route(&mut self, addr: IpAddr, prefix_len: u8) -> bool;
+    /// Enable/disable a gate.
+    fn cp_set_gate_enabled(&mut self, gate: Gate, enabled: bool);
+    /// Attach a default egress scheduler to an interface.
+    fn cp_set_default_scheduler(
+        &mut self,
+        iface: IfIndex,
+        plugin: &str,
+        id: InstanceId,
+    ) -> Result<(), PluginError>;
+    /// Installed filters at a gate, human-readable.
+    fn cp_describe_filters(&self, gate: Gate) -> Vec<String>;
+    /// Live instances, human-readable.
+    fn cp_describe_instances(&self) -> Vec<String>;
+    /// Supervision state, labelled by shard where applicable.
+    fn cp_health_reports(&self) -> Vec<ShardHealthReport>;
+    /// Loaded plugin names.
+    fn cp_loaded_plugins(&self) -> Vec<String>;
+    /// Statistics rows: the merged total first, then any per-shard
+    /// breakdown.
+    fn cp_stats_rows(&self) -> Vec<StatsRow>;
+}
+
+impl ControlPlane for Router {
+    fn cp_load_plugin(&mut self, name: &str) -> Result<(), PluginError> {
+        self.load_plugin(name)
+    }
+    fn cp_unload_plugin(&mut self, name: &str) -> Result<(), PluginError> {
+        self.unload_plugin(name)
+    }
+    fn cp_force_unload_plugin(&mut self, name: &str) -> Result<(), PluginError> {
+        self.force_unload_plugin(name)
+    }
+    fn cp_send_message(
+        &mut self,
+        plugin: &str,
+        msg: PluginMsg,
+    ) -> Result<PluginReply, PluginError> {
+        self.send_message(plugin, msg)
+    }
+    fn cp_add_route(&mut self, addr: IpAddr, prefix_len: u8, tx_if: IfIndex) {
+        self.add_route(addr, prefix_len, tx_if)
+    }
+    fn cp_remove_route(&mut self, addr: IpAddr, prefix_len: u8) -> bool {
+        self.remove_route(addr, prefix_len)
+    }
+    fn cp_set_gate_enabled(&mut self, gate: Gate, enabled: bool) {
+        self.set_gate_enabled(gate, enabled)
+    }
+    fn cp_set_default_scheduler(
+        &mut self,
+        iface: IfIndex,
+        plugin: &str,
+        id: InstanceId,
+    ) -> Result<(), PluginError> {
+        self.set_default_scheduler(iface, plugin, id)
+    }
+    fn cp_describe_filters(&self, gate: Gate) -> Vec<String> {
+        self.describe_filters(gate)
+    }
+    fn cp_describe_instances(&self) -> Vec<String> {
+        self.describe_instances()
+    }
+    fn cp_health_reports(&self) -> Vec<ShardHealthReport> {
+        self.health_reports()
+            .into_iter()
+            .map(|report| ShardHealthReport {
+                shard: None,
+                report,
+            })
+            .collect()
+    }
+    fn cp_loaded_plugins(&self) -> Vec<String> {
+        self.loader.loaded()
+    }
+    fn cp_stats_rows(&self) -> Vec<StatsRow> {
+        vec![StatsRow {
+            label: "total".to_string(),
+            data: self.stats(),
+            flows: self.flow_stats(),
+        }]
+    }
+}
+
+/// Aggregate per-shard unit results: the logical operation succeeded iff
+/// it succeeded everywhere; the first failure is the reported one.
+pub(crate) fn merge_unit(results: Vec<Result<(), PluginError>>) -> Result<(), PluginError> {
+    for r in results {
+        r?;
+    }
+    Ok(())
+}
+
+/// Aggregate per-shard replies into the single reply the operator sees.
+///
+/// Shards execute identical command sequences, so structured replies
+/// (instance ids, filter ids) are expected to agree — any divergence is
+/// surfaced as an error rather than silently picking one shard's answer.
+/// Plugin-specific `Text` replies may legitimately differ per shard
+/// (e.g. per-shard packet counters); those are joined with a shard label
+/// per line.
+pub(crate) fn merge_replies(
+    results: Vec<Result<PluginReply, PluginError>>,
+) -> Result<PluginReply, PluginError> {
+    let mut replies = Vec::with_capacity(results.len());
+    for r in results {
+        replies.push(r?);
+    }
+    let Some(first) = replies.first().cloned() else {
+        return Err(PluginError::Busy("no data-plane shards".to_string()));
+    };
+    if replies.iter().all(|r| *r == first) {
+        return Ok(first);
+    }
+    if replies.iter().all(|r| matches!(r, PluginReply::Text(_))) {
+        let joined = replies
+            .iter()
+            .enumerate()
+            .map(|(i, r)| match r {
+                PluginReply::Text(t) => format!("[shard {i}] {t}"),
+                _ => unreachable!("checked all-Text above"),
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        return Ok(PluginReply::Text(joined));
+    }
+    Err(PluginError::Busy(format!(
+        "control fan-out diverged across shards: {replies:?}"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_first_error_wins() {
+        assert!(merge_unit(vec![Ok(()), Ok(())]).is_ok());
+        let e = merge_unit(vec![
+            Ok(()),
+            Err(PluginError::Busy("x".into())),
+            Err(PluginError::Busy("y".into())),
+        ])
+        .unwrap_err();
+        assert_eq!(e, PluginError::Busy("x".into()));
+    }
+
+    #[test]
+    fn equal_replies_collapse() {
+        let r = merge_replies(vec![
+            Ok(PluginReply::InstanceCreated(InstanceId(3))),
+            Ok(PluginReply::InstanceCreated(InstanceId(3))),
+        ])
+        .unwrap();
+        assert_eq!(r, PluginReply::InstanceCreated(InstanceId(3)));
+    }
+
+    #[test]
+    fn divergent_texts_join_with_shard_labels() {
+        let r = merge_replies(vec![
+            Ok(PluginReply::Text("pkts=1".into())),
+            Ok(PluginReply::Text("pkts=2".into())),
+        ])
+        .unwrap();
+        assert_eq!(r, PluginReply::Text("[shard 0] pkts=1\n[shard 1] pkts=2".into()));
+    }
+
+    #[test]
+    fn divergent_ids_are_an_error() {
+        let r = merge_replies(vec![
+            Ok(PluginReply::InstanceCreated(InstanceId(1))),
+            Ok(PluginReply::InstanceCreated(InstanceId(2))),
+        ]);
+        assert!(matches!(r, Err(PluginError::Busy(_))));
+    }
+
+    #[test]
+    fn empty_shard_set_is_an_error() {
+        assert!(merge_replies(vec![]).is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! RSS-style ingress dispatch: every packet is steered to a shard by a
+//! hash of its flow five-tuple, so all packets of one flow land on the
+//! same shard — preserving the flow-cache affinity, per-flow soft state,
+//! and per-flow packet order the paper's architecture depends on, without
+//! any cross-shard locking.
+//!
+//! The hash is the flow table's own [`flow_hash`] (the paper's cheap
+//! "17-cycle" five-tuple fold), so dispatch costs the same as one flow
+//! cache probe and spreads exactly as well as the cache itself.
+
+use rp_classifier::flow_table::flow_hash;
+use rp_packet::{FlowTuple, Mbuf};
+
+/// The shard a fully-specified flow belongs to.
+#[inline]
+pub fn shard_for_tuple(tuple: &FlowTuple, shards: usize) -> usize {
+    debug_assert!(shards > 0, "dispatch needs at least one shard");
+    (flow_hash(tuple) as usize) % shards.max(1)
+}
+
+/// The shard a packet is dispatched to. Packets whose five-tuple cannot
+/// be extracted (malformed, unknown transport) all go to shard 0: they
+/// carry no flow state, and concentrating them keeps the error path
+/// deterministic.
+#[inline]
+pub fn shard_for_packet(mbuf: &Mbuf, shards: usize) -> usize {
+    match FlowTuple::from_mbuf(mbuf) {
+        Ok(t) => shard_for_tuple(&t, shards),
+        Err(_) => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{IpAddr, Ipv6Addr};
+
+    fn tuple(n: u16, sport: u16) -> FlowTuple {
+        FlowTuple {
+            src: IpAddr::V6(Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, n)),
+            dst: IpAddr::V6(Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 0x900)),
+            proto: 17,
+            sport,
+            dport: 80,
+            rx_if: 0,
+        }
+    }
+
+    #[test]
+    fn stable_and_in_range() {
+        for n in 0..100 {
+            let t = tuple(n, 1000 + n);
+            for shards in [1usize, 2, 4, 8] {
+                let s = shard_for_tuple(&t, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_for_tuple(&t, shards), "dispatch must be stable");
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_takes_everything() {
+        for n in 0..50 {
+            assert_eq!(shard_for_tuple(&tuple(n, 5000), 1), 0);
+        }
+    }
+
+    #[test]
+    fn malformed_packets_go_to_shard_zero() {
+        let m = Mbuf::new(vec![0u8; 4], 0);
+        assert_eq!(shard_for_packet(&m, 8), 0);
+    }
+}

@@ -1,0 +1,390 @@
+//! Sharded parallel data plane: flow-affine worker shards behind the
+//! paper's single-router model.
+//!
+//! The paper's router is deliberately single-threaded: gates, the AIU
+//! flow table, and plugin soft state are all manipulated without locks,
+//! which is exactly what makes the fast path fast. [`ParallelRouter`]
+//! scales that design out instead of up: it runs N complete
+//! single-threaded [`Router`]s — each with its own AIU, flow table,
+//! gates, and plugin instances — on N worker threads, and steers every
+//! packet to the shard owning its flow (`flow_hash(five-tuple) % N`,
+//! see [`dispatch`]). No data-path state is ever shared, so no data-path
+//! lock exists; per-flow packet order is preserved because one flow
+//! always lives on one shard.
+//!
+//! The control plane stays single. Every `pmgr` command fans out to all
+//! shards through the same per-shard FIFO as the packets (so
+//! command/packet ordering per shard matches issue order) and the
+//! replies are merged back into one answer ([`control`]). Shards apply
+//! identical command sequences, so per-shard PCU instance ids and AIU
+//! filter ids stay in lockstep and an operator-visible id means the same
+//! logical object everywhere.
+//!
+//! Egress is re-serialized: shards push transmitted packets onto one
+//! shared collector channel and the dispatcher buckets them per output
+//! interface. Since a flow is pinned to one shard and each shard emits in
+//! processing order, per-flow order on the wire matches the
+//! single-threaded router exactly.
+
+pub mod control;
+pub mod dispatch;
+pub mod shard;
+
+pub use control::{ControlPlane, ShardHealthReport, StatsRow};
+pub use dispatch::{shard_for_packet, shard_for_tuple};
+pub use shard::{ShardCtx, ShardMsg, ShardReport};
+
+use crate::gate::Gate;
+use crate::ip_core::DataPathStats;
+use crate::loader::PluginLoader;
+use crate::message::{PluginMsg, PluginReply};
+use crate::plugin::{InstanceId, PluginError};
+use crate::router::{Router, RouterConfig};
+use control::{merge_replies, merge_unit};
+use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
+use rp_classifier::flow_table::FlowTableStats;
+use rp_packet::mbuf::IfIndex;
+use rp_packet::Mbuf;
+use shard::{run_shard, ControlFn, ShardHandle};
+use std::net::IpAddr;
+use std::sync::Arc;
+
+// The whole design depends on Router moving into worker threads; fail at
+// compile time (not deep inside thread::spawn) if a !Send field sneaks in.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Router>();
+};
+
+/// Configuration for a [`ParallelRouter`].
+#[derive(Debug, Clone)]
+pub struct ParallelRouterConfig {
+    /// Number of worker shards (each a complete single-threaded router).
+    pub shards: usize,
+    /// Per-shard router configuration (interfaces, gates, flow table…).
+    pub router: RouterConfig,
+    /// Depth of each shard's ingress FIFO. A full FIFO back-pressures the
+    /// dispatcher (blocking send), mirroring a bounded input queue.
+    pub ingress_depth: usize,
+}
+
+impl Default for ParallelRouterConfig {
+    fn default() -> Self {
+        ParallelRouterConfig {
+            shards: 4,
+            router: RouterConfig::default(),
+            ingress_depth: 1024,
+        }
+    }
+}
+
+/// N flow-affine router shards behind the single-router interface.
+///
+/// Packets enter through [`receive`](ParallelRouter::receive), control
+/// through [`ControlPlane`] (or [`control_map`](ParallelRouter::control_map)
+/// directly), and egress leaves through
+/// [`take_tx`](ParallelRouter::take_tx) after a
+/// [`flush`](ParallelRouter::flush).
+pub struct ParallelRouter {
+    handles: Vec<ShardHandle>,
+    interfaces: usize,
+    /// Kept so `egress_rx` never disconnects while shards are live; the
+    /// shards hold clones.
+    _egress_tx: Sender<(IfIndex, Mbuf)>,
+    egress_rx: Receiver<(IfIndex, Mbuf)>,
+    /// Per-interface egress buckets, filled from the collector.
+    pending: Vec<Vec<Mbuf>>,
+}
+
+impl ParallelRouter {
+    /// Build the shard array. Each shard's router is constructed here on
+    /// the caller thread — sharing the plugin factory table of
+    /// `template` (the paper's single on-disk module set) — and then
+    /// moved onto its worker thread.
+    pub fn new(cfg: ParallelRouterConfig, template: &PluginLoader) -> Self {
+        let shards = cfg.shards.max(1);
+        let (egress_tx, egress_rx) = unbounded();
+        let mut handles = Vec::with_capacity(shards);
+        for index in 0..shards {
+            let mut router = Router::new(cfg.router.clone());
+            router.loader = template.share_factories();
+            let ctx = ShardCtx {
+                index,
+                router,
+                busy_ns: 0,
+                packets: 0,
+            };
+            let (tx, rx) = bounded(cfg.ingress_depth.max(1));
+            let egress = egress_tx.clone();
+            let join = std::thread::Builder::new()
+                .name(format!("rp-shard-{index}"))
+                .spawn(move || run_shard(ctx, rx, egress))
+                .ok();
+            handles.push(ShardHandle {
+                tx,
+                join,
+            });
+        }
+        ParallelRouter {
+            handles,
+            interfaces: cfg.router.interfaces,
+            _egress_tx: egress_tx,
+            egress_rx,
+            pending: (0..cfg.router.interfaces).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Number of worker shards.
+    pub fn shard_count(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// The shard `mbuf` would be dispatched to.
+    pub fn shard_of(&self, mbuf: &Mbuf) -> usize {
+        shard_for_packet(mbuf, self.handles.len())
+    }
+
+    /// Dispatch one ingress packet to its flow's shard. Returns the shard
+    /// index. Blocks if that shard's ingress FIFO is full (bounded-queue
+    /// back-pressure).
+    pub fn receive(&self, mbuf: Mbuf) -> usize {
+        let s = self.shard_of(&mbuf);
+        let _ = self.handles[s].tx.send(ShardMsg::Packet(mbuf));
+        s
+    }
+
+    /// Quiesce: block until every shard has fully processed everything
+    /// sent before this call, then drain the egress collector.
+    pub fn flush(&mut self) {
+        let (tx, rx) = unbounded::<()>();
+        let mut expected = 0usize;
+        for h in &self.handles {
+            if h.tx.send(ShardMsg::Barrier(tx.clone())).is_ok() {
+                expected += 1;
+            }
+        }
+        drop(tx);
+        for _ in 0..expected {
+            if rx.recv().is_err() {
+                break;
+            }
+        }
+        self.drain_egress();
+    }
+
+    /// Move everything on the shared egress collector into the
+    /// per-interface buckets.
+    fn drain_egress(&mut self) {
+        for (iface, pkt) in self.egress_rx.try_iter() {
+            let i = iface as usize;
+            if i < self.pending.len() {
+                self.pending[i].push(pkt);
+            }
+        }
+    }
+
+    /// Take the packets transmitted on `iface` since the last call.
+    /// Call [`flush`](ParallelRouter::flush) first for a complete view of
+    /// in-flight traffic.
+    pub fn take_tx(&mut self, iface: IfIndex) -> Vec<Mbuf> {
+        self.drain_egress();
+        match self.pending.get_mut(iface as usize) {
+            Some(v) => std::mem::take(v),
+            None => Vec::new(),
+        }
+    }
+
+    /// Run `f` on every shard (on the shard's own thread, in FIFO order
+    /// with that shard's packets) and collect the results in shard-index
+    /// order. This is the primitive every control-plane fan-out is built
+    /// on. Shards that have died are skipped.
+    pub fn control_map<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(&mut ShardCtx) -> R + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let (tx, rx) = unbounded::<(usize, R)>();
+        for h in &self.handles {
+            let f = Arc::clone(&f);
+            let tx = tx.clone();
+            let cmd: ControlFn = Box::new(move |ctx: &mut ShardCtx| {
+                let index = ctx.index;
+                let r = f(ctx);
+                let _ = tx.send((index, r));
+            });
+            let _ = h.tx.send(ShardMsg::Control(cmd));
+        }
+        drop(tx);
+        // iter() ends once every shard has run (and dropped) its closure;
+        // a dead shard drops the un-run closure, releasing its tx clone,
+        // so this cannot deadlock.
+        let mut out: Vec<(usize, R)> = rx.iter().collect();
+        out.sort_by_key(|(i, _)| *i);
+        out.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Advance the logical clock on every shard (paper: timeouts and
+    /// idle-flow reclamation run off the router clock).
+    pub fn set_time_ns(&self, now_ns: u64) {
+        self.control_map(move |ctx| ctx.router.set_time_ns(now_ns));
+    }
+
+    /// Assign an address to `iface` on every shard.
+    pub fn set_interface_addr(&self, iface: IfIndex, addr: IpAddr) {
+        self.control_map(move |ctx| ctx.router.set_interface_addr(iface, addr));
+    }
+
+    /// Reclaim idle flows on every shard; returns the total reclaimed.
+    pub fn expire_idle_flows(&self, max_idle_ns: u64) -> usize {
+        self.control_map(move |ctx| ctx.router.expire_idle_flows(max_idle_ns))
+            .into_iter()
+            .sum()
+    }
+
+    /// Merged data-path counters across all shards.
+    pub fn stats(&self) -> DataPathStats {
+        let mut total = DataPathStats::default();
+        for s in self.control_map(|ctx| ctx.router.stats()) {
+            total.absorb(&s);
+        }
+        total
+    }
+
+    /// Merged flow-cache counters across all shards.
+    pub fn flow_stats(&self) -> FlowTableStats {
+        let mut total = FlowTableStats::default();
+        for s in self.control_map(|ctx| ctx.router.flow_stats()) {
+            total.absorb(&s);
+        }
+        total
+    }
+
+    /// Per-shard statistics snapshots (packets, busy time, counters).
+    pub fn shard_reports(&self) -> Vec<ShardReport> {
+        self.control_map(|ctx| ctx.report())
+    }
+
+    /// Number of interfaces (identical on every shard).
+    pub fn interface_count(&self) -> usize {
+        self.interfaces
+    }
+}
+
+impl Drop for ParallelRouter {
+    fn drop(&mut self) {
+        for h in &self.handles {
+            let _ = h.tx.send(ShardMsg::Shutdown);
+        }
+        for h in &mut self.handles {
+            if let Some(j) = h.join.take() {
+                let _ = j.join();
+            }
+        }
+    }
+}
+
+impl ControlPlane for ParallelRouter {
+    fn cp_load_plugin(&mut self, name: &str) -> Result<(), PluginError> {
+        let name = name.to_string();
+        merge_unit(self.control_map(move |ctx| ctx.router.load_plugin(&name)))
+    }
+    fn cp_unload_plugin(&mut self, name: &str) -> Result<(), PluginError> {
+        let name = name.to_string();
+        merge_unit(self.control_map(move |ctx| ctx.router.unload_plugin(&name)))
+    }
+    fn cp_force_unload_plugin(&mut self, name: &str) -> Result<(), PluginError> {
+        let name = name.to_string();
+        merge_unit(self.control_map(move |ctx| ctx.router.force_unload_plugin(&name)))
+    }
+    fn cp_send_message(
+        &mut self,
+        plugin: &str,
+        msg: PluginMsg,
+    ) -> Result<PluginReply, PluginError> {
+        let plugin = plugin.to_string();
+        merge_replies(
+            self.control_map(move |ctx| ctx.router.send_message(&plugin, msg.clone())),
+        )
+    }
+    fn cp_add_route(&mut self, addr: IpAddr, prefix_len: u8, tx_if: IfIndex) {
+        self.control_map(move |ctx| ctx.router.add_route(addr, prefix_len, tx_if));
+    }
+    fn cp_remove_route(&mut self, addr: IpAddr, prefix_len: u8) -> bool {
+        self.control_map(move |ctx| ctx.router.remove_route(addr, prefix_len))
+            .into_iter()
+            .any(|removed| removed)
+    }
+    fn cp_set_gate_enabled(&mut self, gate: Gate, enabled: bool) {
+        self.control_map(move |ctx| ctx.router.set_gate_enabled(gate, enabled));
+    }
+    fn cp_set_default_scheduler(
+        &mut self,
+        iface: IfIndex,
+        plugin: &str,
+        id: InstanceId,
+    ) -> Result<(), PluginError> {
+        let plugin = plugin.to_string();
+        merge_unit(
+            self.control_map(move |ctx| ctx.router.set_default_scheduler(iface, &plugin, id)),
+        )
+    }
+    fn cp_describe_filters(&self, gate: Gate) -> Vec<String> {
+        // Filter tables are in lockstep across shards; shard 0's view is
+        // the logical router's view.
+        self.control_map(move |ctx| ctx.router.describe_filters(gate))
+            .into_iter()
+            .next()
+            .unwrap_or_default()
+    }
+    fn cp_describe_instances(&self) -> Vec<String> {
+        self.control_map(|ctx| ctx.router.describe_instances())
+            .into_iter()
+            .next()
+            .unwrap_or_default()
+    }
+    fn cp_health_reports(&self) -> Vec<ShardHealthReport> {
+        let mut out = Vec::new();
+        for (shard, reports) in self
+            .control_map(|ctx| ctx.router.health_reports())
+            .into_iter()
+            .enumerate()
+        {
+            for report in reports {
+                out.push(ShardHealthReport {
+                    shard: Some(shard),
+                    report,
+                });
+            }
+        }
+        out
+    }
+    fn cp_loaded_plugins(&self) -> Vec<String> {
+        self.control_map(|ctx| ctx.router.loader.loaded())
+            .into_iter()
+            .next()
+            .unwrap_or_default()
+    }
+    fn cp_stats_rows(&self) -> Vec<StatsRow> {
+        let per_shard = self.control_map(|ctx| (ctx.router.stats(), ctx.router.flow_stats()));
+        let mut total_data = DataPathStats::default();
+        let mut total_flows = FlowTableStats::default();
+        for (d, f) in &per_shard {
+            total_data.absorb(d);
+            total_flows.absorb(f);
+        }
+        let mut rows = vec![StatsRow {
+            label: "total".to_string(),
+            data: total_data,
+            flows: total_flows,
+        }];
+        for (i, (d, f)) in per_shard.into_iter().enumerate() {
+            rows.push(StatsRow {
+                label: format!("shard {i}"),
+                data: d,
+                flows: f,
+            });
+        }
+        rows
+    }
+}

@@ -1,0 +1,158 @@
+//! The worker side of the parallel data plane: one OS thread per shard,
+//! each owning a complete single-threaded [`Router`].
+//!
+//! A shard's mailbox is a bounded FIFO carrying both packets and control
+//! commands, so per-shard ordering between the two is exactly the order
+//! the dispatcher issued them in — a filter installed before a packet was
+//! dispatched is guaranteed visible to that packet, just as it would be
+//! on the single-threaded router.
+
+use crate::ip_core::{DataPathStats, Disposition};
+use crate::router::Router;
+use crossbeam_channel::{Receiver, Sender};
+use rp_classifier::flow_table::FlowTableStats;
+use rp_packet::mbuf::IfIndex;
+use rp_packet::Mbuf;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A control command executed on the shard thread with full access to the
+/// shard's state. Results travel back through whatever channel the
+/// closure captured.
+pub type ControlFn = Box<dyn FnOnce(&mut ShardCtx) + Send>;
+
+/// Everything a shard thread owns.
+pub struct ShardCtx {
+    /// This shard's index in the dispatch function.
+    pub index: usize,
+    /// The shard's complete single-threaded router: its own AIU, flow
+    /// table, gates, scheduler queues, and plugin instances.
+    pub router: Router,
+    /// Nanoseconds this shard has spent processing packets (receive +
+    /// pump), i.e. its CPU demand. With one core per shard this is the
+    /// shard's wall-clock busy time; the scaling bench divides packet
+    /// count by the *maximum* shard busy time to get the aggregate rate
+    /// the array sustains.
+    pub busy_ns: u64,
+    /// Packets this shard has processed.
+    pub packets: u64,
+}
+
+/// Messages a shard consumes, in strict FIFO order.
+pub enum ShardMsg {
+    /// One packet to run through the data path.
+    Packet(Mbuf),
+    /// A control command (fan-out from the single control plane).
+    Control(ControlFn),
+    /// Reply on the enclosed channel once every earlier message has been
+    /// fully processed (the dispatcher's flush/quiesce point).
+    Barrier(Sender<()>),
+    /// Drain and exit.
+    Shutdown,
+}
+
+/// Per-shard statistics snapshot (pmgr `stats` breakdown, scaling bench).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// Packets processed.
+    pub packets: u64,
+    /// Busy time in nanoseconds (see [`ShardCtx::busy_ns`]).
+    pub busy_ns: u64,
+    /// Cumulative CPU time of the shard thread in nanoseconds (0 when the
+    /// platform doesn't expose it). Unlike `busy_ns` (wall time inside
+    /// the packet path) this is immune to preemption inflation when more
+    /// shards than cores share the measurement host, at ~10 ms kernel
+    /// accounting granularity — benches prefer it over long runs.
+    pub cpu_ns: u64,
+    /// The shard router's data-path counters.
+    pub data: DataPathStats,
+    /// The shard router's flow-cache counters.
+    pub flows: FlowTableStats,
+}
+
+/// Cumulative CPU time (user + system) of the *calling* thread, from
+/// `/proc/thread-self/stat`. `None` off Linux or on parse failure.
+fn thread_cpu_ns() -> Option<u64> {
+    let stat = std::fs::read_to_string("/proc/thread-self/stat").ok()?;
+    // The comm field may contain spaces; everything after the closing
+    // paren is fixed-position. utime/stime are the 12th/13th tokens after
+    // it, in USER_HZ (100 Hz on Linux) ticks.
+    let (_, rest) = stat.rsplit_once(')')?;
+    let toks: Vec<&str> = rest.split_whitespace().collect();
+    let utime: u64 = toks.get(11)?.parse().ok()?;
+    let stime: u64 = toks.get(12)?.parse().ok()?;
+    Some((utime + stime) * 10_000_000)
+}
+
+/// The dispatcher's handle to one shard.
+pub(crate) struct ShardHandle {
+    pub(crate) tx: Sender<ShardMsg>,
+    pub(crate) join: Option<JoinHandle<()>>,
+}
+
+/// Push everything the shard's router transmitted onto the shared egress
+/// collector. Packets of one flow always leave the same shard in
+/// processing order, so per-flow order on the collector is the router's
+/// emission order.
+fn drain_tx(router: &mut Router, egress: &Sender<(IfIndex, Mbuf)>) {
+    for i in 0..router.interface_count() {
+        let ifx = i as IfIndex;
+        for pkt in router.take_tx(ifx) {
+            // A dropped collector means the dispatcher is gone; the shard
+            // is about to shut down anyway.
+            let _ = egress.send((ifx, pkt));
+        }
+    }
+}
+
+/// The shard thread's main loop.
+pub(crate) fn run_shard(
+    mut ctx: ShardCtx,
+    rx: Receiver<ShardMsg>,
+    egress: Sender<(IfIndex, Mbuf)>,
+) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Packet(pkt) => {
+                let t0 = Instant::now();
+                let d = ctx.router.receive(pkt);
+                if let Disposition::Queued(iface) = d {
+                    // Mirror the testbench's immediate retransmit: drain
+                    // one packet from the egress scheduler per arrival.
+                    ctx.router.pump(iface, 1);
+                }
+                ctx.busy_ns += t0.elapsed().as_nanos() as u64;
+                ctx.packets += 1;
+                drain_tx(&mut ctx.router, &egress);
+            }
+            ShardMsg::Control(f) => {
+                f(&mut ctx);
+                // Control actions can emit too (force-unload drains
+                // scheduler backlogs to the wire).
+                drain_tx(&mut ctx.router, &egress);
+            }
+            ShardMsg::Barrier(done) => {
+                let _ = done.send(());
+            }
+            ShardMsg::Shutdown => break,
+        }
+    }
+    drain_tx(&mut ctx.router, &egress);
+}
+
+impl ShardCtx {
+    /// Statistics snapshot. Meant to run *on the shard thread* (i.e. via
+    /// `control_map`), so `cpu_ns` reads that thread's CPU clock.
+    pub fn report(&self) -> ShardReport {
+        ShardReport {
+            shard: self.index,
+            packets: self.packets,
+            busy_ns: self.busy_ns,
+            cpu_ns: thread_cpu_ns().unwrap_or(0),
+            data: self.router.stats(),
+            flows: self.router.flow_stats(),
+        }
+    }
+}

@@ -91,6 +91,41 @@ pub struct DataPathStats {
     pub plugin_restarts: u64,
 }
 
+impl DataPathStats {
+    /// Fold another data path's counters into this one. A sharded data
+    /// plane runs one `Router` per worker; control-plane reporting sums
+    /// them into the view a single data path would show.
+    pub fn absorb(&mut self, other: &DataPathStats) {
+        self.received += other.received;
+        self.forwarded += other.forwarded;
+        self.dropped_malformed += other.dropped_malformed;
+        self.dropped_ttl += other.dropped_ttl;
+        self.dropped_no_route += other.dropped_no_route;
+        self.dropped_plugin += other.dropped_plugin;
+        self.dropped_queue += other.dropped_queue;
+        self.plugin_calls += other.plugin_calls;
+        self.fragmented += other.fragmented;
+        self.dropped_too_big += other.dropped_too_big;
+        self.plugin_faults += other.plugin_faults;
+        self.dropped_fault += other.dropped_fault;
+        self.dropped_internal += other.dropped_internal;
+        self.plugin_quarantines += other.plugin_quarantines;
+        self.plugin_restarts += other.plugin_restarts;
+    }
+
+    /// Total drops across every reason counter.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_malformed
+            + self.dropped_ttl
+            + self.dropped_no_route
+            + self.dropped_plugin
+            + self.dropped_queue
+            + self.dropped_too_big
+            + self.dropped_fault
+            + self.dropped_internal
+    }
+}
+
 /// Validate the IP header and decrement TTL / hop limit in place.
 /// Returns the version on success.
 pub fn validate_and_age(mbuf: &mut Mbuf, verify_v4_checksum: bool) -> Result<IpVersion, DropReason> {

@@ -26,6 +26,9 @@
 //! * [`supervisor`] — plugin fault isolation: panic containment, health
 //!   tracking (Healthy → Degraded → Quarantined), and restart with
 //!   capped exponential backoff in simulated time.
+//! * [`dataplane`] — the sharded parallel data plane: N flow-affine
+//!   worker shards (each a complete single-threaded router) behind the
+//!   single control plane.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +36,7 @@
 // in non-test code need an explicit, justified `#[allow]` at the site.
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod dataplane;
 pub mod gate;
 pub mod ip_core;
 pub mod loader;
@@ -45,6 +49,7 @@ pub mod pmgr;
 pub mod router;
 pub mod supervisor;
 
+pub use dataplane::{ControlPlane, ParallelRouter, ParallelRouterConfig};
 pub use gate::Gate;
 pub use message::{PluginMsg, PluginReply};
 pub use plugin::{InstanceId, Plugin, PluginAction, PluginCode, PluginInstance, PluginType};

@@ -13,10 +13,13 @@
 use crate::pcu::Pcu;
 use crate::plugin::{Plugin, PluginError};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A function that constructs a fresh plugin object (the module's entry
-/// point).
-pub type PluginFactory = Box<dyn Fn() -> Box<dyn Plugin> + Send>;
+/// point). Shared (`Arc` + `Sync`) so one registry — the modules "on
+/// disk" — can serve every shard of a parallel data plane: each shard
+/// loads its own plugin object and instances from the same factory.
+pub type PluginFactory = Arc<dyn Fn() -> Box<dyn Plugin> + Send + Sync>;
 
 /// The module loader.
 #[derive(Default)]
@@ -35,13 +38,24 @@ impl PluginLoader {
     pub fn add_factory(
         &mut self,
         name: &str,
-        factory: impl Fn() -> Box<dyn Plugin> + Send + 'static,
+        factory: impl Fn() -> Box<dyn Plugin> + Send + Sync + 'static,
     ) -> Result<(), PluginError> {
         if self.factories.contains_key(name) {
             return Err(PluginError::Busy(format!("factory {name} already exists")));
         }
-        self.factories.insert(name.to_string(), Box::new(factory));
+        self.factories.insert(name.to_string(), Arc::new(factory));
         Ok(())
+    }
+
+    /// A fresh loader (nothing loaded) sharing this loader's factory
+    /// registry. This is how a parallel data plane hands every shard the
+    /// same set of modules "on disk": the factories are shared, while each
+    /// shard's load state and plugin objects stay its own.
+    pub fn share_factories(&self) -> PluginLoader {
+        PluginLoader {
+            factories: self.factories.clone(),
+            loaded: Vec::new(),
+        }
     }
 
     /// Names available to load (sorted).

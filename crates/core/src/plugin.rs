@@ -119,8 +119,9 @@ pub struct PacketCtx<'a> {
     /// state associated with installed filters").
     pub filter: Option<rp_classifier::FilterId>,
     /// The plugin's private per-flow soft state slot in the flow record
-    /// (the second pointer of the paper's per-gate pointer pair).
-    pub soft_state: &'a mut Option<Box<dyn Any>>,
+    /// (the second pointer of the paper's per-gate pointer pair). `Send`
+    /// because flow records may live on a data-plane worker shard.
+    pub soft_state: &'a mut Option<Box<dyn Any + Send>>,
     /// Processing cost the instance charges for this call, in netsim
     /// clock units (ns). Starts at 0; the supervisor compares it against
     /// [`crate::supervisor::FaultPolicy::packet_budget_ns`] after the
@@ -139,7 +140,7 @@ pub trait PluginInstance: Send + Sync {
     /// Called by the AIU when a flow bound to this instance is removed
     /// from the flow table (entry eviction callback, §4). Receives the
     /// flow key and the instance's soft state for that flow.
-    fn flow_unbound(&self, _key: &FlowTuple, _soft_state: Option<Box<dyn Any>>) {}
+    fn flow_unbound(&self, _key: &FlowTuple, _soft_state: Option<Box<dyn Any + Send>>) {}
 
     /// Called when a filter bound to this instance is removed from a
     /// filter table.

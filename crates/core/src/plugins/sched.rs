@@ -97,7 +97,7 @@ impl PluginInstance for DrrInstance {
         }
     }
 
-    fn flow_unbound(&self, _key: &FlowTuple, soft_state: Option<Box<dyn Any>>) {
+    fn flow_unbound(&self, _key: &FlowTuple, soft_state: Option<Box<dyn Any + Send>>) {
         if let Some(flow) = soft_state.and_then(|b| b.downcast::<u32>().ok()) {
             let mut g = self.inner.lock();
             for pkt in g.drr.purge_flow(*flow) {

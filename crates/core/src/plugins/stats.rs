@@ -63,7 +63,7 @@ impl PluginInstance for StatsInstance {
         PluginAction::Continue
     }
 
-    fn flow_unbound(&self, key: &FlowTuple, soft_state: Option<Box<dyn Any>>) {
+    fn flow_unbound(&self, key: &FlowTuple, soft_state: Option<Box<dyn Any + Send>>) {
         if let Some(c) = soft_state.and_then(|b| b.downcast::<FlowCounters>().ok()) {
             self.retired.lock().insert(key.to_string(), *c);
         }
@@ -121,7 +121,7 @@ mod tests {
     use rp_packet::mbuf::FlowIndex;
     use std::net::{IpAddr, Ipv4Addr};
 
-    fn ctx_call(inst: &StatsInstance, soft: &mut Option<Box<dyn Any>>, len: usize) {
+    fn ctx_call(inst: &StatsInstance, soft: &mut Option<Box<dyn Any + Send>>, len: usize) {
         let mut m = Mbuf::new(vec![0u8; len], 0);
         let mut ctx = PacketCtx {
             gate: Gate::Stats,

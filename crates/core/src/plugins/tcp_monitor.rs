@@ -135,7 +135,7 @@ impl PluginInstance for TcpMonitorInstance {
         PluginAction::Continue
     }
 
-    fn flow_unbound(&self, key: &FlowTuple, soft_state: Option<Box<dyn Any>>) {
+    fn flow_unbound(&self, key: &FlowTuple, soft_state: Option<Box<dyn Any + Send>>) {
         if let Some(st) = soft_state.and_then(|b| b.downcast::<TcpFlowState>().ok()) {
             self.agg
                 .lock()
@@ -235,7 +235,7 @@ mod tests {
         buf
     }
 
-    fn feed(inst: &TcpMonitorInstance, soft: &mut Option<Box<dyn Any>>, buf: Vec<u8>) {
+    fn feed(inst: &TcpMonitorInstance, soft: &mut Option<Box<dyn Any + Send>>, buf: Vec<u8>) {
         let mut m = Mbuf::new(buf, 0);
         let mut ctx = PacketCtx {
             gate: Gate::Stats,

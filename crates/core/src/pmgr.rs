@@ -1,8 +1,13 @@
 //! The Plugin Manager (paper §3.1): "a simple application which takes
 //! arguments from the command line and translates them into calls to the
 //! user-space Router Plugin Library". Here it is a command interpreter
-//! over [`crate::router::Router`], used interactively (the `pmgr` example
-//! binary), from configuration scripts, and by the SSP daemon analogue.
+//! over any [`ControlPlane`] — the single-threaded
+//! [`Router`](crate::router::Router) or the sharded
+//! [`ParallelRouter`](crate::dataplane::ParallelRouter) — used
+//! interactively (the `pmgr` example binary), from configuration scripts,
+//! and by the SSP daemon analogue. The command language is identical over
+//! both data planes; on the parallel one every command fans out to all
+//! shards and the replies are merged.
 //!
 //! Command language (one command per line; `#` comments):
 //!
@@ -19,16 +24,19 @@
 //! gate <gate> on|off
 //! attach <ifindex> <plugin> <iid>    # default egress scheduler
 //! info                               # loaded plugins and stats
+//! stats                              # data-path + flow-cache counters,
+//!                                    # with a per-shard breakdown on a
+//!                                    # parallel data plane
 //! show filters <gate>                # installed filters at a gate
 //! show instances                     # live plugin instances
 //! health                             # supervision state per instance
 //! faults                             # fault/quarantine/restart counters
 //! ```
 
+use crate::dataplane::control::ControlPlane;
 use crate::gate::Gate;
 use crate::message::{PluginMsg, PluginReply};
 use crate::plugin::{InstanceId, PluginError};
-use crate::router::Router;
 use rp_classifier::{FilterId, FilterSpec};
 use std::net::IpAddr;
 
@@ -58,9 +66,9 @@ impl From<PluginError> for PmgrError {
     }
 }
 
-/// Execute one pmgr command against a router, returning the printed
-/// output line.
-pub fn run_command(router: &mut Router, line: &str) -> Result<String, PmgrError> {
+/// Execute one pmgr command against a control plane, returning the
+/// printed output line.
+pub fn run_command<C: ControlPlane>(router: &mut C, line: &str) -> Result<String, PmgrError> {
     let line = line.split('#').next().unwrap_or("").trim();
     if line.is_empty() {
         return Ok(String::new());
@@ -69,21 +77,21 @@ pub fn run_command(router: &mut Router, line: &str) -> Result<String, PmgrError>
     match toks[0] {
         "load" => {
             let name = arg(&toks, 1)?;
-            router.load_plugin(name)?;
+            router.cp_load_plugin(name)?;
             Ok(format!("loaded {name}"))
         }
         "unload" => {
             let name = arg(&toks, 1)?;
             match toks.get(2) {
                 Some(&"force") => {
-                    router.force_unload_plugin(name)?;
+                    router.cp_force_unload_plugin(name)?;
                     Ok(format!("force-unloaded {name}"))
                 }
                 Some(other) => Err(PmgrError::Syntax(format!(
                     "unload <plugin> [force], got {other}"
                 ))),
                 None => {
-                    router.unload_plugin(name)?;
+                    router.cp_unload_plugin(name)?;
                     Ok(format!("unloaded {name}"))
                 }
             }
@@ -91,7 +99,7 @@ pub fn run_command(router: &mut Router, line: &str) -> Result<String, PmgrError>
         "create" => {
             let name = arg(&toks, 1)?;
             let config = toks[2..].join(" ");
-            let reply = router.send_message(name, PluginMsg::CreateInstance { config })?;
+            let reply = router.cp_send_message(name, PluginMsg::CreateInstance { config })?;
             match reply {
                 PluginReply::InstanceCreated(id) => Ok(format!("{name} instance {}", id.0)),
                 other => Ok(format!("{other:?}")),
@@ -100,7 +108,7 @@ pub fn run_command(router: &mut Router, line: &str) -> Result<String, PmgrError>
         "free" => {
             let name = arg(&toks, 1)?;
             let id = parse_iid(arg(&toks, 2)?)?;
-            router.send_message(name, PluginMsg::FreeInstance { id })?;
+            router.cp_send_message(name, PluginMsg::FreeInstance { id })?;
             Ok(format!("freed {name} instance {}", id.0))
         }
         "bind" => {
@@ -111,7 +119,7 @@ pub fn run_command(router: &mut Router, line: &str) -> Result<String, PmgrError>
             let filter: FilterSpec = filter_str
                 .parse()
                 .map_err(|e| PmgrError::Syntax(format!("{e}")))?;
-            let reply = router.send_message(
+            let reply = router.cp_send_message(
                 name,
                 PluginMsg::RegisterInstance { id, gate, filter },
             )?;
@@ -126,7 +134,7 @@ pub fn run_command(router: &mut Router, line: &str) -> Result<String, PmgrError>
             let fid: u64 = arg(&toks, 3)?
                 .parse()
                 .map_err(|_| PmgrError::Syntax("bad filter id".into()))?;
-            router.send_message(
+            router.cp_send_message(
                 name,
                 PluginMsg::DeregisterInstance {
                     gate,
@@ -144,7 +152,7 @@ pub fn run_command(router: &mut Router, line: &str) -> Result<String, PmgrError>
             };
             let msg_name = arg(&toks, rest)?.to_string();
             let args = toks[rest + 1..].join(" ");
-            let reply = router.send_message(
+            let reply = router.cp_send_message(
                 name,
                 PluginMsg::Custom {
                     instance,
@@ -171,7 +179,7 @@ pub fn run_command(router: &mut Router, line: &str) -> Result<String, PmgrError>
             let tx_if: u32 = arg(&toks, 2)?
                 .parse()
                 .map_err(|_| PmgrError::Syntax("bad interface".into()))?;
-            router.add_route(addr, len, tx_if);
+            router.cp_add_route(addr, len, tx_if);
             Ok(format!("route {spec} → if{tx_if}"))
         }
         "gate" => {
@@ -181,7 +189,7 @@ pub fn run_command(router: &mut Router, line: &str) -> Result<String, PmgrError>
                 "off" => false,
                 other => return Err(PmgrError::Syntax(format!("gate … on|off, got {other}"))),
             };
-            router.set_gate_enabled(gate, on);
+            router.cp_set_gate_enabled(gate, on);
             Ok(format!("gate {gate} {}", if on { "on" } else { "off" }))
         }
         "attach" => {
@@ -190,13 +198,13 @@ pub fn run_command(router: &mut Router, line: &str) -> Result<String, PmgrError>
                 .map_err(|_| PmgrError::Syntax("bad interface".into()))?;
             let name = arg(&toks, 2)?;
             let id = parse_iid(arg(&toks, 3)?)?;
-            router.set_default_scheduler(iface, name, id)?;
+            router.cp_set_default_scheduler(iface, name, id)?;
             Ok(format!("if{iface} default scheduler = {name} {}", id.0))
         }
         "show" => match arg(&toks, 1)? {
             "filters" => {
                 let gate = parse_gate(arg(&toks, 2)?)?;
-                let lines = router.describe_filters(gate);
+                let lines = router.cp_describe_filters(gate);
                 if lines.is_empty() {
                     Ok(format!("no filters at gate {gate}"))
                 } else {
@@ -204,7 +212,7 @@ pub fn run_command(router: &mut Router, line: &str) -> Result<String, PmgrError>
                 }
             }
             "instances" => {
-                let lines = router.describe_instances();
+                let lines = router.cp_describe_instances();
                 if lines.is_empty() {
                     Ok("no instances".to_string())
                 } else {
@@ -214,17 +222,22 @@ pub fn run_command(router: &mut Router, line: &str) -> Result<String, PmgrError>
             other => Err(PmgrError::Syntax(format!("show filters|instances, got {other}"))),
         },
         "health" => {
-            let reports = router.health_reports();
+            let reports = router.cp_health_reports();
             if reports.is_empty() {
                 return Ok("no supervised instances".to_string());
             }
             Ok(reports
                 .into_iter()
-                .map(|r| {
-                    let mut line = format!(
+                .map(|sr| {
+                    let r = sr.report;
+                    let mut line = match sr.shard {
+                        Some(s) => format!("[shard {s}] "),
+                        None => String::new(),
+                    };
+                    line.push_str(&format!(
                         "{} {}: {} faults={}/{} restarts={}",
                         r.plugin, r.id.0, r.health, r.faults, r.total_faults, r.restarts
-                    );
+                    ));
                     if let Some(at) = r.restart_at_ns {
                         line.push_str(&format!(" restart_at={at}ns"));
                     }
@@ -237,7 +250,12 @@ pub fn run_command(router: &mut Router, line: &str) -> Result<String, PmgrError>
                 .join("\n"))
         }
         "faults" => {
-            let s = router.stats();
+            // Row 0 is always the merged total.
+            let rows = router.cp_stats_rows();
+            let s = rows
+                .first()
+                .map(|r| r.data)
+                .unwrap_or_default();
             Ok(format!(
                 "plugin_calls={} faults={} dropped_fault={} dropped_internal={} quarantines={} restarts={}",
                 s.plugin_calls,
@@ -248,10 +266,37 @@ pub fn run_command(router: &mut Router, line: &str) -> Result<String, PmgrError>
                 s.plugin_restarts
             ))
         }
+        "stats" => {
+            let rows = router.cp_stats_rows();
+            Ok(rows
+                .into_iter()
+                .map(|r| {
+                    format!(
+                        "{}: rx={} fwd={} dropped={} frag={} plugin_calls={} \
+                         flows(live={} hits={} misses={} recycled={} allocated={})",
+                        r.label,
+                        r.data.received,
+                        r.data.forwarded,
+                        r.data.dropped_total(),
+                        r.data.fragmented,
+                        r.data.plugin_calls,
+                        r.flows.live,
+                        r.flows.hits,
+                        r.flows.misses,
+                        r.flows.recycled,
+                        r.flows.allocated,
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n"))
+        }
         "info" => {
-            let loaded = router.loader.loaded().join(", ");
-            let s = router.stats();
-            let f = router.flow_stats();
+            let loaded = router.cp_loaded_plugins().join(", ");
+            let rows = router.cp_stats_rows();
+            let (s, f) = rows
+                .first()
+                .map(|r| (r.data, r.flows))
+                .unwrap_or_default();
             Ok(format!(
                 "plugins: [{loaded}]; rx={} fwd={} flows(live={} hits={} misses={})",
                 s.received, s.forwarded, f.live, f.hits, f.misses
@@ -263,7 +308,7 @@ pub fn run_command(router: &mut Router, line: &str) -> Result<String, PmgrError>
 
 /// Run a multi-line configuration script; stops at the first error.
 /// Returns the non-empty output lines.
-pub fn run_script(router: &mut Router, script: &str) -> Result<Vec<String>, PmgrError> {
+pub fn run_script<C: ControlPlane>(router: &mut C, script: &str) -> Result<Vec<String>, PmgrError> {
     let mut out = Vec::new();
     for line in script.lines() {
         let o = run_command(router, line)?;
@@ -397,5 +442,13 @@ bind stats stats 0 <*, *, UDP, *, 53, *>",
         run_command(&mut r, &format!("unbind fw firewall {fid}")).unwrap();
         run_command(&mut r, "free firewall 0").unwrap();
         run_command(&mut r, "unload firewall").unwrap();
+    }
+
+    #[test]
+    fn stats_command_single_router() {
+        let mut r = router();
+        let out = run_command(&mut r, "stats").unwrap();
+        assert!(out.starts_with("total: rx=0 fwd=0"), "{out}");
+        assert!(out.contains("flows(live=0"), "{out}");
     }
 }

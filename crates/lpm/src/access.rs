@@ -7,15 +7,17 @@
 //! probe through a shared [`AccessCounter`], so the benches can report the
 //! same deterministic metric regardless of the host machine.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// Shared memory-access counter. Cloning shares the underlying count
-/// (single-threaded `Rc<Cell>`; the data path is single-threaded per the
-/// paper's in-kernel design).
+/// Shared memory-access counter. Cloning shares the underlying count.
+/// Relaxed atomics keep the counter `Send` so a whole classifier (and the
+/// router shard owning it) can move onto a worker thread; each shard still
+/// runs its data path single-threaded per the paper's in-kernel design, so
+/// the counter is never actually contended.
 #[derive(Debug, Clone, Default)]
 pub struct AccessCounter {
-    count: Rc<Cell<u64>>,
+    count: Arc<AtomicU64>,
 }
 
 impl AccessCounter {
@@ -27,17 +29,17 @@ impl AccessCounter {
     /// Charge `n` memory accesses.
     #[inline]
     pub fn charge(&self, n: u64) {
-        self.count.set(self.count.get() + n);
+        self.count.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current count.
     pub fn get(&self) -> u64 {
-        self.count.get()
+        self.count.load(Ordering::Relaxed)
     }
 
     /// Reset to zero.
     pub fn reset(&self) {
-        self.count.set(0);
+        self.count.store(0, Ordering::Relaxed);
     }
 
     /// Run `f` and return `(result, accesses charged during f)`.

@@ -1,0 +1,310 @@
+//! Offline stand-in for the `crossbeam-channel` crate.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so the handful of external dependencies are vendored as minimal
+//! API-compatible implementations (see `vendor/README.md`). This one maps
+//! `crossbeam_channel::{bounded, unbounded}` onto `std::sync::mpsc`,
+//! adding the two things the parallel data plane relies on and `std`
+//! lacks:
+//!
+//! * **Clone-able receivers** (MPMC consumption) — the `Receiver` wraps
+//!   the std receiver in an `Arc<Mutex<_>>`, so clones share the queue.
+//!   Contention cost is irrelevant here: each router shard owns its
+//!   ingress receiver exclusively; cloning is used by collectors.
+//! * **Non-poisoning semantics** — a consumer that panics while holding
+//!   the receiver lock does not wedge the channel (the plugin supervisor
+//!   catches panics on shard threads).
+//!
+//! Deliberate differences from the real crate: no `select!`, no
+//! zero-capacity rendezvous channels (`bounded(0)` is rounded up to 1),
+//! and `Sender::send` on a bounded channel blocks exactly like
+//! `std::sync::mpsc::SyncSender`.
+
+use std::fmt;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Error returned by [`Sender::send`] when every [`Receiver`] is gone.
+/// Carries the unsent message back to the caller, like the real crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// every [`Sender`] is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Channel is currently empty (senders still connected).
+    Empty,
+    /// Channel is empty and every sender is gone.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with no message.
+    Timeout,
+    /// Channel is empty and every sender is gone.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+enum Tx<T> {
+    Unbounded(mpsc::Sender<T>),
+    Bounded(mpsc::SyncSender<T>),
+}
+
+impl<T> Clone for Tx<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Tx::Unbounded(s) => Tx::Unbounded(s.clone()),
+            Tx::Bounded(s) => Tx::Bounded(s.clone()),
+        }
+    }
+}
+
+/// The sending half of a channel. Clone freely; all clones feed the same
+/// queue.
+pub struct Sender<T> {
+    tx: Tx<T>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender {
+            tx: self.tx.clone(),
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Send a message, blocking while a bounded channel is full. Fails
+    /// only when every receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        match &self.tx {
+            Tx::Unbounded(s) => s.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+            Tx::Bounded(s) => s.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+        }
+    }
+}
+
+/// The receiving half of a channel. Clones share the same queue (each
+/// message is delivered to exactly one receiver).
+pub struct Receiver<T> {
+    rx: Arc<Mutex<mpsc::Receiver<T>>>,
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Receiver {
+            rx: Arc::clone(&self.rx),
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+        // Non-poisoning: recover the guard if a previous holder panicked.
+        match self.rx.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Block until a message arrives or every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.lock().recv().map_err(|_| RecvError)
+    }
+
+    /// Fetch a message without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.lock().try_recv().map_err(|e| match e {
+            mpsc::TryRecvError::Empty => TryRecvError::Empty,
+            mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+        })
+    }
+
+    /// Block until a message arrives, the timeout elapses, or every
+    /// sender is gone.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.lock().recv_timeout(timeout).map_err(|e| match e {
+            mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+            mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+        })
+    }
+
+    /// Drain the channel into an iterator that ends when the channel is
+    /// empty **or** disconnected (the real crate's `try_iter`).
+    pub fn try_iter(&self) -> TryIter<'_, T> {
+        TryIter { rx: self }
+    }
+
+    /// Blocking iterator: yields until every sender is gone.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+}
+
+/// Iterator over immediately-available messages (see
+/// [`Receiver::try_iter`]).
+pub struct TryIter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for TryIter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Blocking iterator over a channel (see [`Receiver::iter`]).
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (
+        Sender {
+            tx: Tx::Unbounded(tx),
+        },
+        Receiver {
+            rx: Arc::new(Mutex::new(rx)),
+        },
+    )
+}
+
+/// Create a bounded channel holding at most `cap` messages; senders block
+/// while it is full. `bounded(0)` is rounded up to capacity 1 (this
+/// stand-in has no rendezvous mode).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(cap.max(1));
+    (
+        Sender {
+            tx: Tx::Bounded(tx),
+        },
+        Receiver {
+            rx: Arc::new(Mutex::new(rx)),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn unbounded_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn bounded_blocks_until_drained() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let t = thread::spawn(move || {
+            tx.send(3).unwrap(); // blocks until the main thread drains one
+            drop(tx);
+        });
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+        assert_eq!(rx.recv(), Err(RecvError));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn cloned_receivers_share_queue() {
+        let (tx, rx) = unbounded();
+        let rx2 = rx.clone();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let a: Vec<i32> = rx.try_iter().collect();
+        let b: Vec<i32> = rx2.try_iter().collect();
+        assert_eq!(a.len() + b.len(), 10);
+    }
+
+    #[test]
+    fn cross_thread_delivery_preserves_order() {
+        let (tx, rx) = bounded(4);
+        let producer = thread::spawn(move || {
+            for i in 0..100u32 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<u32> = rx.iter().collect();
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_fails() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+}
