@@ -61,8 +61,7 @@ fn main() {
         let f0 = r.filter_stats().dag_edges;
         let stats = tb.run_router(&mut r, 1);
         let f1 = r.filter_stats().dag_edges;
-        let lookups_per_pkt =
-            (f1 - f0) as f64 / 6.0 / stats.packets as f64; // 6 edge accesses ≈ 1 lookup
+        let lookups_per_pkt = (f1 - f0) as f64 / 6.0 / stats.packets as f64; // 6 edge accesses ≈ 1 lookup
         t.row(&[
             per_flow.to_string(),
             flows.to_string(),

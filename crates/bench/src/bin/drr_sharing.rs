@@ -15,7 +15,10 @@ const LINK_BPS: u64 = 100_000_000; // 100 Mb/s
 const RUN_NS: u64 = 2_000_000_000; // 2 s
 
 fn main() {
-    println!("E6: weighted DRR link sharing on a {} Mb/s link", LINK_BPS / 1_000_000);
+    println!(
+        "E6: weighted DRR link sharing on a {} Mb/s link",
+        LINK_BPS / 1_000_000
+    );
 
     // Phase 1: equal weights, deliberately mixed packet sizes.
     let sizes = [1500u32, 300, 9180, 700, 1500, 64, 4000, 1200];

@@ -67,7 +67,11 @@ fn main() {
 
         // Fewer rounds for the expensive linear sweep at large n.
         let lin_rounds = if n > 1000 { 1 } else { 16 };
-        let lin_probes = if n >= 50_000 { &probes[..256] } else { &probes[..] };
+        let lin_probes = if n >= 50_000 {
+            &probes[..256]
+        } else {
+            &probes[..]
+        };
         let ns_lin = time_lookups(lin_probes, lin_rounds, |p| {
             std::hint::black_box(lin.lookup(p));
         });

@@ -45,12 +45,7 @@ fn main() {
     println!("(paper: best-case cached IPv6 lookup ≈ 1.3 µs ≈ 300 cycles on P6/233)");
     println!();
     let hz = host_hz();
-    let mut t = Table::new(&[
-        "cached flows",
-        "ns/lookup",
-        "host cycles",
-        "hit rate",
-    ]);
+    let mut t = Table::new(&["cached flows", "ns/lookup", "host cycles", "hit rate"]);
     for &n in &[1usize, 64, 1024, 8192, 65536, 262_144] {
         let mut ft: FlowTable<u32> = FlowTable::new(FlowTableConfig {
             buckets: 32768,

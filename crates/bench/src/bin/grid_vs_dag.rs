@@ -34,8 +34,10 @@ fn overlapping_filters(n: usize, seed: u64) -> Vec<TwoDFilter> {
     (0..n)
         .map(|_| {
             // Few distinct base networks, many lengths → heavy nesting.
-            let dbase: u32 = 0x0A00_0000 | (rng.gen_range(0u32..4) << 20) | rng.gen_range(0u32..0xFFFF);
-            let sbase: u32 = 0xC0A8_0000 | (rng.gen_range(0u32..4) << 8) | rng.gen_range(0u32..0xFF);
+            let dbase: u32 =
+                0x0A00_0000 | (rng.gen_range(0u32..4) << 20) | rng.gen_range(0u32..0xFFFF);
+            let sbase: u32 =
+                0xC0A8_0000 | (rng.gen_range(0u32..4) << 8) | rng.gen_range(0u32..0xFF);
             TwoDFilter {
                 dst: Prefix::new(dbase, rng.gen_range(8..=32)),
                 src: Prefix::new(sbase, rng.gen_range(8..=32)),
@@ -73,9 +75,7 @@ fn main() {
         for (i, f) in filters.iter().enumerate() {
             dag.insert(to_spec(f), i as u32).unwrap();
         }
-        let grid = GridOfTries::from_filters(
-            filters.iter().map(|f| (*f, 0u32)).collect(),
-        );
+        let grid = GridOfTries::from_filters(filters.iter().map(|f| (*f, 0u32)).collect());
         let (dn, sn) = grid.node_counts();
 
         let probes: Vec<(u32, u32)> = (0..2048)

@@ -29,10 +29,8 @@
 
 use router_core::plugins::register_builtin_factories;
 use router_core::pmgr::run_script;
-use router_core::{
-    ControlPlane, ParallelRouter, ParallelRouterConfig, Router, RouterConfig,
-};
-use rp_bench::report::{write_bench_json, Json, Table};
+use router_core::{ControlPlane, ParallelRouter, ParallelRouterConfig, Router, RouterConfig};
+use rp_bench::report::{metrics_json, write_bench_json, Json, Table};
 use rp_netsim::testbench::Testbench;
 use rp_netsim::traffic::{v6_host, Workload};
 
@@ -108,16 +106,20 @@ fn main() {
             s.aggregate_pps(),
             s.balance_ratio()
         );
-        results.push((shards, s));
+        // Merged observability snapshot across the shard array, so the
+        // artifact records classification and drop behaviour per variant.
+        let snap = pr.metrics_snapshot();
+        results.push((shards, s, snap));
     }
 
     let base_pps = results[0].1.aggregate_pps();
     println!();
     println!("Parallel data plane scaling (uniform {FLOWS}-flow UDP/IPv6 workload)");
+    println!("(aggregate rate = packets ÷ busiest shard's CPU time: the critical path of a");
     println!(
-        "(aggregate rate = packets ÷ busiest shard's CPU time: the critical path of a"
+        "one-core-per-shard array; measurement host has {} core(s))",
+        num_cpus()
     );
-    println!("one-core-per-shard array; measurement host has {} core(s))", num_cpus());
     println!();
     let mut t = Table::new(&[
         "Shards",
@@ -133,7 +135,7 @@ fn main() {
         "—".into(),
         format!("{:.2}", s_single.ns_per_packet() / 1000.0),
     ]);
-    for (shards, s) in &results {
+    for (shards, s, snap) in &results {
         let speedup = s.aggregate_pps() / base_pps;
         t.row(&[
             shards.to_string(),
@@ -154,19 +156,18 @@ fn main() {
             ("speedup_vs_1shard", Json::from(speedup)),
             ("balance_ratio", Json::from(s.balance_ratio())),
             ("shard_packets", Json::from(s.shard_packets.clone())),
+            ("metrics", metrics_json(snap)),
         ]));
     }
     t.print();
 
     let four = results
         .iter()
-        .find(|(n, _)| *n == 4)
-        .map(|(_, s)| s.aggregate_pps() / base_pps)
+        .find(|(n, _, _)| *n == 4)
+        .map(|(_, s, _)| s.aggregate_pps() / base_pps)
         .unwrap_or(0.0);
     println!();
-    println!(
-        "4-shard aggregate speedup: {four:.2}× (acceptance floor: 3.0×); per-flow order"
-    );
+    println!("4-shard aggregate speedup: {four:.2}× (acceptance floor: 3.0×); per-flow order");
     println!("and delivery parity with the single-threaded router are asserted by the");
     println!("differential test (tests/parallel_dataplane.rs).");
 

@@ -22,7 +22,7 @@ use router_core::monolithic::{AltqDrrRouter, BestEffortRouter};
 use router_core::plugins::register_builtin_factories;
 use router_core::pmgr::run_script;
 use router_core::{Gate, Router, RouterConfig};
-use rp_bench::report::{write_bench_json, Json, Table};
+use rp_bench::report::{metrics_json, write_bench_json, Json, Table};
 use rp_netsim::testbench::{RunStats, Testbench};
 use rp_netsim::traffic::{v6_host, Workload};
 
@@ -166,7 +166,10 @@ fn main() {
         Json::obj(vec![
             ("kernel", Json::from(name)),
             ("ns_per_pkt", Json::from(ns)),
-            ("overhead_vs_lean_pct", Json::from(100.0 * (ns - base) / base)),
+            (
+                "overhead_vs_lean_pct",
+                Json::from(100.0 * (ns - base) / base),
+            ),
             ("added_host_cycles", Json::from((ns - base) * hz / 1e9)),
             ("pps", Json::from(s.packets_per_sec())),
             ("cache_hits", Json::from(s.cache_hits)),
@@ -179,10 +182,21 @@ fn main() {
         json_row("monolithic_altq_drr", &s_altq),
         json_row("plugin_framework_drr", &s_pd),
     ];
+    // The plugin rows carry their routers' full metrics snapshot (gate
+    // latency histograms, classification outcomes, interface counters) so
+    // the bench artifact is self-describing; the monolithic kernels have
+    // no gates and hence no registry.
     let extra = vec![
         ("host_hz", Json::from(hz)),
         ("reps", Json::from(REPS)),
         ("packets_per_rep", Json::from(workload.total_packets())),
+        (
+            "metrics",
+            Json::obj(vec![
+                ("plugin_framework", metrics_json(&fw.take_metrics())),
+                ("plugin_framework_drr", metrics_json(&pd.take_metrics())),
+            ]),
+        ),
     ];
     match write_bench_json("table3", rows, extra) {
         Ok(p) => eprintln!("[table3] wrote {}", p.display()),

@@ -86,6 +86,10 @@ pub enum Json {
     Arr(Vec<Json>),
     /// An object with insertion-ordered keys.
     Obj(Vec<(String, Json)>),
+    /// Pre-rendered JSON emitted verbatim (e.g. a metrics snapshot that
+    /// already knows how to serialize itself). The caller must guarantee
+    /// the string is valid JSON.
+    Raw(String),
 }
 
 impl From<bool> for Json {
@@ -142,6 +146,7 @@ impl Json {
         let pad = "  ".repeat(indent);
         match self {
             Json::Null => out.push_str("null"),
+            Json::Raw(s) => out.push_str(s),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::Num(n) => {
                 if n.fract() == 0.0 && n.abs() < 9e15 {
@@ -207,6 +212,24 @@ impl Json {
     }
 }
 
+/// Embed a metrics snapshot as a JSON value: the registry renders itself
+/// compactly and we splice the result in verbatim.
+pub fn metrics_json(snap: &router_core::MetricsSnapshot) -> Json {
+    Json::Raw(snap.render_json())
+}
+
+/// A log-2 histogram as a JSON object (`count`, `sum`, `mean`, and the
+/// bucket array trimmed of trailing zeros; bucket `b` counts values in
+/// `[2^(b-1), 2^b)`, bucket 0 counts zeros).
+pub fn hist_json(h: &router_core::obs::Histogram) -> Json {
+    Json::obj(vec![
+        ("count", Json::from(h.count)),
+        ("sum", Json::from(h.sum)),
+        ("mean", Json::from(h.mean())),
+        ("buckets", Json::from(h.trimmed_buckets().to_vec())),
+    ])
+}
+
 /// Write a bench result as `BENCH_<name>.json` in the current directory
 /// (the repo root under `cargo run`). `rows` become the standard
 /// `"rows"` array; `extra` pairs are appended at the top level. Returns
@@ -269,6 +292,23 @@ mod tests {
     #[test]
     fn json_integers_stay_integral() {
         assert_eq!(Json::from(1_000_000u64).render().trim(), "1000000");
+    }
+
+    #[test]
+    fn raw_spliced_verbatim() {
+        let j = Json::obj(vec![("m", Json::Raw("{\"x\":1}".into()))]);
+        assert!(j.render().contains("\"m\": {\"x\":1}"), "{}", j.render());
+    }
+
+    #[test]
+    fn hist_json_shape() {
+        let mut h = router_core::obs::Histogram::default();
+        h.observe(0);
+        h.observe(3);
+        let s = hist_json(&h).render();
+        assert!(s.contains("\"count\": 2"), "{s}");
+        assert!(s.contains("\"sum\": 3"), "{s}");
+        assert!(s.contains("\"buckets\""), "{s}");
     }
 
     #[test]

@@ -137,10 +137,7 @@ impl<V: Clone> Aiu<V> {
     /// ("the processing of the first packet of a new flow with n gates
     /// involves n filter table lookups to create a single entry"). Any
     /// recycled flow's bindings are returned for eviction callbacks.
-    pub fn classify(
-        &mut self,
-        tuple: &FlowTuple,
-    ) -> (ClassifyOutcome, Option<EvictedFlow<V>>) {
+    pub fn classify(&mut self, tuple: &FlowTuple) -> (ClassifyOutcome, Option<EvictedFlow<V>>) {
         if let Some(fix) = self.flow_table.lookup(tuple) {
             return (ClassifyOutcome::CacheHit(fix), None);
         }

@@ -448,8 +448,7 @@ impl<V> DagTable<V> {
             None => {
                 let c = self.new_child(level);
                 // Inherit suffixes from every covering edge + wildcard.
-                let inherit_from: Vec<NodeId> =
-                    covering.iter().copied().chain(wildcard).collect();
+                let inherit_from: Vec<NodeId> = covering.iter().copied().chain(wildcard).collect();
                 for g in self.inherited(inherit_from) {
                     self.insert_rec(c, level + 1, g);
                 }
@@ -584,8 +583,7 @@ impl<V> DagTable<V> {
             Some(c) => c,
             None => {
                 let c = self.new_child(level);
-                let inherit_from: Vec<NodeId> =
-                    covering.iter().copied().chain(wildcard).collect();
+                let inherit_from: Vec<NodeId> = covering.iter().copied().chain(wildcard).collect();
                 for g in self.inherited(inherit_from) {
                     self.insert_rec(c, level + 1, g);
                 }

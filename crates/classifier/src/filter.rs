@@ -312,9 +312,7 @@ fn parse_addr(tok: &str) -> Result<AddrMatch, ParseFilterError> {
                 stars = true;
             } else {
                 if stars {
-                    return Err(ParseFilterError(format!(
-                        "literal octet after * in {tok}"
-                    )));
+                    return Err(ParseFilterError(format!("literal octet after * in {tok}")));
                 }
                 octets[i] = p
                     .parse()
@@ -418,8 +416,12 @@ impl FromStr for FilterSpec {
 pub fn paper_table1_filters() -> Vec<FilterSpec> {
     vec![
         "129.*.*.*, 192.94.233.10, TCP, *, *, *".parse().unwrap(),
-        "128.252.153.1, 128.252.153.7, UDP, *, *, *".parse().unwrap(),
-        "128.252.153.1, 128.252.153.7, TCP, *, *, *".parse().unwrap(),
+        "128.252.153.1, 128.252.153.7, UDP, *, *, *"
+            .parse()
+            .unwrap(),
+        "128.252.153.1, 128.252.153.7, TCP, *, *, *"
+            .parse()
+            .unwrap(),
         "128.252.153.*, *, UDP, *, *, *".parse().unwrap(),
     ]
 }

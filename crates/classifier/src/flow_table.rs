@@ -22,7 +22,7 @@ use std::net::IpAddr;
 
 use crate::filter::FilterId;
 
-/// The paper's cheap flow hash: fold the five-tuple into 32 bits with
+/// The paper's cheap flow hash: fold the full six-tuple into 32 bits with
 /// xors, rotates and one final avalanche — comparable work to the
 /// "17 cycles" original (no multiplies, no divisions beyond the mask).
 #[inline]
@@ -40,6 +40,10 @@ pub fn flow_hash(t: &FlowTuple) -> u32 {
     let mut h = fold_addr(t.src);
     h = h.rotate_left(7) ^ fold_addr(t.dst);
     h = h.rotate_left(7) ^ (u32::from(t.sport) << 16 | u32::from(t.dport));
+    // The key — and record equality — is the full six-tuple; the incoming
+    // interface must perturb the hash too, or same-5-tuple flows from
+    // different interfaces chain in one bucket (and always co-shard).
+    h = h.rotate_left(5) ^ t.rx_if;
     h ^= u32::from(t.proto) << 8;
     // One-round finisher to spread low bits into the bucket mask.
     h ^= h >> 16;
@@ -174,7 +178,9 @@ impl<V> FlowTable<V> {
         for i in 0..n {
             self.records.push(FlowRecord {
                 key: dummy_key(),
-                gates: (0..self.cfg.gates).map(|_| GateBinding::default()).collect(),
+                gates: (0..self.cfg.gates)
+                    .map(|_| GateBinding::default())
+                    .collect(),
                 next: None,
                 seq: 0,
                 last_used: 0,
@@ -324,7 +330,9 @@ impl<V> FlowTable<V> {
         let r = &mut self.records[idx as usize];
         r.live = false;
         let gates = std::mem::take(&mut r.gates);
-        r.gates = (0..self.cfg.gates).map(|_| GateBinding::default()).collect();
+        r.gates = (0..self.cfg.gates)
+            .map(|_| GateBinding::default())
+            .collect();
         self.stats.live -= 1;
         EvictedFlow { key: r.key, gates }
     }
@@ -345,10 +353,7 @@ impl<V> FlowTable<V> {
     /// this when a *new* filter is installed: cached flows it matches may
     /// now classify differently and must be re-resolved on their next
     /// packet). Returns the evicted flows.
-    pub fn invalidate_matching(
-        &mut self,
-        spec: &crate::filter::FilterSpec,
-    ) -> Vec<EvictedFlow<V>> {
+    pub fn invalidate_matching(&mut self, spec: &crate::filter::FilterSpec) -> Vec<EvictedFlow<V>> {
         let victims: Vec<u32> = self
             .records
             .iter()
@@ -610,6 +615,9 @@ mod tests {
         assert_ne!(flow_hash(&t), h);
         let mut t = base;
         t.src = IpAddr::V4(Ipv4Addr::new(9, 9, 9, 9));
+        assert_ne!(flow_hash(&t), h);
+        let mut t = base;
+        t.rx_if ^= 1;
         assert_ne!(flow_hash(&t), h);
     }
 

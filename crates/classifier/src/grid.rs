@@ -295,10 +295,10 @@ mod tests {
     #[test]
     fn basic_two_dimensional() {
         let filters = vec![
-            (f(0x0A00_0000, 8, 0, 0), 1u32),            // dst 10/8, src *
-            (f(0x0A0A_0000, 16, 0xC000_0000, 2), 2),    // dst 10.10/16, src 192/2
-            (f(0x0A0A_0000, 16, 0xC0A8_0000, 16), 3),   // dst 10.10/16, src 192.168/16
-            (f(0, 0, 0xC0A8_0100, 24), 4),              // dst *, src 192.168.1/24
+            (f(0x0A00_0000, 8, 0, 0), 1u32),          // dst 10/8, src *
+            (f(0x0A0A_0000, 16, 0xC000_0000, 2), 2),  // dst 10.10/16, src 192/2
+            (f(0x0A0A_0000, 16, 0xC0A8_0000, 16), 3), // dst 10.10/16, src 192.168/16
+            (f(0, 0, 0xC0A8_0100, 24), 4),            // dst *, src 192.168.1/24
         ];
         let g = GridOfTries::from_filters(filters.clone());
         let q = |d, s| g.lookup(d, s).map(|(i, _)| filters[i].1);
@@ -321,7 +321,9 @@ mod tests {
         // Query matches dst 10.10/16 — walk starts in its trie, whose own
         // src only covers /1; the /16-src filter lives in the ancestor
         // trie and must be reached through switch pointers.
-        let got = g.lookup(0x0A0A_0001, 0xC0A8_0001).map(|(i, _)| filters[i].1);
+        let got = g
+            .lookup(0x0A0A_0001, 0xC0A8_0001)
+            .map(|(i, _)| filters[i].1);
         // Priority: dst 16 beats dst 8 → filter 20 wins even though 10
         // has the longer source.
         assert_eq!(got, Some(20));
@@ -337,7 +339,9 @@ mod tests {
         let g2 = GridOfTries::from_filters(filters2.clone());
         // src 0x4... fails /1 in the deep trie; switch pointer must find
         // the ancestor's /2.
-        let got = g2.lookup(0x0A0A_0001, 0x4123_4567).map(|(i, _)| filters2[i].1);
+        let got = g2
+            .lookup(0x0A0A_0001, 0x4123_4567)
+            .map(|(i, _)| filters2[i].1);
         assert_eq!(got, Some(10));
     }
 
@@ -359,9 +363,7 @@ mod tests {
             let n = rng.gen_range(1..40);
             let filters: Vec<(TwoDFilter, u32)> = (0..n)
                 .map(|i| {
-                    let cluster = |r: &mut StdRng| {
-                        (r.gen::<u32>() & 0x0303_FFFF) | 0x0A00_0000
-                    };
+                    let cluster = |r: &mut StdRng| (r.gen::<u32>() & 0x0303_FFFF) | 0x0A00_0000;
                     (
                         f(
                             cluster(&mut rng),

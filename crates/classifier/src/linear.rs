@@ -61,9 +61,7 @@ impl<V> LinearTable<V> {
             .iter()
             .filter(|(_, spec, _)| spec.matches(t))
             .max_by(|(ia, sa, _), (ib, sb, _)| {
-                sa.specificity()
-                    .cmp(&sb.specificity())
-                    .then(ib.cmp(ia)) // earlier id wins ties
+                sa.specificity().cmp(&sb.specificity()).then(ib.cmp(ia)) // earlier id wins ties
             })
             .map(|(id, _, v)| (*id, v))
     }

@@ -51,7 +51,8 @@ fn nested_wildcards_replicate() {
     let before = dag.node_count();
     // One wildcard-source filter with a distinct protocol: replicates
     // into all 16 source edges + the wildcard edge.
-    dag.insert("*, *, TCP, *, *, *".parse().unwrap(), 99).unwrap();
+    dag.insert("*, *, TCP, *, *, *".parse().unwrap(), 99)
+        .unwrap();
     let added = dag.node_count() - before;
     assert!(added >= 17 * 3, "wildcard replicated {added} nodes only");
     // And every source still sees it for TCP.

@@ -15,6 +15,7 @@
 use crate::gate::Gate;
 use crate::ip_core::DataPathStats;
 use crate::message::{PluginMsg, PluginReply};
+use crate::obs::{MetricsSnapshot, TraceEvent};
 use crate::plugin::{InstanceId, PluginError};
 use crate::router::Router;
 use crate::supervisor::HealthReport;
@@ -44,6 +45,26 @@ pub struct StatsRow {
     pub flows: FlowTableStats,
 }
 
+/// One row of a `metrics` report: a label ("total", "shard 0", …) plus
+/// the metrics snapshot behind it.
+#[derive(Debug, Clone)]
+pub struct MetricsRow {
+    /// Row label.
+    pub label: String,
+    /// The registry snapshot.
+    pub metrics: MetricsSnapshot,
+}
+
+/// A trace event with its origin: `None` on a single router, `Some(shard)`
+/// on a parallel data plane.
+#[derive(Debug, Clone)]
+pub struct ShardTraceEvent {
+    /// Which shard recorded the event (None = unsharded router).
+    pub shard: Option<usize>,
+    /// The event.
+    pub event: TraceEvent,
+}
+
 /// The control-plane surface `pmgr` (and the daemons) drive. One
 /// implementation per data-plane shape; the command language is identical
 /// over both.
@@ -55,11 +76,8 @@ pub trait ControlPlane {
     /// Forced `modunload`: free live instances and their bindings first.
     fn cp_force_unload_plugin(&mut self, name: &str) -> Result<(), PluginError>;
     /// Standardized / plugin-specific message dispatch.
-    fn cp_send_message(
-        &mut self,
-        plugin: &str,
-        msg: PluginMsg,
-    ) -> Result<PluginReply, PluginError>;
+    fn cp_send_message(&mut self, plugin: &str, msg: PluginMsg)
+        -> Result<PluginReply, PluginError>;
     /// Add a core route.
     fn cp_add_route(&mut self, addr: IpAddr, prefix_len: u8, tx_if: IfIndex);
     /// Remove a core route.
@@ -84,6 +102,15 @@ pub trait ControlPlane {
     /// Statistics rows: the merged total first, then any per-shard
     /// breakdown.
     fn cp_stats_rows(&self) -> Vec<StatsRow>;
+    /// Metrics rows: the merged registry snapshot first, then any
+    /// per-shard breakdown.
+    fn cp_metrics_rows(&self) -> Vec<MetricsRow>;
+    /// Turn the event tracer on or off (all categories) without stopping
+    /// the data path.
+    fn cp_trace_enable(&mut self, on: bool);
+    /// The last `n` trace events (per shard on a parallel data plane),
+    /// labelled by origin, oldest first within each origin.
+    fn cp_trace_dump(&self, n: usize) -> Vec<ShardTraceEvent>;
 }
 
 impl ControlPlane for Router {
@@ -144,6 +171,22 @@ impl ControlPlane for Router {
             data: self.stats(),
             flows: self.flow_stats(),
         }]
+    }
+    fn cp_metrics_rows(&self) -> Vec<MetricsRow> {
+        vec![MetricsRow {
+            label: "total".to_string(),
+            metrics: self.metrics_snapshot(),
+        }]
+    }
+    fn cp_trace_enable(&mut self, on: bool) {
+        self.tracer_mut().set_enabled(on);
+    }
+    fn cp_trace_dump(&self, n: usize) -> Vec<ShardTraceEvent> {
+        self.tracer()
+            .dump(n)
+            .into_iter()
+            .map(|event| ShardTraceEvent { shard: None, event })
+            .collect()
     }
 }
 
@@ -227,7 +270,10 @@ mod tests {
             Ok(PluginReply::Text("pkts=2".into())),
         ])
         .unwrap();
-        assert_eq!(r, PluginReply::Text("[shard 0] pkts=1\n[shard 1] pkts=2".into()));
+        assert_eq!(
+            r,
+            PluginReply::Text("[shard 0] pkts=1\n[shard 1] pkts=2".into())
+        );
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod control;
 pub mod dispatch;
 pub mod shard;
 
-pub use control::{ControlPlane, ShardHealthReport, StatsRow};
+pub use control::{ControlPlane, MetricsRow, ShardHealthReport, ShardTraceEvent, StatsRow};
 pub use dispatch::{shard_for_packet, shard_for_tuple};
 pub use shard::{ShardCtx, ShardMsg, ShardReport};
 
@@ -38,6 +38,7 @@ use crate::gate::Gate;
 use crate::ip_core::DataPathStats;
 use crate::loader::PluginLoader;
 use crate::message::{PluginMsg, PluginReply};
+use crate::obs::{MetricsRegistry, MetricsSnapshot};
 use crate::plugin::{InstanceId, PluginError};
 use crate::router::{Router, RouterConfig};
 use control::{merge_replies, merge_unit};
@@ -120,10 +121,7 @@ impl ParallelRouter {
                 .name(format!("rp-shard-{index}"))
                 .spawn(move || run_shard(ctx, rx, egress))
                 .ok();
-            handles.push(ShardHandle {
-                tx,
-                join,
-            });
+            handles.push(ShardHandle { tx, join });
         }
         ParallelRouter {
             handles,
@@ -260,6 +258,15 @@ impl ParallelRouter {
         total
     }
 
+    /// Merged metrics registry across all shards.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut total = MetricsRegistry::default();
+        for s in self.control_map(|ctx| ctx.router.metrics_snapshot()) {
+            total.absorb(&s);
+        }
+        total
+    }
+
     /// Per-shard statistics snapshots (packets, busy time, counters).
     pub fn shard_reports(&self) -> Vec<ShardReport> {
         self.control_map(|ctx| ctx.report())
@@ -303,9 +310,7 @@ impl ControlPlane for ParallelRouter {
         msg: PluginMsg,
     ) -> Result<PluginReply, PluginError> {
         let plugin = plugin.to_string();
-        merge_replies(
-            self.control_map(move |ctx| ctx.router.send_message(&plugin, msg.clone())),
-        )
+        merge_replies(self.control_map(move |ctx| ctx.router.send_message(&plugin, msg.clone())))
     }
     fn cp_add_route(&mut self, addr: IpAddr, prefix_len: u8, tx_if: IfIndex) {
         self.control_map(move |ctx| ctx.router.add_route(addr, prefix_len, tx_if));
@@ -386,5 +391,42 @@ impl ControlPlane for ParallelRouter {
             });
         }
         rows
+    }
+    fn cp_metrics_rows(&self) -> Vec<MetricsRow> {
+        let per_shard = self.control_map(|ctx| ctx.router.metrics_snapshot());
+        let mut total = MetricsRegistry::default();
+        for m in &per_shard {
+            total.absorb(m);
+        }
+        let mut rows = vec![MetricsRow {
+            label: "total".to_string(),
+            metrics: total,
+        }];
+        for (i, m) in per_shard.into_iter().enumerate() {
+            rows.push(MetricsRow {
+                label: format!("shard {i}"),
+                metrics: m,
+            });
+        }
+        rows
+    }
+    fn cp_trace_enable(&mut self, on: bool) {
+        self.control_map(move |ctx| ctx.router.tracer_mut().set_enabled(on));
+    }
+    fn cp_trace_dump(&self, n: usize) -> Vec<ShardTraceEvent> {
+        let mut out = Vec::new();
+        for (shard, events) in self
+            .control_map(move |ctx| ctx.router.tracer().dump(n))
+            .into_iter()
+            .enumerate()
+        {
+            for event in events {
+                out.push(ShardTraceEvent {
+                    shard: Some(shard),
+                    event,
+                });
+            }
+        }
+        out
     }
 }

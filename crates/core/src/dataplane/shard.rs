@@ -8,6 +8,7 @@
 //! on the single-threaded router.
 
 use crate::ip_core::{DataPathStats, Disposition};
+use crate::obs::TraceCategory;
 use crate::router::Router;
 use crossbeam_channel::{Receiver, Sender};
 use rp_classifier::flow_table::FlowTableStats;
@@ -116,6 +117,14 @@ pub(crate) fn run_shard(
     while let Ok(msg) = rx.recv() {
         match msg {
             ShardMsg::Packet(pkt) => {
+                if ctx.router.tracer().wants(TraceCategory::Shard) {
+                    let now = ctx.router.now_ns();
+                    let detail =
+                        format!("shard {} rx_if={} len={}", ctx.index, pkt.rx_if, pkt.len());
+                    ctx.router
+                        .tracer_mut()
+                        .record(now, TraceCategory::Shard, detail);
+                }
                 let t0 = Instant::now();
                 let d = ctx.router.receive(pkt);
                 if let Disposition::Queued(iface) = d {

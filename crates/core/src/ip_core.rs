@@ -128,7 +128,10 @@ impl DataPathStats {
 
 /// Validate the IP header and decrement TTL / hop limit in place.
 /// Returns the version on success.
-pub fn validate_and_age(mbuf: &mut Mbuf, verify_v4_checksum: bool) -> Result<IpVersion, DropReason> {
+pub fn validate_and_age(
+    mbuf: &mut Mbuf,
+    verify_v4_checksum: bool,
+) -> Result<IpVersion, DropReason> {
     let version = IpVersion::of_packet(mbuf.data()).map_err(|_| DropReason::Malformed)?;
     match version {
         IpVersion::V4 => {
@@ -145,7 +148,9 @@ pub fn validate_and_age(mbuf: &mut Mbuf, verify_v4_checksum: bool) -> Result<IpV
         IpVersion::V6 => {
             let mut pkt =
                 Ipv6Packet::new_checked(mbuf.data_mut()).map_err(|_| DropReason::Malformed)?;
-            let hl = pkt.decrement_hop_limit().map_err(|_| DropReason::TtlExpired)?;
+            let hl = pkt
+                .decrement_hop_limit()
+                .map_err(|_| DropReason::TtlExpired)?;
             if hl == 0 {
                 return Err(DropReason::TtlExpired);
             }
@@ -393,10 +398,7 @@ mod tests {
     fn age_v4_updates_checksum() {
         let buf = PacketSpec::udp(v4(1), v4(2), 1, 2, 16).build();
         let mut m = Mbuf::new(buf, 0);
-        assert_eq!(
-            validate_and_age(&mut m, true).unwrap(),
-            IpVersion::V4
-        );
+        assert_eq!(validate_and_age(&mut m, true).unwrap(), IpVersion::V4);
         let pkt = Ipv4Packet::new_checked(m.data()).unwrap();
         assert_eq!(pkt.ttl(), 63);
         assert!(pkt.verify_checksum());
@@ -457,7 +459,9 @@ mod tests {
         rt.add(v6(0), 32, RouteEntry { tx_if: 3 });
         assert_eq!(rt.lookup(v4(5)).unwrap().tx_if, 2);
         assert_eq!(
-            rt.lookup(IpAddr::V4(Ipv4Addr::new(10, 9, 9, 9))).unwrap().tx_if,
+            rt.lookup(IpAddr::V4(Ipv4Addr::new(10, 9, 9, 9)))
+                .unwrap()
+                .tx_if,
             1
         );
         assert_eq!(rt.lookup(v6(9)).unwrap().tx_if, 3);
@@ -479,7 +483,7 @@ mod tests {
         ];
         let mut buf = spec.build();
         {
-            let mut p = Ipv4Packet::new_unchecked(&mut buf[..]);
+            let p = Ipv4Packet::new_unchecked(&mut buf[..]);
             let b = p.into_inner();
             b[6] &= !0x40; // clear DF
             let mut p = Ipv4Packet::new_unchecked(&mut buf[..]);

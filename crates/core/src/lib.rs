@@ -29,6 +29,9 @@
 //! * [`dataplane`] — the sharded parallel data plane: N flow-affine
 //!   worker shards (each a complete single-threaded router) behind the
 //!   single control plane.
+//! * [`obs`] — the always-on observability layer: a fixed-storage metrics
+//!   registry (counters + log-2 histograms, shard-private and merged on
+//!   read) and a bounded ring-buffer event tracer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +45,7 @@ pub mod ip_core;
 pub mod loader;
 pub mod message;
 pub mod monolithic;
+pub mod obs;
 pub mod pcu;
 pub mod plugin;
 pub mod plugins;
@@ -52,6 +56,7 @@ pub mod supervisor;
 pub use dataplane::{ControlPlane, ParallelRouter, ParallelRouterConfig};
 pub use gate::Gate;
 pub use message::{PluginMsg, PluginReply};
+pub use obs::{MetricsRegistry, MetricsSnapshot, TraceCategory, TraceEvent, Tracer};
 pub use plugin::{InstanceId, Plugin, PluginAction, PluginCode, PluginInstance, PluginType};
 pub use router::{Router, RouterConfig};
 pub use supervisor::{FaultPolicy, HealthState};

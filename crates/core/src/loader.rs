@@ -138,7 +138,9 @@ mod tests {
     fn load_unload_cycle() {
         let mut loader = PluginLoader::new();
         let mut pcu = Pcu::new();
-        loader.add_factory("stats", || Box::new(P("stats"))).unwrap();
+        loader
+            .add_factory("stats", || Box::new(P("stats")))
+            .unwrap();
         assert_eq!(loader.available(), vec!["stats"]);
         loader.load("stats", &mut pcu).unwrap();
         assert_eq!(loader.loaded(), vec!["stats"]);
@@ -156,7 +158,9 @@ mod tests {
     fn unload_refused_with_instances() {
         let mut loader = PluginLoader::new();
         let mut pcu = Pcu::new();
-        loader.add_factory("stats", || Box::new(P("stats"))).unwrap();
+        loader
+            .add_factory("stats", || Box::new(P("stats")))
+            .unwrap();
         loader.load("stats", &mut pcu).unwrap();
         let (id, _) = pcu.create_instance("stats", "").unwrap();
         assert!(matches!(
@@ -171,7 +175,9 @@ mod tests {
     fn misbehaving_factory_rejected() {
         let mut loader = PluginLoader::new();
         let mut pcu = Pcu::new();
-        loader.add_factory("alias", || Box::new(P("other"))).unwrap();
+        loader
+            .add_factory("alias", || Box::new(P("other")))
+            .unwrap();
         assert!(matches!(
             loader.load("alias", &mut pcu),
             Err(PluginError::BadConfig(_))

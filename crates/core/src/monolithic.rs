@@ -9,7 +9,9 @@
 //!   against ("ALTQ came with a basic packet classifier which mapped
 //!   flows to these queues by hashing on fields in the packet header").
 
-use crate::ip_core::{dst_of, validate_and_age, DataPathStats, Disposition, DropReason, RoutingTable};
+use crate::ip_core::{
+    dst_of, validate_and_age, DataPathStats, Disposition, DropReason, RoutingTable,
+};
 use rp_classifier::flow_table::flow_hash;
 use rp_packet::mbuf::IfIndex;
 use rp_packet::{FlowTuple, Mbuf};
@@ -175,7 +177,9 @@ impl AltqDrrRouter {
         let (drr, store, _) = &mut self.queues[iface as usize];
         let mut sent = 0;
         while sent < max {
-            let Some(pkt) = drr.dequeue(now_ns) else { break };
+            let Some(pkt) = drr.dequeue(now_ns) else {
+                break;
+            };
             if let Some(m) = store.remove(&pkt.cookie) {
                 self.tx_logs[iface as usize].push(m);
                 sent += 1;
@@ -206,7 +210,10 @@ mod tests {
     }
 
     fn pkt(src: u16, dst: u16) -> Mbuf {
-        Mbuf::new(PacketSpec::udp(v6(src), v6(dst), 1000, 2000, 256).build(), 0)
+        Mbuf::new(
+            PacketSpec::udp(v6(src), v6(dst), 1000, 2000, 256).build(),
+            0,
+        )
     }
 
     #[test]
@@ -218,14 +225,8 @@ mod tests {
         assert_eq!(r.stats().forwarded, 1);
         // No route → drop.
         let other = IpAddr::V6(Ipv6Addr::new(0xfe80, 0, 0, 0, 0, 0, 0, 1));
-        let m = Mbuf::new(
-            PacketSpec::udp(v6(1), other, 1, 2, 10).build(),
-            0,
-        );
-        assert_eq!(
-            r.receive(m),
-            Disposition::Dropped(DropReason::NoRoute)
-        );
+        let m = Mbuf::new(PacketSpec::udp(v6(1), other, 1, 2, 10).build(), 0);
+        assert_eq!(r.receive(m), Disposition::Dropped(DropReason::NoRoute));
     }
 
     #[test]

@@ -1,0 +1,733 @@
+//! The unified observability layer: a metrics registry of monotonic
+//! counters and log-2 histograms, plus a bounded ring-buffer event tracer.
+//!
+//! The paper's whole argument is quantitative (Tables 2/3 count memory
+//! accesses and cycles per gate), so the data path must be measurable
+//! without perturbing what it measures. The design rules here:
+//!
+//! * **Fixed storage** — every counter and histogram lives in a fixed
+//!   array inside [`MetricsRegistry`]; the hot path never allocates.
+//! * **Shard-private, merge-on-read** — each data-plane shard owns a
+//!   private registry (no sharing, no locks, same discipline as the flow
+//!   table); the control plane merges snapshots with
+//!   [`MetricsRegistry::absorb`], the same pattern as
+//!   `FlowTableStats::absorb`.
+//! * **Sampled latency** — per-gate plugin-invocation latency is measured
+//!   with the OS monotonic clock on every [`LATENCY_SAMPLE`]-th call, so
+//!   the steady-state cost of the clock reads amortizes to well under a
+//!   nanosecond per packet.
+//! * **Tracing is off until asked for** — [`Tracer::record_with`] takes a
+//!   closure so the event string is only built when the category is
+//!   enabled; the ring overwrites its oldest entry when full.
+
+use crate::gate::{Gate, ALL_GATES, GATE_COUNT};
+use crate::ip_core::DropReason;
+use std::fmt::Write as _;
+
+/// Number of log-2 buckets in a [`Histogram`]. Bucket 0 holds the value
+/// 0; bucket `b ≥ 1` holds values in `[2^(b-1), 2^b)`; the last bucket
+/// also absorbs everything larger.
+pub const HIST_BUCKETS: usize = 32;
+
+/// Per-gate plugin-call latency is measured on every `LATENCY_SAMPLE`-th
+/// call (power of two; the sampling test divides by this).
+pub const LATENCY_SAMPLE: u64 = 64;
+
+/// Metrics index space for interfaces. Routers with more interfaces fold
+/// the overflow into the last slot (see [`iface_slot`]).
+pub const MAX_INTERFACES: usize = 16;
+
+/// Map an interface id to its metrics slot.
+#[inline]
+pub fn iface_slot(iface: u32) -> usize {
+    (iface as usize).min(MAX_INTERFACES - 1)
+}
+
+/// A log-2-bucketed histogram with fixed storage (no allocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    /// Occupancy per log-2 bucket (see [`HIST_BUCKETS`]).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values (wrapping).
+    pub sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// The bucket a value falls into: its significant-bit count, capped.
+    #[inline]
+    pub fn bucket_of(v: u64) -> usize {
+        ((u64::BITS - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+
+    /// Inclusive lower bound of a bucket's value range.
+    pub fn bucket_floor(b: usize) -> u64 {
+        if b == 0 {
+            0
+        } else {
+            1u64 << (b - 1)
+        }
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+    }
+
+    /// Fold another histogram into this one.
+    pub fn absorb(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// Mean of the observed values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Buckets with trailing zeros trimmed (for compact rendering).
+    pub fn trimmed_buckets(&self) -> &[u64] {
+        let last = self
+            .buckets
+            .iter()
+            .rposition(|b| *b != 0)
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        &self.buckets[..last]
+    }
+}
+
+/// Number of distinct [`DropReason`] slots: the scalar reasons plus one
+/// per gate for `Plugin(gate)` and `PluginFault(gate)`.
+pub const DROP_KINDS: usize = 7 + 2 * GATE_COUNT;
+
+/// Map a drop reason to its counter slot.
+pub fn drop_reason_index(reason: DropReason) -> usize {
+    match reason {
+        DropReason::Malformed => 0,
+        DropReason::BadChecksum => 1,
+        DropReason::TtlExpired => 2,
+        DropReason::NoRoute => 3,
+        DropReason::QueueFull => 4,
+        DropReason::TooBig => 5,
+        DropReason::Internal => 6,
+        DropReason::Plugin(g) => 7 + g.index(),
+        DropReason::PluginFault(g) => 7 + GATE_COUNT + g.index(),
+    }
+}
+
+/// Stable label of a drop-reason slot (metrics key names).
+pub fn drop_reason_label(slot: usize) -> String {
+    match slot {
+        0 => "malformed".to_string(),
+        1 => "bad_checksum".to_string(),
+        2 => "ttl_expired".to_string(),
+        3 => "no_route".to_string(),
+        4 => "queue_full".to_string(),
+        5 => "too_big".to_string(),
+        6 => "internal".to_string(),
+        s if s < 7 + GATE_COUNT => format!("plugin_{}", ALL_GATES[s - 7]),
+        s => format!("plugin_fault_{}", ALL_GATES[s - 7 - GATE_COUNT]),
+    }
+}
+
+/// The metrics registry: every data-path counter and histogram, in fixed
+/// storage. One per router; one per shard on the parallel data plane,
+/// merged on read. A snapshot is just a copy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MetricsRegistry {
+    /// Plugin invocations per gate.
+    pub gate_calls: [u64; GATE_COUNT],
+    /// Sampled plugin-invocation latency per gate, in nanoseconds (one
+    /// observation per [`LATENCY_SAMPLE`] calls).
+    pub gate_latency: [Histogram; GATE_COUNT],
+    /// Flow-cache hits observed at each gate's classification point.
+    pub class_hits: [u64; GATE_COUNT],
+    /// Flow-cache misses (new flow records) per classifying gate.
+    pub class_misses: [u64; GATE_COUNT],
+    /// Flow records recycled under pressure, attributed to the gate whose
+    /// classification triggered the recycling.
+    pub class_recycled: [u64; GATE_COUNT],
+    /// Flow records reclaimed by idle expiry.
+    pub flows_expired: u64,
+    /// Flow records created with the port-less fragment key (IP fragments
+    /// classify on `<src, dst, proto, rx_if>`; counted at flow creation).
+    pub fragment_flows: u64,
+    /// Dropped packets by [`DropReason`] slot (see [`drop_reason_index`]).
+    pub drops: [u64; DROP_KINDS],
+    /// Packets received per interface slot.
+    pub if_rx_packets: [u64; MAX_INTERFACES],
+    /// Bytes received per interface slot.
+    pub if_rx_bytes: [u64; MAX_INTERFACES],
+    /// Packets transmitted per interface slot.
+    pub if_tx_packets: [u64; MAX_INTERFACES],
+    /// Bytes transmitted per interface slot.
+    pub if_tx_bytes: [u64; MAX_INTERFACES],
+    /// Scheduler queue depth per interface — a gauge sampled at snapshot
+    /// time. Merging sums the shards (total backlog across the array).
+    pub queue_depth: [u64; MAX_INTERFACES],
+    /// Received packet sizes in bytes.
+    pub pkt_size: Histogram,
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`] (the registry is plain
+/// data, so a snapshot is the registry itself).
+pub type MetricsSnapshot = MetricsRegistry;
+
+impl MetricsRegistry {
+    /// Count one plugin invocation; returns true when this call should be
+    /// latency-sampled.
+    #[inline]
+    pub fn note_gate_call(&mut self, gate: Gate) -> bool {
+        let n = self.gate_calls[gate.index()];
+        self.gate_calls[gate.index()] = n + 1;
+        n.is_multiple_of(LATENCY_SAMPLE)
+    }
+
+    /// Record a sampled plugin-invocation latency.
+    #[inline]
+    pub fn note_gate_latency(&mut self, gate: Gate, ns: u64) {
+        self.gate_latency[gate.index()].observe(ns);
+    }
+
+    /// Count one dropped packet.
+    #[inline]
+    pub fn note_drop(&mut self, reason: DropReason) {
+        self.drops[drop_reason_index(reason)] += 1;
+    }
+
+    /// Count one received packet.
+    #[inline]
+    pub fn note_rx(&mut self, iface: u32, bytes: usize) {
+        let s = iface_slot(iface);
+        self.if_rx_packets[s] += 1;
+        self.if_rx_bytes[s] += bytes as u64;
+        self.pkt_size.observe(bytes as u64);
+    }
+
+    /// Count one transmitted packet.
+    #[inline]
+    pub fn note_tx(&mut self, iface: u32, bytes: usize) {
+        let s = iface_slot(iface);
+        self.if_tx_packets[s] += 1;
+        self.if_tx_bytes[s] += bytes as u64;
+    }
+
+    /// Fold another registry into this one (the control plane's merge of
+    /// per-shard registries). Counters and histograms add; the queue-depth
+    /// gauge also adds, giving the total backlog across shards.
+    pub fn absorb(&mut self, other: &MetricsRegistry) {
+        for i in 0..GATE_COUNT {
+            self.gate_calls[i] += other.gate_calls[i];
+            self.gate_latency[i].absorb(&other.gate_latency[i]);
+            self.class_hits[i] += other.class_hits[i];
+            self.class_misses[i] += other.class_misses[i];
+            self.class_recycled[i] += other.class_recycled[i];
+        }
+        self.flows_expired += other.flows_expired;
+        self.fragment_flows += other.fragment_flows;
+        for i in 0..DROP_KINDS {
+            self.drops[i] += other.drops[i];
+        }
+        for i in 0..MAX_INTERFACES {
+            self.if_rx_packets[i] += other.if_rx_packets[i];
+            self.if_rx_bytes[i] += other.if_rx_bytes[i];
+            self.if_tx_packets[i] += other.if_tx_packets[i];
+            self.if_tx_bytes[i] += other.if_tx_bytes[i];
+            self.queue_depth[i] += other.queue_depth[i];
+        }
+        self.pkt_size.absorb(&other.pkt_size);
+    }
+
+    /// Total dropped packets across all reasons.
+    pub fn dropped_total(&self) -> u64 {
+        self.drops.iter().sum()
+    }
+
+    /// Human-readable multi-line rendering (pmgr `metrics`). Zero-valued
+    /// rows are elided.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for g in ALL_GATES {
+            let i = g.index();
+            if self.gate_calls[i] == 0 && self.class_hits[i] == 0 && self.class_misses[i] == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "gate {g}: calls={} lat_mean={:.0}ns (n={}) hits={} misses={} recycled={}",
+                self.gate_calls[i],
+                self.gate_latency[i].mean(),
+                self.gate_latency[i].count,
+                self.class_hits[i],
+                self.class_misses[i],
+                self.class_recycled[i],
+            );
+        }
+        let mut drops = String::new();
+        for (s, n) in self.drops.iter().enumerate() {
+            if *n > 0 {
+                let _ = write!(drops, " {}={n}", drop_reason_label(s));
+            }
+        }
+        let _ = writeln!(out, "drops: total={}{drops}", self.dropped_total());
+        for i in 0..MAX_INTERFACES {
+            if self.if_rx_packets[i] == 0 && self.if_tx_packets[i] == 0 && self.queue_depth[i] == 0
+            {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "if{i}: rx={}pkts/{}B tx={}pkts/{}B qdepth={}",
+                self.if_rx_packets[i],
+                self.if_rx_bytes[i],
+                self.if_tx_packets[i],
+                self.if_tx_bytes[i],
+                self.queue_depth[i],
+            );
+        }
+        let _ = writeln!(
+            out,
+            "flows: expired={} fragment_keyed={}; pkt_size mean={:.0}B (n={})",
+            self.flows_expired,
+            self.fragment_flows,
+            self.pkt_size.mean(),
+            self.pkt_size.count,
+        );
+        out
+    }
+
+    /// Compact JSON rendering. All keys are fixed ASCII identifiers, so no
+    /// string escaping is needed; the schema is documented in
+    /// EXPERIMENTS.md ("Metrics block schema").
+    pub fn render_json(&self) -> String {
+        fn hist(h: &Histogram) -> String {
+            let buckets = h
+                .trimmed_buckets()
+                .iter()
+                .map(|b| b.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            format!(
+                "{{\"count\":{},\"sum\":{},\"buckets\":[{buckets}]}}",
+                h.count, h.sum
+            )
+        }
+        let mut out = String::from("{\"gates\":{");
+        for (n, g) in ALL_GATES.iter().enumerate() {
+            let i = g.index();
+            if n > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{g}\":{{\"calls\":{},\"latency_ns\":{},\"hits\":{},\"misses\":{},\"recycled\":{}}}",
+                self.gate_calls[i],
+                hist(&self.gate_latency[i]),
+                self.class_hits[i],
+                self.class_misses[i],
+                self.class_recycled[i],
+            );
+        }
+        out.push_str("},\"drops\":{");
+        let _ = write!(out, "\"total\":{}", self.dropped_total());
+        for (s, n) in self.drops.iter().enumerate() {
+            if *n > 0 {
+                let _ = write!(out, ",\"{}\":{n}", drop_reason_label(s));
+            }
+        }
+        out.push_str("},\"interfaces\":[");
+        let last = (0..MAX_INTERFACES)
+            .rposition(|i| {
+                self.if_rx_packets[i] != 0 || self.if_tx_packets[i] != 0 || self.queue_depth[i] != 0
+            })
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        for i in 0..last {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"rx_packets\":{},\"rx_bytes\":{},\"tx_packets\":{},\"tx_bytes\":{},\"queue_depth\":{}}}",
+                self.if_rx_packets[i],
+                self.if_rx_bytes[i],
+                self.if_tx_packets[i],
+                self.if_tx_bytes[i],
+                self.queue_depth[i],
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"flows_expired\":{},\"fragment_flows\":{},\"pkt_size\":{}}}",
+            self.flows_expired,
+            self.fragment_flows,
+            hist(&self.pkt_size),
+        );
+        out
+    }
+}
+
+/// Trace-event categories, each independently maskable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceCategory {
+    /// Flow-record lifecycle: created, evicted (recycled), expired.
+    Flow,
+    /// Filter-table changes: installed, removed.
+    Filter,
+    /// Plugin supervision: fault, quarantine, restart.
+    Plugin,
+    /// Shard dispatch (parallel data plane only).
+    Shard,
+}
+
+/// Number of trace categories.
+pub const TRACE_CATEGORIES: usize = 4;
+
+impl TraceCategory {
+    /// Index into the tracer's enable mask.
+    pub fn index(self) -> usize {
+        match self {
+            TraceCategory::Flow => 0,
+            TraceCategory::Filter => 1,
+            TraceCategory::Plugin => 2,
+            TraceCategory::Shard => 3,
+        }
+    }
+
+    /// Stable label (trace dumps, JSON).
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceCategory::Flow => "flow",
+            TraceCategory::Filter => "filter",
+            TraceCategory::Plugin => "plugin",
+            TraceCategory::Shard => "shard",
+        }
+    }
+}
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotonic sequence number (counts every recorded event, including
+    /// those since overwritten in the ring).
+    pub seq: u64,
+    /// Router virtual time when the event was recorded.
+    pub now_ns: u64,
+    /// Event category.
+    pub category: TraceCategory,
+    /// Human-readable detail line.
+    pub detail: String,
+}
+
+/// Default tracer ring capacity.
+pub const TRACE_CAPACITY: usize = 1024;
+
+/// A bounded ring buffer of [`TraceEvent`]s. When full, the newest event
+/// overwrites the oldest; the router never stops to trace. Disabled (the
+/// default) the hot path pays one branch and builds no strings.
+#[derive(Debug)]
+pub struct Tracer {
+    ring: Vec<TraceEvent>,
+    capacity: usize,
+    /// Next write position once the ring is full.
+    head: usize,
+    seq: u64,
+    enabled: bool,
+    categories: [bool; TRACE_CATEGORIES],
+}
+
+impl Tracer {
+    /// A tracer with the given ring capacity (min 1), disabled, with every
+    /// category unmasked.
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            ring: Vec::new(),
+            capacity: capacity.max(1),
+            head: 0,
+            seq: 0,
+            enabled: false,
+            categories: [true; TRACE_CATEGORIES],
+        }
+    }
+
+    /// Master switch.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Is tracing on?
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Mask or unmask one category.
+    pub fn set_category(&mut self, category: TraceCategory, on: bool) {
+        self.categories[category.index()] = on;
+    }
+
+    /// Would an event of this category be recorded right now? Check this
+    /// before building an event string on a hot path (or use
+    /// [`Tracer::record_with`]).
+    #[inline]
+    pub fn wants(&self, category: TraceCategory) -> bool {
+        self.enabled && self.categories[category.index()]
+    }
+
+    /// Record an event unconditionally (caller already checked
+    /// [`Tracer::wants`]).
+    pub fn record(&mut self, now_ns: u64, category: TraceCategory, detail: String) {
+        let ev = TraceEvent {
+            seq: self.seq,
+            now_ns,
+            category,
+            detail,
+        };
+        self.seq += 1;
+        if self.ring.len() < self.capacity {
+            self.ring.push(ev);
+        } else {
+            self.ring[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Record an event, building the detail string only if the category is
+    /// enabled.
+    #[inline]
+    pub fn record_with<F: FnOnce() -> String>(
+        &mut self,
+        now_ns: u64,
+        category: TraceCategory,
+        detail: F,
+    ) {
+        if self.wants(category) {
+            self.record(now_ns, category, detail());
+        }
+    }
+
+    /// Total events recorded since construction (including overwritten
+    /// ones); `seq() - dump(usize::MAX).len()` events have been lost to
+    /// the ring bound.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The last `n` events in chronological order, without disturbing the
+    /// ring (drainable while the router keeps running).
+    pub fn dump(&self, n: usize) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.ring.len().min(n));
+        let len = self.ring.len();
+        // Chronological order: oldest is at `head` once the ring wrapped.
+        let start = if len < self.capacity { 0 } else { self.head };
+        let take = len.min(n);
+        for k in (len - take)..len {
+            out.push(self.ring[(start + k) % len.max(1)].clone());
+        }
+        out
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new(TRACE_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(7), 3);
+        assert_eq!(Histogram::bucket_of(8), 4);
+        assert_eq!(Histogram::bucket_of(1 << 30), 31);
+        assert_eq!(Histogram::bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        for b in 1..HIST_BUCKETS - 1 {
+            assert_eq!(Histogram::bucket_of(Histogram::bucket_floor(b)), b);
+            assert_eq!(Histogram::bucket_of(Histogram::bucket_floor(b + 1) - 1), b);
+        }
+    }
+
+    #[test]
+    fn histogram_observe_and_mean() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 3, 4, 100] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 108);
+        assert!((h.mean() - 21.6).abs() < 1e-9);
+        assert_eq!(h.buckets[0], 1); // 0
+        assert_eq!(h.buckets[1], 1); // 1
+        assert_eq!(h.buckets[2], 1); // 3
+        assert_eq!(h.buckets[3], 1); // 4
+        assert_eq!(h.buckets[7], 1); // 100
+        assert_eq!(h.trimmed_buckets().len(), 8);
+        assert!(Histogram::default().trimmed_buckets().is_empty());
+    }
+
+    #[test]
+    fn registry_absorb_adds_everything() {
+        let mut a = MetricsRegistry::default();
+        let mut b = MetricsRegistry::default();
+        a.note_gate_call(Gate::Firewall);
+        a.note_gate_latency(Gate::Firewall, 100);
+        a.note_drop(DropReason::NoRoute);
+        a.note_rx(0, 64);
+        b.note_gate_call(Gate::Firewall);
+        b.note_gate_call(Gate::Scheduling);
+        b.note_drop(DropReason::NoRoute);
+        b.note_drop(DropReason::Plugin(Gate::Firewall));
+        b.note_tx(1, 1500);
+        b.class_hits[0] = 7;
+        b.fragment_flows = 2;
+        b.queue_depth[1] = 3;
+        a.absorb(&b);
+        assert_eq!(a.gate_calls[Gate::Firewall.index()], 2);
+        assert_eq!(a.gate_calls[Gate::Scheduling.index()], 1);
+        assert_eq!(a.gate_latency[Gate::Firewall.index()].count, 1);
+        assert_eq!(a.drops[drop_reason_index(DropReason::NoRoute)], 2);
+        assert_eq!(
+            a.drops[drop_reason_index(DropReason::Plugin(Gate::Firewall))],
+            1
+        );
+        assert_eq!(a.dropped_total(), 3);
+        assert_eq!(a.if_rx_packets[0], 1);
+        assert_eq!(a.if_tx_packets[1], 1);
+        assert_eq!(a.if_tx_bytes[1], 1500);
+        assert_eq!(a.class_hits[0], 7);
+        assert_eq!(a.fragment_flows, 2);
+        assert_eq!(a.queue_depth[1], 3);
+        assert_eq!(a.pkt_size.count, 1);
+    }
+
+    #[test]
+    fn drop_reason_slots_are_distinct_and_labelled() {
+        let mut seen = std::collections::HashSet::new();
+        let mut reasons = vec![
+            DropReason::Malformed,
+            DropReason::BadChecksum,
+            DropReason::TtlExpired,
+            DropReason::NoRoute,
+            DropReason::QueueFull,
+            DropReason::TooBig,
+            DropReason::Internal,
+        ];
+        for g in ALL_GATES {
+            reasons.push(DropReason::Plugin(g));
+            reasons.push(DropReason::PluginFault(g));
+        }
+        assert_eq!(reasons.len(), DROP_KINDS);
+        for r in reasons {
+            let i = drop_reason_index(r);
+            assert!(i < DROP_KINDS);
+            assert!(seen.insert(i), "slot collision at {i}");
+            assert!(!drop_reason_label(i).is_empty());
+        }
+        assert_eq!(drop_reason_label(7), "plugin_firewall");
+        assert_eq!(
+            drop_reason_label(7 + GATE_COUNT + GATE_COUNT - 1),
+            "plugin_fault_sched"
+        );
+    }
+
+    #[test]
+    fn gate_call_sampling_cadence() {
+        let mut m = MetricsRegistry::default();
+        let mut sampled = 0;
+        for _ in 0..(LATENCY_SAMPLE * 3) {
+            if m.note_gate_call(Gate::Stats) {
+                sampled += 1;
+            }
+        }
+        assert_eq!(sampled, 3);
+        assert_eq!(m.gate_calls[Gate::Stats.index()], LATENCY_SAMPLE * 3);
+    }
+
+    #[test]
+    fn tracer_ring_wraps_keeping_newest() {
+        let mut t = Tracer::new(4);
+        t.set_enabled(true);
+        for i in 0..6u64 {
+            t.record_with(i * 10, TraceCategory::Flow, || format!("ev{i}"));
+        }
+        assert_eq!(t.seq(), 6);
+        let all = t.dump(usize::MAX);
+        assert_eq!(all.len(), 4);
+        assert_eq!(
+            all.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4, 5]
+        );
+        assert_eq!(all[0].detail, "ev2");
+        assert_eq!(all[3].detail, "ev5");
+        // dump(n) takes the newest n, still chronological.
+        let two = t.dump(2);
+        assert_eq!(two.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![4, 5]);
+        // Ring is not disturbed by dumping.
+        assert_eq!(t.dump(usize::MAX).len(), 4);
+    }
+
+    #[test]
+    fn tracer_masking() {
+        let mut t = Tracer::new(8);
+        // Disabled: nothing recorded, no string built.
+        t.record_with(0, TraceCategory::Flow, || {
+            unreachable!("must not format while disabled")
+        });
+        t.set_enabled(true);
+        t.set_category(TraceCategory::Shard, false);
+        assert!(t.wants(TraceCategory::Flow));
+        assert!(!t.wants(TraceCategory::Shard));
+        t.record_with(0, TraceCategory::Shard, || {
+            unreachable!("must not format a masked category")
+        });
+        t.record_with(5, TraceCategory::Filter, || "f".to_string());
+        assert_eq!(t.dump(10).len(), 1);
+        assert_eq!(t.dump(10)[0].category.label(), "filter");
+    }
+
+    #[test]
+    fn json_rendering_shape() {
+        let mut m = MetricsRegistry::default();
+        m.note_gate_call(Gate::Firewall);
+        m.note_drop(DropReason::NoRoute);
+        m.note_rx(0, 64);
+        let j = m.render_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"firewall\":{\"calls\":1"));
+        assert!(j.contains("\"no_route\":1"));
+        assert!(j.contains("\"rx_packets\":1"));
+        assert!(j.contains("\"fragment_flows\":0"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+}

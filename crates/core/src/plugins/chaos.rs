@@ -275,9 +275,7 @@ mod tests {
     fn config_and_reconfig() {
         let mut plugin = ChaosPlugin::default();
         let inst = plugin.create_instance("mode=drop every=2").unwrap();
-        let reply = plugin
-            .custom_message(Some(&inst), "status", "")
-            .unwrap();
+        let reply = plugin.custom_message(Some(&inst), "status", "").unwrap();
         assert!(reply.contains("mode=drop every=2"), "{reply}");
         let reply = plugin
             .custom_message(Some(&inst), "set", "mode=panic every=5")

@@ -39,11 +39,7 @@ impl ReplayWindow {
         }
         if seq > self.highest {
             let shift = seq - self.highest;
-            self.bitmap = if shift >= 64 {
-                0
-            } else {
-                self.bitmap << shift
-            };
+            self.bitmap = if shift >= 64 { 0 } else { self.bitmap << shift };
             self.bitmap |= 1;
             self.highest = seq;
             return true;
@@ -266,9 +262,7 @@ impl PluginInstance for EspInstance {
                     self.failures.fetch_add(1, Ordering::Relaxed);
                     return PluginAction::Drop;
                 };
-                if esp.spi() != self.spi
-                    || !self.replay.lock().check_and_update(esp.seq())
-                {
+                if esp.spi() != self.spi || !self.replay.lock().check_and_update(esp.seq()) {
                     self.failures.fetch_add(1, Ordering::Relaxed);
                     return PluginAction::Drop;
                 }

@@ -69,7 +69,9 @@ pub fn register_builtin_factories(loader: &mut PluginLoader) {
         .add_factory("opt4", || Box::new(ipv4_opts::Ipv4OptsPlugin::default()))
         .expect("fresh loader");
     loader
-        .add_factory("tcpmon", || Box::new(tcp_monitor::TcpMonitorPlugin::default()))
+        .add_factory("tcpmon", || {
+            Box::new(tcp_monitor::TcpMonitorPlugin::default())
+        })
         .expect("fresh loader");
     loader
         .add_factory("vclock", || Box::new(sched::VcPlugin::default()))

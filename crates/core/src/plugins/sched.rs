@@ -19,7 +19,10 @@ use rp_classifier::FilterId;
 use rp_packet::{FlowTuple, Mbuf};
 use rp_sched::hfsc::ClassId;
 use rp_sched::link::{SchedPacket, Scheduler};
-use rp_sched::{DrrScheduler, FifoScheduler, HfscScheduler, HsfScheduler, RedQueue, ServiceCurve, VirtualClockScheduler};
+use rp_sched::{
+    DrrScheduler, FifoScheduler, HfscScheduler, HsfScheduler, RedQueue, ServiceCurve,
+    VirtualClockScheduler,
+};
 use std::any::Any;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -181,8 +184,8 @@ impl Plugin for DrrPlugin {
         name: &str,
         args: &str,
     ) -> Result<String, PluginError> {
-        let inst = instance
-            .ok_or_else(|| PluginError::BadConfig("message needs an instance".into()))?;
+        let inst =
+            instance.ok_or_else(|| PluginError::BadConfig("message needs an instance".into()))?;
         let drr = self
             .instances
             .iter()
@@ -335,8 +338,8 @@ impl Plugin for HfscPlugin {
         name: &str,
         args: &str,
     ) -> Result<String, PluginError> {
-        let inst = instance
-            .ok_or_else(|| PluginError::BadConfig("message needs an instance".into()))?;
+        let inst =
+            instance.ok_or_else(|| PluginError::BadConfig("message needs an instance".into()))?;
         let typed = self
             .instances
             .iter()
@@ -349,9 +352,10 @@ impl Plugin for HfscPlugin {
             "addclass" => {
                 let parent = match map.get("parent").map(String::as_str) {
                     None | Some("root") => g.hfsc.root(),
-                    Some(p) => ClassId(p.parse().map_err(|_| {
-                        PluginError::BadConfig(format!("bad parent {p}"))
-                    })?),
+                    Some(p) => ClassId(
+                        p.parse()
+                            .map_err(|_| PluginError::BadConfig(format!("bad parent {p}")))?,
+                    ),
                 };
                 let ls: u64 = config_num(&map, "ls", 0)?;
                 let rt = if map.contains_key("m2") {
@@ -524,8 +528,8 @@ impl Plugin for HsfPlugin {
         name: &str,
         args: &str,
     ) -> Result<String, PluginError> {
-        let inst = instance
-            .ok_or_else(|| PluginError::BadConfig("message needs an instance".into()))?;
+        let inst =
+            instance.ok_or_else(|| PluginError::BadConfig("message needs an instance".into()))?;
         let typed = self
             .instances
             .iter()
@@ -537,9 +541,11 @@ impl Plugin for HsfPlugin {
         let parent = |g: &HsfInner| -> Result<ClassId, PluginError> {
             match map.get("parent").map(String::as_str) {
                 None | Some("root") => Ok(g.hsf.root()),
-                Some(p) => Ok(ClassId(p.parse().map_err(|_| {
-                    PluginError::BadConfig(format!("bad parent {p}"))
-                })?)),
+                Some(p) => {
+                    Ok(ClassId(p.parse().map_err(|_| {
+                        PluginError::BadConfig(format!("bad parent {p}"))
+                    })?))
+                }
             }
         };
         match name {
@@ -646,7 +652,11 @@ impl PluginInstance for FifoInstance {
 
     fn describe(&self) -> String {
         let g = self.inner.lock();
-        format!("fifo: backlog={} drops={}", g.fifo.backlog(), g.fifo.drops())
+        format!(
+            "fifo: backlog={} drops={}",
+            g.fifo.backlog(),
+            g.fifo.drops()
+        )
     }
 }
 
@@ -906,8 +916,8 @@ impl Plugin for VcPlugin {
         name: &str,
         args: &str,
     ) -> Result<String, PluginError> {
-        let inst = instance
-            .ok_or_else(|| PluginError::BadConfig("message needs an instance".into()))?;
+        let inst =
+            instance.ok_or_else(|| PluginError::BadConfig("message needs an instance".into()))?;
         let typed = self
             .instances
             .iter()
@@ -1014,7 +1024,9 @@ mod tests {
     #[test]
     fn hsf_plugin_hierarchy_via_messages() {
         let mut p = HsfPlugin::default();
-        let inst = p.create_instance("rate=10000000 quantum=1500 limit=32").unwrap();
+        let inst = p
+            .create_instance("rate=10000000 quantum=1500 limit=32")
+            .unwrap();
         let a = p
             .custom_message(Some(&inst), "addleaf", "parent=root ls=7000000")
             .unwrap();
@@ -1033,7 +1045,11 @@ mod tests {
             .unwrap();
         assert!(i.starts_with("class "));
         let leaf = p
-            .custom_message(Some(&inst), "addleaf", "parent=2 ls=1000000 m1=2000000 d=10000 m2=500000")
+            .custom_message(
+                Some(&inst),
+                "addleaf",
+                "parent=2 ls=1000000 m1=2000000 d=10000 m2=500000",
+            )
             .unwrap();
         assert!(leaf.starts_with("class "));
         // Bad messages rejected.
@@ -1062,7 +1078,9 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 8);
-        assert!(p.custom_message(Some(&inst), "setrate", "filter=1 rate=5000000").is_ok());
+        assert!(p
+            .custom_message(Some(&inst), "setrate", "filter=1 rate=5000000")
+            .is_ok());
         assert!(p.custom_message(Some(&inst), "setrate", "").is_err());
     }
 

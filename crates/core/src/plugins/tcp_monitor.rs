@@ -305,7 +305,11 @@ mod tests {
     fn seq_wraparound_not_flagged() {
         let inst = TcpMonitorInstance::default();
         let mut soft = None;
-        feed(&inst, &mut soft, tcp_packet(u32::MAX - 50, TcpFlags::ACK, 100));
+        feed(
+            &inst,
+            &mut soft,
+            tcp_packet(u32::MAX - 50, TcpFlags::ACK, 100),
+        );
         // Wraps past 0: still forward progress.
         feed(&inst, &mut soft, tcp_packet(49, TcpFlags::ACK, 100));
         assert_eq!(inst.retransmissions(), 0);

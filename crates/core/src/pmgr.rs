@@ -27,6 +27,13 @@
 //! stats                              # data-path + flow-cache counters,
 //!                                    # with a per-shard breakdown on a
 //!                                    # parallel data plane
+//! metrics [json]                     # merged metrics registry (gate
+//!                                    # latency histograms, classification
+//!                                    # outcomes, drops, interfaces), with
+//!                                    # a per-shard breakdown on a
+//!                                    # parallel data plane
+//! trace on|off                       # toggle the event tracer
+//! trace dump [n]                     # last n (default 16) trace events
 //! show filters <gate>                # installed filters at a gate
 //! show instances                     # live plugin instances
 //! health                             # supervision state per instance
@@ -119,10 +126,8 @@ pub fn run_command<C: ControlPlane>(router: &mut C, line: &str) -> Result<String
             let filter: FilterSpec = filter_str
                 .parse()
                 .map_err(|e| PmgrError::Syntax(format!("{e}")))?;
-            let reply = router.cp_send_message(
-                name,
-                PluginMsg::RegisterInstance { id, gate, filter },
-            )?;
+            let reply =
+                router.cp_send_message(name, PluginMsg::RegisterInstance { id, gate, filter })?;
             match reply {
                 PluginReply::Registered(fid) => Ok(format!("filter {}", fid.0)),
                 other => Ok(format!("{other:?}")),
@@ -219,7 +224,9 @@ pub fn run_command<C: ControlPlane>(router: &mut C, line: &str) -> Result<String
                     Ok(lines.join("\n"))
                 }
             }
-            other => Err(PmgrError::Syntax(format!("show filters|instances, got {other}"))),
+            other => Err(PmgrError::Syntax(format!(
+                "show filters|instances, got {other}"
+            ))),
         },
         "health" => {
             let reports = router.cp_health_reports();
@@ -252,10 +259,7 @@ pub fn run_command<C: ControlPlane>(router: &mut C, line: &str) -> Result<String
         "faults" => {
             // Row 0 is always the merged total.
             let rows = router.cp_stats_rows();
-            let s = rows
-                .first()
-                .map(|r| r.data)
-                .unwrap_or_default();
+            let s = rows.first().map(|r| r.data).unwrap_or_default();
             Ok(format!(
                 "plugin_calls={} faults={} dropped_fault={} dropped_internal={} quarantines={} restarts={}",
                 s.plugin_calls,
@@ -290,13 +294,82 @@ pub fn run_command<C: ControlPlane>(router: &mut C, line: &str) -> Result<String
                 .collect::<Vec<_>>()
                 .join("\n"))
         }
+        "metrics" => {
+            let rows = router.cp_metrics_rows();
+            match toks.get(1) {
+                Some(&"json") => {
+                    // `merged` is always the total row; `shards` appears
+                    // only when there is a per-shard breakdown.
+                    let merged = rows
+                        .first()
+                        .map(|r| r.metrics.render_json())
+                        .unwrap_or_else(|| "{}".to_string());
+                    if rows.len() > 1 {
+                        let shards = rows[1..]
+                            .iter()
+                            .map(|r| r.metrics.render_json())
+                            .collect::<Vec<_>>()
+                            .join(",");
+                        Ok(format!("{{\"merged\":{merged},\"shards\":[{shards}]}}"))
+                    } else {
+                        Ok(format!("{{\"merged\":{merged}}}"))
+                    }
+                }
+                Some(other) => Err(PmgrError::Syntax(format!("metrics [json], got {other}"))),
+                None => Ok(rows
+                    .into_iter()
+                    .map(|r| format!("== {} ==\n{}", r.label, r.metrics.render_text()))
+                    .collect::<Vec<_>>()
+                    .join("\n")),
+            }
+        }
+        "trace" => match arg(&toks, 1)? {
+            "on" => {
+                router.cp_trace_enable(true);
+                Ok("trace on".to_string())
+            }
+            "off" => {
+                router.cp_trace_enable(false);
+                Ok("trace off".to_string())
+            }
+            "dump" => {
+                let n = match toks.get(2) {
+                    Some(t) => t
+                        .parse()
+                        .map_err(|_| PmgrError::Syntax(format!("bad count {t}")))?,
+                    None => 16,
+                };
+                let events = router.cp_trace_dump(n);
+                if events.is_empty() {
+                    return Ok("no trace events".to_string());
+                }
+                Ok(events
+                    .into_iter()
+                    .map(|se| {
+                        let e = se.event;
+                        let origin = match se.shard {
+                            Some(s) => format!("[shard {s}] "),
+                            None => String::new(),
+                        };
+                        format!(
+                            "{origin}#{} t={}ns [{}] {}",
+                            e.seq,
+                            e.now_ns,
+                            e.category.label(),
+                            e.detail
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join("\n"))
+            }
+            other => Err(PmgrError::Syntax(format!(
+                "trace on|off|dump [n], got {other}"
+            ))),
+        },
         "info" => {
             let loaded = router.cp_loaded_plugins().join(", ");
             let rows = router.cp_stats_rows();
-            let (s, f) = rows
-                .first()
-                .map(|r| (r.data, r.flows))
-                .unwrap_or_default();
+            let (s, f) = rows.first().map(|r| (r.data, r.flows)).unwrap_or_default();
             Ok(format!(
                 "plugins: [{loaded}]; rx={} fwd={} flows(live={} hits={} misses={})",
                 s.received, s.forwarded, f.live, f.hits, f.misses
@@ -450,5 +523,41 @@ bind stats stats 0 <*, *, UDP, *, 53, *>",
         let out = run_command(&mut r, "stats").unwrap();
         assert!(out.starts_with("total: rx=0 fwd=0"), "{out}");
         assert!(out.contains("flows(live=0"), "{out}");
+    }
+
+    #[test]
+    fn metrics_command_single_router() {
+        let mut r = router();
+        let out = run_command(&mut r, "metrics").unwrap();
+        assert!(out.starts_with("== total =="), "{out}");
+        let out = run_command(&mut r, "metrics json").unwrap();
+        assert!(out.starts_with("{\"merged\":{"), "{out}");
+        assert!(out.contains("\"gates\""), "{out}");
+        // Single router: no per-shard breakdown.
+        assert!(!out.contains("\"shards\""), "{out}");
+        assert!(run_command(&mut r, "metrics bogus").is_err());
+    }
+
+    #[test]
+    fn trace_commands() {
+        let mut r = router();
+        assert_eq!(
+            run_command(&mut r, "trace dump").unwrap(),
+            "no trace events"
+        );
+        assert_eq!(run_command(&mut r, "trace on").unwrap(), "trace on");
+        assert!(r.tracer().enabled());
+        // A filter installation is a traced event.
+        run_script(
+            &mut r,
+            "load stats\ncreate stats\nbind stats stats 0 <*, *, UDP, *, 53, *>",
+        )
+        .unwrap();
+        let out = run_command(&mut r, "trace dump 8").unwrap();
+        assert!(out.contains("[filter] filter installed"), "{out}");
+        assert_eq!(run_command(&mut r, "trace off").unwrap(), "trace off");
+        assert!(!r.tracer().enabled());
+        assert!(run_command(&mut r, "trace bogus").is_err());
+        assert!(run_command(&mut r, "trace dump bogus").is_err());
     }
 }

@@ -8,6 +8,7 @@ use crate::ip_core::{
 };
 use crate::loader::PluginLoader;
 use crate::message::{PluginMsg, PluginReply};
+use crate::obs::{self, MetricsRegistry, MetricsSnapshot, TraceCategory, Tracer};
 use crate::pcu::Pcu;
 use crate::plugin::{InstanceId, InstanceRef, PacketCtx, PluginAction, PluginError};
 use crate::supervisor::{self, FaultKind, FaultPolicy, HealthReport, Supervisor};
@@ -95,6 +96,8 @@ pub struct Router {
     stats: DataPathStats,
     now_ns: u64,
     supervisor: Supervisor,
+    metrics: MetricsRegistry,
+    tracer: Tracer,
 }
 
 /// Result of one supervised gate invocation (internal to the data path).
@@ -141,6 +144,8 @@ impl Router {
             stats: DataPathStats::default(),
             now_ns: 0,
             supervisor: Supervisor::new(cfg.fault_policy),
+            metrics: MetricsRegistry::default(),
+            tracer: Tracer::default(),
         }
     }
 
@@ -226,6 +231,11 @@ impl Router {
                     .aiu
                     .install_filter(gate.index(), filter.clone(), inst.clone())
                     .map_err(|e| PluginError::Filter(e.to_string()))?;
+                if self.tracer.wants(TraceCategory::Filter) {
+                    let now = self.now_ns;
+                    let detail = format!("filter installed at {gate} id={}: {filter}", fid.0);
+                    self.tracer.record(now, TraceCategory::Filter, detail);
+                }
                 self.supervisor.note_binding(&inst, gate, filter, fid);
                 for ev in evicted {
                     self.run_eviction_callbacks(ev);
@@ -252,6 +262,11 @@ impl Router {
             .aiu
             .remove_filter(gate.index(), fid)
             .map_err(|e| PluginError::Filter(e.to_string()))?;
+        if self.tracer.wants(TraceCategory::Filter) {
+            let now = self.now_ns;
+            let detail = format!("filter removed at {gate} id={}", fid.0);
+            self.tracer.record(now, TraceCategory::Filter, detail);
+        }
         self.supervisor.note_unbinding(&inst, gate, fid);
         let _ = supervisor::run_isolated(|| inst.filter_unbound(fid));
         for ev in evicted {
@@ -346,7 +361,13 @@ impl Router {
     pub fn expire_idle_flows(&mut self, max_idle_ns: u64) -> usize {
         let evicted = self.aiu.expire_idle(max_idle_ns);
         let n = evicted.len();
+        self.metrics.flows_expired += n as u64;
         for ev in evicted {
+            if self.tracer.wants(TraceCategory::Flow) {
+                let now = self.now_ns;
+                let detail = format!("flow expired: {}", ev.key);
+                self.tracer.record(now, TraceCategory::Flow, detail);
+            }
             self.run_eviction_callbacks(ev);
         }
         n
@@ -359,25 +380,56 @@ impl Router {
 
     /// The gate dispatch: ensure the packet is classified (first gate),
     /// then fetch the bound instance for `gate` through the FIX — the
-    /// paper's gate macro.
-    fn at_gate(&mut self, mbuf: &mut Mbuf, gate: Gate) -> Option<InstanceRef> {
+    /// paper's gate macro. `Err` means the packet could not be classified
+    /// at all (unparsable headers): it must take the malformed drop path,
+    /// not silently skip the gate.
+    fn at_gate(&mut self, mbuf: &mut Mbuf, gate: Gate) -> Result<Option<InstanceRef>, DropReason> {
         if mbuf.fix.is_none() {
             match self.aiu.classify_mbuf(mbuf) {
-                Ok((ClassifyOutcome::CacheMiss(_), Some(ev))) => {
-                    self.run_eviction_callbacks(ev)
+                Ok((outcome, evicted)) => {
+                    let gi = gate.index();
+                    match outcome {
+                        ClassifyOutcome::CacheHit(_) => self.metrics.class_hits[gi] += 1,
+                        ClassifyOutcome::CacheMiss(_) => {
+                            self.metrics.class_misses[gi] += 1;
+                            if rp_packet::flow::is_fragment(mbuf.data()) {
+                                self.metrics.fragment_flows += 1;
+                            }
+                            if self.tracer.wants(TraceCategory::Flow) {
+                                let now = self.now_ns;
+                                let detail = format!(
+                                    "flow created at {gate} fix={:?}",
+                                    mbuf.fix.map(|f| f.0)
+                                );
+                                self.tracer.record(now, TraceCategory::Flow, detail);
+                            }
+                        }
+                    }
+                    if let Some(ev) = evicted {
+                        self.metrics.class_recycled[gi] += 1;
+                        if self.tracer.wants(TraceCategory::Flow) {
+                            let now = self.now_ns;
+                            let detail = format!("flow recycled at {gate}: {}", ev.key);
+                            self.tracer.record(now, TraceCategory::Flow, detail);
+                        }
+                        self.run_eviction_callbacks(ev);
+                    }
                 }
-                Ok(_) => {}
-                Err(_) => return None,
+                Err(_) => return Err(DropReason::Malformed),
             }
         }
-        let fix = mbuf.fix?;
-        let inst = self.aiu.instance(fix, gate.index()).cloned()?;
+        let Some(fix) = mbuf.fix else {
+            return Ok(None);
+        };
+        let Some(inst) = self.aiu.instance(fix, gate.index()).cloned() else {
+            return Ok(None);
+        };
         // Defense in depth: a quarantined instance never sees another
         // packet, even through a stale cached binding.
         if self.supervisor.is_quarantined(&inst) {
-            return None;
+            return Ok(None);
         }
-        Some(inst)
+        Ok(Some(inst))
     }
 
     /// Invoke an instance at a gate under supervision: the call is
@@ -392,6 +444,13 @@ impl Router {
         };
         let now = self.now_ns;
         let budget = self.supervisor.policy().packet_budget_ns;
+        // Latency is wall-clock (virtual time doesn't advance inside a
+        // call) and sampled 1-in-N so the clock reads stay off the common
+        // path.
+        let t0 = self
+            .metrics
+            .note_gate_call(gate)
+            .then(std::time::Instant::now);
         // The AIU borrow lives only inside this block: fault handling
         // below needs `&mut self` again.
         let call = {
@@ -413,6 +472,10 @@ impl Router {
                 (action, ctx.cost_ns)
             })
         };
+        if let Some(t0) = t0 {
+            self.metrics
+                .note_gate_latency(gate, t0.elapsed().as_nanos() as u64);
+        }
         match call {
             Ok((action, cost_ns)) => {
                 if budget > 0 && cost_ns > budget {
@@ -441,6 +504,11 @@ impl Router {
     /// data path. Returns true when the instance was just quarantined.
     fn note_fault(&mut self, inst: &InstanceRef, kind: &FaultKind) -> bool {
         self.stats.plugin_faults += 1;
+        if self.tracer.wants(TraceCategory::Plugin) {
+            let now = self.now_ns;
+            let detail = format!("fault in {}: {kind}", inst.describe());
+            self.tracer.record(now, TraceCategory::Plugin, detail);
+        }
         let verdict = self.supervisor.record_fault(inst, kind);
         if verdict.newly_quarantined {
             self.quarantine(inst);
@@ -456,6 +524,11 @@ impl Router {
     /// wire, and a restart is scheduled per policy.
     fn quarantine(&mut self, inst: &InstanceRef) {
         self.stats.plugin_quarantines += 1;
+        if self.tracer.wants(TraceCategory::Plugin) {
+            let now = self.now_ns;
+            let detail = format!("quarantined {}", inst.describe());
+            self.tracer.record(now, TraceCategory::Plugin, detail);
+        }
         // Filters first — otherwise the next classification would re-bind
         // the dead instance. The instance's own callbacks are skipped (its
         // code must not run again); other instances' callbacks still fire.
@@ -506,6 +579,7 @@ impl Router {
             }
             if let Some(sched) = inst.as_scheduler() {
                 while let Ok(Some(pkt)) = supervisor::run_isolated(|| sched.dequeue(now)) {
+                    self.metrics.note_tx(ifc.id, pkt.len());
                     ifc.tx_log.push(pkt);
                 }
             }
@@ -526,11 +600,10 @@ impl Router {
                 Ok((new_id, new_inst)) => {
                     let mut new_bindings = Vec::new();
                     for (gate, spec) in &t.bindings {
-                        if let Ok((fid, evicted)) = self.aiu.install_filter(
-                            gate.index(),
-                            spec.clone(),
-                            new_inst.clone(),
-                        ) {
+                        if let Ok((fid, evicted)) =
+                            self.aiu
+                                .install_filter(gate.index(), spec.clone(), new_inst.clone())
+                        {
                             for ev in evicted {
                                 self.run_eviction_callbacks(ev);
                             }
@@ -538,8 +611,18 @@ impl Router {
                         }
                     }
                     self.stats.plugin_restarts += 1;
-                    self.supervisor
-                        .complete_restart(&t.plugin, t.id, new_id, &new_inst, new_bindings);
+                    if self.tracer.wants(TraceCategory::Plugin) {
+                        let now = self.now_ns;
+                        let detail = format!("restarted {} {} → {}", t.plugin, t.id.0, new_id.0);
+                        self.tracer.record(now, TraceCategory::Plugin, detail);
+                    }
+                    self.supervisor.complete_restart(
+                        &t.plugin,
+                        t.id,
+                        new_id,
+                        &new_inst,
+                        new_bindings,
+                    );
                 }
                 Err(_) => {
                     // Factory refused (or the plugin was unloaded while
@@ -555,6 +638,7 @@ impl Router {
     pub fn receive(&mut self, mut mbuf: Mbuf) -> Disposition {
         self.poll_restarts();
         self.stats.received += 1;
+        self.metrics.note_rx(mbuf.rx_if, mbuf.len());
         mbuf.timestamp_ns = self.now_ns;
 
         // Core: validate + age. A TTL/hop-limit expiry additionally sends
@@ -578,7 +662,11 @@ impl Router {
             if !self.enabled[gate.index()] {
                 continue;
             }
-            if let Some(inst) = self.at_gate(&mut mbuf, gate) {
+            let inst = match self.at_gate(&mut mbuf, gate) {
+                Ok(i) => i,
+                Err(reason) => return self.drop(reason),
+            };
+            if let Some(inst) = inst {
                 match self.call_instance(&inst, &mut mbuf, gate) {
                     GateOutcome::Action(PluginAction::Continue) => {}
                     GateOutcome::Action(PluginAction::Consumed) => {
@@ -653,7 +741,11 @@ impl Router {
     fn dispatch_egress(&mut self, mut mbuf: Mbuf, tx_if: IfIndex) -> Disposition {
         // Scheduling gate on the egress interface.
         if self.enabled[Gate::Scheduling.index()] {
-            if let Some(inst) = self.at_gate(&mut mbuf, Gate::Scheduling) {
+            let inst = match self.at_gate(&mut mbuf, Gate::Scheduling) {
+                Ok(i) => i,
+                Err(reason) => return self.drop(reason),
+            };
+            if let Some(inst) = inst {
                 self.interfaces[tx_if as usize].attach_sched(&inst);
                 return match self.call_instance(&inst, &mut mbuf, Gate::Scheduling) {
                     GateOutcome::Action(PluginAction::Consumed) => {
@@ -682,17 +774,21 @@ impl Router {
         };
         let Some(addr) = ifc.addr else { return };
         if let Some(reply) = crate::ip_core::build_time_exceeded(addr, original.data()) {
-            self.interfaces[rx].tx_log.push(Mbuf::new(reply, original.rx_if));
+            self.interfaces[rx]
+                .tx_log
+                .push(Mbuf::new(reply, original.rx_if));
         }
     }
 
     fn emit(&mut self, mbuf: Mbuf, tx_if: IfIndex) -> Disposition {
         self.stats.forwarded += 1;
+        self.metrics.note_tx(tx_if, mbuf.len());
         self.interfaces[tx_if as usize].tx_log.push(mbuf);
         Disposition::Forwarded(tx_if)
     }
 
     fn drop(&mut self, reason: DropReason) -> Disposition {
+        self.metrics.note_drop(reason);
         match reason {
             DropReason::Malformed | DropReason::BadChecksum => self.stats.dropped_malformed += 1,
             DropReason::TtlExpired => self.stats.dropped_ttl += 1,
@@ -726,6 +822,7 @@ impl Router {
                     if let Some(sched) = s.as_scheduler() {
                         match supervisor::run_isolated(|| sched.dequeue(now)) {
                             Ok(Some(pkt)) => {
+                                self.metrics.note_tx(ifc.id, pkt.len());
                                 ifc.tx_log.push(pkt);
                                 sent += 1;
                                 any = true;
@@ -762,6 +859,39 @@ impl Router {
     /// Flow-cache statistics (hits/misses/recycling).
     pub fn flow_stats(&self) -> rp_classifier::flow_table::FlowTableStats {
         self.aiu.flow_stats()
+    }
+
+    /// A point-in-time metrics snapshot, with the scheduler queue-depth
+    /// gauges sampled now (the hot path never pays for gauge updates).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut m = self.metrics;
+        for ifc in &self.interfaces {
+            let depth: u64 = ifc
+                .scheds
+                .iter()
+                .filter_map(|s| s.as_scheduler())
+                .map(|s| s.backlog() as u64)
+                .sum();
+            m.queue_depth[obs::iface_slot(ifc.id)] = depth;
+        }
+        m
+    }
+
+    /// Snapshot and reset the metrics registry (drain between bench runs).
+    pub fn take_metrics(&mut self) -> MetricsSnapshot {
+        let snap = self.metrics_snapshot();
+        self.metrics = MetricsRegistry::default();
+        snap
+    }
+
+    /// The event tracer (read side: enable state, dumps).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The event tracer (write side: enable/mask categories).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
     }
 
     /// Classifier access statistics.
@@ -851,10 +981,7 @@ mod tests {
             crate::ip_core::Disposition::Dropped(_)
         ));
         r.add_route(v6(0), 32, 1);
-        assert_eq!(
-            r.receive(udp(1)),
-            crate::ip_core::Disposition::Forwarded(1)
-        );
+        assert_eq!(r.receive(udp(1)), crate::ip_core::Disposition::Forwarded(1));
         assert!(r.remove_route(v6(0), 32));
         assert!(!r.remove_route(v6(0), 32));
         assert!(matches!(

@@ -78,7 +78,10 @@ impl fmt::Display for FaultKind {
         match self {
             FaultKind::Panic(msg) => write!(f, "panic: {msg}"),
             FaultKind::BudgetExceeded { cost_ns, budget_ns } => {
-                write!(f, "budget exceeded: cost {cost_ns}ns > budget {budget_ns}ns")
+                write!(
+                    f,
+                    "budget exceeded: cost {cost_ns}ns > budget {budget_ns}ns"
+                )
             }
         }
     }
@@ -111,8 +114,8 @@ impl Default for FaultPolicy {
             quarantine_after: 3,
             packet_budget_ns: 0,
             restart: true,
-            restart_backoff_ns: 1_000_000,          // 1 ms simulated
-            restart_backoff_cap_ns: 64_000_000,     // 64 ms simulated
+            restart_backoff_ns: 1_000_000,      // 1 ms simulated
+            restart_backoff_cap_ns: 64_000_000, // 64 ms simulated
             max_restarts: 4,
         }
     }
@@ -393,7 +396,11 @@ impl Supervisor {
                     .as_ref()
                     .map(|(p, _, _)| p.clone())
                     .unwrap_or_else(|| "(untracked)".to_string()),
-                id: r.origin.as_ref().map(|(_, i, _)| *i).unwrap_or(InstanceId(u32::MAX)),
+                id: r
+                    .origin
+                    .as_ref()
+                    .map(|(_, i, _)| *i)
+                    .unwrap_or(InstanceId(u32::MAX)),
                 health: r.health,
                 faults: r.faults,
                 total_faults: r.total_faults,
@@ -575,7 +582,12 @@ mod tests {
         sup.track("p", InstanceId(0), "", &i);
         let fid = rp_classifier::FilterId(9);
         sup.note_binding(&i, Gate::Firewall, FilterSpec::any(), fid);
-        sup.note_binding(&i, Gate::Stats, FilterSpec::any(), rp_classifier::FilterId(10));
+        sup.note_binding(
+            &i,
+            Gate::Stats,
+            FilterSpec::any(),
+            rp_classifier::FilterId(10),
+        );
         sup.note_unbinding(&i, Gate::Firewall, fid);
         for _ in 0..3 {
             sup.record_fault(&i, &FaultKind::Panic("x".into()));

@@ -225,7 +225,7 @@ mod tests {
         assert_eq!(t.lookup(0x8801_0000).unwrap(), (&"a", 6));
         assert_eq!(t.lookup(0x8B01_0000).unwrap(), (&"a", 6)); // 139.x
         assert!(t.lookup(0x8C01_0000).is_none()); // 140.x
-        // A /7 inside the /6 takes priority in its half.
+                                                  // A /7 inside the /6 takes priority in its half.
         t.insert(p(0x8A00_0000, 7), "b"); // 138..139
         assert_eq!(t.lookup(0x8B01_0000).unwrap(), (&"b", 7));
         assert_eq!(t.lookup(0x8901_0000).unwrap(), (&"a", 6));

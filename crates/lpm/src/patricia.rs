@@ -73,7 +73,12 @@ impl<A: Bits, V> PatriciaTable<A, V> {
         &self.counter
     }
 
-    fn insert_at(node: &mut Box<Node<A, V>>, prefix: Prefix<A>, value: V, len: &mut usize) -> Option<V> {
+    fn insert_at(
+        node: &mut Box<Node<A, V>>,
+        prefix: Prefix<A>,
+        value: V,
+        len: &mut usize,
+    ) -> Option<V> {
         debug_assert!(node.prefix.covers(&prefix));
         if node.prefix == prefix {
             let old = node.value.replace(value);
@@ -417,7 +422,10 @@ mod tests {
         t.insert(p(0x0B00_0000, 8), ());
         let mut got = t.covered_by(p(0x0A00_0000, 8));
         got.sort();
-        assert_eq!(got, vec![p(0x0A00_0000, 8), p(0x0A0A_0000, 16), p(0x0A0A_0A00, 24)]);
+        assert_eq!(
+            got,
+            vec![p(0x0A00_0000, 8), p(0x0A0A_0000, 16), p(0x0A0A_0A00, 24)]
+        );
         assert_eq!(t.covered_by(p(0x0A0A_0A00, 24)), vec![p(0x0A0A_0A00, 24)]);
         assert_eq!(t.covered_by(p(0x0C00_0000, 8)), vec![]);
         // The whole table under the default prefix.

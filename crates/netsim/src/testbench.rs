@@ -123,6 +123,14 @@ impl ParallelRunStats {
     }
 }
 
+/// Take (and reset) a router's observability snapshot after a measured
+/// run, so successive runs on one router report per-run metrics rather
+/// than cumulative ones. Queue-depth gauges are sampled at the drain
+/// point.
+pub fn drain_metrics(router: &mut Router) -> router_core::MetricsSnapshot {
+    router.take_metrics()
+}
+
 /// The testbench: replays workloads and accumulates statistics.
 pub struct Testbench {
     /// Prebuilt packet sequence (built once; cloned per repetition).

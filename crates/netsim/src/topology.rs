@@ -260,14 +260,8 @@ mod tests {
         let b = topo.add_node(router(""));
         let c = topo.add_node(router(""));
         // A.if1 ↔ B.if0 and B.if1 ↔ C.if0; C.if1 is host-facing.
-        topo.connect(
-            Port { node: a, iface: 1 },
-            Port { node: b, iface: 0 },
-        );
-        topo.connect(
-            Port { node: b, iface: 1 },
-            Port { node: c, iface: 0 },
-        );
+        topo.connect(Port { node: a, iface: 1 }, Port { node: b, iface: 0 });
+        topo.connect(Port { node: b, iface: 1 }, Port { node: c, iface: 0 });
         let pkt = PacketSpec::udp(v6_host(1), v6_host(200), 7, 8, 100).build();
         let d = topo.inject(Port { node: a, iface: 0 }, pkt.clone());
         assert!(matches!(d, Disposition::Forwarded(1)));

@@ -274,8 +274,14 @@ mod tests {
         let r2 = w.build();
         assert_eq!(r1.len(), 6);
         // Deterministic under the same seed.
-        let k1: Vec<_> = r1.iter().map(|m| FlowTuple::from_mbuf(m).unwrap()).collect();
-        let k2: Vec<_> = r2.iter().map(|m| FlowTuple::from_mbuf(m).unwrap()).collect();
+        let k1: Vec<_> = r1
+            .iter()
+            .map(|m| FlowTuple::from_mbuf(m).unwrap())
+            .collect();
+        let k2: Vec<_> = r2
+            .iter()
+            .map(|m| FlowTuple::from_mbuf(m).unwrap())
+            .collect();
         assert_eq!(k1, k2);
     }
 

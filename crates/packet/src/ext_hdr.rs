@@ -138,6 +138,9 @@ pub struct ChainWalk {
     pub ext_count: usize,
     /// Offset of the hop-by-hop header if present (always 0 when present).
     pub hop_by_hop: Option<usize>,
+    /// Offset of the fragment header if present. Classification treats any
+    /// packet carrying one as a fragment (ports unreadable or unreliable).
+    pub fragment: Option<usize>,
 }
 
 /// Walk the extension-header chain of an IPv6 payload starting at
@@ -151,6 +154,7 @@ pub fn walk_chain(first_header: Protocol, payload: &[u8]) -> Result<ChainWalk> {
     let mut offset = 0usize;
     let mut count = 0usize;
     let mut hbh = None;
+    let mut frag = None;
 
     while proto.is_ipv6_extension() {
         if count >= MAX_EXTENSION_HEADERS {
@@ -166,6 +170,9 @@ pub fn walk_chain(first_header: Protocol, payload: &[u8]) -> Result<ChainWalk> {
                 return Err(Error::Malformed);
             }
             hbh = Some(0);
+        }
+        if proto == Protocol::Ipv6Frag && frag.is_none() {
+            frag = Some(offset);
         }
         let (next, len) = if proto == Protocol::Ah {
             // AH: payload len field counts 4-byte units minus 2.
@@ -188,6 +195,7 @@ pub fn walk_chain(first_header: Protocol, payload: &[u8]) -> Result<ChainWalk> {
         upper_offset: offset,
         ext_count: count,
         hop_by_hop: hbh,
+        fragment: frag,
     })
 }
 
@@ -244,6 +252,27 @@ mod tests {
         assert_eq!(walk.upper_offset, 0);
         assert_eq!(walk.ext_count, 0);
         assert!(walk.hop_by_hop.is_none());
+        assert!(walk.fragment.is_none());
+    }
+
+    #[test]
+    fn walk_through_fragment_header() {
+        // Fragment header: next, reserved (reads as hdr_ext_len 0 → 8 bytes),
+        // offset+flags, identification.
+        let mut payload = vec![Protocol::Udp.into(), 0u8, 0x00, 0xA9, 1, 2, 3, 4];
+        payload.extend_from_slice(&[0u8; 16]); // mid-datagram bytes
+        let walk = walk_chain(Protocol::Ipv6Frag, &payload).unwrap();
+        assert_eq!(walk.upper_protocol, Protocol::Udp);
+        assert_eq!(walk.upper_offset, 8);
+        assert_eq!(walk.fragment, Some(0));
+
+        // Behind a hop-by-hop header the recorded offset moves with it.
+        let mut chain = build_hop_by_hop(Protocol::Ipv6Frag, &[]);
+        let hbh_len = chain.len();
+        chain.extend_from_slice(&payload);
+        let walk = walk_chain(Protocol::HopByHop, &chain).unwrap();
+        assert_eq!(walk.fragment, Some(hbh_len));
+        assert_eq!(walk.upper_protocol, Protocol::Udp);
     }
 
     #[test]

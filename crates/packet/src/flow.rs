@@ -13,7 +13,7 @@ use crate::ipv4::Ipv4Packet;
 use crate::ipv6::Ipv6Packet;
 use crate::mbuf::{IfIndex, Mbuf};
 use crate::wire::get_u16;
-use crate::Result;
+use crate::{Error, Result};
 use std::fmt;
 use std::net::IpAddr;
 
@@ -44,7 +44,16 @@ impl FlowTuple {
             IpVersion::V4 => {
                 let ip = Ipv4Packet::new_checked(data)?;
                 let proto = ip.protocol();
-                let (sport, dport) = ports_of(proto, ip.payload());
+                // Fragments are keyed port-less: non-first fragments carry no
+                // transport header (mid-datagram bytes would be read as
+                // "ports"), and the first fragment must land in the same flow
+                // record — and on the same shard — as the rest, so it gets the
+                // same <src, dst, proto, rx_if> key.
+                let (sport, dport) = if ip.frag_offset() > 0 || ip.more_frags() {
+                    (0, 0)
+                } else {
+                    ports_of(proto, ip.payload())?
+                };
                 Ok(FlowTuple {
                     src: IpAddr::V4(ip.src_addr()),
                     dst: IpAddr::V4(ip.dst_addr()),
@@ -58,7 +67,13 @@ impl FlowTuple {
                 let ip = Ipv6Packet::new_checked(data)?;
                 let walk = ext_hdr::walk_chain(ip.next_header(), ip.payload())?;
                 let upper = &ip.payload()[walk.upper_offset..];
-                let (sport, dport) = ports_of(walk.upper_protocol, upper);
+                // Same port-less keying as v4 whenever a fragment header is
+                // present (the first fragment included).
+                let (sport, dport) = if walk.fragment.is_some() {
+                    (0, 0)
+                } else {
+                    ports_of(walk.upper_protocol, upper)?
+                };
                 Ok(FlowTuple {
                     src: IpAddr::V6(ip.src_addr()),
                     dst: IpAddr::V6(ip.dst_addr()),
@@ -101,11 +116,31 @@ impl fmt::Display for FlowTuple {
     }
 }
 
-fn ports_of(proto: Protocol, transport: &[u8]) -> (u16, u16) {
-    if proto.has_ports() && transport.len() >= 4 {
-        (get_u16(transport, 0), get_u16(transport, 2))
-    } else {
-        (0, 0)
+fn ports_of(proto: Protocol, transport: &[u8]) -> Result<(u16, u16)> {
+    if !proto.has_ports() {
+        return Ok((0, 0));
+    }
+    // A TCP/UDP header shorter than its port fields is truncated garbage;
+    // reporting (0, 0) would alias it with legitimate port-less protocols.
+    if transport.len() < 4 {
+        return Err(Error::Truncated);
+    }
+    Ok((get_u16(transport, 0), get_u16(transport, 2)))
+}
+
+/// True when the packet is an IP fragment (IPv4 with a nonzero fragment
+/// offset or MF set; IPv6 carrying a fragment extension header). Such packets
+/// are classified port-less — this predicate lets the data path count them.
+pub fn is_fragment(data: &[u8]) -> bool {
+    match IpVersion::of_packet(data) {
+        Ok(IpVersion::V4) => Ipv4Packet::new_checked(data)
+            .map(|ip| ip.frag_offset() > 0 || ip.more_frags())
+            .unwrap_or(false),
+        Ok(IpVersion::V6) => Ipv6Packet::new_checked(data)
+            .and_then(|ip| ext_hdr::walk_chain(ip.next_header(), ip.payload()))
+            .map(|walk| walk.fragment.is_some())
+            .unwrap_or(false),
+        Err(_) => false,
     }
 }
 
@@ -198,12 +233,94 @@ mod tests {
             53,
         );
         buf[9] = 47; // GRE
-        // Fix the checksum so new_checked still passes (it doesn't verify
-        // checksums, only lengths, so no fix needed actually).
+                     // Fix the checksum so new_checked still passes (it doesn't verify
+                     // checksums, only lengths, so no fix needed actually).
         let t = FlowTuple::extract(&buf, 0).unwrap();
         assert_eq!(t.proto, 47);
         assert_eq!(t.sport, 0);
         assert_eq!(t.dport, 0);
+    }
+
+    #[test]
+    fn v4_fragments_keyed_portless() {
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        let whole = FlowTuple::extract(&build_v4_udp(src, dst, 5000, 53), 3).unwrap();
+        assert_eq!((whole.sport, whole.dport), (5000, 53));
+
+        // First fragment: offset 0, MF set. Carries the real UDP header but
+        // must still key port-less so it co-locates with later fragments.
+        let mut first = build_v4_udp(src, dst, 5000, 53);
+        first[6] |= 0x20;
+        let t_first = FlowTuple::extract(&first, 3).unwrap();
+        assert_eq!((t_first.sport, t_first.dport), (0, 0));
+        assert!(is_fragment(&first));
+
+        // Non-first fragment: nonzero offset, payload is mid-datagram bytes
+        // that would previously have been misread as ports.
+        let mut rest = build_v4_udp(src, dst, 5000, 53);
+        rest[6] = 0x20;
+        rest[7] = 0x02; // offset 16 bytes
+        let t_rest = FlowTuple::extract(&rest, 3).unwrap();
+        assert_eq!(t_first, t_rest);
+
+        // Last fragment: nonzero offset, MF clear.
+        let mut last = build_v4_udp(src, dst, 5000, 53);
+        last[7] = 0x04;
+        assert_eq!(FlowTuple::extract(&last, 3).unwrap(), t_first);
+        assert!(is_fragment(&last));
+
+        assert!(!is_fragment(&build_v4_udp(src, dst, 5000, 53)));
+        assert_ne!(whole, t_first); // ports differ — but same 4-tuple key
+    }
+
+    #[test]
+    fn v6_fragment_keyed_portless() {
+        let udp = UdpRepr {
+            src_port: 7777,
+            dst_port: 443,
+            payload_len: 0,
+        };
+        let frag_hdr = [Protocol::Udp.into(), 0u8, 0x00, 0x01, 9, 9, 9, 9];
+        let payload_len = frag_hdr.len() + udp.buffer_len();
+        let ip = Ipv6Repr {
+            src_addr: Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 1),
+            dst_addr: Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 2),
+            next_header: Protocol::Ipv6Frag,
+            payload_len,
+            hop_limit: 64,
+            traffic_class: 0,
+            flow_label: 0,
+        };
+        let mut buf = vec![0u8; ip.buffer_len() + payload_len];
+        let mut pkt = Ipv6Packet::new_unchecked(&mut buf[..]);
+        ip.emit(&mut pkt);
+        pkt.payload_mut()[..frag_hdr.len()].copy_from_slice(&frag_hdr);
+        let mut u = UdpPacket::new_unchecked(&mut pkt.payload_mut()[frag_hdr.len()..]);
+        udp.emit(&mut u);
+
+        let t = FlowTuple::extract(&buf, 0).unwrap();
+        assert_eq!(t.proto, 17);
+        assert_eq!((t.sport, t.dport), (0, 0));
+        assert!(is_fragment(&buf));
+    }
+
+    #[test]
+    fn truncated_transport_is_error() {
+        // A TCP packet whose "header" is 2 bytes: previously aliased to
+        // ports (0, 0); must now be a parse error.
+        let ip = Ipv4Repr {
+            src_addr: Ipv4Addr::new(10, 0, 0, 1),
+            dst_addr: Ipv4Addr::new(10, 0, 0, 2),
+            protocol: Protocol::Tcp,
+            payload_len: 2,
+            ttl: 64,
+            tos: 0,
+        };
+        let mut buf = vec![0u8; ip.buffer_len() + 2];
+        let mut pkt = Ipv4Packet::new_unchecked(&mut buf[..]);
+        ip.emit(&mut pkt);
+        assert_eq!(FlowTuple::extract(&buf, 0).unwrap_err(), Error::Truncated);
     }
 
     #[test]

@@ -211,7 +211,10 @@ impl ToyCipher {
             acc = acc.rotate_left(3) ^ (u32::from(*k) << (i % 4 * 8));
         }
         for b in data {
-            acc = acc.rotate_left(5).wrapping_add(u32::from(*b)).wrapping_mul(0x0101_0101 | 1);
+            acc = acc
+                .rotate_left(5)
+                .wrapping_add(u32::from(*b))
+                .wrapping_mul(0x0101_0101 | 1);
         }
         acc.to_be_bytes()
     }

@@ -115,10 +115,7 @@ mod tests {
 
     #[test]
     fn build_and_iterate() {
-        let opts = build_options(&[
-            (OptionKind::NOP, &[]),
-            (OptionKind::ROUTER_ALERT, &[0, 0]),
-        ]);
+        let opts = build_options(&[(OptionKind::NOP, &[]), (OptionKind::ROUTER_ALERT, &[0, 0])]);
         assert_eq!(opts.len() % 4, 0);
         let parsed: Vec<_> = OptionIter::from_slice(&opts).map(|o| o.unwrap()).collect();
         assert_eq!(parsed.len(), 2);

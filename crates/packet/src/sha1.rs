@@ -157,8 +157,7 @@ mod tests {
         );
         assert_eq!(
             hex(&Sha1::digest(
-                &b"0123456701234567012345670123456701234567012345670123456701234567"
-                    .repeat(10)
+                &b"0123456701234567012345670123456701234567012345670123456701234567".repeat(10)
             )),
             "dea356a2cddd90c7a7ecedc5ebb563934f460452"
         );

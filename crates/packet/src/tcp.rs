@@ -121,8 +121,7 @@ impl<T: AsRef<[u8]>> TcpPacket<T> {
     /// header + payload length from the IP layer.
     pub fn verify_checksum_v6(&self, src: Ipv6Addr, dst: Ipv6Addr) -> bool {
         let data = self.buffer.as_ref();
-        let mut c =
-            checksum::pseudo_header_v6(src, dst, Protocol::Tcp, data.len() as u32);
+        let mut c = checksum::pseudo_header_v6(src, dst, Protocol::Tcp, data.len() as u32);
         c.add_bytes(data);
         c.finish() == 0
     }
@@ -176,8 +175,7 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> TcpPacket<T> {
     pub fn fill_checksum_v6(&mut self, src: Ipv6Addr, dst: Ipv6Addr) {
         self.set_checksum(0);
         let data = self.buffer.as_ref();
-        let mut c =
-            checksum::pseudo_header_v6(src, dst, Protocol::Tcp, data.len() as u32);
+        let mut c = checksum::pseudo_header_v6(src, dst, Protocol::Tcp, data.len() as u32);
         c.add_bytes(data);
         let sum = c.finish();
         self.set_checksum(sum);

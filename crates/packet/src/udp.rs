@@ -115,8 +115,7 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> UdpPacket<T> {
     pub fn fill_checksum_v6(&mut self, src: Ipv6Addr, dst: Ipv6Addr) {
         self.set_checksum(0);
         let len = self.len();
-        let mut c: Checksum =
-            checksum::pseudo_header_v6(src, dst, Protocol::Udp, u32::from(len));
+        let mut c: Checksum = checksum::pseudo_header_v6(src, dst, Protocol::Udp, u32::from(len));
         c.add_bytes(&self.buffer.as_ref()[..usize::from(len)]);
         let sum = c.finish();
         // An all-zero computed checksum is transmitted as 0xFFFF (RFC 768/2460).
@@ -127,8 +126,7 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> UdpPacket<T> {
     pub fn fill_checksum_v4(&mut self, src: Ipv4Addr, dst: Ipv4Addr) {
         self.set_checksum(0);
         let len = self.len();
-        let mut c: Checksum =
-            checksum::pseudo_header_v4(src, dst, Protocol::Udp, u32::from(len));
+        let mut c: Checksum = checksum::pseudo_header_v4(src, dst, Protocol::Udp, u32::from(len));
         c.add_bytes(&self.buffer.as_ref()[..usize::from(len)]);
         let sum = c.finish();
         self.set_checksum(if sum == 0 { 0xFFFF } else { sum });

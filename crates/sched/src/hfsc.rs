@@ -207,9 +207,7 @@ impl Curve {
             // Skip redundant collinear points.
             if let Some(last) = segs.last() {
                 let last: &Seg = last;
-                if (last.m - m).abs() < 1e-12
-                    && (last.y + last.m * (x - last.x) - y).abs() < 1e-9
-                {
+                if (last.m - m).abs() < 1e-12 && (last.y + last.m * (x - last.x) - y).abs() < 1e-9 {
                     continue;
                 }
             }
@@ -316,12 +314,7 @@ impl HfscScheduler {
     /// Add a class under `parent`. `ls_bps` sets the link-share weight;
     /// `rt` optionally attaches a real-time guarantee (meaningful on
     /// leaves).
-    pub fn add_class(
-        &mut self,
-        parent: ClassId,
-        ls_bps: u64,
-        rt: Option<ServiceCurve>,
-    ) -> ClassId {
+    pub fn add_class(&mut self, parent: ClassId, ls_bps: u64, rt: Option<ServiceCurve>) -> ClassId {
         let id = ClassId(self.classes.len() as u32);
         self.classes.push(Class {
             parent: Some(parent),
@@ -610,7 +603,7 @@ mod tests {
         let b = Curve::from_sc(&ServiceCurve::linear(32 * MBPS), 1.0, 0.0);
         let min = a.min_with(&b);
         assert!((min.x2y(1.0) - 0.0).abs() < 1.0); // b wins at t=1
-        // b catches a at: 1e6·t = 4e6·(t-1) → t = 4/3.
+                                                   // b catches a at: 1e6·t = 4e6·(t-1) → t = 4/3.
         assert!((min.x2y(4.0 / 3.0) - (4e6 / 3.0)).abs() < 10.0);
         // After the crossing, a is the min again.
         assert!((min.x2y(2.0) - 2e6).abs() < 10.0);

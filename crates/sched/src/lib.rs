@@ -26,6 +26,6 @@ pub use drr::DrrScheduler;
 pub use fifo::FifoScheduler;
 pub use hfsc::{HfscScheduler, ServiceCurve};
 pub use hsf::HsfScheduler;
-pub use link::{LinkSim, Scheduler, SchedPacket};
+pub use link::{LinkSim, SchedPacket, Scheduler};
 pub use red::RedQueue;
 pub use vclock::VirtualClockScheduler;

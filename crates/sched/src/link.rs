@@ -216,7 +216,7 @@ mod tests {
     #[test]
     fn tx_time_math() {
         let sim = LinkSim::new(FifoScheduler::new(1000), 8_000_000); // 8 Mb/s
-        // 1000 bytes = 8000 bits at 8 Mb/s = 1 ms.
+                                                                     // 1000 bytes = 8000 bits at 8 Mb/s = 1 ms.
         assert_eq!(sim.tx_time_ns(1000), 1_000_000);
     }
 

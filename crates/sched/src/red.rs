@@ -105,8 +105,7 @@ impl Scheduler for RedQueue {
             let m = ((now_ns.saturating_sub(idle_start)) / self.cfg.mean_pkt_time_ns) as i32;
             self.avg *= (1.0 - self.cfg.w_q).powi(m);
         }
-        self.avg =
-            (1.0 - self.cfg.w_q) * self.avg + self.cfg.w_q * self.queue.len() as f64;
+        self.avg = (1.0 - self.cfg.w_q) * self.avg + self.cfg.w_q * self.queue.len() as f64;
 
         if self.queue.len() >= self.cfg.limit || self.avg >= self.cfg.max_th {
             self.forced_drops += 1;
@@ -115,8 +114,8 @@ impl Scheduler for RedQueue {
         }
         if self.avg > self.cfg.min_th {
             self.count += 1;
-            let p_b = self.cfg.max_p * (self.avg - self.cfg.min_th)
-                / (self.cfg.max_th - self.cfg.min_th);
+            let p_b =
+                self.cfg.max_p * (self.avg - self.cfg.min_th) / (self.cfg.max_th - self.cfg.min_th);
             let p_a = (p_b / (1.0 - (self.count as f64) * p_b).max(1e-9)).min(1.0);
             if self.uniform() < p_a {
                 self.early_drops += 1;

@@ -142,8 +142,8 @@ mod tests {
         let mut vc = VirtualClockScheduler::new(8 * MBPS, 64); // 1 MB/s
         vc.set_rate(1, 8 * MBPS);
         vc.set_rate(2, 2 * 8 * MBPS); // flow 2 at twice the rate
-        // Same arrival time: flow 2's stamps advance half as fast, so in
-        // 4 packets each, flow 2 gets service earlier on average.
+                                      // Same arrival time: flow 2's stamps advance half as fast, so in
+                                      // 4 packets each, flow 2 gets service earlier on average.
         for _ in 0..4 {
             vc.enqueue(
                 SchedPacket {

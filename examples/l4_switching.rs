@@ -41,10 +41,26 @@ fn main() {
     .unwrap();
 
     let cases = [
-        ("bulk UDP", PacketSpec::udp(v6_host(1), v6_host(100), 4000, 9000, 512), 1u32),
-        ("DNS query", PacketSpec::udp(v6_host(1), v6_host(100), 4000, 53, 64), 2),
-        ("customer web", PacketSpec::tcp(v6_host(0x42), v6_host(100), 5000, 80, 128), 3),
-        ("other web", PacketSpec::tcp(v6_host(7), v6_host(100), 5000, 80, 128), 1),
+        (
+            "bulk UDP",
+            PacketSpec::udp(v6_host(1), v6_host(100), 4000, 9000, 512),
+            1u32,
+        ),
+        (
+            "DNS query",
+            PacketSpec::udp(v6_host(1), v6_host(100), 4000, 53, 64),
+            2,
+        ),
+        (
+            "customer web",
+            PacketSpec::tcp(v6_host(0x42), v6_host(100), 5000, 80, 128),
+            3,
+        ),
+        (
+            "other web",
+            PacketSpec::tcp(v6_host(7), v6_host(100), 5000, 80, 128),
+            1,
+        ),
     ];
 
     for (name, spec, want_if) in cases {

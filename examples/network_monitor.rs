@@ -47,8 +47,14 @@ fn main() {
     burst(&mut router, 5000, 53, 20);
     burst(&mut router, 5001, 80, 35);
     burst(&mut router, 5002, 9999, 50); // unmonitored traffic
-    println!("  dns monitor: {}", run_command(&mut router, "msg stats 0 report").unwrap());
-    println!("  web monitor: {}", run_command(&mut router, "msg stats 1 report").unwrap());
+    println!(
+        "  dns monitor: {}",
+        run_command(&mut router, "msg stats 0 report").unwrap()
+    );
+    println!(
+        "  web monitor: {}",
+        run_command(&mut router, "msg stats 1 report").unwrap()
+    );
 
     println!("phase 2: re-target monitoring at run time (watch port 9999 instead of 80)");
     // Find instance 1's filter and move it — no data-path interruption.
@@ -59,13 +65,19 @@ fn main() {
     )
     .unwrap();
     burst(&mut router, 5002, 9999, 15);
-    println!("  new monitor: {}", run_command(&mut router, "msg stats 2 report").unwrap());
+    println!(
+        "  new monitor: {}",
+        run_command(&mut router, "msg stats 2 report").unwrap()
+    );
 
     println!("phase 3: idle expiry retires finished flows into the report");
     router.set_time_ns(60_000_000_000);
     let expired = router.expire_idle_flows(10_000_000_000);
     println!("  expired {expired} idle flows");
-    println!("  dns monitor: {}", run_command(&mut router, "msg stats 0 report").unwrap());
+    println!(
+        "  dns monitor: {}",
+        run_command(&mut router, "msg stats 0 report").unwrap()
+    );
 
     let f = router.flow_stats();
     println!(

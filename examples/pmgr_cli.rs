@@ -28,8 +28,13 @@ fn main() {
         ..RouterConfig::default()
     });
     register_builtin_factories(&mut router.loader);
-    println!("router-plugins pmgr. available modules: {}", router.loader.available().join(", "));
-    println!("type pmgr commands; extra commands: send <src> <dst> <sport> <dport>, pump <if>, quit");
+    println!(
+        "router-plugins pmgr. available modules: {}",
+        router.loader.available().join(", ")
+    );
+    println!(
+        "type pmgr commands; extra commands: send <src> <dst> <sport> <dport>, pump <if>, quit"
+    );
 
     let stdin = io::stdin();
     loop {
@@ -66,7 +71,10 @@ fn main() {
                 let iface: u32 = toks.get(1).and_then(|t| t.parse().ok()).unwrap_or(1);
                 let n = router.pump(iface, 64);
                 let tx = router.take_tx(iface);
-                println!("pumped {n} packets ({} bytes)", tx.iter().map(Mbuf::len).sum::<usize>());
+                println!(
+                    "pumped {n} packets ({} bytes)",
+                    tx.iter().map(Mbuf::len).sum::<usize>()
+                );
             }
             _ => match run_command(&mut router, &line) {
                 Ok(out) if out.is_empty() => {}

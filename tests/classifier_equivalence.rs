@@ -4,14 +4,15 @@
 //! backbone of the whole classification subsystem.
 
 use proptest::prelude::*;
-use router_plugins::classifier::{AddrMatch, BmpKind, DagTable, FilterSpec, LinearTable, PortMatch};
+use router_plugins::classifier::{
+    AddrMatch, BmpKind, DagTable, FilterSpec, LinearTable, PortMatch,
+};
 use router_plugins::packet::FlowTuple;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 
 /// Clustered v4 addresses so prefixes actually overlap.
 fn arb_v4() -> impl Strategy<Value = Ipv4Addr> {
-    (0u8..4, 0u8..4, 0u8..8, any::<u8>())
-        .prop_map(|(a, b, c, d)| Ipv4Addr::new(10 + a, b, c, d))
+    (0u8..4, 0u8..4, 0u8..8, any::<u8>()).prop_map(|(a, b, c, d)| Ipv4Addr::new(10 + a, b, c, d))
 }
 
 fn arb_v6() -> impl Strategy<Value = Ipv6Addr> {
@@ -30,10 +31,7 @@ fn arb_addr_match() -> impl Strategy<Value = AddrMatch> {
 /// Exact ports or wildcard (partial range overlaps are rejected by the
 /// DAG by design; nested ranges are covered by a dedicated test below).
 fn arb_port_match() -> impl Strategy<Value = PortMatch> {
-    prop_oneof![
-        Just(PortMatch::Any),
-        (1u16..64).prop_map(PortMatch::eq),
-    ]
+    prop_oneof![Just(PortMatch::Any), (1u16..64).prop_map(PortMatch::eq),]
 }
 
 fn arb_filter() -> impl Strategy<Value = FilterSpec> {
@@ -57,14 +55,8 @@ fn arb_filter() -> impl Strategy<Value = FilterSpec> {
 
 fn arb_tuple() -> impl Strategy<Value = FlowTuple> {
     (
-        prop_oneof![
-            arb_v4().prop_map(IpAddr::V4),
-            arb_v6().prop_map(IpAddr::V6)
-        ],
-        prop_oneof![
-            arb_v4().prop_map(IpAddr::V4),
-            arb_v6().prop_map(IpAddr::V6)
-        ],
+        prop_oneof![arb_v4().prop_map(IpAddr::V4), arb_v6().prop_map(IpAddr::V6)],
+        prop_oneof![arb_v4().prop_map(IpAddr::V4), arb_v6().prop_map(IpAddr::V6)],
         prop_oneof![Just(6u8), Just(17u8), Just(1u8)],
         1u16..64,
         1u16..64,

@@ -54,7 +54,10 @@ fn full_configuration_lifecycle() {
     run_command(&mut r, &format!("unbind stats stats {fid}")).unwrap();
     assert_eq!(r.receive(udp_packet(1000)), Disposition::Forwarded(1));
     let report = run_command(&mut r, "msg stats 0 report").unwrap();
-    assert!(report.contains("2 pkts"), "unbound instance must stop counting: {report}");
+    assert!(
+        report.contains("2 pkts"),
+        "unbound instance must stop counting: {report}"
+    );
 
     // Free + unload.
     run_command(&mut r, "free stats 0").unwrap();
@@ -70,10 +73,7 @@ fn free_instance_purges_bindings() {
         "load firewall\ncreate firewall action=deny\nbind fw firewall 0 <*, *, UDP, *, *, *>",
     )
     .unwrap();
-    assert!(matches!(
-        r.receive(udp_packet(1)),
-        Disposition::Dropped(_)
-    ));
+    assert!(matches!(r.receive(udp_packet(1)), Disposition::Dropped(_)));
     // Free while the filter is still installed: the Router must purge the
     // binding first (the paper: "all references to it are removed from
     // the flow table and the filter table").
@@ -226,11 +226,22 @@ fn gates_toggle_at_runtime() {
 #[test]
 fn reload_after_unload_gets_fresh_state() {
     let mut r = router();
-    run_script(&mut r, "load stats\ncreate stats\nbind stats stats 0 <*, *, *, *, *, *>").unwrap();
+    run_script(
+        &mut r,
+        "load stats\ncreate stats\nbind stats stats 0 <*, *, *, *, *, *>",
+    )
+    .unwrap();
     r.receive(udp_packet(1));
-    run_script(&mut r, "free stats 0\nunload stats\nload stats\ncreate stats").unwrap();
+    run_script(
+        &mut r,
+        "free stats 0\nunload stats\nload stats\ncreate stats",
+    )
+    .unwrap();
     let report = run_command(&mut r, "msg stats 0 report").unwrap();
-    assert!(report.contains("0 pkts"), "fresh module must start clean: {report}");
+    assert!(
+        report.contains("0 pkts"),
+        "fresh module must start clean: {report}"
+    );
 }
 
 #[test]

@@ -30,12 +30,16 @@ fn figure4_walkthrough_both_bmp_plugins() {
         // Paper §5.1.1: "the triple <128.252.153.1, 128.252.154.7, UDP>"
         // — Table 1's filters give filter 4 for the .154 destination
         // (only the source-/24 + UDP filter matches).
-        let got = dag.lookup(&t("128.252.153.1", "128.252.154.7", 17)).unwrap();
+        let got = dag
+            .lookup(&t("128.252.153.1", "128.252.154.7", 17))
+            .unwrap();
         assert_eq!(got.0, ids[3]);
 
         // With Table 1's own destination (128.252.153.7) the most
         // specific match is filter 2, "a proper subset of filter 4".
-        let got = dag.lookup(&t("128.252.153.1", "128.252.153.7", 17)).unwrap();
+        let got = dag
+            .lookup(&t("128.252.153.1", "128.252.153.7", 17))
+            .unwrap();
         assert_eq!(got.0, ids[1]);
 
         // TCP between the same pair → filter 3.
@@ -104,7 +108,11 @@ fn lookup_cost_flat_in_filter_count() {
     assert_eq!(s_small.port_probes, s_big.port_probes);
     // BSPL probes grow at most logarithmically with populated lengths,
     // bounded by the Table 2 worst case of 5+5 for IPv4.
-    assert!(s_big.addr_probes <= 10, "addr probes = {}", s_big.addr_probes);
+    assert!(
+        s_big.addr_probes <= 10,
+        "addr probes = {}",
+        s_big.addr_probes
+    );
 }
 
 /// E2's headline, as a CI-enforced fact: with every IPv4 prefix length

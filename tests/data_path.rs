@@ -44,11 +44,13 @@ fn first_packet_misses_then_flow_caches() {
 fn ipsec_transform_inside_forwarding_path() {
     // Sign on this router; verify what comes out looks like AH and the
     // hop limit was aged exactly once.
-    let mut r = router(
-        "load ah\ncreate ah mode=sign key=k spi=42\nbind ipsec ah 0 <*, *, UDP, *, *, *>",
-    );
+    let mut r =
+        router("load ah\ncreate ah mode=sign key=k spi=42\nbind ipsec ah 0 <*, *, UDP, *, *, *>");
     let clear = PacketSpec::udp(v6_host(1), v6_host(9), 5, 6, 256).build();
-    assert_eq!(r.receive(Mbuf::new(clear.clone(), 0)), Disposition::Forwarded(1));
+    assert_eq!(
+        r.receive(Mbuf::new(clear.clone(), 0)),
+        Disposition::Forwarded(1)
+    );
     let out = r.take_tx(1).pop().unwrap();
     let pkt = Ipv6Packet::new_checked(out.data()).unwrap();
     assert_eq!(pkt.next_header(), Protocol::Ah);
@@ -67,7 +69,10 @@ fn ipv6_option_gate_drops_poison_option() {
     let bad = PacketSpec::udp(v6_host(2), v6_host(9), 5, 6, 64)
         .with_hbh_option(0x41, vec![])
         .build();
-    assert!(matches!(r.receive(Mbuf::new(bad, 0)), Disposition::Dropped(_)));
+    assert!(matches!(
+        r.receive(Mbuf::new(bad, 0)),
+        Disposition::Dropped(_)
+    ));
 }
 
 #[test]
@@ -205,9 +210,7 @@ fn ttl_expiry_generates_icmp_time_exceeded() {
 
 #[test]
 fn idle_flows_expire_with_callbacks() {
-    let mut r = router(
-        "load stats\ncreate stats\nbind stats stats 0 <*, *, UDP, *, *, *>",
-    );
+    let mut r = router("load stats\ncreate stats\nbind stats stats 0 <*, *, UDP, *, *, *>");
     r.set_time_ns(0);
     for i in 0..5u16 {
         let m = Mbuf::new(

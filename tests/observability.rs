@@ -1,0 +1,225 @@
+//! End-to-end observability: the metrics registry and event tracer as
+//! seen through the pmgr surface, on both data planes, plus the fragment
+//! classification fix — every fragment of a datagram must hit the same
+//! flow record (and therefore the same shard), because only the first
+//! fragment carries the transport header.
+
+use router_plugins::core::ip_core::fragment_v4;
+use router_plugins::core::loader::PluginLoader;
+use router_plugins::core::plugins::register_builtin_factories;
+use router_plugins::core::pmgr::run_command;
+use router_plugins::core::{
+    ControlPlane, ParallelRouter, ParallelRouterConfig, Router, RouterConfig,
+};
+use router_plugins::packet::builder::PacketSpec;
+use router_plugins::packet::ipv4::Ipv4Packet;
+use router_plugins::packet::Mbuf;
+use std::net::{IpAddr, Ipv4Addr};
+
+fn v4(n: u8) -> IpAddr {
+    IpAddr::V4(Ipv4Addr::new(10, 0, 0, n))
+}
+
+/// A 2000-byte UDP datagram split into on-wire fragments (≥ 3 of them);
+/// only the first carries the UDP header.
+fn fragmented_udp() -> Vec<Vec<u8>> {
+    let mut buf = PacketSpec::udp(v4(1), v4(2), 5555, 7777, 2000).build();
+    {
+        let p = Ipv4Packet::new_unchecked(&mut buf[..]);
+        let b = p.into_inner();
+        b[6] &= !0x40; // clear DF so the datagram can fragment
+        let mut p = Ipv4Packet::new_unchecked(&mut buf[..]);
+        p.fill_checksum();
+    }
+    let frags = fragment_v4(&buf, 600).expect("fragmentable");
+    assert!(frags.len() >= 3, "want ≥3 fragments, got {}", frags.len());
+    frags
+}
+
+fn single_router() -> Router {
+    let mut r = Router::new(RouterConfig {
+        verify_checksums: false,
+        ..RouterConfig::default()
+    });
+    register_builtin_factories(&mut r.loader);
+    r.add_route(v4(2), 32, 1);
+    r
+}
+
+fn parallel_router(shards: usize) -> ParallelRouter {
+    let mut template = PluginLoader::new();
+    register_builtin_factories(&mut template);
+    let mut pr = ParallelRouter::new(
+        ParallelRouterConfig {
+            shards,
+            router: RouterConfig {
+                verify_checksums: false,
+                ..RouterConfig::default()
+            },
+            ingress_depth: 256,
+        },
+        &template,
+    );
+    pr.cp_add_route(v4(2), 32, 1);
+    pr
+}
+
+// ---------------------------------------------------------------------
+// Fragment classification: one datagram → one flow record → one shard
+// ---------------------------------------------------------------------
+
+#[test]
+fn fragments_share_one_flow_record() {
+    let mut r = single_router();
+    let frags = fragmented_udp();
+    let n = frags.len() as u64;
+    for f in frags {
+        r.receive(Mbuf::new(f, 0));
+    }
+    let fs = r.flow_stats();
+    assert_eq!(
+        fs.misses, 1,
+        "every fragment must key to the same flow record"
+    );
+    assert_eq!(fs.hits, n - 1, "later fragments must hit the cached record");
+    let m = r.metrics_snapshot();
+    assert_eq!(
+        m.fragment_flows, 1,
+        "the flow must be counted as fragmented"
+    );
+    assert_eq!(m.if_rx_packets[0], n);
+}
+
+#[test]
+fn fragments_land_on_one_shard() {
+    let mut pr = parallel_router(4);
+    for f in fragmented_udp() {
+        pr.receive(Mbuf::new(f, 0));
+    }
+    pr.flush();
+    let rows = pr.cp_stats_rows();
+    assert_eq!(rows[0].label, "total");
+    let busy: Vec<_> = rows[1..]
+        .iter()
+        .filter(|r| r.flows.misses + r.flows.hits > 0)
+        .collect();
+    assert_eq!(
+        busy.len(),
+        1,
+        "all fragments must dispatch to one shard: {:?}",
+        rows[1..]
+            .iter()
+            .map(|r| (r.label.clone(), r.flows.misses + r.flows.hits))
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(busy[0].flows.misses, 1);
+}
+
+// ---------------------------------------------------------------------
+// Metrics surface: pmgr `metrics [json]` on both planes, shard merge
+// ---------------------------------------------------------------------
+
+#[test]
+fn metrics_json_on_single_router() {
+    let mut r = single_router();
+    for f in fragmented_udp() {
+        r.receive(Mbuf::new(f, 0));
+    }
+    let out = run_command(&mut r, "metrics json").unwrap();
+    assert!(out.starts_with("{\"merged\":{"), "{out}");
+    assert!(out.contains("\"fragment_flows\":1"), "{out}");
+    assert!(
+        !out.contains("\"shards\""),
+        "single router has no shard breakdown: {out}"
+    );
+    let text = run_command(&mut r, "metrics").unwrap();
+    assert!(text.starts_with("== total =="), "{text}");
+}
+
+#[test]
+fn metrics_json_on_parallel_router_has_shard_breakdown() {
+    let shards = 4;
+    let mut pr = parallel_router(shards);
+    for i in 0..32u8 {
+        let buf = PacketSpec::udp(v4(1), v4(2), 6000 + u16::from(i), 80, 64).build();
+        pr.receive(Mbuf::new(buf, 0));
+    }
+    pr.flush();
+    let out = run_command(&mut pr, "metrics json").unwrap();
+    assert!(out.starts_with("{\"merged\":{"), "{out}");
+    assert!(out.contains("\"shards\":["), "{out}");
+    // merged + one object per shard, each with a "gates" section.
+    assert_eq!(out.matches("\"gates\"").count(), shards + 1, "{out}");
+}
+
+#[test]
+fn shard_registries_merge_into_total() {
+    let mut pr = parallel_router(4);
+    for i in 0..64u8 {
+        let buf = PacketSpec::udp(v4(1), v4(2), 7000 + u16::from(i), 80, 64).build();
+        pr.receive(Mbuf::new(buf, 0));
+    }
+    pr.flush();
+    let rows = pr.cp_metrics_rows();
+    assert_eq!(rows.len(), 5);
+    assert_eq!(rows[0].label, "total");
+    let total = &rows[0].metrics;
+    let sum = |f: &dyn Fn(&router_plugins::core::MetricsSnapshot) -> u64| -> u64 {
+        rows[1..].iter().map(|r| f(&r.metrics)).sum()
+    };
+    assert_eq!(total.if_rx_packets[0], sum(&|m| m.if_rx_packets[0]));
+    assert_eq!(total.if_rx_packets[0], 64);
+    for g in 0..router_plugins::core::gate::GATE_COUNT {
+        assert_eq!(total.class_misses[g], sum(&move |m| m.class_misses[g]));
+        assert_eq!(total.gate_calls[g], sum(&move |m| m.gate_calls[g]));
+    }
+    // 64 distinct source ports spread over 4 shards: more than one shard
+    // must actually have seen traffic for the merge to mean anything.
+    let active = rows[1..]
+        .iter()
+        .filter(|r| r.metrics.if_rx_packets[0] > 0)
+        .count();
+    assert!(active > 1, "workload only reached {active} shard(s)");
+}
+
+// ---------------------------------------------------------------------
+// Tracer surface: pmgr `trace on|off|dump` over the parallel plane
+// ---------------------------------------------------------------------
+
+#[test]
+fn trace_dump_labels_shard_origin() {
+    let mut pr = parallel_router(2);
+    assert_eq!(
+        run_command(&mut pr, "trace dump").unwrap(),
+        "no trace events"
+    );
+    run_command(&mut pr, "trace on").unwrap();
+    for i in 0..8u8 {
+        let buf = PacketSpec::udp(v4(1), v4(2), 8000 + u16::from(i), 80, 64).build();
+        pr.receive(Mbuf::new(buf, 0));
+    }
+    pr.flush();
+    let out = run_command(&mut pr, "trace dump 64").unwrap();
+    assert!(
+        out.contains("[shard 0]") || out.contains("[shard 1]"),
+        "{out}"
+    );
+    assert!(
+        out.contains("[shard] shard"),
+        "dispatch events traced: {out}"
+    );
+    assert!(out.contains("[flow] flow created"), "{out}");
+    run_command(&mut pr, "trace off").unwrap();
+    let seq_before: Vec<String> = out.lines().map(str::to_string).collect();
+    for i in 0..4u8 {
+        let buf = PacketSpec::udp(v4(3), v4(2), 8100 + u16::from(i), 80, 64).build();
+        pr.receive(Mbuf::new(buf, 0));
+    }
+    pr.flush();
+    let after = run_command(&mut pr, "trace dump 64").unwrap();
+    assert_eq!(
+        after.lines().count(),
+        seq_before.len(),
+        "tracer off must record nothing new"
+    );
+}

@@ -252,7 +252,11 @@ fn parallel_matches_single_router_deliveries_order_and_drops() {
             .unwrap_or_else(|| panic!("flow {flow:?} missing from parallel delivery"));
         assert_eq!(seqs, p, "per-flow order diverged for {flow:?}");
     }
-    assert_eq!(single_tx.len(), par_tx.len(), "total delivery count differs");
+    assert_eq!(
+        single_tx.len(),
+        par_tx.len(),
+        "total delivery count differs"
+    );
 
     // Identical drop-reason totals.
     let s = single.stats();
@@ -260,7 +264,10 @@ fn parallel_matches_single_router_deliveries_order_and_drops() {
     assert_eq!(s.received, p.received);
     assert_eq!(s.forwarded, p.forwarded);
     assert_eq!(s.dropped_plugin, p.dropped_plugin, "firewall drops differ");
-    assert_eq!(s.dropped_no_route, p.dropped_no_route, "no-route drops differ");
+    assert_eq!(
+        s.dropped_no_route, p.dropped_no_route,
+        "no-route drops differ"
+    );
     assert_eq!(s.dropped_malformed, p.dropped_malformed);
     assert_eq!(s.dropped_ttl, p.dropped_ttl);
     assert_eq!(s.dropped_queue, p.dropped_queue);

@@ -237,9 +237,8 @@ fn quarantined_instance_restarts_with_backoff() {
 /// a crash loop at run time comes back benign and serves traffic again.
 #[test]
 fn restart_recovers_create_time_config() {
-    let mut r = supervised_router(
-        "load chaos\ncreate chaos\nbind stats chaos 0 <*, *, UDP, *, *, *>",
-    );
+    let mut r =
+        supervised_router("load chaos\ncreate chaos\nbind stats chaos 0 <*, *, UDP, *, *, *>");
     assert!(matches!(r.receive(udp(1)), Disposition::Forwarded(1)));
     // Rearm the live instance into a crash loop mid-stream.
     run_command(&mut r, "msg chaos 0 set mode=panic every=1").unwrap();

@@ -96,13 +96,13 @@ fn edge_router_full_stack() {
          bind sched drr 0 <*, *, UDP, *, *, *>",
     );
     // Premium reservation for sport 7000.
-    let out = run_command(
+    let out = run_command(&mut r, "bind sched drr 0 <2001:db8::1, *, UDP, 7000, *, *>").unwrap();
+    let fid: u64 = out.strip_prefix("filter ").unwrap().parse().unwrap();
+    run_command(
         &mut r,
-        "bind sched drr 0 <2001:db8::1, *, UDP, 7000, *, *>",
+        &format!("msg drr 0 setweight filter={fid} weight=3"),
     )
     .unwrap();
-    let fid: u64 = out.strip_prefix("filter ").unwrap().parse().unwrap();
-    run_command(&mut r, &format!("msg drr 0 setweight filter={fid} weight=3")).unwrap();
 
     // Banned host dropped at the firewall gate, not counted by sched.
     let banned = PacketSpec::udp(v6_host(0x66), v6_host(9), 1, 2, 64).build();
@@ -176,9 +176,7 @@ fn mini_table3_all_kernels_forward() {
 /// fairness within the premium leaf.
 #[test]
 fn hsf_plugin_end_to_end() {
-    let mut r = router(
-        "load hsf\ncreate hsf rate=10000000 quantum=1500 limit=64\nattach 1 hsf 0",
-    );
+    let mut r = router("load hsf\ncreate hsf rate=10000000 quantum=1500 limit=64\nattach 1 hsf 0");
     // Leaf 1: premium 70%; leaf 2: default 30%.
     assert_eq!(
         run_command(&mut r, "msg hsf 0 addleaf parent=root ls=7000000").unwrap(),

@@ -42,7 +42,8 @@ impl Bencher {
             warm_iters += 1;
         }
         let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
-        let iters = ((MEASURE_TARGET.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(10, 50_000_000);
+        let iters =
+            ((MEASURE_TARGET.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(10, 50_000_000);
 
         let start = Instant::now();
         for _ in 0..iters {
@@ -127,12 +128,23 @@ impl BenchmarkGroup<'_> {
             iters_run: 0,
         };
         f(&mut b);
-        report(&self.name, &id.to_string(), b.mean_ns, b.iters_run, self.throughput);
+        report(
+            &self.name,
+            &id.to_string(),
+            b.mean_ns,
+            b.iters_run,
+            self.throughput,
+        );
         self
     }
 
     /// Run one benchmark with an explicit input value.
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
@@ -141,7 +153,13 @@ impl BenchmarkGroup<'_> {
             iters_run: 0,
         };
         f(&mut b, input);
-        report(&self.name, &id.to_string(), b.mean_ns, b.iters_run, self.throughput);
+        report(
+            &self.name,
+            &id.to_string(),
+            b.mean_ns,
+            b.iters_run,
+            self.throughput,
+        );
         self
     }
 
