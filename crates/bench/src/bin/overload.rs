@@ -1,0 +1,255 @@
+//! E12 — overload shedding and fault-window accounting in the sharded
+//! data plane.
+//!
+//! Two scenarios drive the dispatcher's policy-driven shed paths:
+//!
+//! 1. **Saturation** — bursts of increasing size are offered
+//!    back-to-back to a small-FIFO shard array with zero overload wait.
+//!    Once the per-shard FIFOs fill faster than the workers drain them,
+//!    dispatch sheds with a counted `shard_overload` drop instead of
+//!    blocking the ingress thread.
+//! 2. **Fault window** — one shard is killed mid-burst (`shard kill`,
+//!    a panic injected into its worker). Packets dispatched to the dead
+//!    shard before detection, plus everything shed while it is
+//!    quarantined and restarting, are re-accounted as `shard_down`
+//!    drops when the incarnation's final report is harvested.
+//!
+//! The quantity under test is not throughput but **conservation**: in
+//! every row, `offered == wire + dropped_total` must hold exactly (zero
+//! silent loss), with the loss split across named buckets.
+//!
+//! Output: a text table on stdout and `BENCH_overload.json` (schema:
+//! `bench`, `schema_version`, `rows` with `scenario`, `offered`, `wire`,
+//! `shed_overload`, `shed_down`, `other_drops`, `restarts`,
+//! `conserved`).
+//!
+//! Run: `cargo run --release -p rp-bench --bin overload`
+
+use router_core::plugins::register_builtin_factories;
+use router_core::pmgr::run_script;
+use router_core::supervisor::HealthState;
+use router_core::{ControlPlane, ParallelRouter, ParallelRouterConfig, RouterConfig};
+use rp_bench::report::{write_bench_json, Json, Table};
+use rp_netsim::traffic::{v6_host, Workload};
+use rp_packet::Mbuf;
+use std::time::{Duration, Instant};
+
+const SHARDS: usize = 2;
+const INGRESS_DEPTH: usize = 256;
+const FLOWS: usize = 64;
+const PAYLOAD: usize = 1500;
+
+/// Full pipeline per shard: all gates, an observer at the stats gate,
+/// checksum verification on (real per-packet work, so a back-to-back
+/// offered burst genuinely outruns the workers).
+const CONFIG_SCRIPT: &str = "load null\n\
+     create null\n\
+     bind stats null 0 <*, *, *, *, *, *>\n\
+     load drr\n\
+     create drr quantum=9180 limit=512\n\
+     attach 1 drr 0\n\
+     bind sched drr 0 <*, *, UDP, *, *, *>\n";
+
+struct Row {
+    scenario: String,
+    offered: u64,
+    wire: u64,
+    shed_overload: u64,
+    shed_down: u64,
+    other_drops: u64,
+    restarts: u32,
+    conserved: bool,
+    wall_ns: u64,
+}
+
+fn build() -> ParallelRouter {
+    let mut template = router_core::loader::PluginLoader::new();
+    register_builtin_factories(&mut template);
+    let mut pr = ParallelRouter::new(
+        ParallelRouterConfig {
+            shards: SHARDS,
+            router: RouterConfig {
+                verify_checksums: true,
+                ..RouterConfig::default()
+            },
+            ingress_depth: INGRESS_DEPTH,
+            overload_wait: Duration::ZERO,
+            ..ParallelRouterConfig::default()
+        },
+        &template,
+    );
+    pr.cp_add_route(v6_host(0), 32, 1);
+    run_script(&mut pr, CONFIG_SCRIPT).expect("configure data plane");
+    pr
+}
+
+fn drain(pr: &mut ParallelRouter) {
+    pr.flush();
+    for i in 0..pr.interface_count() {
+        let _ = pr.take_tx(i as u32);
+    }
+}
+
+/// Offer `packets` back-to-back, flush, and settle the books.
+fn run_burst(
+    pr: &mut ParallelRouter,
+    scenario: &str,
+    packets: &[Mbuf],
+    kill_at: Option<usize>,
+) -> Row {
+    let before = pr.stats();
+    let restarts_before: u32 = pr.cp_shard_status().iter().map(|s| s.restarts).sum();
+    let t0 = Instant::now();
+    for (i, pkt) in packets.iter().enumerate() {
+        if Some(i) == kill_at {
+            let _ = pr.cp_shard_kill(0);
+        }
+        pr.receive(pkt.clone());
+    }
+    // Close the fault window inside the measured scenario: wait until
+    // the supervisor has detected the death, harvested the dead
+    // incarnation, and brought a replacement back into service.
+    if kill_at.is_some() {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let status = pr.cp_shard_status();
+            let restarted = status.iter().map(|s| s.restarts).sum::<u32>() > restarts_before;
+            let all_serving = status.iter().all(|s| s.health != HealthState::Quarantined);
+            if (restarted && all_serving) || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    pr.flush();
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let after = pr.stats();
+    let restarts_after: u32 = pr.cp_shard_status().iter().map(|s| s.restarts).sum();
+    drain(pr);
+
+    let offered = packets.len() as u64;
+    let received = after.received - before.received;
+    let wire = after.forwarded - before.forwarded;
+    let shed_overload = after.dropped_shard_overload - before.dropped_shard_overload;
+    let shed_down = after.dropped_shard_down - before.dropped_shard_down;
+    let dropped = after.dropped_total() - before.dropped_total();
+    Row {
+        scenario: scenario.to_string(),
+        offered,
+        wire,
+        shed_overload,
+        shed_down,
+        other_drops: dropped - shed_overload - shed_down,
+        restarts: restarts_after - restarts_before,
+        conserved: received == offered && offered == wire + dropped,
+        wall_ns,
+    }
+}
+
+fn main() {
+    let mut pr = build();
+    // Warm the flow caches and schedulers at comfortable load.
+    let warm = Workload::uniform(FLOWS, 20, PAYLOAD).build();
+    for p in &warm {
+        pr.receive(p.clone());
+    }
+    drain(&mut pr);
+
+    let mut rows = Vec::new();
+
+    // Scenario 1: saturation sweep. Burst sizes scale against the total
+    // FIFO capacity of the array (SHARDS × INGRESS_DEPTH).
+    let capacity = SHARDS * INGRESS_DEPTH;
+    for mult in [1usize, 4, 16] {
+        let n = capacity * mult / FLOWS;
+        let burst = Workload::uniform(FLOWS, n.max(1), PAYLOAD).build();
+        let label = format!("burst {}x capacity", mult);
+        eprintln!("[overload] {label}: offering {} packets…", burst.len());
+        rows.push(run_burst(&mut pr, &label, &burst, None));
+        drain(&mut pr);
+    }
+
+    // Scenario 2: fault window. Kill shard 0 a third of the way into a
+    // sustained burst; the supervisor quarantines, restarts with
+    // backoff, and replays the journal while the offered load continues.
+    let burst = Workload::uniform(FLOWS, 16 * capacity / FLOWS, PAYLOAD).build();
+    let kill_at = burst.len() / 3;
+    eprintln!(
+        "[overload] fault window: offering {} packets, killing shard 0 at {}…",
+        burst.len(),
+        kill_at
+    );
+    rows.push(run_burst(
+        &mut pr,
+        "shard kill mid-burst",
+        &burst,
+        Some(kill_at),
+    ));
+
+    println!();
+    println!("Overload shedding and fault-window accounting ({SHARDS} shards, FIFO depth {INGRESS_DEPTH}, zero overload wait)");
+    println!(
+        "(conservation: offered == wire + dropped_total, with loss split across named buckets)"
+    );
+    println!();
+    let mut t = Table::new(&[
+        "Scenario",
+        "offered",
+        "wire",
+        "shed overload",
+        "shed down",
+        "other drops",
+        "restarts",
+        "conserved",
+    ]);
+    let mut rows_json = Vec::new();
+    let mut all_conserved = true;
+    for r in &rows {
+        all_conserved &= r.conserved;
+        t.row(&[
+            r.scenario.clone(),
+            r.offered.to_string(),
+            r.wire.to_string(),
+            r.shed_overload.to_string(),
+            r.shed_down.to_string(),
+            r.other_drops.to_string(),
+            r.restarts.to_string(),
+            if r.conserved {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+        ]);
+        rows_json.push(Json::obj(vec![
+            ("scenario", Json::from(r.scenario.clone())),
+            ("offered", Json::from(r.offered)),
+            ("wire", Json::from(r.wire)),
+            ("shed_overload", Json::from(r.shed_overload)),
+            ("shed_down", Json::from(r.shed_down)),
+            ("other_drops", Json::from(r.other_drops)),
+            ("restarts", Json::from(r.restarts as u64)),
+            ("conserved", Json::from(r.conserved)),
+            ("wall_ns", Json::from(r.wall_ns)),
+        ]));
+    }
+    t.print();
+    println!();
+    println!(
+        "zero silent loss across all scenarios: {}",
+        if all_conserved { "yes" } else { "NO" }
+    );
+
+    let extra = vec![
+        ("shards", Json::from(SHARDS)),
+        ("ingress_depth", Json::from(INGRESS_DEPTH)),
+        ("payload_len", Json::from(PAYLOAD)),
+        ("zero_silent_loss", Json::from(all_conserved)),
+    ];
+    match write_bench_json("overload", rows_json, extra) {
+        Ok(p) => eprintln!("[overload] wrote {}", p.display()),
+        Err(e) => eprintln!("[overload] could not write JSON: {e}"),
+    }
+    if !all_conserved {
+        std::process::exit(1);
+    }
+}

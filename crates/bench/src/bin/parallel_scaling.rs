@@ -95,6 +95,7 @@ fn main() {
                 shards,
                 router: router_config(),
                 ingress_depth: 1024,
+                ..ParallelRouterConfig::default()
             },
             &template,
         );

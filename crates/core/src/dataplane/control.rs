@@ -18,7 +18,7 @@ use crate::message::{PluginMsg, PluginReply};
 use crate::obs::{MetricsSnapshot, TraceEvent};
 use crate::plugin::{InstanceId, PluginError};
 use crate::router::Router;
-use crate::supervisor::HealthReport;
+use crate::supervisor::{HealthReport, HealthState};
 use rp_classifier::flow_table::FlowTableStats;
 use rp_packet::mbuf::IfIndex;
 use std::net::IpAddr;
@@ -53,6 +53,37 @@ pub struct MetricsRow {
     pub label: String,
     /// The registry snapshot.
     pub metrics: MetricsSnapshot,
+}
+
+/// One row of the pmgr `shards` report: a shard worker's supervision
+/// state as the dispatcher sees it. Built from dispatcher-side state and
+/// the shared heartbeat only, so it stays readable even when the shard
+/// thread itself is wedged.
+#[derive(Debug, Clone)]
+pub struct ShardStatus {
+    /// Shard index.
+    pub shard: usize,
+    /// Supervision state: `Healthy` (never faulted), `Degraded`
+    /// (restarted at least once, serving), `Quarantined` (not serving:
+    /// awaiting its restart backoff, or out of restart budget).
+    pub health: HealthState,
+    /// Completed restarts of this shard.
+    pub restarts: u32,
+    /// Packets dispatched to the current incarnation.
+    pub sent: u64,
+    /// Packets the current incarnation finished processing (from the
+    /// shared heartbeat — readable even mid-stall).
+    pub processed: u64,
+    /// Packets shed at the dispatcher because this shard's FIFO stayed
+    /// full past the bounded-wait budget.
+    pub shed_overload: u64,
+    /// Packets shed (or lost in a fault window and re-accounted) because
+    /// this shard was dead, stalled, or awaiting restart.
+    pub shed_down: u64,
+    /// Whether a restart is scheduled and not yet due/completed.
+    pub restart_pending: bool,
+    /// The most recent fault, human-readable.
+    pub last_fault: Option<String>,
 }
 
 /// A trace event with its origin: `None` on a single router, `Some(shard)`
@@ -111,6 +142,25 @@ pub trait ControlPlane {
     /// The last `n` trace events (per shard on a parallel data plane),
     /// labelled by origin, oldest first within each origin.
     fn cp_trace_dump(&self, n: usize) -> Vec<ShardTraceEvent>;
+    /// Per-shard supervision state (`pmgr shards`). Empty on a single
+    /// (unsharded) router. Takes `&mut self` because reading status is
+    /// also the watchdog's opportunity to harvest dead shards and fire
+    /// due restarts.
+    fn cp_shard_status(&mut self) -> Vec<ShardStatus> {
+        Vec::new()
+    }
+    /// Operator-forced restart of one shard (`pmgr shard restart <i>`):
+    /// quarantine the current incarnation immediately and rebuild it from
+    /// the command journal, skipping the backoff wait.
+    fn cp_shard_restart(&mut self, _shard: usize) -> Result<String, PluginError> {
+        Err(PluginError::Busy("no data-plane shards".to_string()))
+    }
+    /// Deterministic fault injection (`pmgr shard kill <i>`): panic the
+    /// shard's worker thread at its next message, exercising the whole
+    /// containment → quarantine → journal-rebuild path.
+    fn cp_shard_kill(&mut self, _shard: usize) -> Result<String, PluginError> {
+        Err(PluginError::Busy("no data-plane shards".to_string()))
+    }
 }
 
 impl ControlPlane for Router {
@@ -190,13 +240,53 @@ impl ControlPlane for Router {
     }
 }
 
-/// Aggregate per-shard unit results: the logical operation succeeded iff
-/// it succeeded everywhere; the first failure is the reported one.
-pub(crate) fn merge_unit(results: Vec<Result<(), PluginError>>) -> Result<(), PluginError> {
-    for r in results {
-        r?;
+/// One shard's answer to a control fan-out, by shard index. `Down` and
+/// `Unresponsive` are the partial-reply cases: the command could not be
+/// delivered (shard dead/quarantined) or its reply never came back
+/// within the fan-out timeout (shard wedged mid-message).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ShardAnswer<R> {
+    /// The shard ran the command and replied.
+    Ok(R),
+    /// The shard was not serving — the command was never delivered. The
+    /// journal rebuild replays it when the shard returns.
+    Down,
+    /// Delivered but no reply within the timeout (stalled shard).
+    Unresponsive,
+}
+
+impl<R> ShardAnswer<R> {
+    fn label(&self) -> &'static str {
+        match self {
+            ShardAnswer::Ok(_) => "ok",
+            ShardAnswer::Down => "down",
+            ShardAnswer::Unresponsive => "unresponsive",
+        }
     }
-    Ok(())
+}
+
+/// Aggregate per-shard unit results: the logical operation succeeded iff
+/// it succeeded on every *responsive* shard; the first failure is the
+/// reported one. Down/unresponsive shards don't veto — the command is in
+/// the journal and the rebuild replays it — but an all-missing fan-out is
+/// an error.
+pub(crate) fn merge_unit(
+    answers: Vec<(usize, ShardAnswer<Result<(), PluginError>>)>,
+) -> Result<(), PluginError> {
+    let mut any_ok = false;
+    for (_, a) in answers {
+        if let ShardAnswer::Ok(r) = a {
+            r?;
+            any_ok = true;
+        }
+    }
+    if any_ok {
+        Ok(())
+    } else {
+        Err(PluginError::Busy(
+            "no responsive data-plane shards".to_string(),
+        ))
+    }
 }
 
 /// Aggregate per-shard replies into the single reply the operator sees.
@@ -206,34 +296,57 @@ pub(crate) fn merge_unit(results: Vec<Result<(), PluginError>>) -> Result<(), Pl
 /// surfaced as an error rather than silently picking one shard's answer.
 /// Plugin-specific `Text` replies may legitimately differ per shard
 /// (e.g. per-shard packet counters); those are joined with a shard label
-/// per line.
+/// per line, and shards that could not answer contribute a
+/// `[shard i] unresponsive` / `[shard i] down` row instead of wedging
+/// the whole reply.
 pub(crate) fn merge_replies(
-    results: Vec<Result<PluginReply, PluginError>>,
+    answers: Vec<(usize, ShardAnswer<Result<PluginReply, PluginError>>)>,
 ) -> Result<PluginReply, PluginError> {
-    let mut replies = Vec::with_capacity(results.len());
-    for r in results {
-        replies.push(r?);
+    let mut oks: Vec<(usize, PluginReply)> = Vec::with_capacity(answers.len());
+    let mut missing: Vec<(usize, &'static str)> = Vec::new();
+    for (i, a) in answers {
+        match a {
+            ShardAnswer::Ok(r) => oks.push((i, r?)),
+            other => missing.push((i, other.label())),
+        }
     }
-    let Some(first) = replies.first().cloned() else {
-        return Err(PluginError::Busy("no data-plane shards".to_string()));
+    let Some((_, first)) = oks.first().cloned() else {
+        return Err(PluginError::Busy(
+            "no responsive data-plane shards".to_string(),
+        ));
     };
-    if replies.iter().all(|r| *r == first) {
+    let all_equal = oks.iter().all(|(_, r)| *r == first);
+    if all_equal && missing.is_empty() {
         return Ok(first);
     }
-    if replies.iter().all(|r| matches!(r, PluginReply::Text(_))) {
-        let joined = replies
+    if oks.iter().all(|(_, r)| matches!(r, PluginReply::Text(_))) {
+        let mut rows: Vec<(usize, String)> = oks
             .iter()
-            .enumerate()
             .map(|(i, r)| match r {
-                PluginReply::Text(t) => format!("[shard {i}] {t}"),
+                PluginReply::Text(t) => (*i, format!("[shard {i}] {t}")),
                 _ => unreachable!("checked all-Text above"),
             })
+            .collect();
+        rows.extend(
+            missing
+                .iter()
+                .map(|(i, why)| (*i, format!("[shard {i}] {why}"))),
+        );
+        rows.sort_by_key(|(i, _)| *i);
+        let joined = rows
+            .into_iter()
+            .map(|(_, row)| row)
             .collect::<Vec<_>>()
             .join("\n");
         return Ok(PluginReply::Text(joined));
     }
+    if all_equal {
+        // Structured replies agree on every responsive shard; the missing
+        // shards will be rebuilt from the journal to the same answer.
+        return Ok(first);
+    }
     Err(PluginError::Busy(format!(
-        "control fan-out diverged across shards: {replies:?}"
+        "control fan-out diverged across shards: {oks:?}"
     )))
 }
 
@@ -241,23 +354,44 @@ pub(crate) fn merge_replies(
 mod tests {
     use super::*;
 
+    fn ok<R>(i: usize, r: R) -> (usize, ShardAnswer<Result<R, PluginError>>) {
+        (i, ShardAnswer::Ok(Ok(r)))
+    }
+
     #[test]
     fn unit_first_error_wins() {
-        assert!(merge_unit(vec![Ok(()), Ok(())]).is_ok());
+        assert!(merge_unit(vec![ok(0, ()), ok(1, ())]).is_ok());
         let e = merge_unit(vec![
-            Ok(()),
-            Err(PluginError::Busy("x".into())),
-            Err(PluginError::Busy("y".into())),
+            ok(0, ()),
+            (1, ShardAnswer::Ok(Err(PluginError::Busy("x".into())))),
+            (2, ShardAnswer::Ok(Err(PluginError::Busy("y".into())))),
         ])
         .unwrap_err();
         assert_eq!(e, PluginError::Busy("x".into()));
     }
 
     #[test]
+    fn unit_missing_shards_do_not_veto() {
+        assert!(merge_unit(vec![ok(0, ()), (1, ShardAnswer::Down)]).is_ok());
+        assert!(merge_unit(vec![(0, ShardAnswer::Down), (1, ShardAnswer::Unresponsive)]).is_err());
+    }
+
+    #[test]
     fn equal_replies_collapse() {
         let r = merge_replies(vec![
-            Ok(PluginReply::InstanceCreated(InstanceId(3))),
-            Ok(PluginReply::InstanceCreated(InstanceId(3))),
+            ok(0, PluginReply::InstanceCreated(InstanceId(3))),
+            ok(1, PluginReply::InstanceCreated(InstanceId(3))),
+        ])
+        .unwrap();
+        assert_eq!(r, PluginReply::InstanceCreated(InstanceId(3)));
+    }
+
+    #[test]
+    fn equal_replies_collapse_past_a_down_shard() {
+        let r = merge_replies(vec![
+            ok(0, PluginReply::InstanceCreated(InstanceId(3))),
+            (1, ShardAnswer::Down),
+            ok(2, PluginReply::InstanceCreated(InstanceId(3))),
         ])
         .unwrap();
         assert_eq!(r, PluginReply::InstanceCreated(InstanceId(3)));
@@ -266,8 +400,8 @@ mod tests {
     #[test]
     fn divergent_texts_join_with_shard_labels() {
         let r = merge_replies(vec![
-            Ok(PluginReply::Text("pkts=1".into())),
-            Ok(PluginReply::Text("pkts=2".into())),
+            ok(0, PluginReply::Text("pkts=1".into())),
+            ok(1, PluginReply::Text("pkts=2".into())),
         ])
         .unwrap();
         assert_eq!(
@@ -277,10 +411,24 @@ mod tests {
     }
 
     #[test]
+    fn unresponsive_shard_becomes_a_labelled_row() {
+        let r = merge_replies(vec![
+            ok(0, PluginReply::Text("pkts=1".into())),
+            (1, ShardAnswer::Unresponsive),
+            (2, ShardAnswer::Down),
+        ])
+        .unwrap();
+        assert_eq!(
+            r,
+            PluginReply::Text("[shard 0] pkts=1\n[shard 1] unresponsive\n[shard 2] down".into())
+        );
+    }
+
+    #[test]
     fn divergent_ids_are_an_error() {
         let r = merge_replies(vec![
-            Ok(PluginReply::InstanceCreated(InstanceId(1))),
-            Ok(PluginReply::InstanceCreated(InstanceId(2))),
+            ok(0, PluginReply::InstanceCreated(InstanceId(1))),
+            ok(1, PluginReply::InstanceCreated(InstanceId(2))),
         ]);
         assert!(matches!(r, Err(PluginError::Busy(_))));
     }
@@ -288,5 +436,6 @@ mod tests {
     #[test]
     fn empty_shard_set_is_an_error() {
         assert!(merge_replies(vec![]).is_err());
+        assert!(merge_unit(vec![]).is_err());
     }
 }

@@ -25,30 +25,70 @@
 //! interface. Since a flow is pinned to one shard and each shard emits in
 //! processing order, per-flow order on the wire matches the
 //! single-threaded router exactly.
+//!
+//! # Shard supervision
+//!
+//! The shard workers are supervised with the same
+//! Healthy→Degraded→Quarantined machine the plugin supervisor applies to
+//! instances, one level up:
+//!
+//! * **Containment** — the shard loop runs under `catch_unwind`
+//!   ([`shard::run_shard`]); a panic escaping a control closure kills
+//!   only that shard. The dispatcher detects dead or disconnected
+//!   workers and quarantines them.
+//! * **Liveness** — each worker writes a heartbeat (busy flag +
+//!   timestamp); the dispatcher's watchdog classifies a worker stuck
+//!   inside one message longer than
+//!   [`ParallelRouterConfig::stall_timeout`] as stalled, abandons that
+//!   incarnation, and every control fan-out / barrier wait carries a
+//!   timeout with per-shard partial replies (`[shard i] unresponsive`)
+//!   instead of blocking forever.
+//! * **Rebuild** — every state-mutating control command is recorded in a
+//!   [`CommandJournal`]; a quarantined shard is restarted (capped
+//!   exponential backoff from the router's [`FaultPolicy`], here in
+//!   *real* time — heartbeats of OS threads are wall-clock) by replaying
+//!   the journal into a fresh [`Router`], which returns its instance and
+//!   filter ids to lockstep with the survivors. Flow-cache soft state is
+//!   *not* restored: the next packet of each flow re-classifies, exactly
+//!   the paper's first-packet path.
+//! * **Overload** — dispatch to a full or unhealthy shard is
+//!   policy-driven: bounded wait ([`ParallelRouterConfig::overload_wait`])
+//!   then a counted drop ([`DropReason::ShardOverload`] /
+//!   [`DropReason::ShardDown`]). Packets lost inside a fault window
+//!   (queued on a dead shard, stranded in its scheduler queues) are
+//!   re-accounted as `ShardDown` when the incarnation's final report is
+//!   harvested, so the merged counters never lose a packet silently.
 
 pub mod control;
 pub mod dispatch;
+pub mod journal;
 pub mod shard;
 
-pub use control::{ControlPlane, MetricsRow, ShardHealthReport, ShardTraceEvent, StatsRow};
+pub use control::{
+    ControlPlane, MetricsRow, ShardHealthReport, ShardStatus, ShardTraceEvent, StatsRow,
+};
 pub use dispatch::{shard_for_packet, shard_for_tuple};
+pub use journal::{CommandJournal, JournaledCmd};
 pub use shard::{ShardCtx, ShardMsg, ShardReport};
 
 use crate::gate::Gate;
-use crate::ip_core::DataPathStats;
+use crate::ip_core::{DataPathStats, DropReason};
 use crate::loader::PluginLoader;
 use crate::message::{PluginMsg, PluginReply};
-use crate::obs::{MetricsRegistry, MetricsSnapshot};
+use crate::obs::{drop_reason_index, MetricsRegistry, MetricsSnapshot};
 use crate::plugin::{InstanceId, PluginError};
 use crate::router::{Router, RouterConfig};
-use control::{merge_replies, merge_unit};
-use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
+use crate::supervisor::{FaultPolicy, HealthState};
+use control::{merge_replies, merge_unit, ShardAnswer};
+use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use rp_classifier::flow_table::FlowTableStats;
 use rp_packet::mbuf::IfIndex;
 use rp_packet::Mbuf;
-use shard::{run_shard, ControlFn, ShardHandle};
+use shard::{run_shard, ControlFn, ShardFinal, ShardShared};
 use std::net::IpAddr;
 use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 // The whole design depends on Router moving into worker threads; fail at
 // compile time (not deep inside thread::spawn) if a !Send field sneaks in.
@@ -57,16 +97,39 @@ const _: fn() = || {
     assert_send::<Router>();
 };
 
+/// Check one shard's health every this many dispatched packets, round
+/// robin, so stalls are detected even when all traffic flows to other
+/// shards (one atomic load + `Instant::now` per stride — off the per-
+/// packet hot path).
+const WATCHDOG_STRIDE: u64 = 64;
+
+/// Granularity of the timed waits in `flush`/fan-out collection: long
+/// enough to stay off the scheduler's back, short enough that stall
+/// detection latency is dominated by `stall_timeout`, not the slice.
+const WAIT_SLICE: Duration = Duration::from_millis(10);
+
 /// Configuration for a [`ParallelRouter`].
 #[derive(Debug, Clone)]
 pub struct ParallelRouterConfig {
     /// Number of worker shards (each a complete single-threaded router).
     pub shards: usize,
     /// Per-shard router configuration (interfaces, gates, flow table…).
+    /// Its [`FaultPolicy`] also governs shard restarts: `restart`,
+    /// `max_restarts`, and the capped exponential backoff — with the
+    /// backoff nanoseconds interpreted as *real* time at the shard level
+    /// (worker heartbeats are wall-clock, unlike the simulated clock the
+    /// plugin supervisor runs on).
     pub router: RouterConfig,
-    /// Depth of each shard's ingress FIFO. A full FIFO back-pressures the
-    /// dispatcher (blocking send), mirroring a bounded input queue.
+    /// Depth of each shard's ingress FIFO.
     pub ingress_depth: usize,
+    /// How long one message may keep a worker continuously busy before
+    /// the watchdog classifies the shard as stalled and abandons it.
+    pub stall_timeout: Duration,
+    /// How long `receive` waits on a full ingress FIFO before shedding
+    /// the packet as [`DropReason::ShardOverload`]. The bounded wait
+    /// preserves the back-pressure behaviour under transient bursts
+    /// while keeping the ingress thread live under sustained overload.
+    pub overload_wait: Duration,
 }
 
 impl Default for ParallelRouterConfig {
@@ -75,8 +138,57 @@ impl Default for ParallelRouterConfig {
             shards: 4,
             router: RouterConfig::default(),
             ingress_depth: 1024,
+            stall_timeout: Duration::from_millis(500),
+            overload_wait: Duration::from_millis(2),
         }
     }
+}
+
+fn initial_backoff(policy: &FaultPolicy) -> Duration {
+    Duration::from_nanos(policy.restart_backoff_ns.max(1))
+}
+
+/// The dispatcher's handle to one shard worker plus its supervision
+/// state. All fields live on the dispatcher side (or in the shared
+/// heartbeat block), so health decisions never require the worker thread
+/// to cooperate.
+struct ShardSlot {
+    tx: Sender<ShardMsg>,
+    join: Option<JoinHandle<ShardFinal>>,
+    shared: Arc<ShardShared>,
+    health: HealthState,
+    /// Completed restarts of this shard index.
+    restarts: u32,
+    /// Next restart delay (capped doubling).
+    next_backoff: Duration,
+    /// When the pending restart becomes due.
+    restart_at: Option<Instant>,
+    /// Out of restart budget (or policy forbids restarts): permanently
+    /// quarantined, traffic shed as `ShardDown`.
+    gave_up: bool,
+    last_fault: Option<String>,
+    /// Packets dispatched to the *current* incarnation.
+    sent: u64,
+    shed_overload: u64,
+    shed_down: u64,
+}
+
+impl ShardSlot {
+    /// Serving = accepts packets and control (Healthy, or Degraded after
+    /// a restart). Quarantined shards are bypassed with counted sheds.
+    fn serving(&self) -> bool {
+        matches!(self.health, HealthState::Healthy | HealthState::Degraded)
+    }
+}
+
+/// An abandoned incarnation whose thread hasn't exited yet (stalled, or
+/// still draining). Harvested for its final accounting report when it
+/// does; `sent` is the packet count dispatched to it, against which
+/// queue loss is computed.
+struct Zombie {
+    shard: usize,
+    join: JoinHandle<ShardFinal>,
+    sent: u64,
 }
 
 /// N flow-affine router shards behind the single-router interface.
@@ -87,14 +199,30 @@ impl Default for ParallelRouterConfig {
 /// [`take_tx`](ParallelRouter::take_tx) after a
 /// [`flush`](ParallelRouter::flush).
 pub struct ParallelRouter {
-    handles: Vec<ShardHandle>,
+    cfg: ParallelRouterConfig,
+    /// The shared plugin factory registry rebuilds draw from (the
+    /// paper's single on-disk module set).
+    template: PluginLoader,
+    slots: Vec<ShardSlot>,
+    zombies: Vec<Zombie>,
+    /// Replayable record of every state-mutating control command.
+    journal: CommandJournal,
+    /// Heartbeat timestamps are relative to this.
+    epoch: Instant,
     interfaces: usize,
-    /// Kept so `egress_rx` never disconnects while shards are live; the
-    /// shards hold clones.
-    _egress_tx: Sender<(IfIndex, Mbuf)>,
+    /// Kept so `egress_rx` never disconnects while shards are live (the
+    /// shards hold clones); also the source for rebuilt shards' senders.
+    egress_tx: Sender<(IfIndex, Mbuf)>,
     egress_rx: Receiver<(IfIndex, Mbuf)>,
     /// Per-interface egress buckets, filled from the collector.
     pending: Vec<Vec<Mbuf>>,
+    /// Dispatcher-side counters: sheds, plus the absorbed history of
+    /// exited shard incarnations (their final reports), so restarting a
+    /// shard never erases its packets from the merged totals.
+    local_stats: DataPathStats,
+    local_flows: FlowTableStats,
+    local_metrics: MetricsRegistry,
+    watchdog_tick: u64,
 }
 
 impl ParallelRouter {
@@ -105,67 +233,441 @@ impl ParallelRouter {
     pub fn new(cfg: ParallelRouterConfig, template: &PluginLoader) -> Self {
         let shards = cfg.shards.max(1);
         let (egress_tx, egress_rx) = unbounded();
-        let mut handles = Vec::with_capacity(shards);
-        for index in 0..shards {
-            let mut router = Router::new(cfg.router.clone());
-            router.loader = template.share_factories();
-            let ctx = ShardCtx {
-                index,
-                router,
-                busy_ns: 0,
-                packets: 0,
-            };
-            let (tx, rx) = bounded(cfg.ingress_depth.max(1));
-            let egress = egress_tx.clone();
-            let join = std::thread::Builder::new()
-                .name(format!("rp-shard-{index}"))
-                .spawn(move || run_shard(ctx, rx, egress))
-                .ok();
-            handles.push(ShardHandle { tx, join });
-        }
-        ParallelRouter {
-            handles,
-            interfaces: cfg.router.interfaces,
-            _egress_tx: egress_tx,
+        let epoch = Instant::now();
+        let interfaces = cfg.router.interfaces;
+        let mut pr = ParallelRouter {
+            template: template.share_factories(),
+            slots: Vec::with_capacity(shards),
+            zombies: Vec::new(),
+            journal: CommandJournal::default(),
+            epoch,
+            interfaces,
+            egress_tx,
             egress_rx,
-            pending: (0..cfg.router.interfaces).map(|_| Vec::new()).collect(),
+            pending: (0..interfaces).map(|_| Vec::new()).collect(),
+            local_stats: DataPathStats::default(),
+            local_flows: FlowTableStats::default(),
+            local_metrics: MetricsRegistry::default(),
+            watchdog_tick: 0,
+            cfg,
+        };
+        for index in 0..shards {
+            let slot = pr.spawn_slot(index);
+            pr.slots.push(slot);
+        }
+        pr
+    }
+
+    /// Construct and launch one shard worker (initial spawn and rebuild
+    /// share this). The router replays the journal before the thread
+    /// starts, so the worker joins the array already in lockstep.
+    fn spawn_slot(&mut self, index: usize) -> ShardSlot {
+        let mut router = Router::new(self.cfg.router.clone());
+        router.loader = self.template.share_factories();
+        let replay_errors = self.journal.replay(&mut router);
+        // Replay runs against empty queues and must not emit; clear the
+        // tx logs so a rebuilt shard cannot replay phantom transmissions.
+        for i in 0..router.interface_count() {
+            let _ = router.take_tx(i as IfIndex);
+        }
+        let ctx = ShardCtx {
+            index,
+            router,
+            busy_ns: 0,
+            packets: 0,
+            cpu_clock_errors: 0,
+        };
+        let (tx, rx) = bounded(self.cfg.ingress_depth.max(1));
+        let shared = Arc::new(ShardShared::new(self.epoch));
+        let egress = self.egress_tx.clone();
+        let worker_shared = Arc::clone(&shared);
+        let join = std::thread::Builder::new()
+            .name(format!("rp-shard-{index}"))
+            .spawn(move || run_shard(ctx, rx, egress, worker_shared))
+            .ok();
+        let policy = &self.cfg.router.fault_policy;
+        let spawn_failed = join.is_none();
+        let mut last_fault = None;
+        if spawn_failed {
+            last_fault = Some("worker thread spawn failed".to_string());
+        } else if replay_errors > 0 {
+            // Expected to mirror the original per-shard outcomes (see
+            // the journal docs); noted for the operator, not a fault.
+            last_fault = Some(format!(
+                "journal replay reported {replay_errors} command errors"
+            ));
+        }
+        ShardSlot {
+            tx,
+            join,
+            shared,
+            health: if spawn_failed {
+                HealthState::Quarantined
+            } else {
+                HealthState::Healthy
+            },
+            restarts: 0,
+            next_backoff: initial_backoff(policy),
+            restart_at: None,
+            gave_up: spawn_failed,
+            last_fault,
+            sent: 0,
+            shed_overload: 0,
+            shed_down: 0,
         }
     }
 
     /// Number of worker shards.
     pub fn shard_count(&self) -> usize {
-        self.handles.len()
+        self.slots.len()
     }
 
     /// The shard `mbuf` would be dispatched to.
     pub fn shard_of(&self, mbuf: &Mbuf) -> usize {
-        shard_for_packet(mbuf, self.handles.len())
+        shard_for_packet(mbuf, self.slots.len())
     }
+
+    /// State-mutating control commands recorded for shard rebuilds.
+    pub fn journal_len(&self) -> usize {
+        self.journal.len()
+    }
+
+    // ---- supervision machinery ------------------------------------
+
+    /// Fold an exited incarnation's final report into the dispatcher's
+    /// retained history, re-accounting every packet that entered the
+    /// shard but never reached the wire as a `ShardDown` drop:
+    /// `lost_queue` (dispatched, never processed) and `stranded`
+    /// (counted forwarded into a scheduler queue that died with the
+    /// worker).
+    fn absorb_final(&mut self, shard: usize, sent: u64, f: ShardFinal) {
+        let lost_queue = sent.saturating_sub(f.report.data.received);
+        self.local_stats.absorb(&f.report.data);
+        self.local_flows.absorb(&f.report.flows);
+        let mut metrics = f.metrics;
+        // The dead incarnation's queue-depth gauges describe queues that
+        // no longer exist; their content is re-accounted as stranded.
+        for d in metrics.queue_depth.iter_mut() {
+            *d = 0;
+        }
+        self.local_metrics.absorb(&metrics);
+        let lost = lost_queue + f.stranded;
+        self.local_stats.forwarded = self.local_stats.forwarded.saturating_sub(f.stranded);
+        self.local_stats.received += lost_queue;
+        self.local_stats.dropped_shard_down += lost;
+        self.local_metrics.drops[drop_reason_index(DropReason::ShardDown)] += lost;
+        if let Some(slot) = self.slots.get_mut(shard) {
+            slot.shed_down += lost;
+        }
+    }
+
+    /// Collect final reports from abandoned incarnations whose threads
+    /// have since exited (e.g. a wedge that released).
+    fn harvest_zombies(&mut self) {
+        let mut i = 0;
+        while i < self.zombies.len() {
+            if self.zombies[i].join.is_finished() {
+                let z = self.zombies.swap_remove(i);
+                if let Ok(f) = z.join.join() {
+                    self.absorb_final(z.shard, z.sent, f);
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Record a shard fault and schedule (or refuse) its restart per the
+    /// fault policy's capped exponential backoff.
+    fn note_fault(&mut self, shard: usize, why: String, now: Instant) {
+        let policy = self.cfg.router.fault_policy.clone();
+        let slot = &mut self.slots[shard];
+        slot.health = HealthState::Quarantined;
+        slot.last_fault = Some(why);
+        if !policy.restart || slot.restarts >= policy.max_restarts {
+            slot.gave_up = true;
+            slot.restart_at = None;
+        } else {
+            slot.restart_at = Some(now + slot.next_backoff);
+            let cap = Duration::from_nanos(policy.restart_backoff_cap_ns.max(1));
+            slot.next_backoff = (slot.next_backoff * 2).min(cap);
+        }
+    }
+
+    /// Give up on the current incarnation without waiting for its thread:
+    /// flag it abandoned (so it exits at the next message boundary),
+    /// disconnect its FIFO, and park the join handle for later harvest.
+    fn abandon(&mut self, shard: usize, why: String, now: Instant) {
+        self.slots[shard].shared.mark_abandoned();
+        // Replacing (and dropping) our sender disconnects the worker's
+        // recv, so an *idle* abandoned worker exits immediately; a wedged
+        // one exits when whatever wedged it returns.
+        let (dead_tx, _) = bounded(1);
+        drop(std::mem::replace(&mut self.slots[shard].tx, dead_tx));
+        if let Some(join) = self.slots[shard].join.take() {
+            self.zombies.push(Zombie {
+                shard,
+                join,
+                sent: self.slots[shard].sent,
+            });
+        }
+        self.slots[shard].sent = 0;
+        self.note_fault(shard, why, now);
+    }
+
+    /// One watchdog pass over one shard: harvest it if dead, abandon it
+    /// if stalled, rebuild it if its restart is due.
+    fn check_shard(&mut self, shard: usize) {
+        self.harvest_zombies();
+        let now = Instant::now();
+        if self.slots[shard]
+            .join
+            .as_ref()
+            .is_some_and(|j| j.is_finished())
+        {
+            // The worker exited on its own: a panic escaped into the
+            // shard loop (or the loop ended unexpectedly).
+            let sent = self.slots[shard].sent;
+            self.slots[shard].sent = 0;
+            let why = match self.slots[shard].join.take() {
+                Some(join) => match join.join() {
+                    Ok(f) => {
+                        let why = match &f.panic {
+                            Some(msg) => format!("worker panicked: {msg}"),
+                            None => "worker exited unexpectedly".to_string(),
+                        };
+                        self.absorb_final(shard, sent, f);
+                        why
+                    }
+                    Err(_) => "worker thread aborted".to_string(),
+                },
+                None => return,
+            };
+            self.note_fault(shard, why, now);
+            return;
+        }
+        if self.slots[shard].serving() {
+            if let Some(busy) = self.slots[shard].shared.busy_for(now) {
+                if busy >= self.cfg.stall_timeout {
+                    self.abandon(
+                        shard,
+                        format!("stalled: busy {}ms inside one message", busy.as_millis()),
+                        now,
+                    );
+                    return;
+                }
+            }
+        }
+        if self.slots[shard].restart_at.is_some_and(|t| now >= t) {
+            self.rebuild_shard(shard);
+        }
+    }
+
+    /// Watchdog pass over every shard (harvest dead, abandon stalled,
+    /// fire due restarts). Runs opportunistically at every control
+    /// fan-out, flush, and status read, plus round-robin from the packet
+    /// path — there is no background thread.
+    pub fn poll_shard_health(&mut self) {
+        for s in 0..self.slots.len() {
+            self.check_shard(s);
+        }
+    }
+
+    /// Replace a quarantined shard with a fresh incarnation rebuilt from
+    /// the command journal.
+    fn rebuild_shard(&mut self, shard: usize) {
+        // Make sure the previous incarnation can't race the replacement.
+        self.slots[shard].shared.mark_abandoned();
+        if let Some(join) = self.slots[shard].join.take() {
+            self.zombies.push(Zombie {
+                shard,
+                join,
+                sent: self.slots[shard].sent,
+            });
+        }
+        let prior = &self.slots[shard];
+        let (restarts, next_backoff, last_fault) =
+            (prior.restarts, prior.next_backoff, prior.last_fault.clone());
+        let mut fresh = self.spawn_slot(shard);
+        if fresh.gave_up {
+            // Spawn failure: keep the fault record, re-arm the backoff.
+            self.slots[shard] = fresh;
+            self.slots[shard].restarts = restarts;
+            self.note_fault(
+                shard,
+                "worker thread spawn failed".to_string(),
+                Instant::now(),
+            );
+            return;
+        }
+        fresh.health = HealthState::Degraded;
+        fresh.restarts = restarts + 1;
+        fresh.next_backoff = next_backoff;
+        if fresh.last_fault.is_none() {
+            fresh.last_fault = last_fault;
+        }
+        self.slots[shard] = fresh;
+    }
+
+    /// Count one shed packet at the dispatcher (the packet is dropped
+    /// here, so the dispatcher also counts it received — the merged
+    /// `received == forwarded + dropped + in-flight` invariant holds).
+    fn shed(&mut self, shard: usize, reason: DropReason) {
+        self.local_stats.received += 1;
+        match reason {
+            DropReason::ShardOverload => {
+                self.local_stats.dropped_shard_overload += 1;
+                self.slots[shard].shed_overload += 1;
+            }
+            _ => {
+                self.local_stats.dropped_shard_down += 1;
+                self.slots[shard].shed_down += 1;
+            }
+        }
+        self.local_metrics.note_drop(reason);
+    }
+
+    // ---- data path ------------------------------------------------
 
     /// Dispatch one ingress packet to its flow's shard. Returns the shard
-    /// index. Blocks if that shard's ingress FIFO is full (bounded-queue
-    /// back-pressure).
-    pub fn receive(&self, mbuf: Mbuf) -> usize {
+    /// index. A full FIFO back-pressures for at most
+    /// [`ParallelRouterConfig::overload_wait`], then the packet is shed
+    /// as a counted [`DropReason::ShardOverload`]; a dead, stalled, or
+    /// quarantined shard sheds immediately as [`DropReason::ShardDown`].
+    pub fn receive(&mut self, mbuf: Mbuf) -> usize {
         let s = self.shard_of(&mbuf);
-        let _ = self.handles[s].tx.send(ShardMsg::Packet(mbuf));
-        s
+        self.watchdog_tick = self.watchdog_tick.wrapping_add(1);
+        if self.watchdog_tick.is_multiple_of(WATCHDOG_STRIDE) && !self.slots.is_empty() {
+            let t = ((self.watchdog_tick / WATCHDOG_STRIDE) as usize) % self.slots.len();
+            self.check_shard(t);
+        }
+        if !self.slots[s].serving() {
+            // A due restart can bring it back right now.
+            self.check_shard(s);
+        }
+        if !self.slots[s].serving() {
+            self.shed(s, DropReason::ShardDown);
+            return s;
+        }
+        let mut msg = ShardMsg::Packet(mbuf);
+        let mut deadline: Option<Instant> = None;
+        loop {
+            match self.slots[s].tx.try_send(msg) {
+                Ok(()) => {
+                    self.slots[s].sent += 1;
+                    return s;
+                }
+                Err(TrySendError::Full(m)) => {
+                    let now = Instant::now();
+                    let dl = *deadline.get_or_insert(now + self.cfg.overload_wait);
+                    // A persistently full FIFO may mean a wedged worker;
+                    // give the watchdog a look before deciding.
+                    self.check_shard(s);
+                    if !self.slots[s].serving() {
+                        self.shed(s, DropReason::ShardDown);
+                        return s;
+                    }
+                    if now >= dl {
+                        self.shed(s, DropReason::ShardOverload);
+                        return s;
+                    }
+                    msg = m;
+                    std::thread::yield_now();
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.check_shard(s);
+                    self.shed(s, DropReason::ShardDown);
+                    return s;
+                }
+            }
+        }
     }
 
-    /// Quiesce: block until every shard has fully processed everything
-    /// sent before this call, then drain the egress collector.
+    /// Deliver a control-path message to a serving shard with a bounded
+    /// wait (a control message takes its FIFO place behind packets, but
+    /// never wedges the dispatcher behind a stalled worker). Returns
+    /// false when the shard stopped serving or stayed full past the
+    /// stall timeout.
+    fn send_control(&mut self, shard: usize, msg: ShardMsg) -> bool {
+        let mut msg = msg;
+        let deadline = Instant::now() + self.cfg.stall_timeout + self.cfg.stall_timeout;
+        loop {
+            if !self.slots[shard].serving() {
+                return false;
+            }
+            match self.slots[shard].tx.try_send(msg) {
+                Ok(()) => return true,
+                Err(TrySendError::Full(m)) => {
+                    if Instant::now() >= deadline {
+                        return false;
+                    }
+                    self.check_shard(shard);
+                    msg = m;
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.check_shard(shard);
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Quiesce: block until every *live* shard has fully processed
+    /// everything sent before this call, then settle any fault window
+    /// the flush uncovered, then drain the egress collector. A shard
+    /// that dies or stalls mid-flush is quarantined by the watchdog and
+    /// skipped instead of blocking the control plane forever.
+    ///
+    /// The settle phase makes `flush()` followed by
+    /// [`stats`](ParallelRouter::stats) a conserving read: a worker that
+    /// died during the window is harvested (its final accounting
+    /// absorbed into the dispatcher totals) and a due restart completes
+    /// before this returns. The wait is bounded by twice the stall
+    /// timeout — a thread still wedged inside a plugin cannot be joined,
+    /// and its counters stay deferred until it finally exits.
     pub fn flush(&mut self) {
-        let (tx, rx) = unbounded::<()>();
-        let mut expected = 0usize;
-        for h in &self.handles {
-            if h.tx.send(ShardMsg::Barrier(tx.clone())).is_ok() {
-                expected += 1;
+        self.poll_shard_health();
+        let (tx, rx) = unbounded::<usize>();
+        let mut outstanding: Vec<usize> = Vec::new();
+        for s in 0..self.slots.len() {
+            if self.slots[s].serving() && self.send_control(s, ShardMsg::Barrier(tx.clone())) {
+                outstanding.push(s);
             }
         }
         drop(tx);
-        for _ in 0..expected {
-            if rx.recv().is_err() {
+        while !outstanding.is_empty() {
+            match rx.recv_timeout(WAIT_SLICE) {
+                Ok(i) => outstanding.retain(|&x| x != i),
+                Err(RecvTimeoutError::Timeout) => {
+                    // Keep waiting for live shards (they may simply have
+                    // deep FIFOs); drop the ones the watchdog takes out.
+                    for s in outstanding.clone() {
+                        self.check_shard(s);
+                        if !self.slots[s].serving() {
+                            outstanding.retain(|&x| x != s);
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Every pending barrier was dropped unrun.
+                    for s in outstanding.drain(..) {
+                        self.check_shard(s);
+                    }
+                }
+            }
+        }
+        let deadline = Instant::now() + self.cfg.stall_timeout + self.cfg.stall_timeout;
+        loop {
+            self.poll_shard_health();
+            let unresolved = !self.zombies.is_empty()
+                || self.slots.iter().any(|s| {
+                    s.restart_at.is_some() || s.join.as_ref().is_some_and(|j| j.is_finished())
+                });
+            if !unresolved || Instant::now() >= deadline {
                 break;
             }
+            std::thread::sleep(Duration::from_millis(1));
         }
         self.drain_egress();
     }
@@ -192,18 +694,31 @@ impl ParallelRouter {
         }
     }
 
-    /// Run `f` on every shard (on the shard's own thread, in FIFO order
-    /// with that shard's packets) and collect the results in shard-index
-    /// order. This is the primitive every control-plane fan-out is built
-    /// on. Shards that have died are skipped.
-    pub fn control_map<R, F>(&self, f: F) -> Vec<R>
+    // ---- control fan-out ------------------------------------------
+
+    /// Run `f` on every serving shard (on the shard's own thread, in
+    /// FIFO order with that shard's packets) and collect per-shard
+    /// answers. Replies are awaited with a watchdog-supervised timeout:
+    /// a shard that dies or stalls mid-command yields `Down` /
+    /// `Unresponsive` instead of wedging the control plane.
+    fn fanout<R, F>(&mut self, f: F) -> Vec<(usize, ShardAnswer<R>)>
     where
         R: Send + 'static,
         F: Fn(&mut ShardCtx) -> R + Send + Sync + 'static,
     {
+        // Fire due restarts first so a rebuilt shard receives this
+        // command through the fan-out (it is not yet in the journal).
+        self.poll_shard_health();
         let f = Arc::new(f);
         let (tx, rx) = unbounded::<(usize, R)>();
-        for h in &self.handles {
+        let n = self.slots.len();
+        let mut answers: Vec<Option<ShardAnswer<R>>> = (0..n).map(|_| None).collect();
+        let mut outstanding: Vec<usize> = Vec::new();
+        for (s, answer) in answers.iter_mut().enumerate() {
+            if !self.slots[s].serving() {
+                *answer = Some(ShardAnswer::Down);
+                continue;
+            }
             let f = Arc::clone(&f);
             let tx = tx.clone();
             let cmd: ControlFn = Box::new(move |ctx: &mut ShardCtx| {
@@ -211,64 +726,117 @@ impl ParallelRouter {
                 let r = f(ctx);
                 let _ = tx.send((index, r));
             });
-            let _ = h.tx.send(ShardMsg::Control(cmd));
+            if self.send_control(s, ShardMsg::Control(cmd)) {
+                outstanding.push(s);
+            } else {
+                *answer = Some(ShardAnswer::Down);
+            }
         }
         drop(tx);
-        // iter() ends once every shard has run (and dropped) its closure;
-        // a dead shard drops the un-run closure, releasing its tx clone,
-        // so this cannot deadlock.
-        let mut out: Vec<(usize, R)> = rx.iter().collect();
-        out.sort_by_key(|(i, _)| *i);
-        out.into_iter().map(|(_, r)| r).collect()
+        while !outstanding.is_empty() {
+            match rx.recv_timeout(WAIT_SLICE) {
+                Ok((i, r)) => {
+                    answers[i] = Some(ShardAnswer::Ok(r));
+                    outstanding.retain(|&x| x != i);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    for s in outstanding.clone() {
+                        self.check_shard(s);
+                        if !self.slots[s].serving() {
+                            answers[s] = Some(ShardAnswer::Unresponsive);
+                            outstanding.retain(|&x| x != s);
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    for s in outstanding.drain(..) {
+                        self.check_shard(s);
+                        answers[s] = Some(ShardAnswer::Down);
+                    }
+                }
+            }
+        }
+        answers
+            .into_iter()
+            .enumerate()
+            .map(|(i, a)| (i, a.unwrap_or(ShardAnswer::Down)))
+            .collect()
+    }
+
+    /// Run `f` on every serving shard and collect the successful results
+    /// in shard-index order (unresponsive shards are skipped). This is
+    /// the primitive every control-plane fan-out is built on.
+    pub fn control_map<R, F>(&mut self, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(&mut ShardCtx) -> R + Send + Sync + 'static,
+    {
+        self.fanout(f)
+            .into_iter()
+            .filter_map(|(_, a)| match a {
+                ShardAnswer::Ok(r) => Some(r),
+                _ => None,
+            })
+            .collect()
     }
 
     /// Advance the logical clock on every shard (paper: timeouts and
-    /// idle-flow reclamation run off the router clock).
-    pub fn set_time_ns(&self, now_ns: u64) {
+    /// idle-flow reclamation run off the router clock). Only the
+    /// high-water mark is kept for shard rebuilds.
+    pub fn set_time_ns(&mut self, now_ns: u64) {
+        self.journal.note_time(now_ns);
         self.control_map(move |ctx| ctx.router.set_time_ns(now_ns));
     }
 
     /// Assign an address to `iface` on every shard.
-    pub fn set_interface_addr(&self, iface: IfIndex, addr: IpAddr) {
+    pub fn set_interface_addr(&mut self, iface: IfIndex, addr: IpAddr) {
         self.control_map(move |ctx| ctx.router.set_interface_addr(iface, addr));
+        self.journal
+            .record(JournaledCmd::SetInterfaceAddr { iface, addr });
     }
 
     /// Reclaim idle flows on every shard; returns the total reclaimed.
-    pub fn expire_idle_flows(&self, max_idle_ns: u64) -> usize {
+    /// Not journaled: the flow cache is soft state a rebuilt shard
+    /// regenerates from first packets.
+    pub fn expire_idle_flows(&mut self, max_idle_ns: u64) -> usize {
         self.control_map(move |ctx| ctx.router.expire_idle_flows(max_idle_ns))
             .into_iter()
             .sum()
     }
 
-    /// Merged data-path counters across all shards.
-    pub fn stats(&self) -> DataPathStats {
-        let mut total = DataPathStats::default();
+    /// Merged data-path counters: all live shards, plus the dispatcher's
+    /// own accounting (sheds and the retained history of exited
+    /// incarnations).
+    pub fn stats(&mut self) -> DataPathStats {
+        let mut total = self.local_stats;
         for s in self.control_map(|ctx| ctx.router.stats()) {
             total.absorb(&s);
         }
         total
     }
 
-    /// Merged flow-cache counters across all shards.
-    pub fn flow_stats(&self) -> FlowTableStats {
-        let mut total = FlowTableStats::default();
+    /// Merged flow-cache counters across all shards (live + retired).
+    pub fn flow_stats(&mut self) -> FlowTableStats {
+        let mut total = self.local_flows;
         for s in self.control_map(|ctx| ctx.router.flow_stats()) {
             total.absorb(&s);
         }
         total
     }
 
-    /// Merged metrics registry across all shards.
-    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        let mut total = MetricsRegistry::default();
+    /// Merged metrics registry across all shards (live + retired + the
+    /// dispatcher's shed counters).
+    pub fn metrics_snapshot(&mut self) -> MetricsSnapshot {
+        let mut total = self.local_metrics;
         for s in self.control_map(|ctx| ctx.router.metrics_snapshot()) {
             total.absorb(&s);
         }
         total
     }
 
-    /// Per-shard statistics snapshots (packets, busy time, counters).
-    pub fn shard_reports(&self) -> Vec<ShardReport> {
+    /// Per-shard statistics snapshots (packets, busy time, counters)
+    /// from the shards that answered.
+    pub fn shard_reports(&mut self) -> Vec<ShardReport> {
         self.control_map(|ctx| ctx.report())
     }
 
@@ -280,12 +848,35 @@ impl ParallelRouter {
 
 impl Drop for ParallelRouter {
     fn drop(&mut self) {
-        for h in &self.handles {
-            let _ = h.tx.send(ShardMsg::Shutdown);
+        for slot in &self.slots {
+            let _ = slot.tx.try_send(ShardMsg::Shutdown);
+            // In case the FIFO was full or the worker is wedged: the
+            // abandoned flag (plus the sender drop below) still ends the
+            // loop at its next message boundary.
+            slot.shared.mark_abandoned();
         }
-        for h in &mut self.handles {
-            if let Some(j) = h.join.take() {
-                let _ = j.join();
+        let mut joins: Vec<JoinHandle<ShardFinal>> = Vec::new();
+        for slot in &mut self.slots {
+            let (dead_tx, _) = bounded(1);
+            drop(std::mem::replace(&mut slot.tx, dead_tx));
+            if let Some(j) = slot.join.take() {
+                joins.push(j);
+            }
+        }
+        // Join what exits promptly; a thread still wedged in a plugin
+        // after the grace period is detached rather than hanging the
+        // caller forever.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        for j in joins {
+            loop {
+                if j.is_finished() {
+                    let _ = j.join();
+                    break;
+                }
+                if Instant::now() >= deadline {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
             }
         }
     }
@@ -293,35 +884,62 @@ impl Drop for ParallelRouter {
 
 impl ControlPlane for ParallelRouter {
     fn cp_load_plugin(&mut self, name: &str) -> Result<(), PluginError> {
-        let name = name.to_string();
-        merge_unit(self.control_map(move |ctx| ctx.router.load_plugin(&name)))
+        let arg = name.to_string();
+        let r = merge_unit(self.fanout(move |ctx| ctx.router.load_plugin(&arg)));
+        self.journal
+            .record(JournaledCmd::LoadPlugin(name.to_string()));
+        r
     }
     fn cp_unload_plugin(&mut self, name: &str) -> Result<(), PluginError> {
-        let name = name.to_string();
-        merge_unit(self.control_map(move |ctx| ctx.router.unload_plugin(&name)))
+        let arg = name.to_string();
+        let r = merge_unit(self.fanout(move |ctx| ctx.router.unload_plugin(&arg)));
+        self.journal
+            .record(JournaledCmd::UnloadPlugin(name.to_string()));
+        r
     }
     fn cp_force_unload_plugin(&mut self, name: &str) -> Result<(), PluginError> {
-        let name = name.to_string();
-        merge_unit(self.control_map(move |ctx| ctx.router.force_unload_plugin(&name)))
+        let arg = name.to_string();
+        let r = merge_unit(self.fanout(move |ctx| ctx.router.force_unload_plugin(&arg)));
+        self.journal
+            .record(JournaledCmd::ForceUnloadPlugin(name.to_string()));
+        r
     }
     fn cp_send_message(
         &mut self,
         plugin: &str,
         msg: PluginMsg,
     ) -> Result<PluginReply, PluginError> {
-        let plugin = plugin.to_string();
-        merge_replies(self.control_map(move |ctx| ctx.router.send_message(&plugin, msg.clone())))
+        let arg = plugin.to_string();
+        let cloned = msg.clone();
+        let r =
+            merge_replies(self.fanout(move |ctx| ctx.router.send_message(&arg, cloned.clone())));
+        self.journal.record(JournaledCmd::Message {
+            plugin: plugin.to_string(),
+            msg,
+        });
+        r
     }
     fn cp_add_route(&mut self, addr: IpAddr, prefix_len: u8, tx_if: IfIndex) {
         self.control_map(move |ctx| ctx.router.add_route(addr, prefix_len, tx_if));
+        self.journal.record(JournaledCmd::AddRoute {
+            addr,
+            prefix_len,
+            tx_if,
+        });
     }
     fn cp_remove_route(&mut self, addr: IpAddr, prefix_len: u8) -> bool {
-        self.control_map(move |ctx| ctx.router.remove_route(addr, prefix_len))
+        let removed = self
+            .control_map(move |ctx| ctx.router.remove_route(addr, prefix_len))
             .into_iter()
-            .any(|removed| removed)
+            .any(|removed| removed);
+        self.journal
+            .record(JournaledCmd::RemoveRoute { addr, prefix_len });
+        removed
     }
     fn cp_set_gate_enabled(&mut self, gate: Gate, enabled: bool) {
         self.control_map(move |ctx| ctx.router.set_gate_enabled(gate, enabled));
+        self.journal
+            .record(JournaledCmd::SetGateEnabled { gate, enabled });
     }
     fn cp_set_default_scheduler(
         &mut self,
@@ -329,32 +947,30 @@ impl ControlPlane for ParallelRouter {
         plugin: &str,
         id: InstanceId,
     ) -> Result<(), PluginError> {
-        let plugin = plugin.to_string();
-        merge_unit(
-            self.control_map(move |ctx| ctx.router.set_default_scheduler(iface, &plugin, id)),
-        )
+        let arg = plugin.to_string();
+        let r =
+            merge_unit(self.fanout(move |ctx| ctx.router.set_default_scheduler(iface, &arg, id)));
+        self.journal.record(JournaledCmd::SetDefaultScheduler {
+            iface,
+            plugin: plugin.to_string(),
+            id,
+        });
+        r
     }
     fn cp_describe_filters(&self, gate: Gate) -> Vec<String> {
-        // Filter tables are in lockstep across shards; shard 0's view is
-        // the logical router's view.
-        self.control_map(move |ctx| ctx.router.describe_filters(gate))
-            .into_iter()
-            .next()
+        // Filter tables are in lockstep across shards; any serving
+        // shard's view is the logical router's view. `&self` here, so
+        // use a direct one-shot fan-out without the watchdog.
+        self.read_first(move |ctx| ctx.router.describe_filters(gate))
             .unwrap_or_default()
     }
     fn cp_describe_instances(&self) -> Vec<String> {
-        self.control_map(|ctx| ctx.router.describe_instances())
-            .into_iter()
-            .next()
+        self.read_first(|ctx| ctx.router.describe_instances())
             .unwrap_or_default()
     }
     fn cp_health_reports(&self) -> Vec<ShardHealthReport> {
         let mut out = Vec::new();
-        for (shard, reports) in self
-            .control_map(|ctx| ctx.router.health_reports())
-            .into_iter()
-            .enumerate()
-        {
+        for (shard, reports) in self.read_all(|ctx| ctx.router.health_reports()) {
             for report in reports {
                 out.push(ShardHealthReport {
                     shard: Some(shard),
@@ -365,16 +981,14 @@ impl ControlPlane for ParallelRouter {
         out
     }
     fn cp_loaded_plugins(&self) -> Vec<String> {
-        self.control_map(|ctx| ctx.router.loader.loaded())
-            .into_iter()
-            .next()
+        self.read_first(|ctx| ctx.router.loader.loaded())
             .unwrap_or_default()
     }
     fn cp_stats_rows(&self) -> Vec<StatsRow> {
-        let per_shard = self.control_map(|ctx| (ctx.router.stats(), ctx.router.flow_stats()));
-        let mut total_data = DataPathStats::default();
-        let mut total_flows = FlowTableStats::default();
-        for (d, f) in &per_shard {
+        let per_shard = self.read_all(|ctx| (ctx.router.stats(), ctx.router.flow_stats()));
+        let mut total_data = self.local_stats;
+        let mut total_flows = self.local_flows;
+        for (_, (d, f)) in &per_shard {
             total_data.absorb(d);
             total_flows.absorb(f);
         }
@@ -383,7 +997,7 @@ impl ControlPlane for ParallelRouter {
             data: total_data,
             flows: total_flows,
         }];
-        for (i, (d, f)) in per_shard.into_iter().enumerate() {
+        for (i, (d, f)) in per_shard.into_iter() {
             rows.push(StatsRow {
                 label: format!("shard {i}"),
                 data: d,
@@ -393,16 +1007,16 @@ impl ControlPlane for ParallelRouter {
         rows
     }
     fn cp_metrics_rows(&self) -> Vec<MetricsRow> {
-        let per_shard = self.control_map(|ctx| ctx.router.metrics_snapshot());
-        let mut total = MetricsRegistry::default();
-        for m in &per_shard {
+        let per_shard = self.read_all(|ctx| ctx.router.metrics_snapshot());
+        let mut total = self.local_metrics;
+        for (_, m) in &per_shard {
             total.absorb(m);
         }
         let mut rows = vec![MetricsRow {
             label: "total".to_string(),
             metrics: total,
         }];
-        for (i, m) in per_shard.into_iter().enumerate() {
+        for (i, m) in per_shard.into_iter() {
             rows.push(MetricsRow {
                 label: format!("shard {i}"),
                 metrics: m,
@@ -412,14 +1026,11 @@ impl ControlPlane for ParallelRouter {
     }
     fn cp_trace_enable(&mut self, on: bool) {
         self.control_map(move |ctx| ctx.router.tracer_mut().set_enabled(on));
+        self.journal.record(JournaledCmd::TraceEnable(on));
     }
     fn cp_trace_dump(&self, n: usize) -> Vec<ShardTraceEvent> {
         let mut out = Vec::new();
-        for (shard, events) in self
-            .control_map(move |ctx| ctx.router.tracer().dump(n))
-            .into_iter()
-            .enumerate()
-        {
+        for (shard, events) in self.read_all(move |ctx| ctx.router.tracer().dump(n)) {
             for event in events {
                 out.push(ShardTraceEvent {
                     shard: Some(shard),
@@ -428,5 +1039,123 @@ impl ControlPlane for ParallelRouter {
             }
         }
         out
+    }
+    fn cp_shard_status(&mut self) -> Vec<ShardStatus> {
+        self.poll_shard_health();
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| ShardStatus {
+                shard: i,
+                health: slot.health,
+                restarts: slot.restarts,
+                sent: slot.sent,
+                processed: slot.shared.processed(),
+                shed_overload: slot.shed_overload,
+                shed_down: slot.shed_down,
+                restart_pending: slot.restart_at.is_some(),
+                last_fault: slot.last_fault.clone(),
+            })
+            .collect()
+    }
+    fn cp_shard_restart(&mut self, shard: usize) -> Result<String, PluginError> {
+        if shard >= self.slots.len() {
+            return Err(PluginError::BadConfig(format!("no shard {shard}")));
+        }
+        self.check_shard(shard);
+        if self.slots[shard].join.is_some() {
+            self.abandon(shard, "operator restart".to_string(), Instant::now());
+        }
+        // Operator intervention overrides an exhausted restart budget and
+        // skips the backoff wait.
+        self.slots[shard].gave_up = false;
+        self.slots[shard].next_backoff = initial_backoff(&self.cfg.router.fault_policy);
+        self.rebuild_shard(shard);
+        if self.slots[shard].serving() {
+            Ok(format!(
+                "shard {shard} restarted ({} journal commands replayed)",
+                self.journal.len()
+            ))
+        } else {
+            Err(PluginError::Busy(format!(
+                "shard {shard} restart failed: {}",
+                self.slots[shard]
+                    .last_fault
+                    .clone()
+                    .unwrap_or_else(|| "unknown".to_string())
+            )))
+        }
+    }
+    fn cp_shard_kill(&mut self, shard: usize) -> Result<String, PluginError> {
+        if shard >= self.slots.len() {
+            return Err(PluginError::BadConfig(format!("no shard {shard}")));
+        }
+        if !self.slots[shard].serving() {
+            return Err(PluginError::Busy(format!("shard {shard} is not serving")));
+        }
+        let cmd: ControlFn = Box::new(move |ctx: &mut ShardCtx| {
+            panic!("injected kill (pmgr shard kill {})", ctx.index);
+        });
+        if self.send_control(shard, ShardMsg::Control(cmd)) {
+            Ok(format!("kill injected into shard {shard}"))
+        } else {
+            Err(PluginError::Busy(format!(
+                "shard {shard} did not accept the kill"
+            )))
+        }
+    }
+}
+
+impl ParallelRouter {
+    /// Read-only fan-out for `&self` trait methods: best-effort, skips
+    /// non-serving shards, and bounds the wait so a shard that wedges
+    /// mid-read cannot hang the control plane (the next `&mut`
+    /// entry point's watchdog will quarantine it).
+    fn read_all<R, F>(&self, f: F) -> Vec<(usize, R)>
+    where
+        R: Send + 'static,
+        F: Fn(&mut ShardCtx) -> R + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let (tx, rx) = unbounded::<(usize, R)>();
+        let mut expected = 0usize;
+        for slot in self.slots.iter().filter(|s| s.serving()) {
+            let f = Arc::clone(&f);
+            let tx = tx.clone();
+            let cmd: ControlFn = Box::new(move |ctx: &mut ShardCtx| {
+                let index = ctx.index;
+                let r = f(ctx);
+                let _ = tx.send((index, r));
+            });
+            if slot.tx.try_send(ShardMsg::Control(cmd)).is_ok() {
+                expected += 1;
+            }
+        }
+        drop(tx);
+        let deadline = Instant::now() + self.cfg.stall_timeout + self.cfg.stall_timeout;
+        let mut out: Vec<(usize, R)> = Vec::with_capacity(expected);
+        while out.len() < expected {
+            match rx.recv_timeout(WAIT_SLICE) {
+                Ok(pair) => out.push(pair),
+                Err(RecvTimeoutError::Timeout) => {
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        out.sort_by_key(|(i, _)| *i);
+        out
+    }
+
+    /// First serving shard's answer to a read-only fan-out (lockstep
+    /// state, e.g. filter tables, is identical everywhere).
+    fn read_first<R, F>(&self, f: F) -> Option<R>
+    where
+        R: Send + 'static,
+        F: Fn(&mut ShardCtx) -> R + Send + Sync + 'static,
+    {
+        self.read_all(f).into_iter().next().map(|(_, r)| r)
     }
 }

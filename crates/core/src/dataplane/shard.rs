@@ -6,16 +6,25 @@
 //! the dispatcher issued them in — a filter installed before a packet was
 //! dispatched is guaranteed visible to that packet, just as it would be
 //! on the single-threaded router.
+//!
+//! Shard threads are supervised: the loop runs under `catch_unwind`
+//! (a panic escaping a control closure kills the *shard*, not the
+//! process), writes a heartbeat the dispatcher's watchdog reads, and —
+//! on any exit path, including abandonment after a stall — returns a
+//! final [`ShardFinal`] accounting report so no counter is silently
+//! lost with the thread.
 
 use crate::ip_core::{DataPathStats, Disposition};
-use crate::obs::TraceCategory;
+use crate::obs::{MetricsSnapshot, TraceCategory};
 use crate::router::Router;
+use crate::supervisor::run_isolated;
 use crossbeam_channel::{Receiver, Sender};
 use rp_classifier::flow_table::FlowTableStats;
 use rp_packet::mbuf::IfIndex;
 use rp_packet::Mbuf;
-use std::thread::JoinHandle;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
 /// A control command executed on the shard thread with full access to the
 /// shard's state. Results travel back through whatever channel the
@@ -37,6 +46,10 @@ pub struct ShardCtx {
     pub busy_ns: u64,
     /// Packets this shard has processed.
     pub packets: u64,
+    /// Times the per-thread CPU clock could not be read (`/proc` parse
+    /// failure). Surfaced in [`ShardReport`] so a zero `cpu_ns` is never
+    /// silent.
+    pub cpu_clock_errors: u64,
 }
 
 /// Messages a shard consumes, in strict FIFO order.
@@ -45,15 +58,16 @@ pub enum ShardMsg {
     Packet(Mbuf),
     /// A control command (fan-out from the single control plane).
     Control(ControlFn),
-    /// Reply on the enclosed channel once every earlier message has been
-    /// fully processed (the dispatcher's flush/quiesce point).
-    Barrier(Sender<()>),
+    /// Reply with the shard index on the enclosed channel once every
+    /// earlier message has been fully processed (the dispatcher's
+    /// flush/quiesce point).
+    Barrier(Sender<usize>),
     /// Drain and exit.
     Shutdown,
 }
 
 /// Per-shard statistics snapshot (pmgr `stats` breakdown, scaling bench).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ShardReport {
     /// Shard index.
     pub shard: usize,
@@ -62,15 +76,119 @@ pub struct ShardReport {
     /// Busy time in nanoseconds (see [`ShardCtx::busy_ns`]).
     pub busy_ns: u64,
     /// Cumulative CPU time of the shard thread in nanoseconds (0 when the
-    /// platform doesn't expose it). Unlike `busy_ns` (wall time inside
-    /// the packet path) this is immune to preemption inflation when more
-    /// shards than cores share the measurement host, at ~10 ms kernel
-    /// accounting granularity — benches prefer it over long runs.
+    /// platform doesn't expose it — see `cpu_clock_errors`). Unlike
+    /// `busy_ns` (wall time inside the packet path) this is immune to
+    /// preemption inflation when more shards than cores share the
+    /// measurement host, at ~10 ms kernel accounting granularity —
+    /// benches prefer it over long runs.
     pub cpu_ns: u64,
+    /// Times the CPU clock read failed; a non-zero count flags that
+    /// `cpu_ns` under-reports instead of letting 0 pass silently.
+    pub cpu_clock_errors: u64,
     /// The shard router's data-path counters.
     pub data: DataPathStats,
     /// The shard router's flow-cache counters.
     pub flows: FlowTableStats,
+}
+
+/// The final accounting a shard thread returns on any exit path. The
+/// dispatcher folds it into its "retired" totals so a restarted shard's
+/// history survives the restart (soft flow-cache state does not — that
+/// is rebuilt by first-packet classification, as the paper intends).
+pub(crate) struct ShardFinal {
+    /// The closing statistics snapshot.
+    pub(crate) report: ShardReport,
+    /// The closing metrics registry.
+    pub(crate) metrics: MetricsSnapshot,
+    /// Packets the router had counted `forwarded` into scheduler queues
+    /// that never reached the wire because the shard exited. The
+    /// dispatcher re-accounts them as `ShardDown` drops.
+    pub(crate) stranded: u64,
+    /// The panic message, when the loop died to an escaped panic.
+    pub(crate) panic: Option<String>,
+}
+
+/// State shared between a shard thread and the dispatcher's watchdog:
+/// a heartbeat (busy flag + timestamp), a processed-packet counter, and
+/// the abandonment flag that tells a stalled thread it has been replaced.
+pub(crate) struct ShardShared {
+    /// Dispatcher-chosen epoch all heartbeat timestamps are relative to.
+    epoch: Instant,
+    /// `(ms since epoch << 1) | busy`. The shard sets `busy` before
+    /// touching a message and clears it after, so a stale busy bit means
+    /// the thread is stuck *inside* a message (wedged plugin, hot loop).
+    state: AtomicU64,
+    /// Packets fully processed. Lets the dispatcher account queue loss
+    /// (`sent - processed`) without reaching into a dead thread.
+    processed: AtomicU64,
+    /// Set by the dispatcher when it gives up on this incarnation; the
+    /// loop exits at the next message boundary instead of racing its
+    /// replacement.
+    abandoned: AtomicBool,
+}
+
+impl ShardShared {
+    pub(crate) fn new(epoch: Instant) -> Self {
+        ShardShared {
+            epoch,
+            state: AtomicU64::new(0),
+            processed: AtomicU64::new(0),
+            abandoned: AtomicBool::new(false),
+        }
+    }
+
+    fn beat(&self, busy: bool) {
+        let ms = self.epoch.elapsed().as_millis() as u64;
+        self.state
+            .store((ms << 1) | u64::from(busy), Ordering::Relaxed);
+    }
+
+    /// How long the shard has been continuously busy inside one message,
+    /// or `None` when it is between messages (idle or draining its FIFO
+    /// promptly). Millisecond granularity — stall timeouts are tens of
+    /// milliseconds and up.
+    pub(crate) fn busy_for(&self, now: Instant) -> Option<Duration> {
+        let s = self.state.load(Ordering::Relaxed);
+        if s & 1 == 0 {
+            return None;
+        }
+        let ts_ms = s >> 1;
+        let now_ms = now.duration_since(self.epoch).as_millis() as u64;
+        Some(Duration::from_millis(now_ms.saturating_sub(ts_ms)))
+    }
+
+    /// Packets fully processed by this incarnation.
+    pub(crate) fn processed(&self) -> u64 {
+        self.processed.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn mark_abandoned(&self) {
+        self.abandoned.store(true, Ordering::Relaxed);
+    }
+
+    fn is_abandoned(&self) -> bool {
+        self.abandoned.load(Ordering::Relaxed)
+    }
+}
+
+/// Clock ticks per second for `/proc` utime/stime fields, from
+/// `getconf CLK_TCK` (the no-`unsafe` stand-in for
+/// `sysconf(_SC_CLK_TCK)`), probed once per process. Falls back to 100:
+/// Linux fixes `USER_HZ` at 100 for the userspace ABI regardless of the
+/// kernel's internal HZ, so the fallback is the documented value, not a
+/// guess.
+fn user_hz() -> u64 {
+    static USER_HZ: OnceLock<u64> = OnceLock::new();
+    *USER_HZ.get_or_init(|| {
+        std::process::Command::new("getconf")
+            .arg("CLK_TCK")
+            .output()
+            .ok()
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .filter(|hz| (1..=1_000_000).contains(hz))
+            .unwrap_or(100)
+    })
 }
 
 /// Cumulative CPU time (user + system) of the *calling* thread, from
@@ -79,18 +197,12 @@ fn thread_cpu_ns() -> Option<u64> {
     let stat = std::fs::read_to_string("/proc/thread-self/stat").ok()?;
     // The comm field may contain spaces; everything after the closing
     // paren is fixed-position. utime/stime are the 12th/13th tokens after
-    // it, in USER_HZ (100 Hz on Linux) ticks.
+    // it, in `USER_HZ` ticks (see [`user_hz`]).
     let (_, rest) = stat.rsplit_once(')')?;
     let toks: Vec<&str> = rest.split_whitespace().collect();
     let utime: u64 = toks.get(11)?.parse().ok()?;
     let stime: u64 = toks.get(12)?.parse().ok()?;
-    Some((utime + stime) * 10_000_000)
-}
-
-/// The dispatcher's handle to one shard.
-pub(crate) struct ShardHandle {
-    pub(crate) tx: Sender<ShardMsg>,
-    pub(crate) join: Option<JoinHandle<()>>,
+    Some((utime + stime) * (1_000_000_000 / user_hz()))
 }
 
 /// Push everything the shard's router transmitted onto the shared egress
@@ -108,13 +220,30 @@ fn drain_tx(router: &mut Router, egress: &Sender<(IfIndex, Mbuf)>) {
     }
 }
 
-/// The shard thread's main loop.
-pub(crate) fn run_shard(
-    mut ctx: ShardCtx,
-    rx: Receiver<ShardMsg>,
-    egress: Sender<(IfIndex, Mbuf)>,
+/// The message loop proper. Runs under `catch_unwind` in [`run_shard`];
+/// a panic that escapes here (control closures run unprotected — packet
+/// gates are already isolated per-call by the plugin supervisor) kills
+/// only this shard.
+fn shard_loop(
+    ctx: &mut ShardCtx,
+    rx: &Receiver<ShardMsg>,
+    egress: &Sender<(IfIndex, Mbuf)>,
+    shared: &ShardShared,
 ) {
-    while let Ok(msg) = rx.recv() {
+    loop {
+        if shared.is_abandoned() {
+            return;
+        }
+        // While blocked here the heartbeat shows idle, which is never a
+        // stall; abandonment unblocks it because the dispatcher drops the
+        // old sender when it replaces the shard.
+        let Ok(msg) = rx.recv() else { return };
+        shared.beat(true);
+        if shared.is_abandoned() {
+            // A replacement already owns this shard index; drop the
+            // message (the dispatcher's sent/processed gap accounts it).
+            return;
+        }
         match msg {
             ShardMsg::Packet(pkt) => {
                 if ctx.router.tracer().wants(TraceCategory::Shard) {
@@ -134,34 +263,115 @@ pub(crate) fn run_shard(
                 }
                 ctx.busy_ns += t0.elapsed().as_nanos() as u64;
                 ctx.packets += 1;
-                drain_tx(&mut ctx.router, &egress);
+                drain_tx(&mut ctx.router, egress);
+                shared.processed.fetch_add(1, Ordering::Relaxed);
             }
             ShardMsg::Control(f) => {
-                f(&mut ctx);
+                f(ctx);
                 // Control actions can emit too (force-unload drains
                 // scheduler backlogs to the wire).
-                drain_tx(&mut ctx.router, &egress);
+                drain_tx(&mut ctx.router, egress);
             }
             ShardMsg::Barrier(done) => {
-                let _ = done.send(());
+                let _ = done.send(ctx.index);
             }
-            ShardMsg::Shutdown => break,
+            ShardMsg::Shutdown => {
+                shared.beat(false);
+                return;
+            }
         }
+        shared.beat(false);
     }
-    drain_tx(&mut ctx.router, &egress);
+}
+
+/// The shard thread's entry point: run the loop under panic isolation and
+/// always return a final accounting report, whatever the exit path.
+pub(crate) fn run_shard(
+    mut ctx: ShardCtx,
+    rx: Receiver<ShardMsg>,
+    egress: Sender<(IfIndex, Mbuf)>,
+    shared: std::sync::Arc<ShardShared>,
+) -> ShardFinal {
+    let panic = run_isolated(|| shard_loop(&mut ctx, &rx, &egress, &shared)).err();
+    shared.beat(false);
+    // Flush whatever already reached the tx logs, then snapshot. Both run
+    // isolated too: after a panic the router may be torn mid-call and a
+    // second panic here must not take down the final accounting.
+    let _ = run_isolated(|| drain_tx(&mut ctx.router, &egress));
+    let (metrics, stranded) = run_isolated(|| {
+        let m = ctx.router.metrics_snapshot();
+        let stranded: u64 = m.queue_depth.iter().sum();
+        (m, stranded)
+    })
+    .unwrap_or((MetricsSnapshot::default(), 0));
+    let report = run_isolated(|| ctx.report()).unwrap_or(ShardReport {
+        shard: ctx.index,
+        packets: ctx.packets,
+        busy_ns: ctx.busy_ns,
+        cpu_clock_errors: ctx.cpu_clock_errors,
+        ..ShardReport::default()
+    });
+    ShardFinal {
+        report,
+        metrics,
+        stranded,
+        panic,
+    }
 }
 
 impl ShardCtx {
     /// Statistics snapshot. Meant to run *on the shard thread* (i.e. via
-    /// `control_map`), so `cpu_ns` reads that thread's CPU clock.
-    pub fn report(&self) -> ShardReport {
+    /// `control_map`), so `cpu_ns` reads that thread's CPU clock; a
+    /// failed read is counted, not silently reported as 0.
+    pub fn report(&mut self) -> ShardReport {
+        let cpu_ns = match thread_cpu_ns() {
+            Some(ns) => ns,
+            None => {
+                self.cpu_clock_errors += 1;
+                0
+            }
+        };
         ShardReport {
             shard: self.index,
             packets: self.packets,
             busy_ns: self.busy_ns,
-            cpu_ns: thread_cpu_ns().unwrap_or(0),
+            cpu_ns,
+            cpu_clock_errors: self.cpu_clock_errors,
             data: self.router.stats(),
             flows: self.router.flow_stats(),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_hz_is_sane() {
+        let hz = user_hz();
+        assert!((1..=1_000_000).contains(&hz), "USER_HZ {hz}");
+    }
+
+    #[test]
+    fn thread_cpu_clock_reads_on_linux() {
+        if cfg!(target_os = "linux") {
+            // Parse must succeed; the value itself can legitimately be 0
+            // on a freshly spawned thread (10 ms accounting granularity).
+            assert!(thread_cpu_ns().is_some());
+        }
+    }
+
+    #[test]
+    fn heartbeat_tracks_busy_windows() {
+        let epoch = Instant::now();
+        let hb = ShardShared::new(epoch);
+        assert!(hb.busy_for(Instant::now()).is_none());
+        hb.beat(true);
+        std::thread::sleep(Duration::from_millis(20));
+        let busy = hb.busy_for(Instant::now()).expect("busy");
+        assert!(busy >= Duration::from_millis(10), "{busy:?}");
+        hb.beat(false);
+        assert!(hb.busy_for(Instant::now()).is_none());
     }
 }

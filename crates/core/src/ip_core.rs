@@ -39,6 +39,17 @@ pub enum DropReason {
     /// vanished between classification and the gate call). Counted, never
     /// a panic.
     Internal,
+    /// Shed at the dispatcher of a parallel data plane: the owning
+    /// shard's ingress FIFO stayed full past the bounded-wait budget.
+    /// The shard is healthy but oversubscribed; loss is counted here
+    /// instead of stalling the ingress thread forever.
+    ShardOverload,
+    /// Shed at the dispatcher of a parallel data plane: the owning shard
+    /// is dead, stalled, or awaiting restart, so the packet had no
+    /// worker to go to. Also covers packets that were queued on a shard
+    /// when it died (the restart accounting attributes them here —
+    /// zero silent loss).
+    ShardDown,
 }
 
 /// Final outcome of processing one packet.
@@ -85,6 +96,14 @@ pub struct DataPathStats {
     pub dropped_fault: u64,
     /// Packets dropped on internal data-path inconsistencies.
     pub dropped_internal: u64,
+    /// Packets shed at the dispatcher because the owning shard's ingress
+    /// FIFO stayed full past the bounded-wait budget (parallel plane
+    /// only; always 0 on a single router).
+    pub dropped_shard_overload: u64,
+    /// Packets shed at the dispatcher because the owning shard was dead,
+    /// stalled, or awaiting restart — including packets that were queued
+    /// on a shard when it died (parallel plane only).
+    pub dropped_shard_down: u64,
     /// Instances moved to quarantine.
     pub plugin_quarantines: u64,
     /// Successful supervised instance restarts.
@@ -109,6 +128,8 @@ impl DataPathStats {
         self.plugin_faults += other.plugin_faults;
         self.dropped_fault += other.dropped_fault;
         self.dropped_internal += other.dropped_internal;
+        self.dropped_shard_overload += other.dropped_shard_overload;
+        self.dropped_shard_down += other.dropped_shard_down;
         self.plugin_quarantines += other.plugin_quarantines;
         self.plugin_restarts += other.plugin_restarts;
     }
@@ -123,6 +144,8 @@ impl DataPathStats {
             + self.dropped_too_big
             + self.dropped_fault
             + self.dropped_internal
+            + self.dropped_shard_overload
+            + self.dropped_shard_down
     }
 }
 

@@ -53,7 +53,9 @@ pub mod pmgr;
 pub mod router;
 pub mod supervisor;
 
-pub use dataplane::{ControlPlane, ParallelRouter, ParallelRouterConfig};
+pub use dataplane::{
+    CommandJournal, ControlPlane, JournaledCmd, ParallelRouter, ParallelRouterConfig, ShardStatus,
+};
 pub use gate::Gate;
 pub use message::{PluginMsg, PluginReply};
 pub use obs::{MetricsRegistry, MetricsSnapshot, TraceCategory, TraceEvent, Tracer};

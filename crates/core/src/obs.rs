@@ -120,7 +120,7 @@ impl Histogram {
 
 /// Number of distinct [`DropReason`] slots: the scalar reasons plus one
 /// per gate for `Plugin(gate)` and `PluginFault(gate)`.
-pub const DROP_KINDS: usize = 7 + 2 * GATE_COUNT;
+pub const DROP_KINDS: usize = 9 + 2 * GATE_COUNT;
 
 /// Map a drop reason to its counter slot.
 pub fn drop_reason_index(reason: DropReason) -> usize {
@@ -132,8 +132,10 @@ pub fn drop_reason_index(reason: DropReason) -> usize {
         DropReason::QueueFull => 4,
         DropReason::TooBig => 5,
         DropReason::Internal => 6,
-        DropReason::Plugin(g) => 7 + g.index(),
-        DropReason::PluginFault(g) => 7 + GATE_COUNT + g.index(),
+        DropReason::ShardOverload => 7,
+        DropReason::ShardDown => 8,
+        DropReason::Plugin(g) => 9 + g.index(),
+        DropReason::PluginFault(g) => 9 + GATE_COUNT + g.index(),
     }
 }
 
@@ -147,8 +149,10 @@ pub fn drop_reason_label(slot: usize) -> String {
         4 => "queue_full".to_string(),
         5 => "too_big".to_string(),
         6 => "internal".to_string(),
-        s if s < 7 + GATE_COUNT => format!("plugin_{}", ALL_GATES[s - 7]),
-        s => format!("plugin_fault_{}", ALL_GATES[s - 7 - GATE_COUNT]),
+        7 => "shard_overload".to_string(),
+        8 => "shard_down".to_string(),
+        s if s < 9 + GATE_COUNT => format!("plugin_{}", ALL_GATES[s - 9]),
+        s => format!("plugin_fault_{}", ALL_GATES[s - 9 - GATE_COUNT]),
     }
 }
 
@@ -640,6 +644,8 @@ mod tests {
             DropReason::QueueFull,
             DropReason::TooBig,
             DropReason::Internal,
+            DropReason::ShardOverload,
+            DropReason::ShardDown,
         ];
         for g in ALL_GATES {
             reasons.push(DropReason::Plugin(g));
@@ -652,9 +658,11 @@ mod tests {
             assert!(seen.insert(i), "slot collision at {i}");
             assert!(!drop_reason_label(i).is_empty());
         }
-        assert_eq!(drop_reason_label(7), "plugin_firewall");
+        assert_eq!(drop_reason_label(7), "shard_overload");
+        assert_eq!(drop_reason_label(8), "shard_down");
+        assert_eq!(drop_reason_label(9), "plugin_firewall");
         assert_eq!(
-            drop_reason_label(7 + GATE_COUNT + GATE_COUNT - 1),
+            drop_reason_label(9 + GATE_COUNT + GATE_COUNT - 1),
             "plugin_fault_sched"
         );
     }

@@ -12,9 +12,22 @@
 //! msg chaos 0 status
 //! ```
 //!
-//! * `mode` — `none` (default), `panic`, `drop`, `stall`, `corrupt`
+//! * `mode` — `none` (default), `panic`, `panic-once`, `drop`, `stall`,
+//!   `wedge`, `corrupt`
 //! * `every` — fault on every Nth call (default 1 = every call)
 //! * `cost` — cost in ns charged in `stall` mode (default 10^9)
+//!
+//! Two modes exist specifically for *shard*-level supervision testing:
+//!
+//! * `panic-once` disarms itself before panicking, so exactly one fault
+//!   is injected no matter how many instances replay the configuration —
+//!   a restarted shard rebuilt from the command journal comes back with
+//!   the same chaos binding but does not immediately die again.
+//! * `wedge` blocks the calling thread *inside* `handle_packet` until
+//!   [`release_wedges`] is called — the plugin-supervisor's cost budget
+//!   cannot see it (no virtual cost is charged; the thread really
+//!   stops), which is exactly the failure a shard watchdog must catch
+//!   from the outside via heartbeats.
 
 use crate::plugin::{
     InstanceRef, PacketCtx, Plugin, PluginAction, PluginCode, PluginError, PluginInstance,
@@ -29,14 +42,30 @@ const MODE_PANIC: u8 = 1;
 const MODE_DROP: u8 = 2;
 const MODE_STALL: u8 = 3;
 const MODE_CORRUPT: u8 = 4;
+const MODE_WEDGE: u8 = 5;
+const MODE_PANIC_ONCE: u8 = 6;
+
+/// Bumped by [`release_wedges`]; a wedged call captures the value at
+/// entry and spins (sleeping) until it changes. Global on purpose: a
+/// wedged shard cannot be reached through control messages (that is the
+/// point), so tests need an out-of-band release.
+static WEDGE_EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// Release every thread currently wedged in a `mode=wedge` chaos
+/// instance (they resume and forward the packet normally).
+pub fn release_wedges() {
+    WEDGE_EPOCH.fetch_add(1, Ordering::SeqCst);
+}
 
 fn parse_mode(s: &str) -> Result<u8, PluginError> {
     match s {
         "none" => Ok(MODE_NONE),
         "panic" => Ok(MODE_PANIC),
+        "panic-once" => Ok(MODE_PANIC_ONCE),
         "drop" => Ok(MODE_DROP),
         "stall" => Ok(MODE_STALL),
         "corrupt" => Ok(MODE_CORRUPT),
+        "wedge" => Ok(MODE_WEDGE),
         other => Err(PluginError::BadConfig(format!("bad mode={other}"))),
     }
 }
@@ -44,9 +73,11 @@ fn parse_mode(s: &str) -> Result<u8, PluginError> {
 fn mode_name(m: u8) -> &'static str {
     match m {
         MODE_PANIC => "panic",
+        MODE_PANIC_ONCE => "panic-once",
         MODE_DROP => "drop",
         MODE_STALL => "stall",
         MODE_CORRUPT => "corrupt",
+        MODE_WEDGE => "wedge",
         _ => "none",
     }
 }
@@ -102,6 +133,21 @@ impl PluginInstance for ChaosInstance {
         }
         match self.mode.load(Ordering::Relaxed) {
             MODE_PANIC => panic!("chaos: injected panic on call {n}"),
+            MODE_PANIC_ONCE => {
+                // Disarm before unwinding: the next call (or a journal-
+                // rebuilt twin of this instance) behaves normally.
+                self.mode.store(MODE_NONE, Ordering::SeqCst);
+                panic!("chaos: injected one-shot panic on call {n}")
+            }
+            MODE_WEDGE => {
+                // Genuinely stop the calling thread (not virtual cost):
+                // hold until someone calls `release_wedges`.
+                let entry = WEDGE_EPOCH.load(Ordering::SeqCst);
+                while WEDGE_EPOCH.load(Ordering::SeqCst) == entry {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                PluginAction::Continue
+            }
             MODE_DROP => PluginAction::Drop,
             MODE_STALL => {
                 ctx.cost_ns = self.cost_ns.load(Ordering::Relaxed);
@@ -269,6 +315,36 @@ mod tests {
         let mut m = pkt();
         let err = crate::supervisor::run_isolated(|| call(&inst, &mut m)).unwrap_err();
         assert!(err.contains("injected panic"), "{err}");
+    }
+
+    #[test]
+    fn panic_once_disarms_itself() {
+        let inst = ChaosInstance::new(MODE_PANIC_ONCE, 1, 0);
+        let mut m = pkt();
+        let err = crate::supervisor::run_isolated(|| call(&inst, &mut m)).unwrap_err();
+        assert!(err.contains("one-shot"), "{err}");
+        // Second call: mode stored back to none, no fault.
+        assert_eq!(call(&inst, &mut m), PluginAction::Continue);
+        assert!(inst.status().contains("mode=none"), "{}", inst.status());
+    }
+
+    #[test]
+    fn wedge_blocks_until_released() {
+        let inst = Arc::new(ChaosInstance::new(MODE_WEDGE, 1, 0));
+        let worker = {
+            let inst = Arc::clone(&inst);
+            std::thread::spawn(move || {
+                let mut m = pkt();
+                call(&inst, &mut m)
+            })
+        };
+        // The worker is stuck inside handle_packet: give it time to enter
+        // the wedge, confirm it has not finished, then release it.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!worker.is_finished(), "wedge did not hold the thread");
+        release_wedges();
+        let action = worker.join().unwrap();
+        assert_eq!(action, PluginAction::Continue);
     }
 
     #[test]

@@ -38,6 +38,14 @@
 //! show instances                     # live plugin instances
 //! health                             # supervision state per instance
 //! faults                             # fault/quarantine/restart counters
+//! shards                             # shard supervision state (parallel
+//!                                    # data plane only)
+//! shard restart <i>                  # rebuild shard i from the command
+//!                                    # journal (operator override: skips
+//!                                    # backoff, revives an exhausted
+//!                                    # restart budget)
+//! shard kill <i>                     # inject a panic into shard i
+//!                                    # (fault-injection/testing)
 //! ```
 
 use crate::dataplane::control::ControlPlane;
@@ -255,6 +263,48 @@ pub fn run_command<C: ControlPlane>(router: &mut C, line: &str) -> Result<String
                 })
                 .collect::<Vec<_>>()
                 .join("\n"))
+        }
+        "shards" => {
+            let rows = router.cp_shard_status();
+            if rows.is_empty() {
+                return Ok("no data-plane shards (single-threaded router)".to_string());
+            }
+            Ok(rows
+                .into_iter()
+                .map(|s| {
+                    let mut line = format!(
+                        "shard {}: {} restarts={} sent={} processed={} shed(overload={} down={})",
+                        s.shard,
+                        s.health,
+                        s.restarts,
+                        s.sent,
+                        s.processed,
+                        s.shed_overload,
+                        s.shed_down
+                    );
+                    if s.restart_pending {
+                        line.push_str(" restart-pending");
+                    }
+                    if let Some(f) = s.last_fault {
+                        line.push_str(&format!(" last=\"{f}\""));
+                    }
+                    line
+                })
+                .collect::<Vec<_>>()
+                .join("\n"))
+        }
+        "shard" => {
+            let verb = arg(&toks, 1)?;
+            let idx: usize = arg(&toks, 2)?
+                .parse()
+                .map_err(|_| PmgrError::Syntax("bad shard index".into()))?;
+            match verb {
+                "restart" => Ok(router.cp_shard_restart(idx)?),
+                "kill" => Ok(router.cp_shard_kill(idx)?),
+                other => Err(PmgrError::Syntax(format!(
+                    "shard restart|kill <i>, got {other}"
+                ))),
+            }
         }
         "faults" => {
             // Row 0 is always the merged total.
@@ -536,6 +586,62 @@ bind stats stats 0 <*, *, UDP, *, 53, *>",
         // Single router: no per-shard breakdown.
         assert!(!out.contains("\"shards\""), "{out}");
         assert!(run_command(&mut r, "metrics bogus").is_err());
+    }
+
+    #[test]
+    fn shard_commands_on_single_router() {
+        // The single-threaded router has no shards: status is an empty
+        // (informative) answer, restart/kill are plugin errors.
+        let mut r = router();
+        assert_eq!(
+            run_command(&mut r, "shards").unwrap(),
+            "no data-plane shards (single-threaded router)"
+        );
+        assert!(matches!(
+            run_command(&mut r, "shard restart 0"),
+            Err(PmgrError::Plugin(_))
+        ));
+        assert!(matches!(
+            run_command(&mut r, "shard kill 0"),
+            Err(PmgrError::Plugin(_))
+        ));
+        assert!(run_command(&mut r, "shard bogus 0").is_err());
+        assert!(run_command(&mut r, "shard restart x").is_err());
+    }
+
+    #[test]
+    fn shard_commands_on_parallel_router() {
+        use crate::dataplane::{ParallelRouter, ParallelRouterConfig};
+        use crate::loader::PluginLoader;
+
+        let mut template = PluginLoader::new();
+        register_builtin_factories(&mut template);
+        let mut pr = ParallelRouter::new(
+            ParallelRouterConfig {
+                shards: 2,
+                ..ParallelRouterConfig::default()
+            },
+            &template,
+        );
+        run_script(&mut pr, "load firewall\ncreate firewall").unwrap();
+
+        let out = run_command(&mut pr, "shards").unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2, "{out}");
+        assert!(lines[0].starts_with("shard 0: healthy"), "{out}");
+        assert!(lines[1].starts_with("shard 1: healthy"), "{out}");
+
+        // Operator restart rebuilds from the journal and reports it.
+        let out = run_command(&mut pr, "shard restart 1").unwrap();
+        assert!(out.contains("shard 1 restarted"), "{out}");
+        assert!(out.contains("journal commands replayed"), "{out}");
+        let out = run_command(&mut pr, "shards").unwrap();
+        assert!(out.contains("shard 1: degraded restarts=1"), "{out}");
+
+        assert!(matches!(
+            run_command(&mut pr, "shard restart 7"),
+            Err(PmgrError::Plugin(_))
+        ));
     }
 
     #[test]

@@ -798,6 +798,11 @@ impl Router {
             DropReason::TooBig => self.stats.dropped_too_big += 1,
             DropReason::PluginFault(_) => self.stats.dropped_fault += 1,
             DropReason::Internal => self.stats.dropped_internal += 1,
+            // Shard-level sheds happen at the parallel dispatcher, never
+            // inside a single router's data path; counted for
+            // completeness should a caller synthesize one.
+            DropReason::ShardOverload => self.stats.dropped_shard_overload += 1,
+            DropReason::ShardDown => self.stats.dropped_shard_down += 1,
         }
         Disposition::Dropped(reason)
     }

@@ -443,9 +443,15 @@ fn install_quiet_hook() {
 /// re-enters the data path.
 pub(crate) fn run_isolated<R>(f: impl FnOnce() -> R) -> Result<R, String> {
     install_quiet_hook();
-    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(true));
+    // Save-and-restore, not set-and-clear: these calls nest (every plugin
+    // gate call inside a supervised shard loop is itself isolated), and a
+    // plain `set(false)` on inner exit would strip the outer frame's
+    // suppression — an injected shard kill would then symbolize a full
+    // backtrace, parking the dying thread on the CPU for seconds before
+    // the dispatcher can detect the death and settle its accounting.
+    let prev = SUPPRESS_PANIC_OUTPUT.with(|s| s.replace(true));
     let result = panic::catch_unwind(AssertUnwindSafe(f));
-    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(false));
+    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(prev));
     result.map_err(|payload| {
         if let Some(s) = payload.downcast_ref::<&str>() {
             (*s).to_string()

@@ -208,16 +208,26 @@ impl Testbench {
             ..ParallelRunStats::default()
         };
         for (b, a) in before.iter().zip(&after) {
-            let pkts = a.packets - b.packets;
+            // All diffs saturate: a shard restarted by the supervisor
+            // mid-run comes back with fresh counters, which must read as
+            // "no progress observed", not as an underflow panic.
+            let pkts = a.packets.saturating_sub(b.packets);
             // Prefer the thread CPU clock (immune to preemption inflation
             // when shards outnumber host cores); it has ~10 ms
             // granularity, so short runs that round to zero fall back to
             // the fine-grained in-path wall measure.
             let cpu = a.cpu_ns.saturating_sub(b.cpu_ns);
-            let busy = if cpu > 0 { cpu } else { a.busy_ns - b.busy_ns };
+            let busy = if cpu > 0 {
+                cpu
+            } else {
+                a.busy_ns.saturating_sub(b.busy_ns)
+            };
             stats.packets += pkts;
-            stats.forwarded += a.data.forwarded - b.data.forwarded;
-            stats.dropped += a.data.dropped_total() - b.data.dropped_total();
+            stats.forwarded += a.data.forwarded.saturating_sub(b.data.forwarded);
+            stats.dropped += a
+                .data
+                .dropped_total()
+                .saturating_sub(b.data.dropped_total());
             stats.total_busy_ns += busy;
             stats.max_shard_busy_ns = stats.max_shard_busy_ns.max(busy);
             stats.shard_packets.push(pkts);
@@ -337,6 +347,7 @@ mod tests {
                     ..RouterConfig::default()
                 },
                 ingress_depth: 256,
+                ..ParallelRouterConfig::default()
             },
             &template,
         );

@@ -57,6 +57,7 @@ fn parallel_router(shards: usize) -> ParallelRouter {
                 ..RouterConfig::default()
             },
             ingress_depth: 256,
+            ..ParallelRouterConfig::default()
         },
         &template,
     );

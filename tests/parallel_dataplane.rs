@@ -225,6 +225,7 @@ fn parallel_matches_single_router_deliveries_order_and_drops() {
                 ..RouterConfig::default()
             },
             ingress_depth: 256,
+            ..ParallelRouterConfig::default()
         },
         &template,
     );
@@ -293,6 +294,7 @@ fn parallel(shards: usize) -> ParallelRouter {
                 ..RouterConfig::default()
             },
             ingress_depth: 64,
+            ..ParallelRouterConfig::default()
         },
         &template,
     )

@@ -49,6 +49,34 @@ impl fmt::Display for RecvError {
 
 impl std::error::Error for RecvError {}
 
+/// Error returned by [`Sender::try_send`]. Carries the unsent message
+/// back to the caller, like the real crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The bounded channel is full (receivers still connected).
+    Full(T),
+    /// Every receiver is gone.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    /// The message that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+        }
+    }
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("sending on a full channel"),
+            TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+        }
+    }
+}
+
 /// Error returned by [`Receiver::try_recv`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TryRecvError {
@@ -128,6 +156,21 @@ impl<T> Sender<T> {
         match &self.tx {
             Tx::Unbounded(s) => s.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
             Tx::Bounded(s) => s.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+        }
+    }
+
+    /// Send a message without blocking. On a full bounded channel the
+    /// message comes straight back as [`TrySendError::Full`]; an
+    /// unbounded channel is never full.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        match &self.tx {
+            Tx::Unbounded(s) => s
+                .send(value)
+                .map_err(|mpsc::SendError(v)| TrySendError::Disconnected(v)),
+            Tx::Bounded(s) => s.try_send(value).map_err(|e| match e {
+                mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+            }),
         }
     }
 }
@@ -306,5 +349,23 @@ mod tests {
         let (tx, rx) = unbounded();
         drop(rx);
         assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = bounded(1);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(()));
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
+
+        let (utx, urx) = unbounded();
+        for i in 0..100 {
+            assert_eq!(utx.try_send(i), Ok(()));
+        }
+        drop(urx);
+        assert_eq!(utx.try_send(7), Err(TrySendError::Disconnected(7)));
     }
 }
