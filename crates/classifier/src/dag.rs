@@ -133,6 +133,93 @@ impl<T: rp_lpm::Bits> AddrMatcher<T> {
     }
 }
 
+/// Edge map for the Exact levels (protocol, incoming interface).
+///
+/// Both fields have tiny label populations in any realistic filter set —
+/// a handful of protocols, one label per router port — so the edges live
+/// in a sorted array probed by binary search: the whole map is one or two
+/// cache lines, where a `HashMap` pays a hasher call plus control-byte
+/// and bucket indirections per probe. Should a table ever grow past
+/// [`EXACT_SPILL`] distinct labels at one node, the map spills to a hash
+/// so lookup stays O(1) in the degenerate case.
+///
+/// The Table 2 accounting is unaffected: a probe here is still exactly
+/// one "access to DAG edges" in the paper's unit, whatever the backing
+/// store.
+enum ExactEdges {
+    Sorted(Vec<(u32, NodeId)>),
+    Hash(HashMap<u32, NodeId>),
+}
+
+/// Distinct-label count at which [`ExactEdges`] abandons the sorted array.
+const EXACT_SPILL: usize = 96;
+
+impl ExactEdges {
+    fn new() -> Self {
+        ExactEdges::Sorted(Vec::new())
+    }
+
+    fn get(&self, key: u32) -> Option<NodeId> {
+        match self {
+            ExactEdges::Sorted(v) => v
+                .binary_search_by_key(&key, |(k, _)| *k)
+                .ok()
+                .map(|i| v[i].1),
+            ExactEdges::Hash(m) => m.get(&key).copied(),
+        }
+    }
+
+    fn insert(&mut self, key: u32, node: NodeId) {
+        match self {
+            ExactEdges::Sorted(v) => match v.binary_search_by_key(&key, |(k, _)| *k) {
+                Ok(i) => v[i].1 = node,
+                Err(i) => {
+                    if v.len() >= EXACT_SPILL {
+                        let mut m: HashMap<u32, NodeId> = v.drain(..).collect();
+                        m.insert(key, node);
+                        *self = ExactEdges::Hash(m);
+                    } else {
+                        v.insert(i, (key, node));
+                    }
+                }
+            },
+            ExactEdges::Hash(m) => {
+                m.insert(key, node);
+            }
+        }
+    }
+
+    fn remove(&mut self, key: u32) {
+        match self {
+            ExactEdges::Sorted(v) => {
+                if let Ok(i) = v.binary_search_by_key(&key, |(k, _)| *k) {
+                    v.remove(i);
+                }
+            }
+            ExactEdges::Hash(m) => {
+                m.remove(&key);
+            }
+        }
+    }
+
+    /// Owned `(label, child)` snapshot (used by removal, which needs to
+    /// recurse while holding no borrow of the node).
+    fn entries(&self) -> Vec<(u32, NodeId)> {
+        match self {
+            ExactEdges::Sorted(v) => v.clone(),
+            ExactEdges::Hash(m) => m.iter().map(|(k, c)| (*k, *c)).collect(),
+        }
+    }
+
+    /// Owned child list (used by wildcard replication).
+    fn children(&self) -> Vec<NodeId> {
+        match self {
+            ExactEdges::Sorted(v) => v.iter().map(|(_, c)| *c).collect(),
+            ExactEdges::Hash(m) => m.values().copied().collect(),
+        }
+    }
+}
+
 // The Addr variant dominates the size, but Addr nodes also dominate the
 // node population of any realistic filter set — boxing it would add a
 // pointer chase to every address-level lookup for no real memory win.
@@ -146,7 +233,7 @@ enum NodeKind {
         wildcard: Option<NodeId>,
     },
     Exact {
-        edges: HashMap<u32, NodeId>,
+        edges: ExactEdges,
         wildcard: Option<NodeId>,
     },
     Port {
@@ -240,7 +327,7 @@ impl<V> DagTable<V> {
                 wildcard: None,
             },
             2 | 5 => NodeKind::Exact {
-                edges: HashMap::new(),
+                edges: ExactEdges::new(),
                 wildcard: None,
             },
             3 | 4 => NodeKind::Port {
@@ -347,13 +434,17 @@ impl<V> DagTable<V> {
             }
             return;
         }
-        let spec = self.spec_of(fid).clone();
+        // Only the one Copy field this level matches on is read from the
+        // spec — cloning the whole multi-field spec here would deep-copy
+        // it once per visited node of the replication recursion.
         match level {
             0 | 1 => {
+                let spec = self.spec_of(fid);
                 let label = if level == 0 { spec.src } else { spec.dst };
                 self.insert_addr_level(node, level, fid, label)
             }
             2 | 5 => {
+                let spec = self.spec_of(fid);
                 let label = if level == 2 {
                     spec.proto.map(u32::from)
                 } else {
@@ -362,6 +453,7 @@ impl<V> DagTable<V> {
                 self.insert_exact_level(node, level, fid, label)
             }
             3 | 4 => {
+                let spec = self.spec_of(fid);
                 let label = if level == 3 { spec.sport } else { spec.dport };
                 self.insert_port_level(node, level, fid, label)
             }
@@ -494,8 +586,8 @@ impl<V> DagTable<V> {
             NodeKind::Exact {
                 edges, wildcard, ..
             } => match label {
-                None => (None, edges.values().copied().collect::<Vec<_>>(), *wildcard),
-                Some(val) => (edges.get(&val).copied(), Vec::new(), *wildcard),
+                None => (None, edges.children(), *wildcard),
+                Some(val) => (edges.get(val), Vec::new(), *wildcard),
             },
             _ => unreachable!("level kind mismatch"),
         };
@@ -618,9 +710,7 @@ impl<V> DagTable<V> {
             NodeKind::Addr {
                 edges, wildcard, ..
             } => Snap::Addr(edges.clone(), *wildcard),
-            NodeKind::Exact { edges, wildcard } => {
-                Snap::Exact(edges.iter().map(|(k, v)| (*k, *v)).collect(), *wildcard)
-            }
+            NodeKind::Exact { edges, wildcard } => Snap::Exact(edges.entries(), *wildcard),
             NodeKind::Port { edges, wildcard } => Snap::Port(edges.clone(), *wildcard),
         };
 
@@ -686,7 +776,7 @@ impl<V> DagTable<V> {
                 let wc_dead = wildcard.is_some_and(|w| self.nodes[w].installed.is_empty());
                 if let NodeKind::Exact { edges, wildcard } = &mut self.nodes[node].kind {
                     for k in dead {
-                        edges.remove(&k);
+                        edges.remove(k);
                     }
                     if wc_dead {
                         *wildcard = None;
@@ -741,7 +831,7 @@ impl<V> DagTable<V> {
                     } else {
                         t.rx_if
                     };
-                    edges.get(&val).copied().or(*wildcard)
+                    edges.get(val).or(*wildcard)
                 }
                 NodeKind::Port { edges, wildcard } => {
                     self.s_port.set(self.s_port.get() + 1);
@@ -1056,6 +1146,35 @@ mod tests {
         assert!(hit.is_some());
         assert_eq!(small.dag_edges, big.dag_edges);
         assert_eq!(small.port_probes, big.port_probes);
+    }
+
+    #[test]
+    fn exact_edges_sorted_then_spills() {
+        // Small maps stay in the sorted array; past the spill threshold
+        // the map converts to a hash and keeps answering identically.
+        let mut s = ExactEdges::new();
+        for k in [5u32, 1, 3] {
+            s.insert(k, k as usize);
+        }
+        assert!(matches!(s, ExactEdges::Sorted(_)));
+        assert_eq!(s.get(3), Some(3));
+        assert_eq!(s.get(2), None);
+        s.remove(3);
+        assert_eq!(s.get(3), None);
+        assert_eq!(s.children().len(), 2);
+        assert_eq!(s.entries().len(), 2);
+
+        let mut e = ExactEdges::new();
+        for k in (0..2 * EXACT_SPILL as u32).rev() {
+            e.insert(k, k as usize);
+        }
+        assert!(matches!(e, ExactEdges::Hash(_)));
+        for k in 0..2 * EXACT_SPILL as u32 {
+            assert_eq!(e.get(k), Some(k as usize));
+        }
+        e.remove(100);
+        assert_eq!(e.get(100), None);
+        assert_eq!(e.entries().len(), 2 * EXACT_SPILL - 1);
     }
 
     #[test]

@@ -309,7 +309,7 @@ impl<V> FlowTable<V> {
     }
 
     fn unlink(&mut self, idx: u32) {
-        let b = self.bucket_of(&self.records[idx as usize].key.clone());
+        let b = self.bucket_of(&self.records[idx as usize].key);
         let mut cur = self.buckets[b];
         if cur == Some(idx) {
             self.buckets[b] = self.records[idx as usize].next;

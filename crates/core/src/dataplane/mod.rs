@@ -83,7 +83,7 @@ use control::{merge_replies, merge_unit, ShardAnswer};
 use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use rp_classifier::flow_table::FlowTableStats;
 use rp_packet::mbuf::IfIndex;
-use rp_packet::Mbuf;
+use rp_packet::{Mbuf, MbufPool, PoolStats};
 use shard::{run_shard, ControlFn, ShardFinal, ShardShared};
 use std::net::IpAddr;
 use std::sync::Arc;
@@ -214,6 +214,23 @@ pub struct ParallelRouter {
     /// shards hold clones); also the source for rebuilt shards' senders.
     egress_tx: Sender<(IfIndex, Mbuf)>,
     egress_rx: Receiver<(IfIndex, Mbuf)>,
+    /// Return path for emptied batch carrier `Vec`s: shards send the
+    /// drained vector back here after processing a [`ShardMsg::Batch`],
+    /// and the dispatcher reuses it for a later batch — steady-state
+    /// batched dispatch allocates no carriers.
+    scrap_tx: Sender<Vec<Mbuf>>,
+    scrap_rx: Receiver<Vec<Mbuf>>,
+    /// Emptied carriers ready for reuse (fed from `scrap_rx` plus the
+    /// caller-supplied input vectors of past `receive_batch` calls).
+    spare_batches: Vec<Vec<Mbuf>>,
+    /// One bucket per shard, reused across `receive_batch` calls to
+    /// group a mixed batch by destination shard without allocating.
+    group_scratch: Vec<Vec<Mbuf>>,
+    /// Dispatcher-side buffer pool: sources ingress mbufs
+    /// ([`mbuf_with`](ParallelRouter::mbuf_with)) and reabsorbs shed
+    /// packets and transmitted packets the driver hands back
+    /// ([`recycle_mbuf`](ParallelRouter::recycle_mbuf)).
+    pool: MbufPool,
     /// Per-interface egress buckets, filled from the collector.
     pending: Vec<Vec<Mbuf>>,
     /// Dispatcher-side counters: sheds, plus the absorbed history of
@@ -233,6 +250,7 @@ impl ParallelRouter {
     pub fn new(cfg: ParallelRouterConfig, template: &PluginLoader) -> Self {
         let shards = cfg.shards.max(1);
         let (egress_tx, egress_rx) = unbounded();
+        let (scrap_tx, scrap_rx) = unbounded();
         let epoch = Instant::now();
         let interfaces = cfg.router.interfaces;
         let mut pr = ParallelRouter {
@@ -244,6 +262,11 @@ impl ParallelRouter {
             interfaces,
             egress_tx,
             egress_rx,
+            scrap_tx,
+            scrap_rx,
+            spare_batches: Vec::new(),
+            group_scratch: (0..shards).map(|_| Vec::new()).collect(),
+            pool: MbufPool::default(),
             pending: (0..interfaces).map(|_| Vec::new()).collect(),
             local_stats: DataPathStats::default(),
             local_flows: FlowTableStats::default(),
@@ -280,10 +303,11 @@ impl ParallelRouter {
         let (tx, rx) = bounded(self.cfg.ingress_depth.max(1));
         let shared = Arc::new(ShardShared::new(self.epoch));
         let egress = self.egress_tx.clone();
+        let scrap = self.scrap_tx.clone();
         let worker_shared = Arc::clone(&shared);
         let join = std::thread::Builder::new()
             .name(format!("rp-shard-{index}"))
-            .spawn(move || run_shard(ctx, rx, egress, worker_shared))
+            .spawn(move || run_shard(ctx, rx, egress, scrap, worker_shared))
             .ok();
         let policy = &self.cfg.router.fault_policy;
         let spawn_failed = join.is_none();
@@ -513,18 +537,33 @@ impl ParallelRouter {
     /// here, so the dispatcher also counts it received — the merged
     /// `received == forwarded + dropped + in-flight` invariant holds).
     fn shed(&mut self, shard: usize, reason: DropReason) {
-        self.local_stats.received += 1;
+        self.shed_n(shard, reason, 1);
+    }
+
+    /// [`shed`](ParallelRouter::shed) for a whole failed batch: every
+    /// packet of the batch is counted, not just the carrier message.
+    fn shed_n(&mut self, shard: usize, reason: DropReason, n: u64) {
+        self.local_stats.received += n;
         match reason {
             DropReason::ShardOverload => {
-                self.local_stats.dropped_shard_overload += 1;
-                self.slots[shard].shed_overload += 1;
+                self.local_stats.dropped_shard_overload += n;
+                self.slots[shard].shed_overload += n;
             }
             _ => {
-                self.local_stats.dropped_shard_down += 1;
-                self.slots[shard].shed_down += 1;
+                self.local_stats.dropped_shard_down += n;
+                self.slots[shard].shed_down += n;
             }
         }
-        self.local_metrics.note_drop(reason);
+        self.local_metrics.drops[drop_reason_index(reason)] += n;
+    }
+
+    /// Recycle every packet of a batch that could not be dispatched and
+    /// return its carrier to the spare stack.
+    fn recycle_failed_batch(&mut self, mut batch: Vec<Mbuf>) {
+        for pkt in batch.drain(..) {
+            self.pool.recycle(pkt);
+        }
+        self.spare_batches.push(batch);
     }
 
     // ---- data path ------------------------------------------------
@@ -546,6 +585,7 @@ impl ParallelRouter {
             self.check_shard(s);
         }
         if !self.slots[s].serving() {
+            self.pool.recycle(mbuf);
             self.shed(s, DropReason::ShardDown);
             return s;
         }
@@ -564,23 +604,171 @@ impl ParallelRouter {
                     // give the watchdog a look before deciding.
                     self.check_shard(s);
                     if !self.slots[s].serving() {
+                        if let ShardMsg::Packet(p) = m {
+                            self.pool.recycle(p);
+                        }
                         self.shed(s, DropReason::ShardDown);
                         return s;
                     }
                     if now >= dl {
+                        if let ShardMsg::Packet(p) = m {
+                            self.pool.recycle(p);
+                        }
                         self.shed(s, DropReason::ShardOverload);
                         return s;
                     }
                     msg = m;
                     std::thread::yield_now();
                 }
-                Err(TrySendError::Disconnected(_)) => {
+                Err(TrySendError::Disconnected(m)) => {
                     self.check_shard(s);
+                    if let ShardMsg::Packet(p) = m {
+                        self.pool.recycle(p);
+                    }
                     self.shed(s, DropReason::ShardDown);
                     return s;
                 }
             }
         }
+    }
+
+    /// Dispatch a whole batch of ingress packets, grouping them by their
+    /// flows' shards and sending **one** [`ShardMsg::Batch`] per shard
+    /// touched — the channel send (and, on the worker side, the egress
+    /// drain) is amortized over the batch while per-flow order is
+    /// untouched (grouping is a stable partition and a flow maps to
+    /// exactly one shard). Overload and health semantics per shard group
+    /// match [`receive`](ParallelRouter::receive), with every packet of
+    /// a failed group counted shed. Consumes the carrier `Vec`; get a
+    /// recycled one from [`batch_carrier`](ParallelRouter::batch_carrier)
+    /// to keep the steady state allocation-free. Returns the number of
+    /// packets handed to shards (the rest were shed).
+    pub fn receive_batch(&mut self, mut pkts: Vec<Mbuf>) -> usize {
+        if pkts.is_empty() {
+            self.spare_batches.push(pkts);
+            return 0;
+        }
+        // Same watchdog cadence as the single-packet path: one shard
+        // checked per WATCHDOG_STRIDE packets, here batched into at most
+        // one check per call.
+        let prev = self.watchdog_tick;
+        self.watchdog_tick = prev.wrapping_add(pkts.len() as u64);
+        if prev / WATCHDOG_STRIDE != self.watchdog_tick / WATCHDOG_STRIDE && !self.slots.is_empty()
+        {
+            let t = ((self.watchdog_tick / WATCHDOG_STRIDE) as usize) % self.slots.len();
+            self.check_shard(t);
+        }
+        self.reclaim_scrap();
+        let n = self.slots.len();
+        if n == 1 {
+            // Single shard: the input carrier is already the batch.
+            return self.dispatch_batch(0, pkts);
+        }
+        for pkt in pkts.drain(..) {
+            let s = shard_for_packet(&pkt, n);
+            self.group_scratch[s].push(pkt);
+        }
+        self.spare_batches.push(pkts);
+        let mut accepted = 0;
+        for s in 0..n {
+            if self.group_scratch[s].is_empty() {
+                continue;
+            }
+            let spare = self.spare_batches.pop().unwrap_or_default();
+            let group = std::mem::replace(&mut self.group_scratch[s], spare);
+            accepted += self.dispatch_batch(s, group);
+        }
+        accepted
+    }
+
+    /// Send one shard's batch with `receive`'s overload/health semantics.
+    /// Returns the packets accepted; a failed batch is recycled and every
+    /// packet in it is counted shed.
+    fn dispatch_batch(&mut self, s: usize, batch: Vec<Mbuf>) -> usize {
+        let len = batch.len();
+        if len == 0 {
+            self.spare_batches.push(batch);
+            return 0;
+        }
+        if !self.slots[s].serving() {
+            self.check_shard(s);
+        }
+        if !self.slots[s].serving() {
+            self.recycle_failed_batch(batch);
+            self.shed_n(s, DropReason::ShardDown, len as u64);
+            return 0;
+        }
+        let mut msg = ShardMsg::Batch(batch);
+        let mut deadline: Option<Instant> = None;
+        loop {
+            match self.slots[s].tx.try_send(msg) {
+                Ok(()) => {
+                    self.slots[s].sent += len as u64;
+                    return len;
+                }
+                Err(TrySendError::Full(m)) => {
+                    let now = Instant::now();
+                    let dl = *deadline.get_or_insert(now + self.cfg.overload_wait);
+                    self.check_shard(s);
+                    if !self.slots[s].serving() {
+                        if let ShardMsg::Batch(b) = m {
+                            self.recycle_failed_batch(b);
+                        }
+                        self.shed_n(s, DropReason::ShardDown, len as u64);
+                        return 0;
+                    }
+                    if now >= dl {
+                        if let ShardMsg::Batch(b) = m {
+                            self.recycle_failed_batch(b);
+                        }
+                        self.shed_n(s, DropReason::ShardOverload, len as u64);
+                        return 0;
+                    }
+                    msg = m;
+                    std::thread::yield_now();
+                }
+                Err(TrySendError::Disconnected(m)) => {
+                    self.check_shard(s);
+                    if let ShardMsg::Batch(b) = m {
+                        self.recycle_failed_batch(b);
+                    }
+                    self.shed_n(s, DropReason::ShardDown, len as u64);
+                    return 0;
+                }
+            }
+        }
+    }
+
+    /// Pull emptied carriers the shards have returned into the spare
+    /// stack.
+    fn reclaim_scrap(&mut self) {
+        self.spare_batches.extend(self.scrap_rx.try_iter());
+    }
+
+    /// A carrier `Vec` for the next [`receive_batch`] — recycled from a
+    /// previously dispatched batch when one has come back, fresh
+    /// otherwise.
+    pub fn batch_carrier(&mut self) -> Vec<Mbuf> {
+        self.reclaim_scrap();
+        self.spare_batches.pop().unwrap_or_default()
+    }
+
+    /// Build an ingress mbuf from the dispatcher's buffer pool (the
+    /// parallel-plane counterpart of [`Router::mbuf_with`]).
+    pub fn mbuf_with(&mut self, bytes: &[u8], rx_if: IfIndex) -> Mbuf {
+        self.pool.mbuf_from(bytes, rx_if)
+    }
+
+    /// Return a finished packet's backing buffer to the dispatcher pool
+    /// (drivers call this after transmitting what `take_tx` returned).
+    pub fn recycle_mbuf(&mut self, mbuf: Mbuf) {
+        self.pool.recycle(mbuf);
+    }
+
+    /// The dispatcher pool's counters (shard routers' pools are reported
+    /// through the merged metrics instead).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     /// Deliver a control-path message to a serving shard with a bounded
@@ -831,6 +1019,12 @@ impl ParallelRouter {
         for s in self.control_map(|ctx| ctx.router.metrics_snapshot()) {
             total.absorb(&s);
         }
+        // The dispatcher's own pool traffic (shard pools arrive through
+        // the per-shard snapshots absorbed above).
+        let p = self.pool.stats();
+        total.mbuf_acquired += p.acquired;
+        total.mbuf_recycled += p.recycled;
+        total.mbuf_fresh += p.fresh;
         total
     }
 
@@ -1012,6 +1206,10 @@ impl ControlPlane for ParallelRouter {
         for (_, m) in &per_shard {
             total.absorb(m);
         }
+        let p = self.pool.stats();
+        total.mbuf_acquired += p.acquired;
+        total.mbuf_recycled += p.recycled;
+        total.mbuf_fresh += p.fresh;
         let mut rows = vec![MetricsRow {
             label: "total".to_string(),
             metrics: total,

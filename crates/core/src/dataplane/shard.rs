@@ -56,6 +56,12 @@ pub struct ShardCtx {
 pub enum ShardMsg {
     /// One packet to run through the data path.
     Packet(Mbuf),
+    /// Several packets of this shard's flows, dispatched in one channel
+    /// send. Processed front-to-back, so per-flow order is identical to
+    /// the equivalent sequence of `Packet` messages; the emptied carrier
+    /// `Vec` is returned to the dispatcher on the scrap channel for
+    /// reuse.
+    Batch(Vec<Mbuf>),
     /// A control command (fan-out from the single control plane).
     Control(ControlFn),
     /// Reply with the shard index on the enclosed channel once every
@@ -220,6 +226,29 @@ fn drain_tx(router: &mut Router, egress: &Sender<(IfIndex, Mbuf)>) {
     }
 }
 
+/// Run one packet through the shard's data path: receive, the
+/// testbench-mirroring single pump on `Queued`, busy-time and packet
+/// accounting. Shared by the `Packet` and `Batch` arms so a batch is
+/// observably identical to the same packets sent one message each.
+fn process_packet(ctx: &mut ShardCtx, pkt: Mbuf) {
+    if ctx.router.tracer().wants(TraceCategory::Shard) {
+        let now = ctx.router.now_ns();
+        let detail = format!("shard {} rx_if={} len={}", ctx.index, pkt.rx_if, pkt.len());
+        ctx.router
+            .tracer_mut()
+            .record(now, TraceCategory::Shard, detail);
+    }
+    let t0 = Instant::now();
+    let d = ctx.router.receive(pkt);
+    if let Disposition::Queued(iface) = d {
+        // Mirror the testbench's immediate retransmit: drain one packet
+        // from the egress scheduler per arrival.
+        ctx.router.pump(iface, 1);
+    }
+    ctx.busy_ns += t0.elapsed().as_nanos() as u64;
+    ctx.packets += 1;
+}
+
 /// The message loop proper. Runs under `catch_unwind` in [`run_shard`];
 /// a panic that escapes here (control closures run unprotected — packet
 /// gates are already isolated per-call by the plugin supervisor) kills
@@ -228,6 +257,7 @@ fn shard_loop(
     ctx: &mut ShardCtx,
     rx: &Receiver<ShardMsg>,
     egress: &Sender<(IfIndex, Mbuf)>,
+    scrap: &Sender<Vec<Mbuf>>,
     shared: &ShardShared,
 ) {
     loop {
@@ -246,25 +276,25 @@ fn shard_loop(
         }
         match msg {
             ShardMsg::Packet(pkt) => {
-                if ctx.router.tracer().wants(TraceCategory::Shard) {
-                    let now = ctx.router.now_ns();
-                    let detail =
-                        format!("shard {} rx_if={} len={}", ctx.index, pkt.rx_if, pkt.len());
-                    ctx.router
-                        .tracer_mut()
-                        .record(now, TraceCategory::Shard, detail);
-                }
-                let t0 = Instant::now();
-                let d = ctx.router.receive(pkt);
-                if let Disposition::Queued(iface) = d {
-                    // Mirror the testbench's immediate retransmit: drain
-                    // one packet from the egress scheduler per arrival.
-                    ctx.router.pump(iface, 1);
-                }
-                ctx.busy_ns += t0.elapsed().as_nanos() as u64;
-                ctx.packets += 1;
+                process_packet(ctx, pkt);
                 drain_tx(&mut ctx.router, egress);
                 shared.processed.fetch_add(1, Ordering::Relaxed);
+            }
+            ShardMsg::Batch(mut pkts) => {
+                // One heartbeat-busy window covers the whole batch; the
+                // watchdog's stall timeouts are tens of milliseconds,
+                // far above any sane batch's processing time.
+                for pkt in pkts.drain(..) {
+                    process_packet(ctx, pkt);
+                    shared.processed.fetch_add(1, Ordering::Relaxed);
+                }
+                // Egress drain is the amortized part: one pass over the
+                // tx logs per batch instead of per packet.
+                drain_tx(&mut ctx.router, egress);
+                // Hand the emptied carrier back for reuse. A dropped
+                // scrap receiver just means the dispatcher stopped
+                // recycling; the Vec is freed here instead.
+                let _ = scrap.send(pkts);
             }
             ShardMsg::Control(f) => {
                 f(ctx);
@@ -290,9 +320,10 @@ pub(crate) fn run_shard(
     mut ctx: ShardCtx,
     rx: Receiver<ShardMsg>,
     egress: Sender<(IfIndex, Mbuf)>,
+    scrap: Sender<Vec<Mbuf>>,
     shared: std::sync::Arc<ShardShared>,
 ) -> ShardFinal {
-    let panic = run_isolated(|| shard_loop(&mut ctx, &rx, &egress, &shared)).err();
+    let panic = run_isolated(|| shard_loop(&mut ctx, &rx, &egress, &scrap, &shared)).err();
     shared.beat(false);
     // Flush whatever already reached the tx logs, then snapshot. Both run
     // isolated too: after a panic the router may be torn mid-call and a

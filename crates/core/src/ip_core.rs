@@ -256,11 +256,25 @@ impl RoutingTable {
 /// don't-fragment bit is set; IPv6 packets are never fragmented in
 /// transit (the caller drops and would emit Packet Too Big).
 pub fn fragment_v4(data: &[u8], mtu: usize) -> Result<Vec<Vec<u8>>, DropReason> {
+    fragment_v4_with(data, mtu, &mut Vec::new)
+}
+
+/// [`fragment_v4`] with caller-supplied fragment buffers: `acquire`
+/// yields an empty `Vec<u8>` for each fragment (the router passes its
+/// mbuf pool's `buffer`, making fragment emission allocation-free once
+/// the pool is warm; plain callers pass `Vec::new`).
+pub fn fragment_v4_with(
+    data: &[u8],
+    mtu: usize,
+    acquire: &mut dyn FnMut() -> Vec<u8>,
+) -> Result<Vec<Vec<u8>>, DropReason> {
     use rp_packet::ipv4::Ipv4Packet;
     use rp_packet::ipv4_opts::{build_options, Ipv4Option, OptionIter, OptionKind};
     let pkt = Ipv4Packet::new_checked(data).map_err(|_| DropReason::Malformed)?;
     if data.len() <= mtu {
-        return Ok(vec![data.to_vec()]);
+        let mut whole = acquire();
+        whole.extend_from_slice(data);
+        return Ok(vec![whole]);
     }
     if pkt.dont_frag() {
         return Err(DropReason::TooBig);
@@ -292,7 +306,8 @@ pub fn fragment_v4(data: &[u8], mtu: usize) -> Result<Vec<Vec<u8>>, DropReason> 
         }
         let take = room.min(payload.len() - consumed);
         let last = consumed + take == payload.len();
-        let mut buf = Vec::with_capacity(this_hdr + take);
+        let mut buf = acquire();
+        buf.reserve(this_hdr + take);
         buf.extend_from_slice(&data[..20]);
         if first {
             buf.extend_from_slice(pkt.options());

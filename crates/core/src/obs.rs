@@ -193,6 +193,14 @@ pub struct MetricsRegistry {
     pub queue_depth: [u64; MAX_INTERFACES],
     /// Received packet sizes in bytes.
     pub pkt_size: Histogram,
+    /// Mbuf-pool buffers handed out (cumulative; sampled from the
+    /// router's pool at snapshot time, like the queue-depth gauge).
+    pub mbuf_acquired: u64,
+    /// Mbuf-pool buffers returned to the free list for reuse.
+    pub mbuf_recycled: u64,
+    /// Mbuf-pool acquisitions that had to touch the allocator. A moving
+    /// value here in steady state means the fast path is allocating.
+    pub mbuf_fresh: u64,
 }
 
 /// A point-in-time copy of a [`MetricsRegistry`] (the registry is plain
@@ -262,6 +270,9 @@ impl MetricsRegistry {
             self.queue_depth[i] += other.queue_depth[i];
         }
         self.pkt_size.absorb(&other.pkt_size);
+        self.mbuf_acquired += other.mbuf_acquired;
+        self.mbuf_recycled += other.mbuf_recycled;
+        self.mbuf_fresh += other.mbuf_fresh;
     }
 
     /// Total dropped packets across all reasons.
@@ -318,6 +329,11 @@ impl MetricsRegistry {
             self.fragment_flows,
             self.pkt_size.mean(),
             self.pkt_size.count,
+        );
+        let _ = writeln!(
+            out,
+            "mbuf_pool: acquired={} recycled={} fresh={}",
+            self.mbuf_acquired, self.mbuf_recycled, self.mbuf_fresh,
         );
         out
     }
@@ -384,10 +400,14 @@ impl MetricsRegistry {
         }
         let _ = write!(
             out,
-            "],\"flows_expired\":{},\"fragment_flows\":{},\"pkt_size\":{}}}",
+            "],\"flows_expired\":{},\"fragment_flows\":{},\"pkt_size\":{},\
+             \"mbuf_pool\":{{\"acquired\":{},\"recycled\":{},\"fresh\":{}}}}}",
             self.flows_expired,
             self.fragment_flows,
             hist(&self.pkt_size),
+            self.mbuf_acquired,
+            self.mbuf_recycled,
+            self.mbuf_fresh,
         );
         out
     }
@@ -614,6 +634,9 @@ mod tests {
         b.class_hits[0] = 7;
         b.fragment_flows = 2;
         b.queue_depth[1] = 3;
+        b.mbuf_acquired = 10;
+        b.mbuf_recycled = 9;
+        b.mbuf_fresh = 1;
         a.absorb(&b);
         assert_eq!(a.gate_calls[Gate::Firewall.index()], 2);
         assert_eq!(a.gate_calls[Gate::Scheduling.index()], 1);
@@ -631,6 +654,7 @@ mod tests {
         assert_eq!(a.fragment_flows, 2);
         assert_eq!(a.queue_depth[1], 3);
         assert_eq!(a.pkt_size.count, 1);
+        assert_eq!((a.mbuf_acquired, a.mbuf_recycled, a.mbuf_fresh), (10, 9, 1));
     }
 
     #[test]
@@ -734,6 +758,7 @@ mod tests {
         assert!(j.contains("\"no_route\":1"));
         assert!(j.contains("\"rx_packets\":1"));
         assert!(j.contains("\"fragment_flows\":0"));
+        assert!(j.contains("\"mbuf_pool\":{\"acquired\":0,\"recycled\":0,\"fresh\":0}"));
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());

@@ -16,7 +16,7 @@ use rp_classifier::aiu::ClassifyOutcome;
 use rp_classifier::flow_table::EvictedFlow;
 use rp_classifier::{Aiu, AiuConfig, BmpKind, FilterId, FlowTableConfig};
 use rp_packet::mbuf::IfIndex;
-use rp_packet::Mbuf;
+use rp_packet::{Mbuf, MbufPool, PoolStats};
 use std::net::IpAddr;
 use std::sync::Arc;
 
@@ -98,6 +98,11 @@ pub struct Router {
     supervisor: Supervisor,
     metrics: MetricsRegistry,
     tracer: Tracer,
+    /// Free list of packet backing buffers. Every data-path drop and
+    /// every fragment emission recycles through here; drivers that build
+    /// ingress mbufs with [`Router::mbuf_with`] and return egress buffers
+    /// via [`Router::recycle_mbuf`] run allocation-free in steady state.
+    pool: MbufPool,
 }
 
 /// Result of one supervised gate invocation (internal to the data path).
@@ -146,6 +151,7 @@ impl Router {
             supervisor: Supervisor::new(cfg.fault_policy),
             metrics: MetricsRegistry::default(),
             tracer: Tracer::default(),
+            pool: MbufPool::default(),
         }
     }
 
@@ -648,7 +654,7 @@ impl Router {
             if reason == DropReason::TtlExpired {
                 self.emit_time_exceeded(&mbuf);
             }
-            return self.drop(reason);
+            return self.drop_pkt(mbuf, reason);
         }
 
         // Pre-routing gates.
@@ -664,19 +670,25 @@ impl Router {
             }
             let inst = match self.at_gate(&mut mbuf, gate) {
                 Ok(i) => i,
-                Err(reason) => return self.drop(reason),
+                Err(reason) => return self.drop_pkt(mbuf, reason),
             };
             if let Some(inst) = inst {
                 match self.call_instance(&inst, &mut mbuf, gate) {
                     GateOutcome::Action(PluginAction::Continue) => {}
                     GateOutcome::Action(PluginAction::Consumed) => {
-                        return Disposition::Consumed(gate)
+                        // A consuming plugin either took the buffer (the
+                        // mbuf left behind is an empty shell) or left it;
+                        // recycling handles both.
+                        self.pool.recycle(mbuf);
+                        return Disposition::Consumed(gate);
                     }
                     GateOutcome::Action(PluginAction::Drop) => {
-                        return self.drop(DropReason::Plugin(gate))
+                        return self.drop_pkt(mbuf, DropReason::Plugin(gate))
                     }
-                    GateOutcome::Fault => return self.drop(DropReason::PluginFault(gate)),
-                    GateOutcome::Internal => return self.drop(DropReason::Internal),
+                    GateOutcome::Fault => {
+                        return self.drop_pkt(mbuf, DropReason::PluginFault(gate))
+                    }
+                    GateOutcome::Internal => return self.drop_pkt(mbuf, DropReason::Internal),
                 }
             }
         }
@@ -685,20 +697,20 @@ impl Router {
         if mbuf.tx_if.is_none() {
             let dst = match dst_of(&mbuf) {
                 Ok(d) => d,
-                Err(r) => return self.drop(r),
+                Err(r) => return self.drop_pkt(mbuf, r),
             };
             match self.routes.lookup(dst) {
                 Some(e) => mbuf.tx_if = Some(e.tx_if),
-                None => return self.drop(DropReason::NoRoute),
+                None => return self.drop_pkt(mbuf, DropReason::NoRoute),
             }
         }
         let Some(tx_if) = mbuf.tx_if else {
             // Both branches above either set tx_if or returned; reaching
             // here means the routing state is inconsistent. Count it.
-            return self.drop(DropReason::Internal);
+            return self.drop_pkt(mbuf, DropReason::Internal);
         };
         if tx_if as usize >= self.interfaces.len() {
-            return self.drop(DropReason::NoRoute);
+            return self.drop_pkt(mbuf, DropReason::NoRoute);
         }
 
         // Egress MTU: fragment IPv4, refuse oversized IPv6 / DF packets
@@ -707,22 +719,30 @@ impl Router {
         let mtu = self.interfaces[tx_if as usize].mtu;
         if mbuf.len() > mtu {
             use rp_packet::IpVersion;
+            let pool = &mut self.pool;
             let frags = match IpVersion::of_packet(mbuf.data()) {
-                Ok(IpVersion::V4) => match crate::ip_core::fragment_v4(mbuf.data(), mtu) {
-                    Ok(f) => f,
-                    Err(r) => {
-                        self.stats.dropped_too_big += 1;
-                        return Disposition::Dropped(r);
+                Ok(IpVersion::V4) => {
+                    match crate::ip_core::fragment_v4_with(mbuf.data(), mtu, &mut || pool.buffer())
+                    {
+                        Ok(f) => f,
+                        Err(r) => {
+                            self.stats.dropped_too_big += 1;
+                            self.pool.recycle(mbuf);
+                            return Disposition::Dropped(r);
+                        }
                     }
-                },
+                }
                 _ => {
                     self.stats.dropped_too_big += 1;
+                    self.pool.recycle(mbuf);
                     return Disposition::Dropped(DropReason::TooBig);
                 }
             };
             self.stats.fragmented += 1;
             let rx = mbuf.rx_if;
             let fix = mbuf.fix;
+            // The oversized original's buffer feeds the next acquisition.
+            self.pool.recycle(mbuf);
             let mut last = Disposition::Forwarded(tx_if);
             for frag in frags {
                 let mut fm = Mbuf::new(frag, rx);
@@ -743,22 +763,29 @@ impl Router {
         if self.enabled[Gate::Scheduling.index()] {
             let inst = match self.at_gate(&mut mbuf, Gate::Scheduling) {
                 Ok(i) => i,
-                Err(reason) => return self.drop(reason),
+                Err(reason) => return self.drop_pkt(mbuf, reason),
             };
             if let Some(inst) = inst {
                 self.interfaces[tx_if as usize].attach_sched(&inst);
                 return match self.call_instance(&inst, &mut mbuf, Gate::Scheduling) {
                     GateOutcome::Action(PluginAction::Consumed) => {
+                        // The scheduler took the buffer; what's left is an
+                        // empty shell (recycled as a no-op).
+                        self.pool.recycle(mbuf);
                         self.stats.forwarded += 1;
                         Disposition::Queued(tx_if)
                     }
-                    GateOutcome::Action(PluginAction::Drop) => self.drop(DropReason::QueueFull),
+                    GateOutcome::Action(PluginAction::Drop) => {
+                        self.drop_pkt(mbuf, DropReason::QueueFull)
+                    }
                     GateOutcome::Action(PluginAction::Continue) => {
                         // Scheduler declined (e.g. pass-through): emit.
                         self.emit(mbuf, tx_if)
                     }
-                    GateOutcome::Fault => self.drop(DropReason::PluginFault(Gate::Scheduling)),
-                    GateOutcome::Internal => self.drop(DropReason::Internal),
+                    GateOutcome::Fault => {
+                        self.drop_pkt(mbuf, DropReason::PluginFault(Gate::Scheduling))
+                    }
+                    GateOutcome::Internal => self.drop_pkt(mbuf, DropReason::Internal),
                 };
             }
         }
@@ -785,6 +812,15 @@ impl Router {
         self.metrics.note_tx(tx_if, mbuf.len());
         self.interfaces[tx_if as usize].tx_log.push(mbuf);
         Disposition::Forwarded(tx_if)
+    }
+
+    /// Drop a packet, returning its backing buffer to the pool. Every
+    /// data-path drop that still owns the mbuf funnels through here so
+    /// dropped packets feed subsequent acquisitions instead of the
+    /// allocator.
+    fn drop_pkt(&mut self, mbuf: Mbuf, reason: DropReason) -> Disposition {
+        self.pool.recycle(mbuf);
+        self.drop(reason)
     }
 
     fn drop(&mut self, reason: DropReason) -> Disposition {
@@ -856,6 +892,32 @@ impl Router {
         std::mem::take(&mut self.interfaces[iface as usize].tx_log)
     }
 
+    /// Drain an interface's transmitted packets into `out`, preserving
+    /// both the tx log's and `out`'s allocated capacity — the
+    /// zero-allocation counterpart of [`Router::take_tx`] for drivers
+    /// that reuse a scratch vector across calls.
+    pub fn take_tx_into(&mut self, iface: IfIndex, out: &mut Vec<Mbuf>) {
+        out.append(&mut self.interfaces[iface as usize].tx_log);
+    }
+
+    /// Build an ingress mbuf backed by a pooled buffer (the device
+    /// driver's receive-side allocation in the paper's architecture).
+    pub fn mbuf_with(&mut self, bytes: &[u8], rx_if: IfIndex) -> Mbuf {
+        self.pool.mbuf_from(bytes, rx_if)
+    }
+
+    /// Return an mbuf's backing buffer to the router's pool (the driver
+    /// calls this once a transmitted packet has left "the wire").
+    pub fn recycle_mbuf(&mut self, mbuf: Mbuf) {
+        self.pool.recycle(mbuf);
+    }
+
+    /// Mbuf-pool counters (also surfaced via
+    /// [`Router::metrics_snapshot`]). Cumulative since construction.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
     /// Data-path statistics.
     pub fn stats(&self) -> DataPathStats {
         self.stats
@@ -879,6 +941,10 @@ impl Router {
                 .sum();
             m.queue_depth[obs::iface_slot(ifc.id)] = depth;
         }
+        let p = self.pool.stats();
+        m.mbuf_acquired = p.acquired;
+        m.mbuf_recycled = p.recycled;
+        m.mbuf_fresh = p.fresh;
         m
     }
 

@@ -182,6 +182,47 @@ impl Testbench {
         stats
     }
 
+    /// [`run_router`](Testbench::run_router) on the zero-allocation fast
+    /// path: ingress mbufs are built from the router's buffer pool
+    /// ([`Router::mbuf_with`]) instead of cloned, and transmitted packets
+    /// are handed back to the pool after each repetition — the driver
+    /// loop of a real port. After pool warm-up no per-packet heap
+    /// allocation remains on this path.
+    pub fn run_router_pooled(&self, router: &mut Router, reps: usize) -> RunStats {
+        let mut stats = RunStats::default();
+        let h0 = router.flow_stats();
+        let mut done: Vec<Mbuf> = Vec::new();
+        for _ in 0..reps {
+            for pkt in &self.packets {
+                let m = router.mbuf_with(pkt.data(), pkt.rx_if);
+                let t0 = Instant::now();
+                let d = router.receive(m);
+                if let Disposition::Queued(i) = d {
+                    router.pump(i, 1);
+                }
+                stats.total_ns += t0.elapsed().as_nanos() as u64;
+                stats.packets += 1;
+                match d {
+                    Disposition::Forwarded(_) | Disposition::Queued(_) => stats.forwarded += 1,
+                    Disposition::Dropped(_) => stats.dropped += 1,
+                    Disposition::Consumed(_) => {}
+                }
+            }
+            // The driver's retransmit-complete step: return transmitted
+            // buffers to the pool instead of freeing them.
+            for i in 0..router.interface_count() {
+                router.take_tx_into(i as u32, &mut done);
+                for m in done.drain(..) {
+                    router.recycle_mbuf(m);
+                }
+            }
+        }
+        let h1 = router.flow_stats();
+        stats.cache_hits = h1.hits - h0.hits;
+        stats.cache_misses = h1.misses - h0.misses;
+        stats
+    }
+
     /// Replay through a sharded parallel data plane `reps` times.
     ///
     /// Dispatch is flow-affine (`flow_hash % shards`) inside
@@ -216,6 +257,68 @@ impl Testbench {
             // when shards outnumber host cores); it has ~10 ms
             // granularity, so short runs that round to zero fall back to
             // the fine-grained in-path wall measure.
+            let cpu = a.cpu_ns.saturating_sub(b.cpu_ns);
+            let busy = if cpu > 0 {
+                cpu
+            } else {
+                a.busy_ns.saturating_sub(b.busy_ns)
+            };
+            stats.packets += pkts;
+            stats.forwarded += a.data.forwarded.saturating_sub(b.data.forwarded);
+            stats.dropped += a
+                .data
+                .dropped_total()
+                .saturating_sub(b.data.dropped_total());
+            stats.total_busy_ns += busy;
+            stats.max_shard_busy_ns = stats.max_shard_busy_ns.max(busy);
+            stats.shard_packets.push(pkts);
+            stats.shard_busy_ns.push(busy);
+        }
+        stats
+    }
+
+    /// [`run_parallel`](Testbench::run_parallel) on the batched fast
+    /// path: ingress mbufs come from the dispatcher's buffer pool, up to
+    /// `batch` packets are handed to [`ParallelRouter::receive_batch`]
+    /// per call (one channel send per shard touched instead of one per
+    /// packet), and transmitted packets are recycled after each
+    /// repetition. `batch == 1` degenerates to per-packet dispatch
+    /// through the same entry point.
+    pub fn run_parallel_batched(
+        &self,
+        router: &mut ParallelRouter,
+        reps: usize,
+        batch: usize,
+    ) -> ParallelRunStats {
+        let batch = batch.max(1);
+        let before = router.shard_reports();
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let mut carrier = router.batch_carrier();
+            for pkt in &self.packets {
+                carrier.push(router.mbuf_with(pkt.data(), pkt.rx_if));
+                if carrier.len() >= batch {
+                    router.receive_batch(carrier);
+                    carrier = router.batch_carrier();
+                }
+            }
+            router.receive_batch(carrier);
+            router.flush();
+            for i in 0..router.interface_count() {
+                for m in router.take_tx(i as u32) {
+                    router.recycle_mbuf(m);
+                }
+            }
+        }
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        let after = router.shard_reports();
+
+        let mut stats = ParallelRunStats {
+            wall_ns,
+            ..ParallelRunStats::default()
+        };
+        for (b, a) in before.iter().zip(&after) {
+            let pkts = a.packets.saturating_sub(b.packets);
             let cpu = a.cpu_ns.saturating_sub(b.cpu_ns);
             let busy = if cpu > 0 {
                 cpu

@@ -39,6 +39,7 @@ pub mod ipv4;
 pub mod ipv4_opts;
 pub mod ipv6;
 pub mod mbuf;
+pub mod pool;
 pub mod sha1;
 pub mod tcp;
 pub mod udp;
@@ -48,3 +49,4 @@ pub use error::{Error, Result};
 pub use flow::FlowTuple;
 pub use ip::{IpVersion, Protocol};
 pub use mbuf::{FlowIndex, Mbuf};
+pub use pool::{MbufPool, PoolStats};

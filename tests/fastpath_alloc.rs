@@ -1,0 +1,96 @@
+//! Heap-allocation accounting for the zero-allocation fast path, under a
+//! counting global allocator. This file holds exactly one test so no
+//! concurrently running test can inflate the counters: with the pool
+//! warm, a 10 000-packet steady-state run through the single-threaded
+//! router must allocate no fresh mbuf buffers at all (pool `fresh`
+//! counter), and its total allocator traffic must stay far below one
+//! allocation per packet.
+
+use router_plugins::core::plugins::register_builtin_factories;
+use router_plugins::core::pmgr::run_script;
+use router_plugins::core::{Router, RouterConfig};
+use router_plugins::netsim::testbench::Testbench;
+use router_plugins::netsim::traffic::{v6_host, Workload};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Pass-through allocator that counts every allocation (and every
+/// reallocation — a growing `Vec` is allocator traffic too).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_fast_path_stays_off_the_allocator() {
+    const STEADY_REPS: usize = 10;
+    // 10 flows × 100 packets = 1000 per rep → 10 000 measured packets.
+    let workload = Workload::uniform(10, 100, 512);
+    let tb = Testbench::new(&workload);
+    let packets_per_rep = workload.total_packets() as u64;
+
+    let mut r = Router::new(RouterConfig {
+        verify_checksums: false,
+        ..RouterConfig::default()
+    });
+    register_builtin_factories(&mut r.loader);
+    run_script(
+        &mut r,
+        "load drr\n\
+         create drr quantum=9180 limit=512\n\
+         attach 1 drr 0\n\
+         bind sched drr 0 <*, *, UDP, *, *, *>\n",
+    )
+    .unwrap();
+    r.add_route(v6_host(0), 32, 1);
+
+    // Warm up: fill the mbuf pool, classify every flow, grow the
+    // scheduler queues and tx logs to their working size.
+    tb.run_router_pooled(&mut r, 2);
+
+    let fresh_before = r.pool_stats().fresh;
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let s = tb.run_router_pooled(&mut r, STEADY_REPS);
+    let allocs_after = ALLOCATIONS.load(Ordering::Relaxed);
+    let fresh_after = r.pool_stats().fresh;
+
+    let measured = packets_per_rep * STEADY_REPS as u64;
+    assert_eq!(s.packets, measured);
+    assert_eq!(s.forwarded, measured);
+
+    // The mbuf criterion is exact: a warm pool never misses.
+    assert_eq!(
+        fresh_after, fresh_before,
+        "steady state allocated fresh mbuf buffers"
+    );
+
+    // Total allocator traffic: the packet path itself is allocation-free
+    // once warm; the generous ceiling (< 0.01 allocations/packet, i.e.
+    // < 100 total here) leaves room for incidental lazy initialization
+    // without letting a per-packet clone regression through.
+    let allocs = allocs_after - allocs_before;
+    let per_packet = allocs as f64 / measured as f64;
+    assert!(
+        per_packet < 0.01,
+        "steady state allocated {allocs} times over {measured} packets \
+         ({per_packet:.4}/packet; ceiling 0.01)"
+    );
+}
