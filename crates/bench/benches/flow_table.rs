@@ -35,6 +35,7 @@ fn bench_flow_table(c: &mut Criterion) {
             initial_records: 1024,
             max_records: n.max(1024) * 2,
             gates: 6,
+            max_idle_ns: 0,
         });
         for i in 0..n {
             ft.insert(tuple(i as u32));

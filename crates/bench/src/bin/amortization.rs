@@ -26,6 +26,7 @@ fn router_with_three_gates() -> Router {
             initial_records: 1024,
             max_records: 1 << 20,
             gates: 6,
+            max_idle_ns: 0,
         },
         ..RouterConfig::default()
     });

@@ -52,6 +52,7 @@ fn main() {
             initial_records: 1024,
             max_records: n.max(1024) * 2,
             gates: 4,
+            max_idle_ns: 0,
         });
         for i in 0..n {
             ft.insert(tuple(i as u32));

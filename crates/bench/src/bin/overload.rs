@@ -24,6 +24,10 @@
 //! `conserved`).
 //!
 //! Run: `cargo run --release -p rp-bench --bin overload`
+//!
+//! Pass `--heavy-tailed` to draw the burst workloads from the
+//! heavy-tailed generator (few elephants, many mice) instead of the
+//! uniform one; the default behaviour is unchanged without the flag.
 
 use router_core::plugins::register_builtin_factories;
 use router_core::pmgr::run_script;
@@ -146,7 +150,23 @@ fn run_burst(
     }
 }
 
+/// Burst workload: uniform by default, heavy-tailed with the same flow
+/// count and (approximate) volume under `--heavy-tailed`.
+fn burst_workload(pkts_per_flow: usize, heavy_tailed: bool) -> Vec<Mbuf> {
+    if heavy_tailed {
+        // min_pkts scaled down so the Pareto tail lands near the same
+        // total volume as the uniform burst.
+        Workload::heavy_tailed(FLOWS, (pkts_per_flow / 4).max(1), PAYLOAD, 0xE1E).build()
+    } else {
+        Workload::uniform(FLOWS, pkts_per_flow, PAYLOAD).build()
+    }
+}
+
 fn main() {
+    let heavy_tailed = std::env::args().any(|a| a == "--heavy-tailed");
+    if heavy_tailed {
+        eprintln!("[overload] heavy-tailed burst workloads enabled");
+    }
     let mut pr = build();
     // Warm the flow caches and schedulers at comfortable load.
     let warm = Workload::uniform(FLOWS, 20, PAYLOAD).build();
@@ -162,7 +182,7 @@ fn main() {
     let capacity = SHARDS * INGRESS_DEPTH;
     for mult in [1usize, 4, 16] {
         let n = capacity * mult / FLOWS;
-        let burst = Workload::uniform(FLOWS, n.max(1), PAYLOAD).build();
+        let burst = burst_workload(n.max(1), heavy_tailed);
         let label = format!("burst {}x capacity", mult);
         eprintln!("[overload] {label}: offering {} packets…", burst.len());
         rows.push(run_burst(&mut pr, &label, &burst, None));
@@ -172,7 +192,7 @@ fn main() {
     // Scenario 2: fault window. Kill shard 0 a third of the way into a
     // sustained burst; the supervisor quarantines, restarts with
     // backoff, and replays the journal while the offered load continues.
-    let burst = Workload::uniform(FLOWS, 16 * capacity / FLOWS, PAYLOAD).build();
+    let burst = burst_workload(16 * capacity / FLOWS, heavy_tailed);
     let kill_at = burst.len() / 3;
     eprintln!(
         "[overload] fault window: offering {} packets, killing shard 0 at {}…",

@@ -69,13 +69,19 @@ pub enum ClassifyOutcome {
     /// Flow was not cached; filter lookups ran at every gate and a record
     /// was created.
     CacheMiss(FlowIndex),
+    /// The flow table's admission control refused a record (table full of
+    /// busy flows). The packet is still forwarded, but uncached and on
+    /// every gate's default path — under a flow-table flood it is the
+    /// attacker's flows that land here, not established ones.
+    Denied,
 }
 
 impl ClassifyOutcome {
-    /// The flow index regardless of path.
-    pub fn fix(&self) -> FlowIndex {
+    /// The flow index, when a record exists.
+    pub fn fix(&self) -> Option<FlowIndex> {
         match self {
-            ClassifyOutcome::CacheHit(f) | ClassifyOutcome::CacheMiss(f) => *f,
+            ClassifyOutcome::CacheHit(f) | ClassifyOutcome::CacheMiss(f) => Some(*f),
+            ClassifyOutcome::Denied => None,
         }
     }
 }
@@ -141,7 +147,9 @@ impl<V: Clone> Aiu<V> {
         if let Some(fix) = self.flow_table.lookup(tuple) {
             return (ClassifyOutcome::CacheHit(fix), None);
         }
-        let (fix, evicted) = self.flow_table.insert(*tuple);
+        let Some((fix, evicted)) = self.flow_table.try_insert(*tuple) else {
+            return (ClassifyOutcome::Denied, None);
+        };
         for gate in 0..self.cfg.gates {
             let binding = self.filter_tables[gate]
                 .lookup(tuple)
@@ -156,14 +164,20 @@ impl<V: Clone> Aiu<V> {
     }
 
     /// Classify an mbuf, extracting its tuple and caching the FIX into the
-    /// mbuf (what the first gate's macro does in the paper).
+    /// mbuf (what the first gate's macro does in the paper). A denied
+    /// packet is marked so later gates skip reclassification — without
+    /// the mark, every gate of a denied packet would re-run the n filter
+    /// lookups, turning admission control into an amplifier.
     pub fn classify_mbuf(
         &mut self,
         mbuf: &mut Mbuf,
     ) -> Result<(ClassifyOutcome, Option<EvictedFlow<V>>), rp_packet::Error> {
         let tuple = FlowTuple::from_mbuf(mbuf)?;
         let (outcome, evicted) = self.classify(&tuple);
-        mbuf.fix = Some(outcome.fix());
+        mbuf.fix = outcome.fix();
+        if matches!(outcome, ClassifyOutcome::Denied) {
+            mbuf.class_denied = true;
+        }
         Ok((outcome, evicted))
     }
 
@@ -230,6 +244,13 @@ impl<V: Clone> Aiu<V> {
         self.flow_table.expire_idle(max_idle_ns)
     }
 
+    /// Allocation-free sweep: evicted bindings are appended to `out`
+    /// (the router's reusable scratch buffer). Returns the eviction
+    /// count.
+    pub fn expire_idle_into(&mut self, max_idle_ns: u64, out: &mut Vec<EvictedFlow<V>>) -> usize {
+        self.flow_table.expire_idle_into(max_idle_ns, out)
+    }
+
     /// Flow-cache statistics.
     pub fn flow_stats(&self) -> FlowTableStats {
         self.flow_table.stats()
@@ -279,6 +300,7 @@ mod tests {
                 buckets: 256,
                 initial_records: 8,
                 max_records: 32,
+                max_idle_ns: 0,
             },
             bmp: BmpKind::Bspl,
         })
@@ -295,11 +317,11 @@ mod tests {
         let (o1, _) = aiu.classify(&t);
         assert!(matches!(o1, ClassifyOutcome::CacheMiss(_)));
         let (o2, _) = aiu.classify(&t);
-        assert_eq!(o2, ClassifyOutcome::CacheHit(o1.fix()));
+        assert_eq!(o2, ClassifyOutcome::CacheHit(o1.fix().unwrap()));
         // All gates were resolved on the miss.
-        assert_eq!(aiu.instance(o1.fix(), 0), Some(&"sec"));
-        assert_eq!(aiu.instance(o1.fix(), 1), None); // no filter at gate 1
-        assert_eq!(aiu.instance(o1.fix(), 2), Some(&"sched"));
+        assert_eq!(aiu.instance(o1.fix().unwrap(), 0), Some(&"sec"));
+        assert_eq!(aiu.instance(o1.fix().unwrap(), 1), None); // no filter at gate 1
+        assert_eq!(aiu.instance(o1.fix().unwrap(), 2), Some(&"sched"));
     }
 
     #[test]
@@ -330,13 +352,13 @@ mod tests {
             .unwrap();
         let t = tuple(3);
         let (o, _) = aiu.classify(&t);
-        assert_eq!(aiu.instance(o.fix(), 1), Some(&"x"));
+        assert_eq!(aiu.instance(o.fix().unwrap(), 1), Some(&"x"));
         let (_, _, evicted) = aiu.remove_filter(1, fid).unwrap();
         assert_eq!(evicted.len(), 1);
         // The flow reclassifies to nothing at gate 1.
         let (o2, _) = aiu.classify(&t);
         assert!(matches!(o2, ClassifyOutcome::CacheMiss(_)));
-        assert_eq!(aiu.instance(o2.fix(), 1), None);
+        assert_eq!(aiu.instance(o2.fix().unwrap(), 1), None);
     }
 
     #[test]
@@ -344,8 +366,8 @@ mod tests {
         let mut aiu = aiu3();
         aiu.install_filter(0, FilterSpec::any(), "p").unwrap();
         let (o, _) = aiu.classify(&tuple(9));
-        *aiu.soft_state_mut(o.fix(), 0).unwrap() = Some(Box::new(42u64));
-        let st = aiu.soft_state_mut(o.fix(), 0).unwrap();
+        *aiu.soft_state_mut(o.fix().unwrap(), 0).unwrap() = Some(Box::new(42u64));
+        let st = aiu.soft_state_mut(o.fix().unwrap(), 0).unwrap();
         assert_eq!(*st.as_ref().unwrap().downcast_ref::<u64>().unwrap(), 42);
     }
 

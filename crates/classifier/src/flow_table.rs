@@ -103,6 +103,13 @@ pub struct FlowTableConfig {
     pub max_records: usize,
     /// Number of gates each record carries bindings for.
     pub gates: usize,
+    /// Admission control against cache thrash. `0` keeps the legacy
+    /// behaviour (recycle the oldest record when full). When non-zero, a
+    /// full table reclaims an *idle* record (unused for `max_idle_ns`)
+    /// found within a bounded clock-hand scan, and otherwise **denies**
+    /// the insert — a one-packet-flow flood then degrades the flood's own
+    /// flows (no cached record) instead of recycling established ones.
+    pub max_idle_ns: u64,
 }
 
 impl Default for FlowTableConfig {
@@ -112,6 +119,7 @@ impl Default for FlowTableConfig {
             initial_records: 1024,
             max_records: 65536,
             gates: 4,
+            max_idle_ns: 0,
         }
     }
 }
@@ -125,6 +133,10 @@ pub struct FlowTableStats {
     pub misses: u64,
     /// Records recycled (evicted while live).
     pub recycled: u64,
+    /// Inserts denied by admission control (table full, nothing idle).
+    pub denied: u64,
+    /// Idle records reclaimed inline at the allocation cap.
+    pub inline_expired: u64,
     /// Current allocation (live + free).
     pub allocated: usize,
     /// Live records.
@@ -139,6 +151,8 @@ impl FlowTableStats {
         self.hits += other.hits;
         self.misses += other.misses;
         self.recycled += other.recycled;
+        self.denied += other.denied;
+        self.inline_expired += other.inline_expired;
         self.allocated += other.allocated;
         self.live += other.live;
     }
@@ -152,8 +166,15 @@ pub struct FlowTable<V> {
     cfg: FlowTableConfig,
     next_seq: u64,
     now_ns: u64,
+    /// Clock hand for the bounded idle-reclaim scan at the cap.
+    hand: usize,
     stats: FlowTableStats,
 }
+
+/// Slots examined per at-cap idle-reclaim attempt. Bounds the hot-path
+/// cost of admission control: one insert never scans more than this many
+/// records, no matter how large the table.
+const RECLAIM_SCAN: usize = 64;
 
 impl<V> FlowTable<V> {
     /// Build with the given configuration.
@@ -167,6 +188,7 @@ impl<V> FlowTable<V> {
             cfg,
             next_seq: 0,
             now_ns: 0,
+            hand: 0,
             stats: FlowTableStats::default(),
         };
         t.grow(cfg.initial_records);
@@ -224,18 +246,27 @@ impl<V> FlowTable<V> {
     /// removed", paper §3.2). Returns the evicted bindings for plugin
     /// callbacks.
     pub fn expire_idle(&mut self, max_idle_ns: u64) -> Vec<EvictedFlow<V>> {
+        let mut out = Vec::new();
+        self.expire_idle_into(max_idle_ns, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`expire_idle`](Self::expire_idle):
+    /// evicted flows are appended to `out` (typically a scratch buffer
+    /// the caller drains and reuses). Returns how many were evicted.
+    pub fn expire_idle_into(&mut self, max_idle_ns: u64, out: &mut Vec<EvictedFlow<V>>) -> usize {
         let cutoff = self.now_ns.saturating_sub(max_idle_ns);
-        let victims: Vec<u32> = self
-            .records
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| r.live && r.last_used < cutoff)
-            .map(|(i, _)| i as u32)
-            .collect();
-        victims
-            .into_iter()
-            .filter_map(|v| self.remove(FlowIndex(v)))
-            .collect()
+        let mut evicted = 0;
+        for i in 0..self.records.len() {
+            let r = &self.records[i];
+            if r.live && r.last_used < cutoff {
+                if let Some(ev) = self.remove(FlowIndex(i as u32)) {
+                    out.push(ev);
+                    evicted += 1;
+                }
+            }
+        }
+        evicted
     }
 
     /// Non-counting peek (used by tests/diagnostics).
@@ -254,8 +285,30 @@ impl<V> FlowTable<V> {
 
     /// Insert a record for `key` (which must not be cached), returning its
     /// FIX and, when a live record had to be recycled, the evicted record's
-    /// bindings so the caller can run plugin eviction callbacks.
+    /// bindings so the caller can run plugin eviction callbacks. Always
+    /// succeeds: at the cap this recycles the oldest record regardless of
+    /// admission policy.
     pub fn insert(&mut self, key: FlowTuple) -> (FlowIndex, Option<EvictedFlow<V>>) {
+        self.insert_inner(key, false)
+            .expect("insert without admission control is infallible")
+    }
+
+    /// Admission-controlled insert: like [`insert`](Self::insert), but when
+    /// the table is at its cap and `max_idle_ns` is configured, only an
+    /// *idle* record (found within a bounded clock-hand scan) may be
+    /// reclaimed. With every record busy the insert is **denied**
+    /// (`None`, counted in [`FlowTableStats::denied`]) — the flow-cache
+    /// equivalent of a `FlowTableFull` error: established flows keep
+    /// their records and the new flow runs uncached.
+    pub fn try_insert(&mut self, key: FlowTuple) -> Option<(FlowIndex, Option<EvictedFlow<V>>)> {
+        self.insert_inner(key, self.cfg.max_idle_ns > 0)
+    }
+
+    fn insert_inner(
+        &mut self,
+        key: FlowTuple,
+        admission: bool,
+    ) -> Option<(FlowIndex, Option<EvictedFlow<V>>)> {
         debug_assert!(self.peek(&key).is_none(), "flow already cached");
         let mut evicted = None;
         let idx = match self.free.pop() {
@@ -269,6 +322,18 @@ impl<V> FlowTable<V> {
                         .min(self.cfg.max_records - self.records.len());
                     self.grow(add.max(1));
                     self.free.pop().expect("grew the free list")
+                } else if admission {
+                    match self.reclaim_idle() {
+                        Some(victim) => {
+                            evicted = Some(self.evict(victim));
+                            self.stats.inline_expired += 1;
+                            victim
+                        }
+                        None => {
+                            self.stats.denied += 1;
+                            return None;
+                        }
+                    }
                 } else {
                     let victim = self.oldest_live().expect("table full but nothing live");
                     evicted = Some(self.evict(victim));
@@ -294,7 +359,25 @@ impl<V> FlowTable<V> {
             self.buckets[b] = Some(idx);
         }
         self.stats.live += 1;
-        (FlowIndex(idx), evicted)
+        Some((FlowIndex(idx), evicted))
+    }
+
+    /// Inline idle-expiry at the cap: advance the clock hand over at most
+    /// [`RECLAIM_SCAN`] slots looking for a record idle past
+    /// `max_idle_ns`. No allocation, no full-slab sweep — the bounded
+    /// cost rides on the (already slow) classification-miss path.
+    fn reclaim_idle(&mut self) -> Option<u32> {
+        let cutoff = self.now_ns.saturating_sub(self.cfg.max_idle_ns);
+        let n = self.records.len();
+        for _ in 0..RECLAIM_SCAN.min(n) {
+            let i = self.hand;
+            self.hand = (self.hand + 1) % n;
+            let r = &self.records[i];
+            if r.live && r.last_used < cutoff {
+                return Some(i as u32);
+            }
+        }
+        None
     }
 
     fn oldest_live(&self) -> Option<u32> {
@@ -468,6 +551,7 @@ mod tests {
             initial_records: 4,
             max_records: 8,
             gates: 2,
+            max_idle_ns: 0,
         })
     }
 
@@ -533,6 +617,7 @@ mod tests {
             initial_records: 4,
             max_records: 16,
             gates: 1,
+            max_idle_ns: 0,
         });
         let (f1, _) = t.insert(key(1));
         let (_f2, _) = t.insert(key(2));
@@ -641,6 +726,84 @@ mod tests {
         assert!(t.peek(&key(2)).is_none());
         // Expiring again is a no-op.
         assert!(t.expire_idle(1_000_000).is_empty());
+    }
+
+    fn defended() -> FlowTable<u32> {
+        FlowTable::new(FlowTableConfig {
+            buckets: 64,
+            initial_records: 4,
+            max_records: 8,
+            gates: 2,
+            max_idle_ns: 1_000_000,
+        })
+    }
+
+    #[test]
+    fn admission_denies_when_full_of_busy_flows() {
+        let mut t = defended();
+        t.set_now(10_000_000);
+        for i in 0..8 {
+            assert!(t.try_insert(key(i)).is_some());
+        }
+        // All 8 records were used "now": nothing is idle, so the flood
+        // flow is denied and every established record survives.
+        let before = t.stats();
+        assert!(t.try_insert(key(100)).is_none());
+        assert_eq!(t.stats().denied, before.denied + 1);
+        assert_eq!(t.live(), 8);
+        for i in 0..8 {
+            assert!(t.peek(&key(i)).is_some(), "established flow {i} evicted");
+        }
+        assert!(t.peek(&key(100)).is_none());
+        // Plain insert still recycles (legacy escape hatch).
+        let (_, ev) = t.insert(key(101));
+        assert!(ev.is_some());
+    }
+
+    #[test]
+    fn admission_reclaims_idle_inline() {
+        let mut t = defended();
+        t.set_now(0);
+        for i in 0..8 {
+            t.try_insert(key(i)).unwrap();
+        }
+        // Refresh all but flow 3, then advance past the idle window.
+        t.set_now(6_000_000);
+        for i in 0..8 {
+            if i != 3 {
+                t.lookup(&key(i));
+            }
+        }
+        t.set_now(6_500_000);
+        let (_, ev) = t.try_insert(key(200)).expect("idle record reclaimable");
+        let ev = ev.expect("reclaim returns the evicted flow");
+        assert_eq!(ev.key, key(3), "only the idle flow is reclaimable");
+        assert_eq!(t.stats().inline_expired, 1);
+        assert_eq!(t.stats().recycled, 0, "inline expiry is not recycling");
+        assert!(t.peek(&key(200)).is_some());
+        // Now every record is busy again → next insert is denied.
+        assert!(t.try_insert(key(201)).is_none());
+    }
+
+    #[test]
+    fn expire_idle_into_reuses_buffer() {
+        let mut t = small();
+        t.set_now(0);
+        t.insert(key(1));
+        t.insert(key(2));
+        t.set_now(2_000_000);
+        t.lookup(&key(1));
+        t.set_now(2_500_000);
+        let mut scratch = Vec::with_capacity(4);
+        let n = t.expire_idle_into(1_000_000, &mut scratch);
+        assert_eq!(n, 1);
+        assert_eq!(scratch.len(), 1);
+        assert_eq!(scratch[0].key, key(2));
+        // Drain and reuse: the buffer keeps its capacity, and a second
+        // sweep with nothing idle appends nothing.
+        scratch.clear();
+        assert_eq!(t.expire_idle_into(1_000_000, &mut scratch), 0);
+        assert!(scratch.is_empty());
     }
 
     #[test]

@@ -113,6 +113,7 @@ fn aiu_cache_cold_vs_warm_accounting() {
             buckets: 256,
             initial_records: 16,
             max_records: 64,
+            max_idle_ns: 0,
         },
         bmp: BmpKind::Bspl,
     });

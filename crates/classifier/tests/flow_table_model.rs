@@ -90,6 +90,7 @@ proptest! {
             initial_records: 2,
             max_records: MAX,
             gates: 1,
+            max_idle_ns: 0,
         });
         let mut model = Model::new(MAX);
         let mut fix_of = std::collections::HashMap::new();
@@ -137,5 +138,131 @@ proptest! {
             prop_assert_eq!(table.peek(&key(k)).is_some(), model.contains(k), "final {}", k);
         }
         prop_assert!(table.stats().allocated <= MAX);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Churn conservation under admission control: random interleavings of
+// insert / touch / clock-advance / expire / invalidate never lose track
+// of a record and never expire a recently-touched flow.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum ChurnOp {
+    /// Classify-style arrival: lookup, then admission-controlled insert
+    /// on miss.
+    Arrive(u16),
+    /// Cached-path hit (refreshes the idle timer when live).
+    Touch(u16),
+    /// Advance the table clock.
+    Advance(u32),
+    /// Background idle sweep.
+    Expire,
+    /// Explicit removal (filter deletion / instance quarantine path).
+    Invalidate(u16),
+}
+
+fn arb_churn_op() -> impl Strategy<Value = ChurnOp> {
+    prop_oneof![
+        (0u16..48).prop_map(ChurnOp::Arrive),
+        (0u16..48).prop_map(ChurnOp::Arrive),
+        (0u16..48).prop_map(ChurnOp::Touch),
+        (0u16..48).prop_map(ChurnOp::Touch),
+        (1u32..2_000_000).prop_map(ChurnOp::Advance),
+        Just(ChurnOp::Expire),
+        (0u16..48).prop_map(ChurnOp::Invalidate),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn churn_conserves_records_and_never_expires_fresh_flows(
+        ops in prop::collection::vec(arb_churn_op(), 1..400),
+    ) {
+        const MAX: usize = 8;
+        const IDLE_NS: u64 = 1_000_000;
+        let mut table: FlowTable<u32> = FlowTable::new(FlowTableConfig {
+            buckets: 16,
+            initial_records: 2,
+            max_records: MAX,
+            gates: 1,
+            max_idle_ns: IDLE_NS,
+        });
+        let mut now: u64 = 0;
+        let mut inserted: u64 = 0;
+        let mut evicted: u64 = 0; // expire + invalidate + inline reclaim
+        let mut last_touch: HashMap<FlowTuple, u64> = HashMap::new();
+        let mut scratch = Vec::new();
+
+        for op in ops {
+            match op {
+                ChurnOp::Arrive(k) => {
+                    if table.lookup(&key(k)).is_some() {
+                        last_touch.insert(key(k), now);
+                    } else if let Some((_, ev)) = table.try_insert(key(k)) {
+                        inserted += 1;
+                        last_touch.insert(key(k), now);
+                        if let Some(ev) = ev {
+                            // Inline idle reclaim at the cap: the victim
+                            // must have been idle for the full window.
+                            evicted += 1;
+                            let t = last_touch.remove(&ev.key).expect("evicted flow was tracked");
+                            prop_assert!(
+                                now.saturating_sub(t) > IDLE_NS,
+                                "inline reclaim took a flow touched {}ns ago",
+                                now - t
+                            );
+                        }
+                    }
+                    // Denied: no state change to account for.
+                }
+                ChurnOp::Touch(k) => {
+                    if table.lookup(&key(k)).is_some() {
+                        last_touch.insert(key(k), now);
+                    }
+                }
+                ChurnOp::Advance(dt) => {
+                    now += u64::from(dt);
+                    table.set_now(now);
+                }
+                ChurnOp::Expire => {
+                    scratch.clear();
+                    let n = table.expire_idle_into(IDLE_NS, &mut scratch);
+                    prop_assert_eq!(n, scratch.len());
+                    for ev in &scratch {
+                        evicted += 1;
+                        let t = last_touch.remove(&ev.key).expect("expired flow was tracked");
+                        prop_assert!(
+                            now.saturating_sub(t) > IDLE_NS,
+                            "expired a flow touched {}ns ago",
+                            now - t
+                        );
+                    }
+                }
+                ChurnOp::Invalidate(k) => {
+                    if let Some(fix) = table.peek(&key(k)) {
+                        prop_assert!(table.remove(fix).is_some());
+                        evicted += 1;
+                        last_touch.remove(&key(k));
+                    }
+                }
+            }
+            // Conservation after every step, not just at the end.
+            prop_assert_eq!(
+                inserted,
+                table.live() as u64 + evicted,
+                "inserted != live + evicted"
+            );
+            prop_assert!(table.live() <= MAX);
+        }
+        let s = table.stats();
+        prop_assert_eq!(s.inline_expired + s.recycled, {
+            // Admission control is on for every insert here, so the only
+            // cap-pressure evictions are inline idle reclaims.
+            prop_assert_eq!(s.recycled, 0);
+            s.inline_expired
+        });
     }
 }

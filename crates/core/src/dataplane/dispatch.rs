@@ -7,15 +7,25 @@
 //! The hash is the flow table's own [`flow_hash`] (the paper's cheap
 //! "17-cycle" five-tuple fold), so dispatch costs the same as one flow
 //! cache probe and spreads exactly as well as the cache itself.
+//!
+//! Pure hash placement balances only when flow sizes do: one elephant
+//! flow pins its whole byte stream to one shard. [`FlowSteer`] layers a
+//! load-aware placement on top — flows arriving while their hash-home
+//! shard is hot are placed by power-of-two-choices and *pinned* so every
+//! later packet follows the same decision (per-flow order is preserved
+//! because a flow's shard is decided exactly once, before its first
+//! packet is dispatched).
 
 use rp_classifier::flow_table::flow_hash;
 use rp_packet::{FlowTuple, Mbuf};
 
-/// The shard a fully-specified flow belongs to.
+/// The shard a fully-specified flow belongs to. Multiply-shift range
+/// reduction: unlike `hash % n`, this is unbiased across shards for any
+/// `n` and costs one multiply instead of a hot-path divide.
 #[inline]
 pub fn shard_for_tuple(tuple: &FlowTuple, shards: usize) -> usize {
     debug_assert!(shards > 0, "dispatch needs at least one shard");
-    (flow_hash(tuple) as usize) % shards.max(1)
+    ((flow_hash(tuple) as u64 * shards.max(1) as u64) >> 32) as usize
 }
 
 /// The shard a packet is dispatched to. Packets whose five-tuple cannot
@@ -28,6 +38,260 @@ pub fn shard_for_packet(mbuf: &Mbuf, shards: usize) -> usize {
         Ok(t) => shard_for_tuple(&t, shards),
         Err(_) => 0,
     }
+}
+
+/// Load-aware placement configuration (all decisions are deterministic —
+/// no RNG, so two runs over the same packet sequence place identically).
+#[derive(Debug, Clone, Copy)]
+pub struct SteerConfig {
+    /// Pin-table capacity (rounded up to a power of two). Bounds steer
+    /// memory; when the table is full, new flows fall back to plain hash
+    /// placement — which is always order-safe.
+    pub pin_capacity: usize,
+    /// Load window in packets: per-shard counters halve every time this
+    /// many packets have been dispatched, so "hot" tracks the recent
+    /// past, not all of history.
+    pub window: u64,
+    /// A shard is *hot* when its windowed load exceeds
+    /// `hot_percent/100 × mean` — only then do newly arriving flows get
+    /// power-of-two-choices placement instead of their hash home.
+    pub hot_percent: u64,
+    /// A flow whose windowed packet count crosses this threshold is
+    /// counted as an elephant suspect (diagnostic only; placement is
+    /// decided at flow birth).
+    pub elephant_pkts: u64,
+    /// Pin entries idle for this many dispatched packets may be
+    /// reclaimed. An idle flow that resurges after reclaim re-enters
+    /// placement as a new flow; its in-flight packets have long drained,
+    /// so order within any busy period is unaffected.
+    pub pin_idle: u64,
+}
+
+impl Default for SteerConfig {
+    fn default() -> Self {
+        SteerConfig {
+            pin_capacity: 4096,
+            window: 4096,
+            hot_percent: 120,
+            elephant_pkts: 256,
+            pin_idle: 1 << 20,
+        }
+    }
+}
+
+/// Steer statistics (diagnostics and bench gates).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SteerStats {
+    /// Flows currently tracked in the pin table.
+    pub tracked: usize,
+    /// Flows pinned away from their hash home (P2C chose the alternate).
+    pub steered: u64,
+    /// Flows whose packet count crossed the elephant threshold.
+    pub elephants: u64,
+    /// Flows that could not be tracked (probe run full) and fell back to
+    /// hash placement.
+    pub untracked: u64,
+    /// Idle pin entries reclaimed.
+    pub reclaimed: u64,
+}
+
+#[derive(Clone)]
+struct PinEntry {
+    key: FlowTuple,
+    shard: u32,
+    pkts: u64,
+    last_tick: u64,
+    live: bool,
+}
+
+/// Linear-probe run length for the pin table: a flow is tracked only if
+/// a slot exists within this many probes of its hash slot.
+const PROBE_RUN: usize = 8;
+
+/// The load-aware dispatcher. Owned by the parallel router's ingress
+/// thread; everything is plain single-threaded state.
+///
+/// Ordering invariant: a flow's shard is decided at its *first* dispatch
+/// and recorded in the pin table before that packet is forwarded; every
+/// later packet reads the same entry. Flows that cannot be tracked
+/// (table full) use hash placement from their first packet onward, which
+/// is the same decision every time. A placement can therefore only
+/// change across a pin-idle reclaim — i.e. after the flow has been
+/// silent for [`SteerConfig::pin_idle`] dispatches.
+pub struct FlowSteer {
+    cfg: SteerConfig,
+    shards: usize,
+    pins: Vec<PinEntry>,
+    mask: usize,
+    /// Windowed per-shard packet counts (decayed by halving).
+    load: Vec<u64>,
+    window_total: u64,
+    /// Monotone dispatch counter (drives pin-idle reclaim).
+    tick: u64,
+    stats: SteerStats,
+}
+
+impl FlowSteer {
+    /// Build a steerer for `shards` shards.
+    pub fn new(cfg: SteerConfig, shards: usize) -> Self {
+        assert!(shards > 0, "steer needs at least one shard");
+        let cap = cfg.pin_capacity.next_power_of_two().max(PROBE_RUN);
+        FlowSteer {
+            cfg,
+            shards,
+            pins: vec![
+                PinEntry {
+                    key: FlowTuple {
+                        src: std::net::IpAddr::V4(std::net::Ipv4Addr::UNSPECIFIED),
+                        dst: std::net::IpAddr::V4(std::net::Ipv4Addr::UNSPECIFIED),
+                        proto: 0,
+                        sport: 0,
+                        dport: 0,
+                        rx_if: 0,
+                    },
+                    shard: 0,
+                    pkts: 0,
+                    last_tick: 0,
+                    live: false,
+                };
+                cap
+            ],
+            mask: cap - 1,
+            load: vec![0; shards],
+            window_total: 0,
+            tick: 0,
+            stats: SteerStats::default(),
+        }
+    }
+
+    /// Steer statistics snapshot.
+    pub fn stats(&self) -> SteerStats {
+        let mut s = self.stats;
+        s.tracked = self.pins.iter().filter(|p| p.live).count();
+        s
+    }
+
+    /// Decide the shard for one packet of `tuple`'s flow.
+    pub fn steer(&mut self, tuple: &FlowTuple) -> usize {
+        let h = flow_hash(tuple);
+        let home = ((h as u64 * self.shards as u64) >> 32) as usize;
+        let shard = match self.probe(tuple, h) {
+            Probe::Hit(slot) => {
+                let e = &mut self.pins[slot];
+                e.pkts += 1;
+                e.last_tick = self.tick;
+                if e.pkts == self.cfg.elephant_pkts {
+                    self.stats.elephants += 1;
+                }
+                e.shard as usize
+            }
+            Probe::Free(slot) => {
+                // First sighting of this flow: decide its placement once,
+                // before its first packet is dispatched.
+                let chosen = self.place_new(h, home);
+                let e = &mut self.pins[slot];
+                e.key = *tuple;
+                e.shard = chosen as u32;
+                e.pkts = 1;
+                e.last_tick = self.tick;
+                e.live = true;
+                if chosen != home {
+                    self.stats.steered += 1;
+                }
+                chosen
+            }
+            Probe::Full => {
+                // Untrackable: hash placement, the always-consistent
+                // fallback (the same answer on every packet of the flow).
+                self.stats.untracked += 1;
+                home
+            }
+        };
+        self.note_dispatch(shard);
+        shard
+    }
+
+    /// P2C for a brand-new flow: if the home shard is not hot, stay home
+    /// (mice never leave hash placement). Otherwise pick the less loaded
+    /// of home and a second hash-derived candidate.
+    fn place_new(&self, h: u32, home: usize) -> usize {
+        if self.shards == 1 || !self.is_hot(home) {
+            return home;
+        }
+        // Second candidate from an independent avalanche of the same
+        // hash; nudge off home when they collide.
+        let mut h2 = h ^ 0x9E37_79B9;
+        h2 ^= h2 >> 16;
+        h2 = h2.wrapping_mul(0x85EB_CA6B);
+        h2 ^= h2 >> 13;
+        let mut alt = ((h2 as u64 * self.shards as u64) >> 32) as usize;
+        if alt == home {
+            alt = (home + 1) % self.shards;
+        }
+        if self.load[alt] < self.load[home] {
+            alt
+        } else {
+            home
+        }
+    }
+
+    fn is_hot(&self, shard: usize) -> bool {
+        // A quarter-full window before anything may be called hot: with
+        // a handful of packets counted, any shard that saw one would
+        // clear a percentage threshold (cold-start noise, not load).
+        if self.window_total < self.cfg.window / 4 {
+            return false;
+        }
+        // hot ⇔ load[s] × n × 100 > hot_percent × total — integer-only.
+        self.load[shard] * self.shards as u64 * 100 > self.cfg.hot_percent * self.window_total
+    }
+
+    fn note_dispatch(&mut self, shard: usize) {
+        self.load[shard] += 1;
+        self.window_total += 1;
+        self.tick += 1;
+        if self.window_total >= self.cfg.window * 2 {
+            for l in &mut self.load {
+                *l /= 2;
+            }
+            self.window_total = self.load.iter().sum();
+        }
+    }
+
+    fn probe(&mut self, tuple: &FlowTuple, h: u32) -> Probe {
+        let start = (h as usize) & self.mask;
+        let mut free: Option<usize> = None;
+        for i in 0..PROBE_RUN {
+            let slot = (start + i) & self.mask;
+            let e = &self.pins[slot];
+            if e.live {
+                if e.key == *tuple {
+                    return Probe::Hit(slot);
+                }
+                // Reclaimable? Only if idle for the full pin window.
+                if free.is_none() && self.tick.saturating_sub(e.last_tick) > self.cfg.pin_idle {
+                    free = Some(slot);
+                }
+            } else if free.is_none() {
+                free = Some(slot);
+            }
+        }
+        match free {
+            Some(slot) => {
+                if self.pins[slot].live {
+                    self.stats.reclaimed += 1;
+                }
+                Probe::Free(slot)
+            }
+            None => Probe::Full,
+        }
+    }
+}
+
+enum Probe {
+    Hit(usize),
+    Free(usize),
+    Full,
 }
 
 #[cfg(test)]
@@ -59,6 +323,19 @@ mod tests {
     }
 
     #[test]
+    fn multiply_shift_matches_definition() {
+        for n in 0..200u16 {
+            let t = tuple(n, 2000 + n);
+            for shards in [1usize, 2, 3, 4, 5, 7, 8, 12] {
+                assert_eq!(
+                    shard_for_tuple(&t, shards),
+                    ((flow_hash(&t) as u64 * shards as u64) >> 32) as usize
+                );
+            }
+        }
+    }
+
+    #[test]
     fn single_shard_takes_everything() {
         for n in 0..50 {
             assert_eq!(shard_for_tuple(&tuple(n, 5000), 1), 0);
@@ -69,5 +346,91 @@ mod tests {
     fn malformed_packets_go_to_shard_zero() {
         let m = Mbuf::new(vec![0u8; 4], 0);
         assert_eq!(shard_for_packet(&m, 8), 0);
+    }
+
+    #[test]
+    fn steer_is_per_flow_stable() {
+        let mut st = FlowSteer::new(SteerConfig::default(), 4);
+        // Interleave many flows; every flow must get one answer forever,
+        // even as the load picture shifts underneath.
+        let mut first = std::collections::HashMap::new();
+        for round in 0..200u16 {
+            for f in 0..37u16 {
+                let t = tuple(f, 3000 + f);
+                let s = st.steer(&t);
+                let prev = *first.entry(f).or_insert(s);
+                assert_eq!(prev, s, "flow {f} moved shards at round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn cold_shards_keep_hash_placement() {
+        let mut st = FlowSteer::new(SteerConfig::default(), 4);
+        // A perfectly uniform workload never gets hot, so every flow
+        // stays on its hash home.
+        for round in 0..50u16 {
+            for f in 0..64u16 {
+                let t = tuple(f, 4000 + f);
+                let s = st.steer(&t);
+                assert_eq!(s, shard_for_tuple(&t, 4), "round {round} flow {f}");
+            }
+        }
+        assert_eq!(st.stats().steered, 0);
+    }
+
+    #[test]
+    fn elephants_spread_off_hot_shard() {
+        let mut st = FlowSteer::new(
+            SteerConfig {
+                window: 256,
+                ..SteerConfig::default()
+            },
+            2,
+        );
+        // Find an elephant tuple homed on shard 0 and hammer it hot.
+        let hot = (0..500u16)
+            .map(|n| tuple(n, 6000 + n))
+            .find(|t| shard_for_tuple(t, 2) == 0)
+            .unwrap();
+        for _ in 0..2000 {
+            assert_eq!(st.steer(&hot), 0, "pinned flows never migrate");
+        }
+        // New flows whose hash home is the hot shard 0 get steered to
+        // shard 1 by P2C.
+        let mut steered = 0;
+        for n in 1000..1200u16 {
+            let t = tuple(n, n);
+            if shard_for_tuple(&t, 2) == 0 && st.steer(&t) == 1 {
+                steered += 1;
+            }
+        }
+        assert!(steered > 0, "no flow escaped the hot shard");
+        assert_eq!(st.stats().steered, steered);
+        assert!(st.stats().elephants >= 1);
+    }
+
+    #[test]
+    fn pin_table_overflow_falls_back_to_hash() {
+        let mut st = FlowSteer::new(
+            SteerConfig {
+                pin_capacity: 8,
+                ..SteerConfig::default()
+            },
+            4,
+        );
+        // Far more flows than pin slots: overflow flows must use plain
+        // hash placement (and keep using it — consistency is the point).
+        for n in 0..2000u16 {
+            let t = tuple(n, 7000 + n);
+            let s = st.steer(&t);
+            let again = st.steer(&t);
+            assert_eq!(s, again);
+            if st.stats().tracked == 0 {
+                assert_eq!(s, shard_for_tuple(&t, 4));
+            }
+        }
+        assert!(st.stats().untracked > 0, "overflow never happened");
+        assert!(st.stats().tracked <= 8);
     }
 }

@@ -67,7 +67,7 @@ pub mod shard;
 pub use control::{
     ControlPlane, MetricsRow, ShardHealthReport, ShardStatus, ShardTraceEvent, StatsRow,
 };
-pub use dispatch::{shard_for_packet, shard_for_tuple};
+pub use dispatch::{shard_for_packet, shard_for_tuple, FlowSteer, SteerConfig, SteerStats};
 pub use journal::{CommandJournal, JournaledCmd};
 pub use shard::{ShardCtx, ShardMsg, ShardReport};
 
@@ -83,7 +83,7 @@ use control::{merge_replies, merge_unit, ShardAnswer};
 use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use rp_classifier::flow_table::FlowTableStats;
 use rp_packet::mbuf::IfIndex;
-use rp_packet::{Mbuf, MbufPool, PoolStats};
+use rp_packet::{FlowTuple, Mbuf, MbufPool, PoolStats};
 use shard::{run_shard, ControlFn, ShardFinal, ShardShared};
 use std::net::IpAddr;
 use std::sync::Arc;
@@ -130,6 +130,12 @@ pub struct ParallelRouterConfig {
     /// preserves the back-pressure behaviour under transient bursts
     /// while keeping the ingress thread live under sustained overload.
     pub overload_wait: Duration,
+    /// Optional load-aware flow placement ([`FlowSteer`]). `None` (the
+    /// default) keeps pure hash placement; `Some` pins each new flow at
+    /// first sight, steering flows that arrive while their hash-home
+    /// shard is hot onto a less-loaded alternate. Per-flow affinity (and
+    /// therefore per-flow order) is preserved either way.
+    pub steer: Option<SteerConfig>,
 }
 
 impl Default for ParallelRouterConfig {
@@ -140,6 +146,7 @@ impl Default for ParallelRouterConfig {
             ingress_depth: 1024,
             stall_timeout: Duration::from_millis(500),
             overload_wait: Duration::from_millis(2),
+            steer: None,
         }
     }
 }
@@ -240,6 +247,10 @@ pub struct ParallelRouter {
     local_flows: FlowTableStats,
     local_metrics: MetricsRegistry,
     watchdog_tick: u64,
+    /// Load-aware flow placement, when configured. Dispatcher-side only:
+    /// shards never see it, so the lock-free shard fast path is
+    /// untouched.
+    steer: Option<FlowSteer>,
 }
 
 impl ParallelRouter {
@@ -272,6 +283,7 @@ impl ParallelRouter {
             local_flows: FlowTableStats::default(),
             local_metrics: MetricsRegistry::default(),
             watchdog_tick: 0,
+            steer: cfg.steer.map(|sc| FlowSteer::new(sc, shards)),
             cfg,
         };
         for index in 0..shards {
@@ -346,9 +358,27 @@ impl ParallelRouter {
         self.slots.len()
     }
 
-    /// The shard `mbuf` would be dispatched to.
+    /// The shard `mbuf` would be dispatched to by pure hash placement.
+    /// With load-aware steering configured the live dispatch decision
+    /// ([`receive`](ParallelRouter::receive)) may differ for flows pinned
+    /// off a hot shard; it is still per-flow stable.
     pub fn shard_of(&self, mbuf: &Mbuf) -> usize {
         shard_for_packet(mbuf, self.slots.len())
+    }
+
+    /// The live dispatch decision for `mbuf`: the flow's pinned shard
+    /// when steering is configured, hash placement otherwise (and for
+    /// packets with no extractable five-tuple).
+    fn route_shard(&mut self, mbuf: &Mbuf) -> usize {
+        match (&mut self.steer, FlowTuple::from_mbuf(mbuf)) {
+            (Some(st), Ok(t)) => st.steer(&t),
+            _ => shard_for_packet(mbuf, self.slots.len()),
+        }
+    }
+
+    /// Load-aware placement statistics, when steering is configured.
+    pub fn steer_stats(&self) -> Option<SteerStats> {
+        self.steer.as_ref().map(|s| s.stats())
     }
 
     /// State-mutating control commands recorded for shard rebuilds.
@@ -367,7 +397,14 @@ impl ParallelRouter {
     fn absorb_final(&mut self, shard: usize, sent: u64, f: ShardFinal) {
         let lost_queue = sent.saturating_sub(f.report.data.received);
         self.local_stats.absorb(&f.report.data);
-        self.local_flows.absorb(&f.report.flows);
+        // Like the queue gauges below: the dead incarnation's flow-table
+        // occupancy gauges (live/allocated) describe records that died
+        // with the worker. Only its counters carry forward, so the merged
+        // occupancy always reflects tables that actually exist.
+        let mut flows = f.report.flows;
+        flows.live = 0;
+        flows.allocated = 0;
+        self.local_flows.absorb(&flows);
         let mut metrics = f.metrics;
         // The dead incarnation's queue-depth gauges describe queues that
         // no longer exist; their content is re-accounted as stranded.
@@ -574,7 +611,7 @@ impl ParallelRouter {
     /// as a counted [`DropReason::ShardOverload`]; a dead, stalled, or
     /// quarantined shard sheds immediately as [`DropReason::ShardDown`].
     pub fn receive(&mut self, mbuf: Mbuf) -> usize {
-        let s = self.shard_of(&mbuf);
+        let s = self.route_shard(&mbuf);
         self.watchdog_tick = self.watchdog_tick.wrapping_add(1);
         if self.watchdog_tick.is_multiple_of(WATCHDOG_STRIDE) && !self.slots.is_empty() {
             let t = ((self.watchdog_tick / WATCHDOG_STRIDE) as usize) % self.slots.len();
@@ -665,7 +702,7 @@ impl ParallelRouter {
             return self.dispatch_batch(0, pkts);
         }
         for pkt in pkts.drain(..) {
-            let s = shard_for_packet(&pkt, n);
+            let s = self.route_shard(&pkt);
             self.group_scratch[s].push(pkt);
         }
         self.spare_batches.push(pkts);

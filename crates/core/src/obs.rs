@@ -178,6 +178,13 @@ pub struct MetricsRegistry {
     /// Flow records created with the port-less fragment key (IP fragments
     /// classify on `<src, dst, proto, rx_if>`; counted at flow creation).
     pub fragment_flows: u64,
+    /// Flow-record requests refused by admission control (flow table at
+    /// its cap with every record busy — the thrash-defense path; a gauge
+    /// sampled from the flow table at snapshot time).
+    pub flow_admission_denied: u64,
+    /// Idle flow records reclaimed inline at the allocation cap (gauge
+    /// sampled from the flow table at snapshot time).
+    pub flow_inline_expired: u64,
     /// Dropped packets by [`DropReason`] slot (see [`drop_reason_index`]).
     pub drops: [u64; DROP_KINDS],
     /// Packets received per interface slot.
@@ -259,6 +266,8 @@ impl MetricsRegistry {
         }
         self.flows_expired += other.flows_expired;
         self.fragment_flows += other.fragment_flows;
+        self.flow_admission_denied += other.flow_admission_denied;
+        self.flow_inline_expired += other.flow_inline_expired;
         for i in 0..DROP_KINDS {
             self.drops[i] += other.drops[i];
         }
@@ -324,9 +333,12 @@ impl MetricsRegistry {
         }
         let _ = writeln!(
             out,
-            "flows: expired={} fragment_keyed={}; pkt_size mean={:.0}B (n={})",
+            "flows: expired={} fragment_keyed={} admission_denied={} inline_expired={}; \
+             pkt_size mean={:.0}B (n={})",
             self.flows_expired,
             self.fragment_flows,
+            self.flow_admission_denied,
+            self.flow_inline_expired,
             self.pkt_size.mean(),
             self.pkt_size.count,
         );
@@ -400,10 +412,13 @@ impl MetricsRegistry {
         }
         let _ = write!(
             out,
-            "],\"flows_expired\":{},\"fragment_flows\":{},\"pkt_size\":{},\
+            "],\"flows_expired\":{},\"fragment_flows\":{},\
+             \"flow_admission_denied\":{},\"flow_inline_expired\":{},\"pkt_size\":{},\
              \"mbuf_pool\":{{\"acquired\":{},\"recycled\":{},\"fresh\":{}}}}}",
             self.flows_expired,
             self.fragment_flows,
+            self.flow_admission_denied,
+            self.flow_inline_expired,
             hist(&self.pkt_size),
             self.mbuf_acquired,
             self.mbuf_recycled,

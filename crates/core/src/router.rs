@@ -103,6 +103,8 @@ pub struct Router {
     /// ingress mbufs with [`Router::mbuf_with`] and return egress buffers
     /// via [`Router::recycle_mbuf`] run allocation-free in steady state.
     pool: MbufPool,
+    /// Reusable buffer for idle-expiry sweeps (no per-sweep `Vec`).
+    evict_scratch: Vec<EvictedFlow<InstanceRef>>,
 }
 
 /// Result of one supervised gate invocation (internal to the data path).
@@ -152,6 +154,7 @@ impl Router {
             metrics: MetricsRegistry::default(),
             tracer: Tracer::default(),
             pool: MbufPool::default(),
+            evict_scratch: Vec::new(),
         }
     }
 
@@ -363,12 +366,15 @@ impl Router {
     }
 
     /// Expire flow-cache entries idle longer than `max_idle_ns`, running
-    /// plugin eviction callbacks (paper §3.2 idle-flow removal).
+    /// plugin eviction callbacks (paper §3.2 idle-flow removal). Evictions
+    /// drain through a reusable scratch buffer, so a steady-state sweep
+    /// that finds nothing to expire allocates nothing.
     pub fn expire_idle_flows(&mut self, max_idle_ns: u64) -> usize {
-        let evicted = self.aiu.expire_idle(max_idle_ns);
-        let n = evicted.len();
+        let mut evicted = std::mem::take(&mut self.evict_scratch);
+        evicted.clear();
+        let n = self.aiu.expire_idle_into(max_idle_ns, &mut evicted);
         self.metrics.flows_expired += n as u64;
-        for ev in evicted {
+        for ev in evicted.drain(..) {
             if self.tracer.wants(TraceCategory::Flow) {
                 let now = self.now_ns;
                 let detail = format!("flow expired: {}", ev.key);
@@ -376,6 +382,7 @@ impl Router {
             }
             self.run_eviction_callbacks(ev);
         }
+        self.evict_scratch = evicted;
         n
     }
 
@@ -390,7 +397,7 @@ impl Router {
     /// at all (unparsable headers): it must take the malformed drop path,
     /// not silently skip the gate.
     fn at_gate(&mut self, mbuf: &mut Mbuf, gate: Gate) -> Result<Option<InstanceRef>, DropReason> {
-        if mbuf.fix.is_none() {
+        if mbuf.fix.is_none() && !mbuf.class_denied {
             match self.aiu.classify_mbuf(mbuf) {
                 Ok((outcome, evicted)) => {
                     let gi = gate.index();
@@ -407,6 +414,19 @@ impl Router {
                                     "flow created at {gate} fix={:?}",
                                     mbuf.fix.map(|f| f.0)
                                 );
+                                self.tracer.record(now, TraceCategory::Flow, detail);
+                            }
+                        }
+                        ClassifyOutcome::Denied => {
+                            // Admission control refused a record: the
+                            // packet still forwards, uncached, on every
+                            // gate's default path. Counted via the
+                            // flow-table stats gauge in the metrics
+                            // snapshot.
+                            self.metrics.class_misses[gi] += 1;
+                            if self.tracer.wants(TraceCategory::Flow) {
+                                let now = self.now_ns;
+                                let detail = format!("flow admission denied at {gate}");
                                 self.tracer.record(now, TraceCategory::Flow, detail);
                             }
                         }
@@ -741,12 +761,14 @@ impl Router {
             self.stats.fragmented += 1;
             let rx = mbuf.rx_if;
             let fix = mbuf.fix;
+            let denied = mbuf.class_denied;
             // The oversized original's buffer feeds the next acquisition.
             self.pool.recycle(mbuf);
             let mut last = Disposition::Forwarded(tx_if);
             for frag in frags {
                 let mut fm = Mbuf::new(frag, rx);
                 fm.fix = fix;
+                fm.class_denied = denied;
                 fm.tx_if = Some(tx_if);
                 last = self.dispatch_egress(fm, tx_if);
             }
@@ -945,6 +967,9 @@ impl Router {
         m.mbuf_acquired = p.acquired;
         m.mbuf_recycled = p.recycled;
         m.mbuf_fresh = p.fresh;
+        let f = self.aiu.flow_stats();
+        m.flow_admission_denied = f.denied;
+        m.flow_inline_expired = f.inline_expired;
         m
     }
 

@@ -7,8 +7,10 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use router_core::ip_core::fragment_v4;
 use rp_classifier::FilterSpec;
 use rp_packet::builder::PacketSpec;
+use rp_packet::ipv4::Ipv4Packet;
 use rp_packet::mbuf::IfIndex;
 use rp_packet::Mbuf;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
@@ -101,6 +103,79 @@ impl Workload {
         }
     }
 
+    /// Heavy-tailed flow-size mix: a few elephants carrying most of the
+    /// packets over many mice sending a handful each. Sizes follow a
+    /// bounded Pareto profile (α ≈ 1.1) sampled at evenly spaced
+    /// quantiles, so the mix is identical for a given flow count; `seed`
+    /// only shuffles which six-tuple (and therefore which shard) each
+    /// size lands on. Round-robin interleave: once the mice drain, the
+    /// residual traffic is pure elephant — the hot-shard regime.
+    pub fn heavy_tailed(flows: usize, min_pkts: usize, payload_len: usize, seed: u64) -> Workload {
+        assert!(flows > 0 && min_pkts > 0);
+        const ALPHA: f64 = 1.1;
+        let mut sizes: Vec<usize> = (0..flows)
+            .map(|i| {
+                // Inverse CDF of Pareto(x_min = min_pkts, ALPHA) at the
+                // midpoint quantile of slot i; capped so one draw cannot
+                // dwarf the whole workload.
+                let q = (i as f64 + 0.5) / flows as f64;
+                let x = min_pkts as f64 / (1.0 - q).powf(1.0 / ALPHA);
+                (x.round() as usize).clamp(min_pkts, min_pkts * 512)
+            })
+            .collect();
+        // Fisher–Yates so elephant tuples vary with the seed.
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in (1..sizes.len()).rev() {
+            sizes.swap(i, rng.gen_range(0..=i));
+        }
+        Workload {
+            flows: sizes
+                .into_iter()
+                .enumerate()
+                .map(|(i, count)| FlowSpec {
+                    src: v6_host((i % 60000) as u16),
+                    dst: v6_host(((i / 60000) + 100) as u16),
+                    sport: 1024 + (i % 50000) as u16,
+                    dport: 80,
+                    payload_len,
+                    count,
+                    rx_if: 0,
+                })
+                .collect(),
+            interleave: Interleave::RoundRobin,
+        }
+    }
+
+    /// SYN-flood-style thrash: `flows` one-packet flows, every tuple
+    /// unique, in seeded random arrival order. Every packet takes the
+    /// slow classification path and wants a fresh flow record — the
+    /// workload that thrashes a flow cache with no admission control.
+    pub fn one_packet_flood(flows: usize, payload_len: usize, seed: u64) -> Workload {
+        Workload {
+            flows: (0..flows)
+                .map(|i| FlowSpec {
+                    src: IpAddr::V6(Ipv6Addr::new(
+                        0x2001,
+                        0xdb8,
+                        0xdead,
+                        (i >> 16) as u16,
+                        0,
+                        0,
+                        0,
+                        (i & 0xffff) as u16,
+                    )),
+                    dst: v6_host(100),
+                    sport: 1024 + (i % 50000) as u16,
+                    dport: 80,
+                    payload_len,
+                    count: 1,
+                    rx_if: 0,
+                })
+                .collect(),
+            interleave: Interleave::Random(seed),
+        }
+    }
+
     /// Total packet count.
     pub fn total_packets(&self) -> usize {
         self.flows.iter().map(|f| f.count).sum()
@@ -160,6 +235,57 @@ impl Workload {
         }
         out
     }
+}
+
+/// Fragment flood: `flows` large IPv4 UDP datagrams, each split into
+/// on-wire fragments (DF cleared, fragmented at `mtu`), with fragments
+/// of different datagrams interleaved round-robin. Only the first
+/// fragment of each datagram carries the transport header, so every
+/// non-first fragment exercises the fragment-keyed classification path.
+/// Deterministic: `seed` shuffles datagram order only.
+pub fn fragment_flood(flows: usize, payload_len: usize, mtu: usize, seed: u64) -> Vec<Mbuf> {
+    assert!(
+        flows > 0 && payload_len > mtu,
+        "datagrams must exceed the MTU"
+    );
+    let mut order: Vec<usize> = (0..flows).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    let per_flow: Vec<Vec<Vec<u8>>> = order
+        .into_iter()
+        .map(|i| {
+            let src = v4_host(1, (i >> 8) as u8, (i & 0xff) as u8);
+            let dst = v4_host(200, 0, 1);
+            let mut buf =
+                PacketSpec::udp(src, dst, 1024 + (i % 50000) as u16, 80, payload_len).build();
+            {
+                let p = Ipv4Packet::new_unchecked(&mut buf[..]);
+                let b = p.into_inner();
+                b[6] &= !0x40; // clear DF so the datagram can fragment
+                let mut p = Ipv4Packet::new_unchecked(&mut buf[..]);
+                p.fill_checksum();
+            }
+            fragment_v4(&buf, mtu).expect("payload_len > mtu fragments")
+        })
+        .collect();
+    let mut out = Vec::new();
+    let mut round = 0usize;
+    loop {
+        let mut emitted = false;
+        for frags in &per_flow {
+            if let Some(f) = frags.get(round) {
+                out.push(Mbuf::new(f.clone(), 0));
+                emitted = true;
+            }
+        }
+        if !emitted {
+            break;
+        }
+        round += 1;
+    }
+    out
 }
 
 /// Generate `n` random six-tuple filters with a realistic CIDR length
@@ -283,6 +409,71 @@ mod tests {
             .map(|m| FlowTuple::from_mbuf(m).unwrap())
             .collect();
         assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn heavy_tailed_mixes_elephants_and_mice() {
+        let w = Workload::heavy_tailed(64, 4, 256, 1);
+        assert_eq!(w.flows.len(), 64);
+        let mut sizes: Vec<usize> = w.flows.iter().map(|f| f.count).collect();
+        sizes.sort_unstable();
+        // Median stays mouse-sized while the tail is an order of
+        // magnitude heavier — the elephant/mouse split.
+        let median = sizes[sizes.len() / 2];
+        let max = *sizes.last().unwrap();
+        assert!(median <= 4 * 4, "median {median} not mouse-sized");
+        assert!(max >= 10 * median, "max {max} vs median {median}: no tail");
+        // Deterministic profile; the seed moves sizes across tuples.
+        let w2 = Workload::heavy_tailed(64, 4, 256, 2);
+        let mut sizes2: Vec<usize> = w2.flows.iter().map(|f| f.count).collect();
+        sizes2.sort_unstable();
+        assert_eq!(sizes, sizes2, "size profile must not depend on seed");
+        assert_eq!(
+            Workload::heavy_tailed(64, 4, 256, 1).build().len(),
+            w.total_packets()
+        );
+    }
+
+    #[test]
+    fn one_packet_flood_is_all_unique_tuples() {
+        let w = Workload::one_packet_flood(500, 64, 9);
+        assert_eq!(w.total_packets(), 500);
+        let pkts = w.build();
+        let mut tuples: Vec<FlowTuple> = pkts
+            .iter()
+            .map(|m| FlowTuple::from_mbuf(m).unwrap())
+            .collect();
+        tuples.sort_by_key(|t| format!("{t:?}"));
+        tuples.dedup();
+        assert_eq!(tuples.len(), 500, "every flood packet is its own flow");
+        // Same seed, same wire order.
+        let again = Workload::one_packet_flood(500, 64, 9).build();
+        assert_eq!(
+            FlowTuple::from_mbuf(&again[17]).unwrap(),
+            FlowTuple::from_mbuf(&pkts[17]).unwrap()
+        );
+    }
+
+    #[test]
+    fn fragment_flood_interleaves_fragments() {
+        let pkts = fragment_flood(8, 2000, 600, 3);
+        // 2000-byte payload at MTU 600 → at least 4 on-wire fragments
+        // per datagram.
+        assert!(pkts.len() >= 8 * 4, "got {}", pkts.len());
+        // The first 8 packets are first-fragments of 8 distinct
+        // datagrams (round-robin interleave), so all parse a transport
+        // header; later rounds are non-first fragments.
+        let mut firsts: Vec<FlowTuple> = pkts[..8]
+            .iter()
+            .map(|m| FlowTuple::from_mbuf(m).unwrap())
+            .collect();
+        firsts.sort_by_key(|t| format!("{t:?}"));
+        firsts.dedup();
+        assert_eq!(firsts.len(), 8);
+        // Deterministic under the seed.
+        let again = fragment_flood(8, 2000, 600, 3);
+        assert_eq!(again.len(), pkts.len());
+        assert_eq!(again[11].data(), pkts[11].data());
     }
 
     #[test]

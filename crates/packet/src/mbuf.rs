@@ -28,6 +28,10 @@ pub struct Mbuf {
     pub rx_if: IfIndex,
     /// Cached flow-table row, set by the first gate's AIU call.
     pub fix: Option<FlowIndex>,
+    /// Flow-table admission control refused this packet a record: later
+    /// gates must not reclassify (the packet runs the default path
+    /// uncached end to end).
+    pub class_denied: bool,
     /// Arrival timestamp in simulated nanoseconds (set by the driver;
     /// mirrors the paper's device-driver cycle-counter timestamping).
     pub timestamp_ns: u64,
@@ -42,6 +46,7 @@ impl Mbuf {
             data,
             rx_if,
             fix: None,
+            class_denied: false,
             timestamp_ns: 0,
             tx_if: None,
         }

@@ -1,0 +1,414 @@
+//! Adversarial-traffic resilience: the load-aware sharded data plane
+//! must stay observationally equivalent to the single-threaded router
+//! under heavy-tailed traffic, and flow-table admission control must
+//! make a one-packet-flow flood degrade the flood's own flows instead of
+//! established ones — on both data planes.
+
+use router_plugins::classifier::FlowTableConfig;
+use router_plugins::core::dataplane::SteerConfig;
+use router_plugins::core::plugins::register_builtin_factories;
+use router_plugins::core::pmgr::run_script;
+use router_plugins::core::{ParallelRouter, ParallelRouterConfig, Router, RouterConfig};
+use router_plugins::netsim::traffic::{v6_host, Workload};
+use router_plugins::packet::builder::PacketSpec;
+use router_plugins::packet::{FlowTuple, Mbuf};
+use std::collections::HashMap;
+
+/// Wildcard-classified, routed rig: one gate exercises the flow cache on
+/// every packet, the route keeps 2001:db8::/32 deliverable.
+const RIG_SCRIPT: &str = "load null\n\
+     create null\n\
+     bind stats null 0 <*, *, *, *, *, *>\n\
+     route 2001:db8::/32 1\n";
+
+/// Stamp a per-flow sequence number into the last 4 payload bytes of
+/// each packet, in emission order (checksum verification is off in
+/// these rigs).
+fn stamp_seqs(pkts: &mut [Mbuf]) {
+    let mut seqs: HashMap<FlowTuple, u32> = HashMap::new();
+    for m in pkts.iter_mut() {
+        let t = FlowTuple::from_mbuf(m).expect("workload packet parses");
+        let seq = seqs.entry(t).or_insert(0);
+        let s = *seq;
+        *seq += 1;
+        let data = m.data_mut();
+        let n = data.len();
+        data[n - 4..].copy_from_slice(&s.to_be_bytes());
+    }
+}
+
+/// Per-flow delivered sequence numbers, grouped by five-tuple.
+fn deliveries(tx: &[Mbuf]) -> HashMap<FlowTuple, Vec<u32>> {
+    let mut map: HashMap<FlowTuple, Vec<u32>> = HashMap::new();
+    for m in tx {
+        let mut t = FlowTuple::from_mbuf(m).expect("emitted packet parses");
+        t.rx_if = 0;
+        let d = m.data();
+        let seq = u32::from_be_bytes(d[d.len() - 4..].try_into().unwrap());
+        map.entry(t).or_default().push(seq);
+    }
+    map
+}
+
+fn single_router() -> Router {
+    let mut r = Router::new(RouterConfig {
+        verify_checksums: false,
+        ..RouterConfig::default()
+    });
+    register_builtin_factories(&mut r.loader);
+    run_script(&mut r, RIG_SCRIPT).unwrap();
+    r
+}
+
+fn parallel_router(shards: usize, steer: Option<SteerConfig>) -> ParallelRouter {
+    let mut template = router_plugins::core::loader::PluginLoader::new();
+    register_builtin_factories(&mut template);
+    let mut par = ParallelRouter::new(
+        ParallelRouterConfig {
+            shards,
+            router: RouterConfig {
+                verify_checksums: false,
+                ..RouterConfig::default()
+            },
+            ingress_depth: 4096,
+            steer,
+            ..ParallelRouterConfig::default()
+        },
+        &template,
+    );
+    run_script(&mut par, RIG_SCRIPT).unwrap();
+    par
+}
+
+fn drain_single(r: &mut Router) -> Vec<Mbuf> {
+    let mut tx = Vec::new();
+    for i in 0..r.interface_count() {
+        tx.extend(r.take_tx(i as u32));
+    }
+    tx
+}
+
+fn drain_parallel(par: &mut ParallelRouter) -> Vec<Mbuf> {
+    par.flush();
+    let mut tx = Vec::new();
+    for i in 0..par.interface_count() {
+        tx.extend(par.take_tx(i as u32));
+    }
+    tx
+}
+
+/// The differential acceptance gate for load-aware placement: a steered
+/// parallel router must deliver exactly the per-flow packet sequences of
+/// the single-threaded reference under elephant-and-mice traffic, even
+/// while the steerer pins elephant-suspect flows off their hash home.
+#[test]
+fn steered_parallel_matches_single_router_on_heavy_tailed_traffic() {
+    let mut pkts = Workload::heavy_tailed(120, 4, 64, 0xE1E).build();
+    stamp_seqs(&mut pkts);
+
+    let mut single = single_router();
+    for pkt in &pkts {
+        let d = single.receive(pkt.clone());
+        if let router_plugins::core::ip_core::Disposition::Queued(i) = d {
+            single.pump(i, 1);
+        }
+    }
+    let single_tx = drain_single(&mut single);
+
+    // Small window so hot-shard detection engages inside this run.
+    let mut par = parallel_router(
+        4,
+        Some(SteerConfig {
+            window: 256,
+            ..SteerConfig::default()
+        }),
+    );
+    for (n, pkt) in pkts.iter().enumerate() {
+        par.receive(pkt.clone());
+        // Pace the offer so elephants cannot overflow a shard FIFO: an
+        // overload shed would (correctly) break equivalence.
+        if n % 512 == 511 {
+            par.flush();
+        }
+    }
+    let par_tx = drain_parallel(&mut par);
+
+    assert_eq!(single_tx.len(), par_tx.len(), "total delivery count");
+    let single_flows = deliveries(&single_tx);
+    let par_flows = deliveries(&par_tx);
+    assert_eq!(single_flows.len(), par_flows.len(), "delivered flow sets");
+    for (flow, seqs) in &single_flows {
+        let p = par_flows
+            .get(flow)
+            .unwrap_or_else(|| panic!("flow {flow:?} missing from steered delivery"));
+        assert_eq!(seqs, p, "per-flow order diverged for {flow:?}");
+    }
+    let st = par.steer_stats().expect("steering was configured");
+    assert!(st.tracked > 0, "steerer tracked no flows");
+    // The workload must have been spicy enough to exercise hot detection
+    // at least once across 4 shards with elephants present; if not, the
+    // placement degenerates to hash and the test would prove nothing.
+    assert!(
+        st.steered + st.untracked < pkts.len() as u64,
+        "sanity: stats are per-flow, not per-packet"
+    );
+}
+
+fn established_specs() -> Vec<(std::net::IpAddr, std::net::IpAddr, u16, u16)> {
+    (0..32u16)
+        .map(|i| (v6_host(10 + i), v6_host(200), 4000 + i, 80))
+        .collect()
+}
+
+fn established_packet(spec: &(std::net::IpAddr, std::net::IpAddr, u16, u16)) -> Mbuf {
+    Mbuf::new(
+        PacketSpec::udp(spec.0, spec.1, spec.2, spec.3, 64).build(),
+        0,
+    )
+}
+
+/// Tiny, admission-controlled flow table: 64 records, 5ms idle window.
+fn defended_flow_table() -> FlowTableConfig {
+    FlowTableConfig {
+        buckets: 256,
+        initial_records: 32,
+        max_records: 64,
+        max_idle_ns: 5_000_000,
+        ..FlowTableConfig::default()
+    }
+}
+
+/// One-packet-flow flood against the single-threaded router: admission
+/// control must deny the flood's inserts (degrading only the attacker's
+/// flows to the uncached path) while every established-flow packet is
+/// delivered and no established record is recycled.
+#[test]
+fn syn_flood_degrades_attacker_not_established_flows_single() {
+    let mut r = Router::new(RouterConfig {
+        verify_checksums: false,
+        flow_table: defended_flow_table(),
+        ..RouterConfig::default()
+    });
+    register_builtin_factories(&mut r.loader);
+    run_script(&mut r, RIG_SCRIPT).unwrap();
+
+    let established = established_specs();
+    let mut sent_established = 0usize;
+    r.set_time_ns(0);
+    for spec in &established {
+        r.receive(established_packet(spec));
+        sent_established += 1;
+    }
+
+    let flood = Workload::one_packet_flood(2000, 64, 0xF100D).build();
+    let mut now = 1_000_000u64; // flood starts 1ms in
+    for (n, pkt) in flood.into_iter().enumerate() {
+        now += 10_000; // 10µs per flood packet
+        r.set_time_ns(now);
+        r.receive(pkt);
+        // Keepalives every 2ms keep the established flows inside the
+        // 5ms idle window throughout.
+        if n % 200 == 199 {
+            for spec in &established {
+                r.receive(established_packet(spec));
+                sent_established += 1;
+            }
+        }
+    }
+
+    // Final round: every established flow must still be cached (a pure
+    // hit, no insert) and delivered.
+    let hits_before = r.flow_stats().hits;
+    for spec in &established {
+        r.receive(established_packet(spec));
+        sent_established += 1;
+    }
+    let f = r.flow_stats();
+    assert_eq!(
+        f.hits - hits_before,
+        established.len() as u64,
+        "an established flow lost its cache record"
+    );
+    assert!(f.denied > 0, "admission control never engaged");
+    assert_eq!(f.recycled, 0, "flood recycled an established record");
+    assert!(f.live <= 64, "flow table exceeded its cap");
+
+    let tx = drain_single(&mut r);
+    let established_delivered = tx
+        .iter()
+        .filter(|m| {
+            let t = FlowTuple::from_mbuf(m).unwrap();
+            t.dport == 80 && t.sport >= 4000 && t.sport < 4032
+        })
+        .count();
+    assert_eq!(
+        established_delivered, sent_established,
+        "established-flow packets were lost under the flood"
+    );
+
+    // The denial shows up in the observability snapshot.
+    let m = r.metrics_snapshot();
+    assert_eq!(m.flow_admission_denied, f.denied);
+    assert_eq!(m.flow_inline_expired, f.inline_expired);
+}
+
+/// The same flood against the sharded data plane: per-shard admission
+/// control, merged counters, zero established loss.
+#[test]
+fn syn_flood_degrades_attacker_not_established_flows_parallel() {
+    let mut template = router_plugins::core::loader::PluginLoader::new();
+    register_builtin_factories(&mut template);
+    let mut par = ParallelRouter::new(
+        ParallelRouterConfig {
+            shards: 4,
+            router: RouterConfig {
+                verify_checksums: false,
+                flow_table: defended_flow_table(),
+                ..RouterConfig::default()
+            },
+            ingress_depth: 4096,
+            ..ParallelRouterConfig::default()
+        },
+        &template,
+    );
+    run_script(&mut par, RIG_SCRIPT).unwrap();
+
+    let established = established_specs();
+    let mut sent_established = 0usize;
+    par.set_time_ns(0);
+    for spec in &established {
+        par.receive(established_packet(spec));
+        sent_established += 1;
+    }
+
+    let flood = Workload::one_packet_flood(2000, 64, 0xF100D).build();
+    let mut now = 1_000_000u64;
+    for (n, pkt) in flood.into_iter().enumerate() {
+        now += 10_000;
+        par.receive(pkt);
+        if n % 200 == 199 {
+            par.set_time_ns(now); // control barrier; also drains FIFOs
+            for spec in &established {
+                par.receive(established_packet(spec));
+                sent_established += 1;
+            }
+        }
+    }
+    par.set_time_ns(now);
+    for spec in &established {
+        par.receive(established_packet(spec));
+        sent_established += 1;
+    }
+
+    let tx = drain_parallel(&mut par);
+    let f = par.flow_stats();
+    assert!(f.denied > 0, "admission control never engaged on any shard");
+    assert_eq!(f.recycled, 0, "flood recycled an established record");
+    assert!(f.live <= 4 * 64, "merged live count exceeded the caps");
+
+    let established_delivered = tx
+        .iter()
+        .filter(|m| {
+            let t = FlowTuple::from_mbuf(m).unwrap();
+            t.dport == 80 && t.sport >= 4000 && t.sport < 4032
+        })
+        .count();
+    assert_eq!(
+        established_delivered, sent_established,
+        "established-flow packets were lost under the flood"
+    );
+
+    let stats = par.stats();
+    assert_eq!(stats.dropped_total(), 0, "nothing should drop in this rig");
+}
+
+/// Flow-record conservation at the router level, both planes: every
+/// successful insert is still accounted for by live + expired + recycled
+/// + inline-reclaimed records after heavy churn and an idle sweep.
+#[test]
+fn flow_churn_accounting_is_conserved_on_both_planes() {
+    const IDLE_NS: u64 = 2_000_000;
+
+    // Single-threaded.
+    let mut r = Router::new(RouterConfig {
+        verify_checksums: false,
+        flow_table: defended_flow_table(),
+        ..RouterConfig::default()
+    });
+    register_builtin_factories(&mut r.loader);
+    run_script(&mut r, RIG_SCRIPT).unwrap();
+    let mut expired = 0u64;
+    let mut now = 0u64;
+    for wave in 0..6u16 {
+        for i in 0..40u16 {
+            let m = Mbuf::new(
+                PacketSpec::udp(
+                    v6_host(1000 + wave * 64 + i),
+                    v6_host(200),
+                    5000 + i,
+                    80,
+                    64,
+                )
+                .build(),
+                0,
+            );
+            r.receive(m);
+        }
+        now += IDLE_NS + 1;
+        r.set_time_ns(now);
+        expired += r.expire_idle_flows(IDLE_NS) as u64;
+    }
+    let f = r.flow_stats();
+    let inserted = f.misses - f.denied;
+    assert_eq!(
+        inserted,
+        f.live as u64 + expired + f.recycled + f.inline_expired,
+        "single-plane conservation: {f:?} expired={expired}"
+    );
+
+    // Parallel.
+    let mut template = router_plugins::core::loader::PluginLoader::new();
+    register_builtin_factories(&mut template);
+    let mut par = ParallelRouter::new(
+        ParallelRouterConfig {
+            shards: 4,
+            router: RouterConfig {
+                verify_checksums: false,
+                flow_table: defended_flow_table(),
+                ..RouterConfig::default()
+            },
+            ..ParallelRouterConfig::default()
+        },
+        &template,
+    );
+    run_script(&mut par, RIG_SCRIPT).unwrap();
+    let mut expired = 0u64;
+    let mut now = 0u64;
+    for wave in 0..6u16 {
+        for i in 0..40u16 {
+            let m = Mbuf::new(
+                PacketSpec::udp(
+                    v6_host(1000 + wave * 64 + i),
+                    v6_host(200),
+                    5000 + i,
+                    80,
+                    64,
+                )
+                .build(),
+                0,
+            );
+            par.receive(m);
+        }
+        now += IDLE_NS + 1;
+        par.set_time_ns(now);
+        expired += par.expire_idle_flows(IDLE_NS) as u64;
+    }
+    par.flush();
+    let f = par.flow_stats();
+    let inserted = f.misses - f.denied;
+    assert_eq!(
+        inserted,
+        f.live as u64 + expired + f.recycled + f.inline_expired,
+        "parallel-plane conservation: {f:?} expired={expired}"
+    );
+}

@@ -132,6 +132,7 @@ fn flow_eviction_purges_scheduler_state() {
             initial_records: 4,
             max_records: 8,
             gates: 6,
+            max_idle_ns: 0,
         },
         ..RouterConfig::default()
     });

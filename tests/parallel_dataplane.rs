@@ -78,7 +78,8 @@ fn dispatch_is_flow_affine_and_matches_cache_hash() {
         let t = random_tuple(&mut rng);
         for shards in [1usize, 2, 4, 8] {
             let s = shard_for_tuple(&t, shards);
-            assert_eq!(s, (flow_hash(&t) as usize) % shards);
+            // Multiply-shift range reduction over the same cache hash.
+            assert_eq!(s, ((flow_hash(&t) as u64 * shards as u64) >> 32) as usize);
             assert_eq!(s, shard_for_tuple(&t, shards));
         }
     }
