@@ -1,0 +1,426 @@
+//! E15 — pcap replay through the I/O plane vs the in-memory testbench.
+//!
+//! The I/O plane promises that putting real device plumbing in front of
+//! the data plane costs little and changes nothing: a trace replayed
+//! through `PcapReplayDev` → `IoPlane` → router → loopback egress must
+//! emit **byte-identical per-flow output** to the same workload driven
+//! directly by the in-memory testbench, on both data planes, and the
+//! replay path must sustain at least [`MIN_REPLAY_RATIO`] of the
+//! in-memory throughput at the same batch size.
+//!
+//! Two phases per plane:
+//!
+//! * **Differential (untimed)** — workload → pcap (Ethernet linktype, so
+//!   the replay exercises L2 strip too) → replay through the plane;
+//!   egress frames compared against the direct run (whole-interface
+//!   order on the single router, per-flow order on the parallel one).
+//! * **Throughput (timed)** — the same trace in looping mode, wall-clock
+//!   pps over [`REPS`] trace passes vs the pooled/batched in-memory
+//!   drivers at the same effective batch.
+//!
+//! Output: a text table and `BENCH_pcap.json` (schema: `bench`,
+//! `schema_version`, `workload` metadata, `acceptance` block, `rows`
+//! with `plane`, `variant`, `packets`, `wall_ns`, `pps_wall`,
+//! `ns_per_packet`, `identical`, `conserved`). Exits non-zero when a
+//! gate fails, so CI runs it directly.
+//!
+//! Run: `cargo run --release -p rp-bench --bin pcap_replay`
+
+use router_core::plugins::register_builtin_factories;
+use router_core::pmgr::run_script;
+use router_core::{ControlPlane, ParallelRouter, ParallelRouterConfig, Router, RouterConfig};
+use rp_bench::report::{write_bench_json, Json, Table};
+use rp_netdev::loopback::LoopbackDev;
+use rp_netdev::pcap::{PcapReplayDev, LINKTYPE_ETHERNET};
+use rp_netdev::{IoPlane, IoRouter, NetDev};
+use rp_netsim::testbench::Testbench;
+use rp_netsim::traffic::{v6_host, Workload};
+use rp_packet::FlowTuple;
+use std::collections::HashMap;
+
+const FLOWS: usize = 32;
+const PKTS_PER_FLOW: usize = 64;
+const REPS: usize = 40;
+const WARMUP_REPS: usize = 2;
+const SHARDS: usize = 4;
+
+/// Acceptance gate: replay throughput ≥ this fraction of in-memory.
+const MIN_REPLAY_RATIO: f64 = 0.8;
+
+const CONFIG_SCRIPT: &str = "load drr\n\
+     create drr quantum=9180 limit=512\n\
+     attach 1 drr 0\n\
+     bind sched drr 0 <*, *, UDP, *, *, *>\n";
+
+fn router_config() -> RouterConfig {
+    RouterConfig {
+        verify_checksums: false,
+        ..RouterConfig::default()
+    }
+}
+
+fn configure<C: ControlPlane>(cp: &mut C) {
+    cp.cp_add_route(v6_host(0), 32, 1);
+    run_script(cp, CONFIG_SCRIPT).expect("configure data plane");
+}
+
+fn single_router() -> Router {
+    let mut r = Router::new(router_config());
+    register_builtin_factories(&mut r.loader);
+    configure(&mut r);
+    r
+}
+
+fn parallel_router() -> ParallelRouter {
+    let mut template = router_core::loader::PluginLoader::new();
+    register_builtin_factories(&mut template);
+    let mut pr = ParallelRouter::new(
+        ParallelRouterConfig {
+            shards: SHARDS,
+            router: router_config(),
+            ingress_depth: 8192,
+            ..ParallelRouterConfig::default()
+        },
+        &template,
+    );
+    configure(&mut pr);
+    pr
+}
+
+/// Direct reference: the workload straight through a single router,
+/// interface 1's emissions in order.
+fn direct_output(tb: &Testbench) -> Vec<Vec<u8>> {
+    let mut r = single_router();
+    for pkt in tb.packets() {
+        if let router_core::ip_core::Disposition::Queued(i) = r.receive(pkt.clone()) {
+            r.pump(i, 1);
+        }
+    }
+    r.take_tx(1).iter().map(|m| m.data().to_vec()).collect()
+}
+
+fn by_flow(frames: &[Vec<u8>]) -> HashMap<FlowTuple, Vec<Vec<u8>>> {
+    let mut map: HashMap<FlowTuple, Vec<Vec<u8>>> = HashMap::new();
+    for f in frames {
+        let mut t = FlowTuple::extract(f, 0).expect("emitted packet parses");
+        t.rx_if = 0;
+        map.entry(t).or_default().push(f.clone());
+    }
+    map
+}
+
+/// Replay the trace once (non-looping) through an I/O plane over
+/// `plane_router`, returning egress frames in emission order and
+/// whether the conservation ledger checked out.
+fn replay_once<P: IoRouter>(plane_router: P, trace: &[u8], budget: usize) -> (Vec<Vec<u8>>, bool) {
+    let (egress, _peer) = LoopbackDev::pair("lo-out", "sink", 1 << 15);
+    let handle = egress.handle();
+    let mut plane = IoPlane::new(plane_router, budget);
+    plane.bind(
+        0,
+        Box::new(PcapReplayDev::new("pcap:replay", trace).unwrap()),
+    );
+    plane.bind(1, Box::new(egress));
+    plane.poll_until_quiet(3, 100_000);
+    let mut got = Vec::new();
+    while let Some(f) = handle.drain_tx() {
+        got.push(f);
+    }
+    let conserved =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| plane.check_conservation()))
+            .is_ok();
+    (got, conserved)
+}
+
+/// Timed looping replay: `reps` full trace passes through the plane,
+/// returning wall ns for the measured reps (after `WARMUP_REPS`).
+fn replay_timed<P: IoRouter>(plane_router: P, trace: &[u8], per_rep: u64, budget: usize) -> u64 {
+    let (egress, mut peer) = LoopbackDev::pair("lo-out", "sink", 1 << 15);
+    let mut replay = PcapReplayDev::new("pcap:replay", trace).unwrap();
+    replay.set_looping(true);
+    let mut plane = IoPlane::new(plane_router, budget);
+    plane.bind(0, Box::new(replay));
+    plane.bind(1, Box::new(egress));
+
+    let pump = |plane: &mut IoPlane<P>, peer: &mut LoopbackDev, target: u64| {
+        while plane.ledger().device_rx < target {
+            plane.poll();
+            peer.rx_batch(usize::MAX, &mut |_p| {});
+        }
+    };
+    pump(&mut plane, &mut peer, per_rep * WARMUP_REPS as u64);
+    let t0 = std::time::Instant::now();
+    pump(&mut plane, &mut peer, per_rep * (WARMUP_REPS + REPS) as u64);
+    t0.elapsed().as_nanos() as u64
+}
+
+struct Row {
+    plane: &'static str,
+    variant: &'static str,
+    packets: u64,
+    wall_ns: u64,
+    identical: Option<bool>,
+    conserved: Option<bool>,
+}
+
+impl Row {
+    fn pps_wall(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.packets as f64 * 1e9 / self.wall_ns as f64
+        }
+    }
+
+    fn json(&self) -> Json {
+        Json::obj(vec![
+            ("plane", Json::from(self.plane)),
+            ("variant", Json::from(self.variant)),
+            ("packets", Json::from(self.packets)),
+            ("wall_ns", Json::from(self.wall_ns)),
+            ("pps_wall", Json::from(self.pps_wall())),
+            (
+                "ns_per_packet",
+                Json::from(if self.packets == 0 {
+                    0.0
+                } else {
+                    self.wall_ns as f64 / self.packets as f64
+                }),
+            ),
+            (
+                "identical",
+                self.identical.map(Json::from).unwrap_or(Json::Null),
+            ),
+            (
+                "conserved",
+                self.conserved.map(Json::from).unwrap_or(Json::Null),
+            ),
+        ])
+    }
+}
+
+fn main() {
+    let workload = Workload::uniform(FLOWS, PKTS_PER_FLOW, 512);
+    let tb = Testbench::new(&workload);
+    let per_rep = workload.total_packets() as u64;
+    let measured = per_rep * REPS as u64;
+    // One poll ingests a whole trace pass, so the parallel plane's
+    // flush cadence matches the in-memory batched driver's (per rep).
+    let budget = per_rep as usize;
+    eprintln!(
+        "[pcap_replay] {FLOWS} flows × {PKTS_PER_FLOW} pkts = {per_rep}/rep, \
+         {WARMUP_REPS}+{REPS} reps per variant…"
+    );
+
+    let trace = tb.record_pcap(LINKTYPE_ETHERNET, false);
+    let direct = direct_output(&tb);
+    assert_eq!(
+        direct.len() as u64,
+        per_rep,
+        "reference run dropped packets"
+    );
+    let direct_flows = by_flow(&direct);
+    let mut failures = Vec::new();
+    let mut rows = Vec::new();
+
+    // ---- single plane ---------------------------------------------
+    let (replayed, conserved) = replay_once(single_router(), &trace, budget);
+    let identical = replayed == direct;
+    if !identical {
+        failures.push(format!(
+            "single: replay output differs from direct run ({} vs {} frames)",
+            replayed.len(),
+            direct.len()
+        ));
+    }
+    if !conserved {
+        failures.push("single: conservation ledger violated".into());
+    }
+    rows.push(Row {
+        plane: "single",
+        variant: "replay-diff",
+        packets: per_rep,
+        wall_ns: 0,
+        identical: Some(identical),
+        conserved: Some(conserved),
+    });
+
+    {
+        let mut r = single_router();
+        tb.run_router_pooled(&mut r, WARMUP_REPS);
+        let t0 = std::time::Instant::now();
+        tb.run_router_pooled(&mut r, REPS);
+        rows.push(Row {
+            plane: "single",
+            variant: "direct",
+            packets: measured,
+            wall_ns: t0.elapsed().as_nanos() as u64,
+            identical: None,
+            conserved: None,
+        });
+    }
+    rows.push(Row {
+        plane: "single",
+        variant: "replay",
+        packets: measured,
+        wall_ns: replay_timed(single_router(), &trace, per_rep, budget),
+        identical: None,
+        conserved: None,
+    });
+
+    // ---- parallel plane -------------------------------------------
+    let (replayed, conserved) = replay_once(parallel_router(), &trace, budget);
+    let par_flows = by_flow(&replayed);
+    let mut par_identical = par_flows.len() == direct_flows.len();
+    if par_identical {
+        for (flow, frames) in &direct_flows {
+            if par_flows.get(flow) != Some(frames) {
+                par_identical = false;
+                break;
+            }
+        }
+    }
+    if !par_identical {
+        failures.push("parallel: per-flow replay output differs from direct run".into());
+    }
+    if !conserved {
+        failures.push("parallel: conservation ledger violated".into());
+    }
+    rows.push(Row {
+        plane: "parallel",
+        variant: "replay-diff",
+        packets: per_rep,
+        wall_ns: 0,
+        identical: Some(par_identical),
+        conserved: Some(conserved),
+    });
+
+    {
+        let mut pr = parallel_router();
+        tb.run_parallel_batched(&mut pr, WARMUP_REPS, budget);
+        let s = tb.run_parallel_batched(&mut pr, REPS, budget);
+        rows.push(Row {
+            plane: "parallel",
+            variant: "direct",
+            packets: measured,
+            wall_ns: s.wall_ns,
+            identical: None,
+            conserved: None,
+        });
+    }
+    rows.push(Row {
+        plane: "parallel",
+        variant: "replay",
+        packets: measured,
+        wall_ns: replay_timed(parallel_router(), &trace, per_rep, budget),
+        identical: None,
+        conserved: None,
+    });
+
+    // ---- report ---------------------------------------------------
+    println!();
+    println!(
+        "pcap replay vs in-memory testbench ({FLOWS}-flow UDP/IPv6 workload, \
+         Ethernet-framed trace, {measured} packets per timed variant)"
+    );
+    println!();
+    let mut t = Table::new(&["Plane", "Variant", "pkt/s (wall)", "identical", "conserved"]);
+    for r in &rows {
+        t.row(&[
+            r.plane.into(),
+            r.variant.into(),
+            if r.wall_ns == 0 {
+                "—".into()
+            } else {
+                format!("{:.0}", r.pps_wall())
+            },
+            r.identical
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "—".into()),
+            r.conserved
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "—".into()),
+        ]);
+    }
+    t.print();
+
+    // ---- acceptance -----------------------------------------------
+    let find = |plane: &str, variant: &str| {
+        rows.iter()
+            .find(|r| r.plane == plane && r.variant == variant)
+            .expect("variant measured")
+    };
+    let mut ratios = Vec::new();
+    for plane in ["single", "parallel"] {
+        let direct_pps = find(plane, "direct").pps_wall();
+        let replay_pps = find(plane, "replay").pps_wall();
+        let ratio = if direct_pps > 0.0 {
+            replay_pps / direct_pps
+        } else {
+            0.0
+        };
+        ratios.push((plane, ratio));
+        if ratio < MIN_REPLAY_RATIO {
+            failures.push(format!(
+                "{plane}: replay at {:.0}% of in-memory throughput (floor {:.0}%)",
+                ratio * 100.0,
+                MIN_REPLAY_RATIO * 100.0
+            ));
+        }
+    }
+
+    println!();
+    for (plane, ratio) in &ratios {
+        println!(
+            "{plane}: replay sustains {:.0}% of in-memory throughput (floor {:.0}%)",
+            ratio * 100.0,
+            MIN_REPLAY_RATIO * 100.0
+        );
+    }
+
+    let extra = vec![
+        (
+            "workload",
+            Json::obj(vec![
+                ("flows", Json::from(FLOWS)),
+                ("pkts_per_flow", Json::from(PKTS_PER_FLOW)),
+                ("reps", Json::from(REPS)),
+                ("payload_len", Json::from(512usize)),
+                ("shards", Json::from(SHARDS)),
+                ("linktype", Json::from("ethernet")),
+                ("rx_budget", Json::from(budget)),
+            ]),
+        ),
+        (
+            "acceptance",
+            Json::obj(vec![
+                ("min_replay_ratio", Json::from(MIN_REPLAY_RATIO)),
+                ("single_replay_ratio", Json::from(ratios[0].1)),
+                ("parallel_replay_ratio", Json::from(ratios[1].1)),
+                ("single_identical", Json::from(identical)),
+                ("parallel_identical", Json::from(par_identical)),
+                ("pass", Json::from(failures.is_empty())),
+            ]),
+        ),
+        ("host_cores", Json::from(num_cpus())),
+    ];
+    let rows_json = rows.iter().map(Row::json).collect();
+    match write_bench_json("pcap", rows_json, extra) {
+        Ok(p) => eprintln!("[pcap_replay] wrote {}", p.display()),
+        Err(e) => eprintln!("[pcap_replay] could not write JSON: {e}"),
+    }
+
+    if !failures.is_empty() {
+        eprintln!("[pcap_replay] ACCEPTANCE FAILED:");
+        for f in &failures {
+            eprintln!("[pcap_replay]   - {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn num_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}

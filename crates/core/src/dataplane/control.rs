@@ -86,6 +86,63 @@ pub struct ShardStatus {
     pub last_fault: Option<String>,
 }
 
+/// Per-device I/O counters, maintained by each `NetDev` backend and
+/// surfaced through the pmgr `devices` command. Plain data so the
+/// control plane can render rows without knowing the backend type.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeviceStats {
+    /// Frames read from the device (including ones dropped at decap).
+    pub rx_packets: u64,
+    /// Bytes read from the device (L2 frame bytes as received).
+    pub rx_bytes: u64,
+    /// Receive-side I/O errors (failed reads; not per-frame drops).
+    pub rx_errors: u64,
+    /// Frames dropped at the device's receive side before becoming IP
+    /// packets (truncated / non-IP L2 frames) — the device-local view of
+    /// [`DropReason::DeviceRx`](crate::ip_core::DropReason::DeviceRx).
+    pub rx_dropped: u64,
+    /// Packets successfully written to the device.
+    pub tx_packets: u64,
+    /// Bytes written to the device (after L2 framing).
+    pub tx_bytes: u64,
+    /// Packets the device refused to transmit — the device-local view of
+    /// [`DropReason::DeviceTx`](crate::ip_core::DropReason::DeviceTx).
+    pub tx_errors: u64,
+    /// Sizes of the receive batches the device delivered (frames per
+    /// `rx_batch` call that returned at least one frame).
+    pub rx_batch: crate::obs::Histogram,
+    /// Sizes of the transmit batches handed to the device.
+    pub tx_batch: crate::obs::Histogram,
+}
+
+impl DeviceStats {
+    /// Fold another device's counters into this one (the "total" row of
+    /// the `devices` report).
+    pub fn absorb(&mut self, other: &DeviceStats) {
+        self.rx_packets += other.rx_packets;
+        self.rx_bytes += other.rx_bytes;
+        self.rx_errors += other.rx_errors;
+        self.rx_dropped += other.rx_dropped;
+        self.tx_packets += other.tx_packets;
+        self.tx_bytes += other.tx_bytes;
+        self.tx_errors += other.tx_errors;
+        self.rx_batch.absorb(&other.rx_batch);
+        self.tx_batch.absorb(&other.tx_batch);
+    }
+}
+
+/// One row of the pmgr `devices` report: a bound network device and its
+/// counters.
+#[derive(Debug, Clone)]
+pub struct DeviceRow {
+    /// Device name (backend-chosen, e.g. `udp0`, `tap0`, `pcap:replay`).
+    pub name: String,
+    /// The router interface the device is bound to.
+    pub iface: IfIndex,
+    /// The device's I/O counters.
+    pub stats: DeviceStats,
+}
+
 /// A trace event with its origin: `None` on a single router, `Some(shard)`
 /// on a parallel data plane.
 #[derive(Debug, Clone)]
@@ -160,6 +217,12 @@ pub trait ControlPlane {
     /// containment → quarantine → journal-rebuild path.
     fn cp_shard_kill(&mut self, _shard: usize) -> Result<String, PluginError> {
         Err(PluginError::Busy("no data-plane shards".to_string()))
+    }
+    /// Bound network devices (`pmgr devices`): one row per device, in
+    /// binding order. Empty unless the plane runs under an `IoPlane`
+    /// (the bare routers have no devices).
+    fn cp_device_rows(&self) -> Vec<DeviceRow> {
+        Vec::new()
     }
 }
 

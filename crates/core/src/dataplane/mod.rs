@@ -246,6 +246,11 @@ pub struct ParallelRouter {
     local_stats: DataPathStats,
     local_flows: FlowTableStats,
     local_metrics: MetricsRegistry,
+    /// Forwarded packets later refused by an egress device
+    /// ([`note_device_tx_drops`](ParallelRouter::note_device_tx_drops)).
+    /// Shard counters are absorbed read-only, so this correction is
+    /// subtracted from the merged `forwarded` at read time.
+    device_tx_unforwarded: u64,
     watchdog_tick: u64,
     /// Load-aware flow placement, when configured. Dispatcher-side only:
     /// shards never see it, so the lock-free shard fast path is
@@ -282,6 +287,7 @@ impl ParallelRouter {
             local_stats: DataPathStats::default(),
             local_flows: FlowTableStats::default(),
             local_metrics: MetricsRegistry::default(),
+            device_tx_unforwarded: 0,
             watchdog_tick: 0,
             steer: cfg.steer.map(|sc| FlowSteer::new(sc, shards)),
             cfg,
@@ -919,6 +925,44 @@ impl ParallelRouter {
         }
     }
 
+    /// Drain `iface`'s transmitted packets into `out`, preserving both
+    /// the pending bucket's and `out`'s allocated capacity — the
+    /// zero-allocation counterpart of [`take_tx`](ParallelRouter::take_tx)
+    /// (mirrors [`Router::take_tx_into`]).
+    pub fn take_tx_into(&mut self, iface: IfIndex, out: &mut Vec<Mbuf>) {
+        self.drain_egress();
+        if let Some(v) = self.pending.get_mut(iface as usize) {
+            out.append(v);
+        }
+    }
+
+    /// The dispatcher's buffer pool, for device drivers that acquire and
+    /// recycle backing buffers directly (mirrors [`Router::pool_mut`]).
+    pub fn pool_mut(&mut self) -> &mut rp_packet::pool::MbufPool {
+        &mut self.pool
+    }
+
+    /// Account `n` frames a device's receive side dropped before they
+    /// became IP packets. Counted dispatcher-side exactly like an
+    /// overload shed ([`shed_n`](ParallelRouter::shed_n)): received and
+    /// dropped in the same breath, so the merged
+    /// `received == forwarded + Σdrops` invariant extends to the wire.
+    pub fn note_device_rx_drops(&mut self, n: u64) {
+        self.local_stats.received += n;
+        self.local_stats.dropped_device_rx += n;
+        self.local_metrics.drops[drop_reason_index(DropReason::DeviceRx)] += n;
+    }
+
+    /// Re-account `n` already-forwarded packets whose egress device
+    /// refused to transmit them (same re-accounting the shard harvest
+    /// does for stranded backlogs): they leave the merged `forwarded`
+    /// total and land in the device-tx drop counter.
+    pub fn note_device_tx_drops(&mut self, n: u64) {
+        self.device_tx_unforwarded += n;
+        self.local_stats.dropped_device_tx += n;
+        self.local_metrics.drops[drop_reason_index(DropReason::DeviceTx)] += n;
+    }
+
     // ---- control fan-out ------------------------------------------
 
     /// Run `f` on every serving shard (on the shard's own thread, in
@@ -1037,6 +1081,7 @@ impl ParallelRouter {
         for s in self.control_map(|ctx| ctx.router.stats()) {
             total.absorb(&s);
         }
+        total.forwarded = total.forwarded.saturating_sub(self.device_tx_unforwarded);
         total
     }
 
@@ -1223,6 +1268,9 @@ impl ControlPlane for ParallelRouter {
             total_data.absorb(d);
             total_flows.absorb(f);
         }
+        total_data.forwarded = total_data
+            .forwarded
+            .saturating_sub(self.device_tx_unforwarded);
         let mut rows = vec![StatsRow {
             label: "total".to_string(),
             data: total_data,

@@ -50,6 +50,16 @@ pub enum DropReason {
     /// when it died (the restart accounting attributes them here —
     /// zero silent loss).
     ShardDown,
+    /// Dropped at a network device's receive side before the IP core ever
+    /// saw an IP packet: truncated L2 frame, non-IP ethertype, or a
+    /// failed decapsulation. Counted by the I/O plane so the device-level
+    /// conservation ledger (`device_rx == forwarded + Σdrops`) stays
+    /// exact.
+    DeviceRx,
+    /// Forwarded by the data path but refused by the egress device (write
+    /// error, device gone). The I/O plane re-accounts the packet from
+    /// `forwarded` into this counter — the wire never carried it.
+    DeviceTx,
 }
 
 /// Final outcome of processing one packet.
@@ -104,6 +114,13 @@ pub struct DataPathStats {
     /// stalled, or awaiting restart — including packets that were queued
     /// on a shard when it died (parallel plane only).
     pub dropped_shard_down: u64,
+    /// Frames dropped at a device's receive side before IP processing
+    /// (truncated / non-IP L2 frames; I/O plane only, always 0 without
+    /// bound devices).
+    pub dropped_device_rx: u64,
+    /// Forwarded packets the egress device refused to transmit (I/O plane
+    /// only).
+    pub dropped_device_tx: u64,
     /// Instances moved to quarantine.
     pub plugin_quarantines: u64,
     /// Successful supervised instance restarts.
@@ -130,6 +147,8 @@ impl DataPathStats {
         self.dropped_internal += other.dropped_internal;
         self.dropped_shard_overload += other.dropped_shard_overload;
         self.dropped_shard_down += other.dropped_shard_down;
+        self.dropped_device_rx += other.dropped_device_rx;
+        self.dropped_device_tx += other.dropped_device_tx;
         self.plugin_quarantines += other.plugin_quarantines;
         self.plugin_restarts += other.plugin_restarts;
     }
@@ -146,6 +165,8 @@ impl DataPathStats {
             + self.dropped_internal
             + self.dropped_shard_overload
             + self.dropped_shard_down
+            + self.dropped_device_rx
+            + self.dropped_device_tx
     }
 }
 

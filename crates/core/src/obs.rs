@@ -120,7 +120,7 @@ impl Histogram {
 
 /// Number of distinct [`DropReason`] slots: the scalar reasons plus one
 /// per gate for `Plugin(gate)` and `PluginFault(gate)`.
-pub const DROP_KINDS: usize = 9 + 2 * GATE_COUNT;
+pub const DROP_KINDS: usize = 11 + 2 * GATE_COUNT;
 
 /// Map a drop reason to its counter slot.
 pub fn drop_reason_index(reason: DropReason) -> usize {
@@ -134,8 +134,10 @@ pub fn drop_reason_index(reason: DropReason) -> usize {
         DropReason::Internal => 6,
         DropReason::ShardOverload => 7,
         DropReason::ShardDown => 8,
-        DropReason::Plugin(g) => 9 + g.index(),
-        DropReason::PluginFault(g) => 9 + GATE_COUNT + g.index(),
+        DropReason::DeviceRx => 9,
+        DropReason::DeviceTx => 10,
+        DropReason::Plugin(g) => 11 + g.index(),
+        DropReason::PluginFault(g) => 11 + GATE_COUNT + g.index(),
     }
 }
 
@@ -151,8 +153,10 @@ pub fn drop_reason_label(slot: usize) -> String {
         6 => "internal".to_string(),
         7 => "shard_overload".to_string(),
         8 => "shard_down".to_string(),
-        s if s < 9 + GATE_COUNT => format!("plugin_{}", ALL_GATES[s - 9]),
-        s => format!("plugin_fault_{}", ALL_GATES[s - 9 - GATE_COUNT]),
+        9 => "device_rx".to_string(),
+        10 => "device_tx".to_string(),
+        s if s < 11 + GATE_COUNT => format!("plugin_{}", ALL_GATES[s - 11]),
+        s => format!("plugin_fault_{}", ALL_GATES[s - 11 - GATE_COUNT]),
     }
 }
 
@@ -685,6 +689,8 @@ mod tests {
             DropReason::Internal,
             DropReason::ShardOverload,
             DropReason::ShardDown,
+            DropReason::DeviceRx,
+            DropReason::DeviceTx,
         ];
         for g in ALL_GATES {
             reasons.push(DropReason::Plugin(g));
@@ -699,9 +705,11 @@ mod tests {
         }
         assert_eq!(drop_reason_label(7), "shard_overload");
         assert_eq!(drop_reason_label(8), "shard_down");
-        assert_eq!(drop_reason_label(9), "plugin_firewall");
+        assert_eq!(drop_reason_label(9), "device_rx");
+        assert_eq!(drop_reason_label(10), "device_tx");
+        assert_eq!(drop_reason_label(11), "plugin_firewall");
         assert_eq!(
-            drop_reason_label(9 + GATE_COUNT + GATE_COUNT - 1),
+            drop_reason_label(11 + GATE_COUNT + GATE_COUNT - 1),
             "plugin_fault_sched"
         );
     }

@@ -40,6 +40,10 @@
 //! faults                             # fault/quarantine/restart counters
 //! shards                             # shard supervision state (parallel
 //!                                    # data plane only)
+//! devices                            # bound network devices with rx/tx
+//!                                    # packet/byte/error counters and
+//!                                    # batch-size histograms (I/O plane
+//!                                    # only)
 //! shard restart <i>                  # rebuild shard i from the command
 //!                                    # journal (operator override: skips
 //!                                    # backoff, revives an exhausted
@@ -289,6 +293,36 @@ pub fn run_command<C: ControlPlane>(router: &mut C, line: &str) -> Result<String
                         line.push_str(&format!(" last=\"{f}\""));
                     }
                     line
+                })
+                .collect::<Vec<_>>()
+                .join("\n"))
+        }
+        "devices" => {
+            let rows = router.cp_device_rows();
+            if rows.is_empty() {
+                return Ok("no bound devices (data plane not under an I/O plane)".to_string());
+            }
+            Ok(rows
+                .into_iter()
+                .map(|d| {
+                    let s = d.stats;
+                    format!(
+                        "{} if{}: rx={}pkts/{}B (err={} drop={}) tx={}pkts/{}B (err={}) \
+                         rx_batch(mean={:.1} n={}) tx_batch(mean={:.1} n={})",
+                        d.name,
+                        d.iface,
+                        s.rx_packets,
+                        s.rx_bytes,
+                        s.rx_errors,
+                        s.rx_dropped,
+                        s.tx_packets,
+                        s.tx_bytes,
+                        s.tx_errors,
+                        s.rx_batch.mean(),
+                        s.rx_batch.count,
+                        s.tx_batch.mean(),
+                        s.tx_batch.count,
+                    )
                 })
                 .collect::<Vec<_>>()
                 .join("\n"))
@@ -642,6 +676,17 @@ bind stats stats 0 <*, *, UDP, *, 53, *>",
             run_command(&mut pr, "shard restart 7"),
             Err(PmgrError::Plugin(_))
         ));
+    }
+
+    #[test]
+    fn devices_command_without_io_plane() {
+        // Bare data planes have no bound devices; the command still
+        // answers (the informative empty reply, like `shards`).
+        let mut r = router();
+        assert_eq!(
+            run_command(&mut r, "devices").unwrap(),
+            "no bound devices (data plane not under an I/O plane)"
+        );
     }
 
     #[test]

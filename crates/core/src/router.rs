@@ -861,6 +861,12 @@ impl Router {
             // completeness should a caller synthesize one.
             DropReason::ShardOverload => self.stats.dropped_shard_overload += 1,
             DropReason::ShardDown => self.stats.dropped_shard_down += 1,
+            // Device-level drops happen in the I/O plane (which counts
+            // them in bulk via [`Router::note_device_rx_drops`] /
+            // [`Router::note_device_tx_drops`]); counted for completeness
+            // should a caller synthesize one.
+            DropReason::DeviceRx => self.stats.dropped_device_rx += 1,
+            DropReason::DeviceTx => self.stats.dropped_device_tx += 1,
         }
         Disposition::Dropped(reason)
     }
@@ -938,6 +944,33 @@ impl Router {
     /// [`Router::metrics_snapshot`]). Cumulative since construction.
     pub fn pool_stats(&self) -> PoolStats {
         self.pool.stats()
+    }
+
+    /// The router's buffer pool, for device drivers that acquire and
+    /// recycle backing buffers directly (the I/O plane's egress drain
+    /// hands transmitted buffers straight back here).
+    pub fn pool_mut(&mut self) -> &mut rp_packet::pool::MbufPool {
+        &mut self.pool
+    }
+
+    /// Account `n` frames the receive side of a device dropped before
+    /// they became IP packets (truncated or non-IP L2 frames). They count
+    /// as received so the conservation invariant
+    /// `received == forwarded + Σdrops` extends to the wire.
+    pub fn note_device_rx_drops(&mut self, n: u64) {
+        self.stats.received += n;
+        self.stats.dropped_device_rx += n;
+        self.metrics.drops[obs::drop_reason_index(DropReason::DeviceRx)] += n;
+    }
+
+    /// Re-account `n` already-forwarded packets whose egress device
+    /// refused to transmit them: they leave `forwarded` and land in the
+    /// device-tx drop counter, keeping `received == forwarded + Σdrops`
+    /// exact from wire to wire.
+    pub fn note_device_tx_drops(&mut self, n: u64) {
+        self.stats.forwarded = self.stats.forwarded.saturating_sub(n);
+        self.stats.dropped_device_tx += n;
+        self.metrics.drops[obs::drop_reason_index(DropReason::DeviceTx)] += n;
     }
 
     /// Data-path statistics.

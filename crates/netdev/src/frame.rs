@@ -1,0 +1,107 @@
+//! Ethernet (DIX) framing rules shared by the TAP, framed-loopback, and
+//! Ethernet-pcap backends.
+//!
+//! The rules are deliberately minimal — the router is an IP router, so
+//! the L2 boundary does exactly two things:
+//!
+//! * **Strip on receive:** a frame shorter than the 14-byte header is a
+//!   truncated-frame drop; an ethertype other than IPv4/IPv6 is a
+//!   non-IP drop. Both are counted device-side and become
+//!   [`DropReason::DeviceRx`](router_core::ip_core::DropReason::DeviceRx)
+//!   in the conservation ledger. Anything else passes its payload
+//!   upward unexamined (IP-level garbage is the IP core's `Malformed`).
+//! * **Attach on transmit:** the ethertype comes from the packet's IP
+//!   version nibble; a payload with neither version nibble cannot be
+//!   framed and is a device-tx error.
+
+/// Length of a DIX Ethernet header (no VLAN tags, no FCS).
+pub const ETH_HDR_LEN: usize = 14;
+
+/// Ethertype for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+
+/// Ethertype for IPv6.
+pub const ETHERTYPE_IPV6: u16 = 0x86DD;
+
+/// Why a received frame could not be decapsulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Shorter than the Ethernet header.
+    Truncated,
+    /// Ethertype is neither IPv4 nor IPv6 (ARP, LLDP, VLAN, …).
+    NonIp(u16),
+}
+
+/// Strip the Ethernet header from a received frame, returning the IP
+/// payload.
+pub fn strip_ethernet(frame: &[u8]) -> Result<&[u8], FrameError> {
+    if frame.len() < ETH_HDR_LEN {
+        return Err(FrameError::Truncated);
+    }
+    let ethertype = u16::from_be_bytes([frame[12], frame[13]]);
+    match ethertype {
+        ETHERTYPE_IPV4 | ETHERTYPE_IPV6 => Ok(&frame[ETH_HDR_LEN..]),
+        other => Err(FrameError::NonIp(other)),
+    }
+}
+
+/// The ethertype implied by a packet's IP version nibble, or `None` when
+/// the payload is not an IP packet (cannot be framed).
+pub fn ethertype_of(ip: &[u8]) -> Option<u16> {
+    match ip.first().map(|b| b >> 4) {
+        Some(4) => Some(ETHERTYPE_IPV4),
+        Some(6) => Some(ETHERTYPE_IPV6),
+        _ => None,
+    }
+}
+
+/// Build an Ethernet frame around an IP packet into `out` (cleared
+/// first; its capacity is reused across calls). Returns `false` — and
+/// leaves `out` empty — when the payload has no IP version nibble.
+pub fn attach_ethernet(out: &mut Vec<u8>, dst: &[u8; 6], src: &[u8; 6], ip: &[u8]) -> bool {
+    out.clear();
+    let Some(ethertype) = ethertype_of(ip) else {
+        return false;
+    };
+    out.extend_from_slice(dst);
+    out.extend_from_slice(src);
+    out.extend_from_slice(&ethertype.to_be_bytes());
+    out.extend_from_slice(ip);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_v4_and_v6() {
+        let v4 = [0x45u8, 0, 0, 20];
+        let v6 = [0x60u8, 0, 0, 0];
+        let (dst, src) = ([1u8; 6], [2u8; 6]);
+        let mut f = Vec::new();
+        assert!(attach_ethernet(&mut f, &dst, &src, &v4));
+        assert_eq!(u16::from_be_bytes([f[12], f[13]]), ETHERTYPE_IPV4);
+        assert_eq!(strip_ethernet(&f).unwrap(), &v4);
+        assert!(attach_ethernet(&mut f, &dst, &src, &v6));
+        assert_eq!(u16::from_be_bytes([f[12], f[13]]), ETHERTYPE_IPV6);
+        assert_eq!(strip_ethernet(&f).unwrap(), &v6);
+    }
+
+    #[test]
+    fn truncated_and_non_ip_frames_are_errors() {
+        assert_eq!(strip_ethernet(&[0u8; 13]), Err(FrameError::Truncated));
+        let mut arp = vec![0u8; 14];
+        arp[12] = 0x08;
+        arp[13] = 0x06;
+        assert_eq!(strip_ethernet(&arp), Err(FrameError::NonIp(0x0806)));
+    }
+
+    #[test]
+    fn unframeable_payload_refused() {
+        let mut f = vec![0xffu8; 3];
+        assert!(!attach_ethernet(&mut f, &[0; 6], &[0; 6], &[0x15, 0, 0]));
+        assert!(f.is_empty());
+        assert!(!attach_ethernet(&mut f, &[0; 6], &[0; 6], &[]));
+    }
+}

@@ -1,0 +1,69 @@
+//! Minimal Linux syscall surface for the TAP and `recvmmsg` paths.
+//!
+//! The workspace deliberately carries no `libc` crate, so the handful
+//! of symbols we need are declared here directly. They resolve against
+//! the platform C library that `std` already links — no new dependency.
+//! Struct layouts match glibc/musl on 64-bit Linux (x86_64, aarch64):
+//! `repr(C)` inserts the same padding the C definitions carry.
+//!
+//! Everything here is `pub(crate)`; the safe wrappers live in
+//! [`crate::tap`] and [`crate::udp`].
+#![allow(non_camel_case_types)]
+
+use std::os::raw::{c_int, c_uint, c_ulong, c_void};
+
+/// `ioctl(fd, TUNSETIFF, &ifreq)` — attach a tun/tap fd to an interface.
+pub(crate) const TUNSETIFF: c_ulong = 0x4004_54ca;
+/// `ifreq.ifr_flags` bit: TAP (Ethernet-level) rather than TUN.
+pub(crate) const IFF_TAP: u16 = 0x0002;
+/// `ifreq.ifr_flags` bit: no packet-information prefix on frames.
+pub(crate) const IFF_NO_PI: u16 = 0x1000;
+/// `ioctl(fd, FIONBIO, &1)` — set nonblocking on a plain fd.
+pub(crate) const FIONBIO: c_ulong = 0x5421;
+/// `recvmmsg` flag: never block even on blocking sockets.
+pub(crate) const MSG_DONTWAIT: c_int = 0x40;
+
+pub(crate) const IFNAMSIZ: usize = 16;
+
+/// `struct ifreq` as the tun driver reads it: interface name followed
+/// by a 24-byte union whose first two bytes are `ifr_flags`
+/// (native-endian).
+#[repr(C)]
+pub(crate) struct ifreq {
+    pub ifr_name: [u8; IFNAMSIZ],
+    pub ifr_ifru: [u8; 24],
+}
+
+#[repr(C)]
+pub(crate) struct iovec {
+    pub iov_base: *mut c_void,
+    pub iov_len: usize,
+}
+
+#[repr(C)]
+pub(crate) struct msghdr {
+    pub msg_name: *mut c_void,
+    pub msg_namelen: c_uint,
+    pub msg_iov: *mut iovec,
+    pub msg_iovlen: usize,
+    pub msg_control: *mut c_void,
+    pub msg_controllen: usize,
+    pub msg_flags: c_int,
+}
+
+#[repr(C)]
+pub(crate) struct mmsghdr {
+    pub msg_hdr: msghdr,
+    pub msg_len: c_uint,
+}
+
+extern "C" {
+    pub(crate) fn ioctl(fd: c_int, request: c_ulong, ...) -> c_int;
+    pub(crate) fn recvmmsg(
+        sockfd: c_int,
+        msgvec: *mut mmsghdr,
+        vlen: c_uint,
+        flags: c_int,
+        timeout: *mut c_void,
+    ) -> c_int;
+}

@@ -1,0 +1,196 @@
+//! Linux TAP backend: a kernel-side Ethernet interface whose frames
+//! are delivered to (and accepted from) this process through
+//! `/dev/net/tun`.
+//!
+//! [`TapDev::open`] opens the clone device, attaches it to a named
+//! interface with `TUNSETIFF` (`IFF_TAP | IFF_NO_PI`, so reads and
+//! writes are bare Ethernet frames), and sets the fd nonblocking. The
+//! receive path strips Ethernet headers (truncated / non-IP frames —
+//! the kernel will happily send us ARP and IPv6 ND — become device-rx
+//! drops); the transmit path attaches a header using synthetic MACs.
+//!
+//! Opening requires `CAP_NET_ADMIN` and an existing `/dev/net/tun`;
+//! when either is missing `open` returns [`NetDevError::Unavailable`]
+//! and the tests **skip** rather than fail — CI containers without the
+//! device stay green.
+//!
+//! On non-Linux platforms the type exists but `open` always returns
+//! `Unavailable`, keeping callers portable without `cfg` noise.
+
+use crate::{NetDev, NetDevError, RxBatch};
+use router_core::dataplane::control::DeviceStats;
+use rp_packet::pool::MbufPool;
+use rp_packet::Mbuf;
+
+/// MAC address the router uses as source on transmitted frames.
+pub const TAP_LOCAL_MAC: [u8; 6] = [0x02, 0, 0, 0, 0, 0x11];
+/// MAC address frames are addressed to (the kernel side accepts any).
+pub const TAP_PEER_MAC: [u8; 6] = [0x02, 0, 0, 0, 0, 0x12];
+
+/// Maximum Ethernet frame we read in one go.
+const FRAME_BUF: usize = 9230;
+
+/// A TAP-interface [`NetDev`] (see module docs).
+#[derive(Debug)]
+pub struct TapDev {
+    name: String,
+    #[cfg(target_os = "linux")]
+    file: std::fs::File,
+    rx_scratch: Vec<u8>,
+    tx_scratch: Vec<u8>,
+    stats: DeviceStats,
+}
+
+#[cfg(target_os = "linux")]
+impl TapDev {
+    /// Open `/dev/net/tun` and attach it to the TAP interface `ifname`
+    /// (created if absent, requires `CAP_NET_ADMIN`).
+    pub fn open(ifname: &str) -> Result<TapDev, NetDevError> {
+        use crate::sys;
+        use std::os::fd::AsRawFd;
+
+        if ifname.len() >= sys::IFNAMSIZ {
+            return Err(NetDevError::Unavailable(format!(
+                "interface name too long: {ifname}"
+            )));
+        }
+        let file = match std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open("/dev/net/tun")
+        {
+            Ok(f) => f,
+            Err(e) => {
+                return Err(NetDevError::Unavailable(format!(
+                    "cannot open /dev/net/tun: {e}"
+                )))
+            }
+        };
+
+        let mut req = sys::ifreq {
+            ifr_name: [0u8; sys::IFNAMSIZ],
+            ifr_ifru: [0u8; 24],
+        };
+        req.ifr_name[..ifname.len()].copy_from_slice(ifname.as_bytes());
+        let flags = sys::IFF_TAP | sys::IFF_NO_PI;
+        req.ifr_ifru[..2].copy_from_slice(&flags.to_ne_bytes());
+        // SAFETY: TUNSETIFF reads a properly initialised ifreq; the fd
+        // is a freshly opened tun clone device we own.
+        let rc = unsafe { sys::ioctl(file.as_raw_fd(), sys::TUNSETIFF, &mut req) };
+        if rc < 0 {
+            return Err(NetDevError::Unavailable(format!(
+                "TUNSETIFF({ifname}) failed: {}",
+                std::io::Error::last_os_error()
+            )));
+        }
+        let mut nb: i32 = 1;
+        // SAFETY: FIONBIO reads one int; fd is ours.
+        let rc = unsafe { sys::ioctl(file.as_raw_fd(), sys::FIONBIO, &mut nb) };
+        if rc < 0 {
+            return Err(NetDevError::Io(std::io::Error::last_os_error()));
+        }
+
+        Ok(TapDev {
+            name: ifname.to_string(),
+            file,
+            rx_scratch: vec![0u8; FRAME_BUF],
+            tx_scratch: Vec::with_capacity(FRAME_BUF),
+            stats: DeviceStats::default(),
+        })
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+impl TapDev {
+    /// TAP interfaces are Linux-only; always returns `Unavailable`.
+    pub fn open(ifname: &str) -> Result<TapDev, NetDevError> {
+        Err(NetDevError::Unavailable(format!(
+            "TAP ({ifname}) requires Linux /dev/net/tun"
+        )))
+    }
+}
+
+impl NetDev for TapDev {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    #[cfg(target_os = "linux")]
+    fn rx_batch(&mut self, max: usize, sink: &mut dyn FnMut(&[u8])) -> RxBatch {
+        use std::io::Read;
+
+        let mut batch = RxBatch::default();
+        while (batch.frames as usize) < max {
+            match self.file.read(&mut self.rx_scratch) {
+                Ok(len) => {
+                    batch.frames += 1;
+                    self.stats.rx_packets += 1;
+                    self.stats.rx_bytes += len as u64;
+                    match crate::frame::strip_ethernet(&self.rx_scratch[..len]) {
+                        Ok(p) => {
+                            sink(p);
+                            batch.delivered += 1;
+                        }
+                        Err(_) => {
+                            batch.dropped += 1;
+                            self.stats.rx_dropped += 1;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.stats.rx_errors += 1;
+                    break;
+                }
+            }
+        }
+        self.stats.rx_batch.observe(batch.frames);
+        batch
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    fn rx_batch(&mut self, _max: usize, _sink: &mut dyn FnMut(&[u8])) -> RxBatch {
+        let _ = &self.rx_scratch;
+        RxBatch::default()
+    }
+
+    #[cfg(target_os = "linux")]
+    fn tx_batch(&mut self, pkts: &mut Vec<Mbuf>, pool: &mut MbufPool) -> u64 {
+        use std::io::Write;
+
+        let mut written = 0;
+        for m in pkts.drain(..) {
+            let framed = crate::frame::attach_ethernet(
+                &mut self.tx_scratch,
+                &TAP_PEER_MAC,
+                &TAP_LOCAL_MAC,
+                m.data(),
+            );
+            if framed && self.file.write(&self.tx_scratch).is_ok() {
+                self.stats.tx_packets += 1;
+                self.stats.tx_bytes += m.len() as u64;
+                written += 1;
+            } else {
+                self.stats.tx_errors += 1;
+            }
+            pool.recycle(m);
+        }
+        self.stats.tx_batch.observe(written);
+        written
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    fn tx_batch(&mut self, pkts: &mut Vec<Mbuf>, pool: &mut MbufPool) -> u64 {
+        let _ = &self.tx_scratch;
+        for m in pkts.drain(..) {
+            self.stats.tx_errors += 1;
+            pool.recycle(m);
+        }
+        0
+    }
+
+    fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+}

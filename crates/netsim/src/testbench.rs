@@ -145,6 +145,38 @@ impl Testbench {
         }
     }
 
+    /// The prebuilt packet sequence (one rep of the workload).
+    pub fn packets(&self) -> &[Mbuf] {
+        &self.packets
+    }
+
+    /// Serialize the workload as a classic pcap capture, so any
+    /// testbench traffic doubles as a replayable trace for the I/O
+    /// plane (`linktype` is `LINKTYPE_RAW` for bare IP records or
+    /// `LINKTYPE_ETHERNET` to wrap each packet in a synthetic Ethernet
+    /// frame). Record timestamps are synthetic: packet `i` is stamped
+    /// `i` microseconds from zero, preserving order.
+    pub fn record_pcap(&self, linktype: u32, big_endian: bool) -> Vec<u8> {
+        let mut w = rp_netdev::pcap::PcapWriter::new(linktype, big_endian);
+        let mut frame = Vec::new();
+        for (i, pkt) in self.packets.iter().enumerate() {
+            let (ts_sec, ts_usec) = ((i / 1_000_000) as u32, (i % 1_000_000) as u32);
+            if linktype == rp_netdev::pcap::LINKTYPE_ETHERNET {
+                if rp_netdev::frame::attach_ethernet(
+                    &mut frame,
+                    &rp_netdev::pcap::CAPTURE_DST_MAC,
+                    &rp_netdev::pcap::CAPTURE_SRC_MAC,
+                    pkt.data(),
+                ) {
+                    w.push(ts_sec, ts_usec, &frame);
+                }
+            } else {
+                w.push(ts_sec, ts_usec, pkt.data());
+            }
+        }
+        w.into_bytes()
+    }
+
     /// Replay through the plugin router `reps` times; the scheduling gate
     /// is drained (`pump`) after each packet, mirroring the testbed's
     /// immediate retransmission on the output ATM port.

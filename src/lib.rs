@@ -40,5 +40,10 @@ pub use rp_sched as sched;
 /// The plugin framework and router (`router-core`).
 pub use router_core as core;
 
+/// Real-traffic I/O plane: pluggable network-device backends — UDP,
+/// TAP, pcap replay/capture, loopback — and the driver binding them to
+/// either data plane (`rp-netdev`).
+pub use rp_netdev as netdev;
+
 /// Simulated testbed: workloads, testbench, SSP daemon (`rp-netsim`).
 pub use rp_netsim as netsim;
