@@ -105,9 +105,16 @@ pub struct DeviceStats {
     pub tx_packets: u64,
     /// Bytes written to the device (after L2 framing).
     pub tx_bytes: u64,
-    /// Packets the device refused to transmit — the device-local view of
+    /// Packets lost to transmit-side I/O errors (the write itself
+    /// failed) — a device-local contribution to
     /// [`DropReason::DeviceTx`](crate::ip_core::DropReason::DeviceTx).
     pub tx_errors: u64,
+    /// Packets dropped after bounded backpressure retries (the device's
+    /// transmit queue stayed full, e.g. `WouldBlock` on a socket buffer)
+    /// — the other device-local contribution to
+    /// [`DropReason::DeviceTx`](crate::ip_core::DropReason::DeviceTx),
+    /// kept separate so the ledger names the real cause.
+    pub tx_dropped: u64,
     /// Sizes of the receive batches the device delivered (frames per
     /// `rx_batch` call that returned at least one frame).
     pub rx_batch: crate::obs::Histogram,
@@ -126,6 +133,7 @@ impl DeviceStats {
         self.tx_packets += other.tx_packets;
         self.tx_bytes += other.tx_bytes;
         self.tx_errors += other.tx_errors;
+        self.tx_dropped += other.tx_dropped;
         self.rx_batch.absorb(&other.rx_batch);
         self.tx_batch.absorb(&other.tx_batch);
     }

@@ -250,7 +250,10 @@ impl FlowSteer {
         self.load[shard] += 1;
         self.window_total += 1;
         self.tick += 1;
-        if self.window_total >= self.cfg.window * 2 {
+        // Halve every `window` dispatches, as the config documents
+        // (`window_total` tracks the decayed sum, so it cycles between
+        // roughly window/2 and window at steady state).
+        if self.window_total >= self.cfg.window {
             for l in &mut self.load {
                 *l /= 2;
             }
@@ -260,7 +263,12 @@ impl FlowSteer {
 
     fn probe(&mut self, tuple: &FlowTuple, h: u32) -> Probe {
         let start = (h as usize) & self.mask;
-        let mut free: Option<usize> = None;
+        // Track dead slots and idle-reclaim candidates separately: a
+        // live-but-idle pin is only evicted when the whole run holds
+        // live entries, never while a genuinely dead slot exists later
+        // in the run.
+        let mut dead: Option<usize> = None;
+        let mut reclaim: Option<usize> = None;
         for i in 0..PROBE_RUN {
             let slot = (start + i) & self.mask;
             let e = &self.pins[slot];
@@ -269,14 +277,14 @@ impl FlowSteer {
                     return Probe::Hit(slot);
                 }
                 // Reclaimable? Only if idle for the full pin window.
-                if free.is_none() && self.tick.saturating_sub(e.last_tick) > self.cfg.pin_idle {
-                    free = Some(slot);
+                if reclaim.is_none() && self.tick.saturating_sub(e.last_tick) > self.cfg.pin_idle {
+                    reclaim = Some(slot);
                 }
-            } else if free.is_none() {
-                free = Some(slot);
+            } else if dead.is_none() {
+                dead = Some(slot);
             }
         }
-        match free {
+        match dead.or(reclaim) {
             Some(slot) => {
                 if self.pins[slot].live {
                     self.stats.reclaimed += 1;
@@ -408,6 +416,73 @@ mod tests {
         assert!(steered > 0, "no flow escaped the hot shard");
         assert_eq!(st.stats().steered, steered);
         assert!(st.stats().elephants >= 1);
+    }
+
+    #[test]
+    fn probe_prefers_dead_slots_over_idle_reclaims() {
+        // Regression: probe() used a single first-candidate-wins option,
+        // so an idle-but-live pin earlier in the probe run was evicted
+        // even when a genuinely dead slot existed later in the run.
+        let mut st = FlowSteer::new(
+            SteerConfig {
+                pin_capacity: 8,
+                pin_idle: 10,
+                ..SteerConfig::default()
+            },
+            4,
+        );
+        // With capacity 8 and PROBE_RUN 8 every probe run covers the
+        // whole table, so dead slots are always reachable.
+        let a = tuple(1, 1);
+        let slot_a = (flow_hash(&a) as usize) & 7;
+        let shard_a = st.steer(&a);
+        // A second flow on a different slot, hammered until `a` is idle
+        // past pin_idle.
+        let b = (2..500u16)
+            .map(|n| tuple(n, n))
+            .find(|t| (flow_hash(t) as usize) & 7 != slot_a)
+            .unwrap();
+        for _ in 0..30 {
+            st.steer(&b);
+        }
+        // A new flow whose probe run starts exactly at `a`'s slot: the
+        // idle-live pin is the first candidate, but six dead slots
+        // follow it in the run.
+        let c = (500..5000u16)
+            .map(|n| tuple(n, n))
+            .find(|t| (flow_hash(t) as usize) & 7 == slot_a && *t != a)
+            .unwrap();
+        st.steer(&c);
+        assert_eq!(
+            st.stats().reclaimed,
+            0,
+            "evicted a tracked flow while dead slots existed"
+        );
+        assert_eq!(st.stats().tracked, 3, "a, b, and c must all be tracked");
+        assert_eq!(st.steer(&a), shard_a, "a's pin must survive c's arrival");
+    }
+
+    #[test]
+    fn load_counters_halve_every_window() {
+        // Regression: SteerConfig::window documents halving every
+        // `window` packets, but note_dispatch halved at `window * 2`.
+        let mut st = FlowSteer::new(
+            SteerConfig {
+                window: 100,
+                ..SteerConfig::default()
+            },
+            4,
+        );
+        let t = tuple(9, 9);
+        for _ in 0..99 {
+            st.steer(&t);
+        }
+        assert_eq!(st.window_total, 99);
+        st.steer(&t);
+        assert_eq!(
+            st.window_total, 50,
+            "the window must decay at `window` dispatches, not `window * 2`"
+        );
     }
 
     #[test]

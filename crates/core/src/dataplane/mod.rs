@@ -84,7 +84,9 @@ use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, 
 use rp_classifier::flow_table::FlowTableStats;
 use rp_packet::mbuf::IfIndex;
 use rp_packet::{FlowTuple, Mbuf, MbufPool, PoolStats};
-use shard::{run_shard, ControlFn, ShardFinal, ShardShared};
+use shard::{
+    run_shard, ControlFn, EgressSink, ShardFinal, ShardReceiver, ShardSender, ShardShared,
+};
 use std::net::IpAddr;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -107,6 +109,20 @@ const WATCHDOG_STRIDE: u64 = 64;
 /// enough to stay off the scheduler's back, short enough that stall
 /// detection latency is dominated by `stall_timeout`, not the slice.
 const WAIT_SLICE: Duration = Duration::from_millis(10);
+
+/// How packets travel from the dispatcher to the shard workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// The vendored channel stub (a mutex+condvar queue over
+    /// `std::sync::mpsc`). Kept as the bench baseline and a fallback;
+    /// retired from the default hot path.
+    Channel,
+    /// Lock-free SPSC rings (`rp_ring`): one ring per shard with a
+    /// doorbell for idle parking, plus batched egress carriers — no lock
+    /// and no syscall on the steady-state packet path.
+    #[default]
+    Ring,
+}
 
 /// Configuration for a [`ParallelRouter`].
 #[derive(Debug, Clone)]
@@ -136,6 +152,9 @@ pub struct ParallelRouterConfig {
     /// shard is hot onto a less-loaded alternate. Per-flow affinity (and
     /// therefore per-flow order) is preserved either way.
     pub steer: Option<SteerConfig>,
+    /// Dispatcher→shard transport (see [`DispatchMode`]); the overload,
+    /// watchdog, and conservation semantics are identical in both modes.
+    pub dispatch: DispatchMode,
 }
 
 impl Default for ParallelRouterConfig {
@@ -147,6 +166,7 @@ impl Default for ParallelRouterConfig {
             stall_timeout: Duration::from_millis(500),
             overload_wait: Duration::from_millis(2),
             steer: None,
+            dispatch: DispatchMode::default(),
         }
     }
 }
@@ -160,7 +180,7 @@ fn initial_backoff(policy: &FaultPolicy) -> Duration {
 /// heartbeat block), so health decisions never require the worker thread
 /// to cooperate.
 struct ShardSlot {
-    tx: Sender<ShardMsg>,
+    tx: ShardSender,
     join: Option<JoinHandle<ShardFinal>>,
     shared: Arc<ShardShared>,
     health: HealthState,
@@ -221,6 +241,14 @@ pub struct ParallelRouter {
     /// shards hold clones); also the source for rebuilt shards' senders.
     egress_tx: Sender<(IfIndex, Mbuf)>,
     egress_rx: Receiver<(IfIndex, Mbuf)>,
+    /// Ring-mode egress: shards send whole carrier `Vec`s of transmitted
+    /// packets (one channel operation per egress drain instead of one
+    /// per packet) and the dispatcher returns the emptied carriers on
+    /// the scrap side, so the steady state allocates nothing.
+    egress_batch_tx: Sender<Vec<(IfIndex, Mbuf)>>,
+    egress_batch_rx: Receiver<Vec<(IfIndex, Mbuf)>>,
+    egress_scrap_tx: Sender<Vec<(IfIndex, Mbuf)>>,
+    egress_scrap_rx: Receiver<Vec<(IfIndex, Mbuf)>>,
     /// Return path for emptied batch carrier `Vec`s: shards send the
     /// drained vector back here after processing a [`ShardMsg::Batch`],
     /// and the dispatcher reuses it for a later batch — steady-state
@@ -266,6 +294,8 @@ impl ParallelRouter {
     pub fn new(cfg: ParallelRouterConfig, template: &PluginLoader) -> Self {
         let shards = cfg.shards.max(1);
         let (egress_tx, egress_rx) = unbounded();
+        let (egress_batch_tx, egress_batch_rx) = unbounded();
+        let (egress_scrap_tx, egress_scrap_rx) = unbounded();
         let (scrap_tx, scrap_rx) = unbounded();
         let epoch = Instant::now();
         let interfaces = cfg.router.interfaces;
@@ -278,6 +308,10 @@ impl ParallelRouter {
             interfaces,
             egress_tx,
             egress_rx,
+            egress_batch_tx,
+            egress_batch_rx,
+            egress_scrap_tx,
+            egress_scrap_rx,
             scrap_tx,
             scrap_rx,
             spare_batches: Vec::new(),
@@ -318,9 +352,32 @@ impl ParallelRouter {
             packets: 0,
             cpu_clock_errors: 0,
         };
-        let (tx, rx) = bounded(self.cfg.ingress_depth.max(1));
+        let (tx, rx, egress) = match self.cfg.dispatch {
+            DispatchMode::Channel => {
+                let (tx, rx) = bounded(self.cfg.ingress_depth.max(1));
+                (
+                    ShardSender::Channel(tx),
+                    ShardReceiver::Channel(rx),
+                    EgressSink::PerPacket(self.egress_tx.clone()),
+                )
+            }
+            DispatchMode::Ring => {
+                let (p, c) = rp_ring::spsc(self.cfg.ingress_depth.max(1));
+                (
+                    ShardSender::Ring(std::sync::Mutex::new(p)),
+                    ShardReceiver::Ring {
+                        rx: c,
+                        pending: std::collections::VecDeque::new(),
+                    },
+                    EgressSink::Batched {
+                        tx: self.egress_batch_tx.clone(),
+                        scrap: self.egress_scrap_rx.clone(),
+                        scratch: Vec::new(),
+                    },
+                )
+            }
+        };
         let shared = Arc::new(ShardShared::new(self.epoch));
-        let egress = self.egress_tx.clone();
         let scrap = self.scrap_tx.clone();
         let worker_shared = Arc::clone(&shared);
         let join = std::thread::Builder::new()
@@ -467,9 +524,10 @@ impl ParallelRouter {
     fn abandon(&mut self, shard: usize, why: String, now: Instant) {
         self.slots[shard].shared.mark_abandoned();
         // Replacing (and dropping) our sender disconnects the worker's
-        // recv, so an *idle* abandoned worker exits immediately; a wedged
+        // recv — in ring mode the producer's drop also rings the doorbell
+        // — so an *idle* abandoned worker exits immediately; a wedged
         // one exits when whatever wedged it returns.
-        let (dead_tx, _) = bounded(1);
+        let dead_tx = ShardSender::dead(self.cfg.dispatch == DispatchMode::Ring);
         drop(std::mem::replace(&mut self.slots[shard].tx, dead_tx));
         if let Some(join) = self.slots[shard].join.take() {
             self.zombies.push(Zombie {
@@ -904,13 +962,23 @@ impl ParallelRouter {
     }
 
     /// Move everything on the shared egress collector into the
-    /// per-interface buckets.
+    /// per-interface buckets. Ring-mode carriers are drained whole and
+    /// handed back to the shards for reuse.
     fn drain_egress(&mut self) {
         for (iface, pkt) in self.egress_rx.try_iter() {
             let i = iface as usize;
             if i < self.pending.len() {
                 self.pending[i].push(pkt);
             }
+        }
+        while let Ok(mut carrier) = self.egress_batch_rx.try_recv() {
+            for (iface, pkt) in carrier.drain(..) {
+                let i = iface as usize;
+                if i < self.pending.len() {
+                    self.pending[i].push(pkt);
+                }
+            }
+            let _ = self.egress_scrap_tx.send(carrier);
         }
     }
 
@@ -1132,8 +1200,9 @@ impl Drop for ParallelRouter {
             slot.shared.mark_abandoned();
         }
         let mut joins: Vec<JoinHandle<ShardFinal>> = Vec::new();
+        let ring = self.cfg.dispatch == DispatchMode::Ring;
         for slot in &mut self.slots {
-            let (dead_tx, _) = bounded(1);
+            let dead_tx = ShardSender::dead(ring);
             drop(std::mem::replace(&mut slot.tx, dead_tx));
             if let Some(j) = slot.join.take() {
                 joins.push(j);

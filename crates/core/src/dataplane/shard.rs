@@ -18,12 +18,13 @@ use crate::ip_core::{DataPathStats, Disposition};
 use crate::obs::{MetricsSnapshot, TraceCategory};
 use crate::router::Router;
 use crate::supervisor::run_isolated;
-use crossbeam_channel::{Receiver, Sender};
+use crossbeam_channel::{Receiver, Sender, TrySendError};
 use rp_classifier::flow_table::FlowTableStats;
 use rp_packet::mbuf::IfIndex;
 use rp_packet::Mbuf;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// A control command executed on the shard thread with full access to the
@@ -70,6 +71,181 @@ pub enum ShardMsg {
     Barrier(Sender<usize>),
     /// Drain and exit.
     Shutdown,
+}
+
+/// Messages the ring-mode consumer pulls into its local run per cursor
+/// publication: bounds the latency of the abandoned-flag check while
+/// amortizing the release-store over a run of messages.
+const RECV_RUN: usize = 64;
+
+/// Ring-mode consumer wait tuning (see [`rp_ring::Consumer::wait_nonempty`]):
+/// spin briefly for back-to-back batches, yield a few times as a cheap
+/// off-ramp, then park on the doorbell. The park timeout bounds how long
+/// an abandoned-but-not-disconnected worker waits before rechecking its
+/// flag.
+const RECV_SPINS: u32 = 64;
+const RECV_YIELDS: u32 = 4;
+const RECV_PARK: Duration = Duration::from_millis(2);
+
+/// On a host with a single hardware thread the producer cannot make
+/// progress while a consumer busy-polls — every spin or yield burns a
+/// timeslice the dispatcher needed — so empty consumers go straight to
+/// the doorbell. Probed once; spinning is only worth it with real
+/// parallelism.
+fn recv_wait_profile() -> (u32, u32) {
+    static PROFILE: std::sync::OnceLock<(u32, u32)> = std::sync::OnceLock::new();
+    *PROFILE.get_or_init(|| {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if cores > 1 {
+            (RECV_SPINS, RECV_YIELDS)
+        } else {
+            (0, 0)
+        }
+    })
+}
+
+/// The dispatcher's sending half of one shard's ingress FIFO: the
+/// vendored channel stub ([`DispatchMode::Channel`]) or an SPSC ring
+/// ([`DispatchMode::Ring`]). Both expose channel-style `try_send`
+/// semantics, so the dispatcher's overload/health machinery is mode-blind.
+///
+/// The ring producer sits behind a `Mutex` because read-only control
+/// fan-outs send from `&self` ([`ParallelRouter::read_all`]); the
+/// dispatcher is the only thread that ever locks it, so the lock is
+/// always uncontended — a compare-exchange pair, not a contention point.
+///
+/// [`DispatchMode::Channel`]: super::DispatchMode::Channel
+/// [`DispatchMode::Ring`]: super::DispatchMode::Ring
+/// [`ParallelRouter::read_all`]: super::ParallelRouter
+pub(crate) enum ShardSender {
+    Channel(Sender<ShardMsg>),
+    Ring(Mutex<rp_ring::Producer<ShardMsg>>),
+}
+
+impl ShardSender {
+    pub(crate) fn try_send(&self, msg: ShardMsg) -> Result<(), TrySendError<ShardMsg>> {
+        match self {
+            ShardSender::Channel(tx) => tx.try_send(msg),
+            ShardSender::Ring(p) => {
+                let mut p = p.lock().unwrap_or_else(|e| e.into_inner());
+                p.try_push(msg).map_err(|e| match e {
+                    rp_ring::PushError::Full(m) => TrySendError::Full(m),
+                    rp_ring::PushError::Disconnected(m) => TrySendError::Disconnected(m),
+                })
+            }
+        }
+    }
+
+    /// A sender whose peer is already gone, in the same mode: replacing a
+    /// slot's sender with this disconnects the worker's receive loop
+    /// (the abandonment path).
+    pub(crate) fn dead(ring: bool) -> ShardSender {
+        if ring {
+            let (p, _) = rp_ring::spsc(1);
+            ShardSender::Ring(Mutex::new(p))
+        } else {
+            let (tx, _) = crossbeam_channel::bounded(1);
+            ShardSender::Channel(tx)
+        }
+    }
+}
+
+/// The worker's receiving half, paired with [`ShardSender`]. Ring mode
+/// drains the ring in runs of [`RECV_RUN`] into a local deque (one
+/// consumer-cursor release-store per run) and waits with
+/// spin→yield→doorbell-park adaptivity.
+pub(crate) enum ShardReceiver {
+    Channel(Receiver<ShardMsg>),
+    Ring {
+        rx: rp_ring::Consumer<ShardMsg>,
+        pending: VecDeque<ShardMsg>,
+    },
+}
+
+impl ShardReceiver {
+    /// Next message, blocking until one arrives or the FIFO disconnects
+    /// (`None`). Ring mode also returns `None` once `shared` is flagged
+    /// abandoned — messages left in the ring or the local run are
+    /// accounted by the dispatcher's sent/processed gap, exactly like
+    /// messages stranded in a dead channel.
+    fn recv(&mut self, shared: &ShardShared) -> Option<ShardMsg> {
+        match self {
+            ShardReceiver::Channel(rx) => rx.recv().ok(),
+            ShardReceiver::Ring { rx, pending } => loop {
+                if let Some(m) = pending.pop_front() {
+                    return Some(m);
+                }
+                if rx.pop_batch(RECV_RUN, &mut |m| pending.push_back(m)) > 0 {
+                    continue;
+                }
+                if shared.is_abandoned() {
+                    return None;
+                }
+                let (spins, yields) = recv_wait_profile();
+                match rx.wait_nonempty(spins, yields, RECV_PARK) {
+                    rp_ring::WaitOutcome::Disconnected => return None,
+                    rp_ring::WaitOutcome::Ready | rp_ring::WaitOutcome::TimedOut => {}
+                }
+            },
+        }
+    }
+}
+
+/// Where a shard pushes transmitted packets. Channel mode sends each
+/// `(iface, packet)` on the shared collector — simple, but one channel
+/// operation (and one dispatcher-side mutex acquisition) per packet.
+/// Ring mode batches: one carrier `Vec` per egress drain, sent in one
+/// operation and drained by the dispatcher under one lock; emptied
+/// carriers come back on a scrap channel so the steady state allocates
+/// nothing.
+pub(crate) enum EgressSink {
+    PerPacket(Sender<(IfIndex, Mbuf)>),
+    Batched {
+        tx: Sender<Vec<(IfIndex, Mbuf)>>,
+        /// Emptied carriers returned by the dispatcher; shared by all
+        /// shards (one `try_recv` per drain, not per packet).
+        scrap: Receiver<Vec<(IfIndex, Mbuf)>>,
+        /// Per-interface staging reused across drains.
+        scratch: Vec<Mbuf>,
+    },
+}
+
+impl EgressSink {
+    /// Push everything the shard's router transmitted onto the collector.
+    /// Packets of one flow always leave the same shard in processing
+    /// order, and a carrier preserves its fill order, so per-flow order
+    /// on the collector is the router's emission order in both modes.
+    fn drain(&mut self, router: &mut Router) {
+        match self {
+            EgressSink::PerPacket(tx) => {
+                for i in 0..router.interface_count() {
+                    let ifx = i as IfIndex;
+                    for pkt in router.take_tx(ifx) {
+                        // A dropped collector means the dispatcher is
+                        // gone; the shard is about to shut down anyway.
+                        let _ = tx.send((ifx, pkt));
+                    }
+                }
+            }
+            EgressSink::Batched { tx, scrap, scratch } => {
+                let mut carrier: Option<Vec<(IfIndex, Mbuf)>> = None;
+                for i in 0..router.interface_count() {
+                    let ifx = i as IfIndex;
+                    router.take_tx_into(ifx, scratch);
+                    if scratch.is_empty() {
+                        continue;
+                    }
+                    let c = carrier.get_or_insert_with(|| scrap.try_recv().unwrap_or_default());
+                    c.extend(scratch.drain(..).map(|p| (ifx, p)));
+                }
+                if let Some(c) = carrier {
+                    let _ = tx.send(c);
+                }
+            }
+        }
+    }
 }
 
 /// Per-shard statistics snapshot (pmgr `stats` breakdown, scaling bench).
@@ -211,21 +387,6 @@ fn thread_cpu_ns() -> Option<u64> {
     Some((utime + stime) * (1_000_000_000 / user_hz()))
 }
 
-/// Push everything the shard's router transmitted onto the shared egress
-/// collector. Packets of one flow always leave the same shard in
-/// processing order, so per-flow order on the collector is the router's
-/// emission order.
-fn drain_tx(router: &mut Router, egress: &Sender<(IfIndex, Mbuf)>) {
-    for i in 0..router.interface_count() {
-        let ifx = i as IfIndex;
-        for pkt in router.take_tx(ifx) {
-            // A dropped collector means the dispatcher is gone; the shard
-            // is about to shut down anyway.
-            let _ = egress.send((ifx, pkt));
-        }
-    }
-}
-
 /// Run one packet through the shard's data path: receive, the
 /// testbench-mirroring single pump on `Queued`, busy-time and packet
 /// accounting. Shared by the `Packet` and `Batch` arms so a batch is
@@ -255,8 +416,8 @@ fn process_packet(ctx: &mut ShardCtx, pkt: Mbuf) {
 /// only this shard.
 fn shard_loop(
     ctx: &mut ShardCtx,
-    rx: &Receiver<ShardMsg>,
-    egress: &Sender<(IfIndex, Mbuf)>,
+    rx: &mut ShardReceiver,
+    egress: &mut EgressSink,
     scrap: &Sender<Vec<Mbuf>>,
     shared: &ShardShared,
 ) {
@@ -266,8 +427,9 @@ fn shard_loop(
         }
         // While blocked here the heartbeat shows idle, which is never a
         // stall; abandonment unblocks it because the dispatcher drops the
-        // old sender when it replaces the shard.
-        let Ok(msg) = rx.recv() else { return };
+        // old sender when it replaces the shard (and, in ring mode, the
+        // bounded doorbell park re-checks the abandoned flag).
+        let Some(msg) = rx.recv(shared) else { return };
         shared.beat(true);
         if shared.is_abandoned() {
             // A replacement already owns this shard index; drop the
@@ -277,7 +439,7 @@ fn shard_loop(
         match msg {
             ShardMsg::Packet(pkt) => {
                 process_packet(ctx, pkt);
-                drain_tx(&mut ctx.router, egress);
+                egress.drain(&mut ctx.router);
                 shared.processed.fetch_add(1, Ordering::Relaxed);
             }
             ShardMsg::Batch(mut pkts) => {
@@ -290,7 +452,7 @@ fn shard_loop(
                 }
                 // Egress drain is the amortized part: one pass over the
                 // tx logs per batch instead of per packet.
-                drain_tx(&mut ctx.router, egress);
+                egress.drain(&mut ctx.router);
                 // Hand the emptied carrier back for reuse. A dropped
                 // scrap receiver just means the dispatcher stopped
                 // recycling; the Vec is freed here instead.
@@ -300,7 +462,7 @@ fn shard_loop(
                 f(ctx);
                 // Control actions can emit too (force-unload drains
                 // scheduler backlogs to the wire).
-                drain_tx(&mut ctx.router, egress);
+                egress.drain(&mut ctx.router);
             }
             ShardMsg::Barrier(done) => {
                 let _ = done.send(ctx.index);
@@ -318,17 +480,17 @@ fn shard_loop(
 /// always return a final accounting report, whatever the exit path.
 pub(crate) fn run_shard(
     mut ctx: ShardCtx,
-    rx: Receiver<ShardMsg>,
-    egress: Sender<(IfIndex, Mbuf)>,
+    mut rx: ShardReceiver,
+    mut egress: EgressSink,
     scrap: Sender<Vec<Mbuf>>,
     shared: std::sync::Arc<ShardShared>,
 ) -> ShardFinal {
-    let panic = run_isolated(|| shard_loop(&mut ctx, &rx, &egress, &scrap, &shared)).err();
+    let panic = run_isolated(|| shard_loop(&mut ctx, &mut rx, &mut egress, &scrap, &shared)).err();
     shared.beat(false);
     // Flush whatever already reached the tx logs, then snapshot. Both run
     // isolated too: after a panic the router may be torn mid-call and a
     // second panic here must not take down the final accounting.
-    let _ = run_isolated(|| drain_tx(&mut ctx.router, &egress));
+    let _ = run_isolated(|| egress.drain(&mut ctx.router));
     let (metrics, stranded) = run_isolated(|| {
         let m = ctx.router.metrics_snapshot();
         let stranded: u64 = m.queue_depth.iter().sum();

@@ -54,7 +54,8 @@ pub mod router;
 pub mod supervisor;
 
 pub use dataplane::{
-    CommandJournal, ControlPlane, JournaledCmd, ParallelRouter, ParallelRouterConfig, ShardStatus,
+    CommandJournal, ControlPlane, DispatchMode, JournaledCmd, ParallelRouter, ParallelRouterConfig,
+    ShardStatus,
 };
 pub use gate::Gate;
 pub use message::{PluginMsg, PluginReply};

@@ -307,7 +307,7 @@ pub fn run_command<C: ControlPlane>(router: &mut C, line: &str) -> Result<String
                 .map(|d| {
                     let s = d.stats;
                     format!(
-                        "{} if{}: rx={}pkts/{}B (err={} drop={}) tx={}pkts/{}B (err={}) \
+                        "{} if{}: rx={}pkts/{}B (err={} drop={}) tx={}pkts/{}B (err={} drop={}) \
                          rx_batch(mean={:.1} n={}) tx_batch(mean={:.1} n={})",
                         d.name,
                         d.iface,
@@ -318,6 +318,7 @@ pub fn run_command<C: ControlPlane>(router: &mut C, line: &str) -> Result<String
                         s.tx_packets,
                         s.tx_bytes,
                         s.tx_errors,
+                        s.tx_dropped,
                         s.rx_batch.mean(),
                         s.rx_batch.count,
                         s.tx_batch.mean(),

@@ -84,8 +84,10 @@ pub trait NetDev {
     fn rx_batch(&mut self, max: usize, sink: &mut dyn FnMut(&[u8])) -> RxBatch;
 
     /// Transmit a batch: drain `pkts`, frame and write each packet, and
-    /// recycle every mbuf into `pool`. Returns packets written; failed
-    /// writes are counted as `tx_errors` in [`NetDev::stats`].
+    /// recycle every mbuf into `pool`. Returns packets written. Hard
+    /// write failures are counted as `tx_errors` in [`NetDev::stats`];
+    /// packets shed after bounded backpressure retries (`WouldBlock`)
+    /// are counted separately as `tx_dropped`.
     fn tx_batch(&mut self, pkts: &mut Vec<Mbuf>, pool: &mut MbufPool) -> u64;
 
     /// The device's cumulative I/O counters.

@@ -22,6 +22,9 @@ pub(crate) const IFF_NO_PI: u16 = 0x1000;
 pub(crate) const FIONBIO: c_ulong = 0x5421;
 /// `recvmmsg` flag: never block even on blocking sockets.
 pub(crate) const MSG_DONTWAIT: c_int = 0x40;
+/// Set by the kernel in `msghdr.msg_flags` when a datagram was longer
+/// than the supplied buffer and its tail was discarded.
+pub(crate) const MSG_TRUNC: c_int = 0x20;
 
 pub(crate) const IFNAMSIZ: usize = 16;
 

@@ -1,0 +1,207 @@
+//! Cross-thread stress tests for the SPSC ring: ordering under real
+//! concurrency at degenerate and typical capacities, batched-cursor
+//! publication under load, and clean teardown with items in flight.
+//!
+//! CI runs these in release mode with `RUST_TEST_THREADS` unset so the
+//! producer and consumer genuinely race.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rp_ring::{spsc, PopError, PushError, WaitOutcome};
+
+const ITEMS: u64 = 100_000;
+
+/// Retry backoff for test loops. A bare `spin_loop` would livelock a
+/// 1-core host for a whole scheduler timeslice per handoff; yielding
+/// hands the CPU straight to the peer thread.
+fn backoff() {
+    std::thread::yield_now();
+}
+
+/// Producer pushes 0..ITEMS (spinning on Full), consumer pops and
+/// asserts strict FIFO order. Exercised at capacity 1 (every push/pop
+/// alternates), 2, and a typical power of two.
+fn ordered_transfer(cap: usize) {
+    let (mut tx, mut rx) = spsc::<u64>(cap);
+    let producer = std::thread::spawn(move || {
+        for i in 0..ITEMS {
+            let mut v = i;
+            loop {
+                match tx.try_push(v) {
+                    Ok(()) => break,
+                    Err(PushError::Full(back)) => {
+                        v = back;
+                        backoff();
+                    }
+                    Err(PushError::Disconnected(_)) => panic!("consumer died early"),
+                }
+            }
+        }
+    });
+    let mut expect = 0u64;
+    loop {
+        match rx.try_pop() {
+            Ok(v) => {
+                assert_eq!(v, expect, "out-of-order at capacity {cap}");
+                expect += 1;
+            }
+            Err(PopError::Empty) => backoff(),
+            Err(PopError::Disconnected) => break,
+        }
+    }
+    assert_eq!(expect, ITEMS, "lost items at capacity {cap}");
+    producer.join().unwrap();
+}
+
+#[test]
+fn cross_thread_order_capacity_1() {
+    ordered_transfer(1);
+}
+
+#[test]
+fn cross_thread_order_capacity_2() {
+    ordered_transfer(2);
+}
+
+#[test]
+fn cross_thread_order_capacity_256() {
+    ordered_transfer(256);
+}
+
+/// Same transfer but the producer stages runs and publishes once per
+/// run, and the consumer drains via `pop_batch` — the batched-cursor
+/// path the dispatcher and shard loop actually use.
+#[test]
+fn batched_publication_cross_thread() {
+    const RUN: usize = 64;
+    let (mut tx, mut rx) = spsc::<u64>(256);
+    let producer = std::thread::spawn(move || {
+        let mut next = 0u64;
+        while next < ITEMS {
+            let mut staged = 0;
+            while staged < RUN && next < ITEMS {
+                match tx.stage(next) {
+                    Ok(()) => {
+                        next += 1;
+                        staged += 1;
+                    }
+                    Err(PushError::Full(_)) => {
+                        tx.publish();
+                        backoff();
+                    }
+                    Err(PushError::Disconnected(_)) => panic!("consumer died early"),
+                }
+            }
+            tx.publish();
+        }
+    });
+    let mut expect = 0u64;
+    while expect < ITEMS {
+        let before = expect;
+        rx.pop_batch(RUN, &mut |v| {
+            assert_eq!(v, expect);
+            expect += 1;
+        });
+        if expect == before {
+            match rx.wait_nonempty(64, 8, Duration::from_millis(2)) {
+                WaitOutcome::Disconnected => break,
+                WaitOutcome::Ready | WaitOutcome::TimedOut => {}
+            }
+        }
+    }
+    assert_eq!(expect, ITEMS);
+    producer.join().unwrap();
+}
+
+/// The parked-consumer path under a slow producer: every wakeup must be
+/// delivered, none lost, across many park/ring cycles.
+#[test]
+fn parking_never_loses_wakeups() {
+    const N: u64 = 200;
+    let (mut tx, mut rx) = spsc::<u64>(4);
+    let consumer = std::thread::spawn(move || {
+        let mut got = 0u64;
+        loop {
+            match rx.try_pop() {
+                Ok(v) => {
+                    assert_eq!(v, got);
+                    got += 1;
+                }
+                Err(PopError::Empty) => {
+                    // Short spin so most iterations actually park.
+                    match rx.wait_nonempty(4, 0, Duration::from_millis(50)) {
+                        WaitOutcome::Disconnected => break,
+                        WaitOutcome::Ready | WaitOutcome::TimedOut => {}
+                    }
+                }
+                Err(PopError::Disconnected) => break,
+            }
+        }
+        got
+    });
+    for i in 0..N {
+        let mut v = i;
+        loop {
+            match tx.try_push(v) {
+                Ok(()) => break,
+                Err(PushError::Full(back)) => {
+                    v = back;
+                    std::thread::yield_now();
+                }
+                Err(PushError::Disconnected(_)) => panic!("consumer died early"),
+            }
+        }
+        if i % 16 == 0 {
+            // Give the consumer time to drain and park.
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    drop(tx);
+    assert_eq!(consumer.join().unwrap(), N);
+}
+
+/// Teardown with items still buffered must drop every item exactly once
+/// (no leaks, no double drops), in whatever order the threads stop.
+#[test]
+fn concurrent_teardown_drops_in_flight_items() {
+    for round in 0..50 {
+        let token = Arc::new(());
+        let (mut tx, mut rx) = spsc::<Arc<()>>(8);
+        let t = Arc::clone(&token);
+        let producer = std::thread::spawn(move || {
+            for _ in 0..64 {
+                if tx.try_push(Arc::clone(&t)).is_err() {
+                    break;
+                }
+            }
+        });
+        // Consume a varying share, then drop the consumer mid-stream.
+        for _ in 0..(round % 8) {
+            let _ = rx.try_pop();
+        }
+        drop(rx);
+        producer.join().unwrap();
+        assert_eq!(Arc::strong_count(&token), 1, "leak on round {round}");
+    }
+}
+
+/// A consumer draining after producer death sees every published item
+/// and then Disconnected — the shard shutdown path.
+#[test]
+fn drain_after_producer_death() {
+    let (mut tx, mut rx) = spsc::<u64>(64);
+    for i in 0..40 {
+        tx.try_push(i).unwrap();
+    }
+    std::thread::spawn(move || drop(tx)).join().unwrap();
+    let mut got = Vec::new();
+    loop {
+        match rx.try_pop() {
+            Ok(v) => got.push(v),
+            Err(PopError::Disconnected) => break,
+            Err(PopError::Empty) => unreachable!("Empty after producer death with data drained"),
+        }
+    }
+    assert_eq!(got, (0..40).collect::<Vec<_>>());
+}
