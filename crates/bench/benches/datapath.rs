@@ -46,7 +46,7 @@ fn bench_datapath(c: &mut Criterion) {
         b.iter(|| {
             i = (i + 1) % pkts.len();
             let d = be.receive(pkts[i].clone());
-            if i % 64 == 0 {
+            if i.is_multiple_of(64) {
                 be.take_tx(1);
             }
             black_box(d)
@@ -66,7 +66,7 @@ fn bench_datapath(c: &mut Criterion) {
         b.iter(|| {
             i = (i + 1) % pkts.len();
             let d = fw.receive(pkts[i].clone());
-            if i % 64 == 0 {
+            if i.is_multiple_of(64) {
                 fw.take_tx(1);
             }
             black_box(d)
@@ -84,7 +84,7 @@ fn bench_datapath(c: &mut Criterion) {
             now += 1000;
             let d = altq.receive(pkts[i].clone(), now);
             altq.pump(1, 1, now);
-            if i % 64 == 0 {
+            if i.is_multiple_of(64) {
                 altq.take_tx(1);
             }
             black_box(d)
@@ -103,7 +103,7 @@ fn bench_datapath(c: &mut Criterion) {
             i = (i + 1) % pkts.len();
             let d = pd.receive(pkts[i].clone());
             pd.pump(1, 1);
-            if i % 64 == 0 {
+            if i.is_multiple_of(64) {
                 pd.take_tx(1);
             }
             black_box(d)

@@ -22,6 +22,15 @@
 //! 5. **Link soak** — the single-threaded plane in a two-node topology
 //!    with link down/loss/corruption faults. Gate: end-to-end
 //!    conservation including the link-fault counters.
+//! 6. **Device chaos** — the full I/O plane (supervised devices under
+//!    [`FaultyDev`] wrappers) soaked with flapping devices and a
+//!    mid-run shard kill. Gates: exact *wire-level* conservation, at
+//!    least one quarantine→reopen cycle, and the hard-error/backpressure
+//!    ledger split visible.
+//!
+//! Rows that stamp ingress also carry the end-to-end p99 sojourn
+//! (ingress stamp → shard dequeue), gated against a generous ceiling so
+//! a scheduling regression that parks packets in queues fails loudly.
 //!
 //! Every row also checks the universal ledger
 //! `received == forwarded + Σdrops`. Any gate failure exits non-zero.
@@ -46,6 +55,10 @@ const SHARDS: usize = 4;
 const FT_CAP: usize = 64;
 const IDLE_NS: u64 = 5_000_000;
 const BALANCE_GATE: f64 = 1.5;
+/// End-to-end p99 sojourn ceiling (wall ns, ingress stamp → dequeue).
+/// Generous — CI machines are noisy — but a plane that parks packets
+/// for a quarter second under these loads is broken, not slow.
+const SOJOURN_GATE_NS: u64 = 250_000_000;
 
 /// Wildcard-classified, routed rig (classification on every packet).
 const RIG_SCRIPT: &str = "load null\n\
@@ -164,14 +177,31 @@ struct Row {
     occupancy_cap: u64,
     conserved: bool,
     gates_ok: bool,
+    /// End-to-end p99 sojourn (None when the scenario does not stamp).
+    p99_sojourn_ns: Option<u64>,
     detail: String,
     wall_ns: u64,
 }
 
 impl Row {
     fn ok(&self) -> bool {
-        self.conserved && self.gates_ok && self.occupancy_max <= self.occupancy_cap
+        self.conserved
+            && self.gates_ok
+            && self.occupancy_max <= self.occupancy_cap
+            && self.p99_sojourn_ns.is_none_or(|p| p <= SOJOURN_GATE_NS)
     }
+}
+
+/// Clone a template with a fresh ingress wall-clock stamp, the way the
+/// I/O plane stamps frames at `poll_rx`.
+fn stamped(m: &Mbuf) -> Mbuf {
+    let mut m = m.clone();
+    m.timestamp_ns = rp_packet::coarse_now_ns();
+    m
+}
+
+fn p99_of(m: &router_core::obs::MetricsSnapshot) -> Option<u64> {
+    (m.sojourn_ns.count > 0).then(|| m.sojourn_ns.quantile(0.99))
 }
 
 fn drain_parallel(pr: &mut ParallelRouter) -> Vec<Mbuf> {
@@ -208,12 +238,15 @@ fn elephants_single(pkts: &[Mbuf]) -> Row {
     let mut r = single_router();
     let t0 = Instant::now();
     for p in pkts {
-        r.receive(p.clone());
+        let m = stamped(p);
+        let wall = m.timestamp_ns;
+        r.receive_stamped(m, wall);
     }
     let wall_ns = t0.elapsed().as_nanos() as u64;
     let wire = drain_single(&mut r).len() as u64;
     let s = r.stats();
     let f = r.flow_stats();
+    let p99_sojourn_ns = p99_of(&r.metrics_snapshot());
     Row {
         scenario: "elephants".into(),
         plane: "single",
@@ -226,6 +259,7 @@ fn elephants_single(pkts: &[Mbuf]) -> Row {
         occupancy_cap: FT_CAP as u64,
         conserved: s.received == pkts.len() as u64 && s.received == s.forwarded + s.dropped_total(),
         gates_ok: true,
+        p99_sojourn_ns,
         detail: String::new(),
         wall_ns,
     }
@@ -237,7 +271,7 @@ fn elephants_parallel(pkts: &[Mbuf], steer: Option<SteerConfig>) -> Row {
     let before = pr.shard_reports();
     let t0 = Instant::now();
     for (n, p) in pkts.iter().enumerate() {
-        pr.receive(p.clone());
+        pr.receive(stamped(p));
         if n % 1024 == 1023 {
             pr.flush(); // pace: elephants must not overflow a FIFO
         }
@@ -253,6 +287,7 @@ fn elephants_parallel(pkts: &[Mbuf], steer: Option<SteerConfig>) -> Row {
     let balance = balance_of(&shard_packets);
     let s = pr.stats();
     let f = pr.flow_stats();
+    let p99_sojourn_ns = p99_of(&pr.metrics_snapshot());
     let gates_ok = !steered || balance <= BALANCE_GATE;
     let steer_note = pr
         .steer_stats()
@@ -279,6 +314,7 @@ fn elephants_parallel(pkts: &[Mbuf], steer: Option<SteerConfig>) -> Row {
         occupancy_cap: (SHARDS * FT_CAP) as u64,
         conserved: s.received == pkts.len() as u64 && s.received == s.forwarded + s.dropped_total(),
         gates_ok,
+        p99_sojourn_ns,
         detail: format!("shard packets {shard_packets:?}{steer_note}"),
         wall_ns,
     }
@@ -311,6 +347,7 @@ fn count_established(tx: &[Mbuf]) -> u64 {
 }
 
 /// Drive the flood against either plane through one closure interface.
+#[allow(clippy::too_many_arguments)]
 fn syn_flood<R>(
     plane: &'static str,
     cap: u64,
@@ -324,11 +361,12 @@ fn syn_flood<R>(
         router_core::ip_core::DataPathStats,
         rp_classifier::flow_table::FlowTableStats,
     ),
+    p99: impl FnOnce(&mut R) -> Option<u64>,
 ) -> Row {
     let mut sent_established = 0u64;
     set_time(rig, 0);
     for i in 0..32u16 {
-        receive(rig, established_packet(i));
+        receive(rig, stamped(&established_packet(i)));
         sent_established += 1;
     }
     let flood = Workload::one_packet_flood(4000, 64, 0xF100D).build();
@@ -337,24 +375,25 @@ fn syn_flood<R>(
     let t0 = Instant::now();
     for (n, pkt) in flood.into_iter().enumerate() {
         now += 10_000;
-        receive(rig, pkt);
+        receive(rig, stamped(&pkt));
         if n % 200 == 199 {
             set_time(rig, now);
             for i in 0..32u16 {
-                receive(rig, established_packet(i));
+                receive(rig, stamped(&established_packet(i)));
                 sent_established += 1;
             }
         }
     }
     set_time(rig, now);
     for i in 0..32u16 {
-        receive(rig, established_packet(i));
+        receive(rig, stamped(&established_packet(i)));
         sent_established += 1;
     }
     let wall_ns = t0.elapsed().as_nanos() as u64;
     let tx = drain(rig);
     let delivered_established = count_established(&tx);
     let (s, f) = stats(rig);
+    let p99_sojourn_ns = p99(rig);
     let zero_loss = delivered_established == sent_established;
     let gates_ok = zero_loss && f.denied > 0 && f.recycled == 0;
     Row {
@@ -369,6 +408,7 @@ fn syn_flood<R>(
         occupancy_cap: cap,
         conserved: s.received == offered && s.received == s.forwarded + s.dropped_total(),
         gates_ok,
+        p99_sojourn_ns,
         detail: format!(
             "established {delivered_established}/{sent_established}, inline_expired={}",
             f.inline_expired
@@ -403,6 +443,7 @@ fn frag_flood_single(pkts: &[Mbuf]) -> Row {
         occupancy_cap: FT_CAP as u64,
         conserved: s.received == pkts.len() as u64 && s.received == s.forwarded + s.dropped_total(),
         gates_ok: true,
+        p99_sojourn_ns: None,
         detail: String::new(),
         wall_ns,
     }
@@ -433,6 +474,7 @@ fn frag_flood_parallel(pkts: &[Mbuf]) -> Row {
         occupancy_cap: (SHARDS * FT_CAP) as u64,
         conserved: s.received == pkts.len() as u64 && s.received == s.forwarded + s.dropped_total(),
         gates_ok: true,
+        p99_sojourn_ns: None,
         detail: String::new(),
         wall_ns,
     }
@@ -487,10 +529,10 @@ fn chaos_soak() -> Row {
                 if n == pkts.len() / 2 {
                     let _ = pr.cp_shard_kill(victim);
                 }
-                pr.receive(p.clone());
+                pr.receive(stamped(p));
                 offered += 1;
                 if n % 100 == 99 {
-                    pr.receive(probe.clone());
+                    pr.receive(stamped(&probe));
                     offered += 1;
                 }
                 if n % 512 == 511 {
@@ -514,6 +556,7 @@ fn chaos_soak() -> Row {
     let wall_ns = t0.elapsed().as_nanos() as u64;
     let s = pr.stats();
     let f = pr.flow_stats();
+    let p99_sojourn_ns = p99_of(&pr.metrics_snapshot());
     let restarts: u32 = pr.cp_shard_status().iter().map(|s| s.restarts).sum();
     // The soak must have genuinely hurt: shards restarted, admission
     // engaged, and the injected plugin/shard faults produced counted
@@ -531,6 +574,7 @@ fn chaos_soak() -> Row {
         occupancy_cap: (SHARDS * FT_CAP) as u64,
         conserved: s.received == offered && s.received == s.forwarded + s.dropped_total(),
         gates_ok,
+        p99_sojourn_ns,
         detail: format!("restarts={restarts}, inline_expired={}", f.inline_expired),
         wall_ns,
     }
@@ -609,9 +653,129 @@ fn link_soak() -> Row {
         occupancy_cap: FT_CAP as u64,
         conserved,
         gates_ok: topo.lost_to_faults > 0 && topo.corrupted_by_faults > 0,
+        p99_sojourn_ns: None,
         detail: format!(
             "link lost={}, corrupted={}",
             topo.lost_to_faults, topo.corrupted_by_faults
+        ),
+        wall_ns,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scenario 6: device chaos (supervised I/O plane, FaultyDev wrappers)
+// ---------------------------------------------------------------------
+
+fn device_chaos() -> Row {
+    use router_core::dataplane::control::DeviceHealth;
+    use rp_netdev::loopback::LoopbackDev;
+    use rp_netdev::{DeviceSupervisorConfig, FaultProgram, FaultyDev, IoPlane};
+
+    const PACKETS: usize = 8_000;
+    const CHUNK: usize = 200;
+
+    let (ingress, _peer_in) = LoopbackDev::pair("lo-in", "peer-in", 1 << 15);
+    let (egress, _peer_out) = LoopbackDev::pair("lo-out", "peer-out", 1 << 15);
+    let in_handle = ingress.handle();
+    let out_handle = egress.handle();
+    let (f_in, ctl_in) = FaultyDev::wrap(Box::new(ingress));
+    let (f_out, ctl_out) = FaultyDev::wrap(Box::new(egress));
+
+    let mut plane = IoPlane::new(
+        parallel_router(Some(SteerConfig::default()), RIG_SCRIPT),
+        CHUNK,
+    );
+    plane.bind(0, Box::new(f_in));
+    plane.bind(1, Box::new(f_out));
+    plane.supervise(DeviceSupervisorConfig {
+        error_threshold: 8,
+        error_window_polls: 16,
+        rx_stall_polls: u32::MAX,
+        quarantine_after: 4,
+        recover_after: 2,
+        backoff_initial: Duration::from_millis(1),
+        backoff_max: Duration::from_millis(8),
+    });
+
+    let wl = Workload::uniform(32, PACKETS / 32, 256);
+    let pkts = wl.build();
+    let offered = pkts.len() as u64;
+    let n_chunks = pkts.len().div_ceil(CHUNK);
+    let t0 = Instant::now();
+    for (ci, chunk) in pkts.chunks(CHUNK).enumerate() {
+        if ci == n_chunks / 8 {
+            ctl_in.update(|p| p.drop_rx_every = 5);
+        }
+        if ci == n_chunks / 4 {
+            ctl_in.set(FaultProgram::default());
+        }
+        if ci == n_chunks / 3 {
+            ctl_out.update(|p| {
+                p.fail_tx = true;
+                p.heal_on_reopen = true;
+            });
+        }
+        if ci == n_chunks / 2 {
+            let _ = plane.plane_mut().cp_shard_kill(ci % SHARDS);
+        }
+        for pkt in chunk {
+            let _ = in_handle.inject(pkt.data());
+        }
+        plane.poll();
+        plane.poll();
+        while out_handle.drain_tx().is_some() {}
+        if plane
+            .device_rows()
+            .iter()
+            .any(|r| r.health == DeviceHealth::Quarantined)
+        {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    // Heal everything and settle.
+    ctl_in.set(FaultProgram::default());
+    ctl_out.set(FaultProgram::default());
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        plane.poll_until_quiet(4, 200);
+        while out_handle.drain_tx().is_some() {}
+        let rows = plane.device_rows();
+        if rows.iter().all(|r| r.health != DeviceHealth::Quarantined) || Instant::now() >= deadline
+        {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    plane.poll_until_quiet(4, 1000);
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+
+    let rows = plane.device_rows();
+    let quarantines: u64 = rows.iter().map(|r| r.quarantines).sum();
+    let reopens: u64 = rows.iter().map(|r| r.reopens).sum();
+    let led = plane.ledger();
+    let conserved =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| plane.check_conservation()))
+            .is_ok();
+    let s = plane.plane().stats_read();
+    let f = plane.plane_mut().flow_stats();
+    let p99_sojourn_ns = p99_of(&plane.plane_mut().metrics_snapshot());
+    let gates_ok = quarantines >= 1 && reopens >= 1 && led.tx_errors + led.tx_dropped > 0;
+    Row {
+        scenario: "device chaos".into(),
+        plane: "ioplane steered",
+        offered,
+        wire: led.device_tx,
+        dropped: s.dropped_total(),
+        denied: f.denied,
+        balance: None,
+        occupancy_max: f.live as u64,
+        occupancy_cap: (SHARDS * FT_CAP) as u64,
+        conserved,
+        gates_ok,
+        p99_sojourn_ns,
+        detail: format!(
+            "quarantines={} reopens={} ledger: rx={} tx={} tx_errors={} tx_dropped={}",
+            quarantines, reopens, led.device_rx, led.device_tx, led.tx_errors, led.tx_dropped
         ),
         wall_ns,
     }
@@ -647,12 +811,14 @@ fn main() {
             "single",
             FT_CAP as u64,
             |r: &mut Router, m| {
-                r.receive(m);
+                let wall = m.timestamp_ns;
+                r.receive_stamped(m, wall);
             },
             |r, t| r.set_time_ns(t),
             &mut r,
             drain_single,
             |r| (r.stats(), r.flow_stats()),
+            |r| p99_of(&r.metrics_snapshot()),
         ));
     }
     {
@@ -667,6 +833,7 @@ fn main() {
             &mut pr,
             drain_parallel,
             |pr| (pr.stats(), pr.flow_stats()),
+            |pr| p99_of(&pr.metrics_snapshot()),
         ));
     }
 
@@ -681,6 +848,9 @@ fn main() {
     eprintln!("[adversarial] link soak…");
     rows.push(link_soak());
 
+    eprintln!("[adversarial] device chaos…");
+    rows.push(device_chaos());
+
     println!();
     println!("Adversarial traffic resilience ({SHARDS} shards, flow-table cap {FT_CAP}/shard, idle window {}ms)", IDLE_NS / 1_000_000);
     println!("(every row: received == forwarded + Σdrops; steered elephants: max/mean ≤ {BALANCE_GATE}; flood: zero established loss)");
@@ -694,6 +864,7 @@ fn main() {
         "denied",
         "balance",
         "occupancy",
+        "p99 sojourn",
         "conserved",
         "gates",
     ]);
@@ -711,6 +882,8 @@ fn main() {
             r.denied.to_string(),
             r.balance.map_or("-".into(), |b| format!("{b:.2}")),
             format!("{}/{}", r.occupancy_max, r.occupancy_cap),
+            r.p99_sojourn_ns
+                .map_or("-".into(), |p| format!("{:.1}ms", p as f64 / 1e6)),
             if r.conserved {
                 "yes".into()
             } else {
@@ -731,6 +904,10 @@ fn main() {
             ("balance_ratio", r.balance.map_or(Json::Null, Json::from)),
             ("occupancy_max", Json::from(r.occupancy_max)),
             ("occupancy_cap", Json::from(r.occupancy_cap)),
+            (
+                "p99_sojourn_ns",
+                r.p99_sojourn_ns.map_or(Json::Null, Json::from),
+            ),
             ("conserved", Json::from(r.conserved)),
             ("gates_ok", Json::from(ok)),
             ("detail", Json::from(r.detail.clone())),
@@ -749,6 +926,7 @@ fn main() {
         ("flow_table_cap", Json::from(FT_CAP)),
         ("idle_window_ns", Json::from(IDLE_NS)),
         ("balance_gate", Json::from(BALANCE_GATE)),
+        ("sojourn_gate_ns", Json::from(SOJOURN_GATE_NS)),
         ("all_gates_pass", Json::from(all_ok)),
     ];
     match write_bench_json("adversarial", rows_json, extra) {

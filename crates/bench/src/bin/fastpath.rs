@@ -154,6 +154,14 @@ struct Row {
     mbuf_acquired: u64,
     mbuf_recycled: u64,
     mbuf_fresh: u64,
+    /// End-to-end sojourn percentiles (ingress stamp → final
+    /// disposition), `None` when the variant stamped no packets.
+    sojourn_p50_ns: Option<u64>,
+    sojourn_p99_ns: Option<u64>,
+}
+
+fn sojourn(m: &router_core::obs::MetricsSnapshot, q: f64) -> Option<u64> {
+    (m.sojourn_ns.count > 0).then(|| m.sojourn_ns.quantile(q))
 }
 
 impl Row {
@@ -184,6 +192,14 @@ impl Row {
             ("mbuf_acquired", Json::from(self.mbuf_acquired)),
             ("mbuf_recycled", Json::from(self.mbuf_recycled)),
             ("mbuf_fresh", Json::from(self.mbuf_fresh)),
+            (
+                "sojourn_p50_ns",
+                self.sojourn_p50_ns.map_or(Json::Null, Json::from),
+            ),
+            (
+                "sojourn_p99_ns",
+                self.sojourn_p99_ns.map_or(Json::Null, Json::from),
+            ),
         ])
     }
 }
@@ -225,6 +241,8 @@ fn main() {
             mbuf_acquired: m.mbuf_acquired,
             mbuf_recycled: m.mbuf_recycled,
             mbuf_fresh: m.mbuf_fresh,
+            sojourn_p50_ns: sojourn(&m, 0.5),
+            sojourn_p99_ns: sojourn(&m, 0.99),
         });
     }
     {
@@ -253,6 +271,8 @@ fn main() {
             mbuf_acquired: m.mbuf_acquired,
             mbuf_recycled: m.mbuf_recycled,
             mbuf_fresh: m.mbuf_fresh,
+            sojourn_p50_ns: sojourn(&m, 0.5),
+            sojourn_p99_ns: sojourn(&m, 0.99),
         });
     }
 
@@ -280,6 +300,8 @@ fn main() {
             mbuf_acquired: m.mbuf_acquired,
             mbuf_recycled: m.mbuf_recycled,
             mbuf_fresh: m.mbuf_fresh,
+            sojourn_p50_ns: sojourn(&m, 0.5),
+            sojourn_p99_ns: sojourn(&m, 0.99),
         });
     }
     for dispatch in [DispatchMode::Channel, DispatchMode::Ring] {
@@ -307,6 +329,8 @@ fn main() {
                 mbuf_acquired: m.mbuf_acquired,
                 mbuf_recycled: m.mbuf_recycled,
                 mbuf_fresh: m.mbuf_fresh,
+                sojourn_p50_ns: sojourn(&m, 0.5),
+                sojourn_p99_ns: sojourn(&m, 0.99),
             });
         }
     }

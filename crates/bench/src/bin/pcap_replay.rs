@@ -112,7 +112,11 @@ fn by_flow(frames: &[Vec<u8>]) -> HashMap<FlowTuple, Vec<Vec<u8>>> {
 /// Replay the trace once (non-looping) through an I/O plane over
 /// `plane_router`, returning egress frames in emission order and
 /// whether the conservation ledger checked out.
-fn replay_once<P: IoRouter>(plane_router: P, trace: &[u8], budget: usize) -> (Vec<Vec<u8>>, bool) {
+fn replay_once<P: IoRouter>(
+    plane_router: P,
+    trace: &[u8],
+    budget: usize,
+) -> (Vec<Vec<u8>>, bool, rp_netdev::IoLedger) {
     let (egress, _peer) = LoopbackDev::pair("lo-out", "sink", 1 << 15);
     let handle = egress.handle();
     let mut plane = IoPlane::new(plane_router, budget);
@@ -129,7 +133,7 @@ fn replay_once<P: IoRouter>(plane_router: P, trace: &[u8], budget: usize) -> (Ve
     let conserved =
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| plane.check_conservation()))
             .is_ok();
-    (got, conserved)
+    (got, conserved, plane.ledger())
 }
 
 /// Timed looping replay: `reps` full trace passes through the plane,
@@ -161,6 +165,8 @@ struct Row {
     wall_ns: u64,
     identical: Option<bool>,
     conserved: Option<bool>,
+    /// Wire ledger of the conservation pass (replay-diff rows only).
+    ledger: Option<rp_netdev::IoLedger>,
 }
 
 impl Row {
@@ -195,6 +201,18 @@ impl Row {
                 "conserved",
                 self.conserved.map(Json::from).unwrap_or(Json::Null),
             ),
+            (
+                "ledger",
+                self.ledger.map_or(Json::Null, |l| {
+                    Json::obj(vec![
+                        ("device_rx", Json::from(l.device_rx)),
+                        ("device_tx", Json::from(l.device_tx)),
+                        ("decap_dropped", Json::from(l.decap_dropped)),
+                        ("tx_errors", Json::from(l.tx_errors)),
+                        ("tx_dropped", Json::from(l.tx_dropped)),
+                    ])
+                }),
+            ),
         ])
     }
 }
@@ -224,7 +242,7 @@ fn main() {
     let mut rows = Vec::new();
 
     // ---- single plane ---------------------------------------------
-    let (replayed, conserved) = replay_once(single_router(), &trace, budget);
+    let (replayed, conserved, ledger) = replay_once(single_router(), &trace, budget);
     let identical = replayed == direct;
     if !identical {
         failures.push(format!(
@@ -243,6 +261,7 @@ fn main() {
         wall_ns: 0,
         identical: Some(identical),
         conserved: Some(conserved),
+        ledger: Some(ledger),
     });
 
     {
@@ -257,6 +276,7 @@ fn main() {
             wall_ns: t0.elapsed().as_nanos() as u64,
             identical: None,
             conserved: None,
+            ledger: None,
         });
     }
     rows.push(Row {
@@ -266,10 +286,11 @@ fn main() {
         wall_ns: replay_timed(single_router(), &trace, per_rep, budget),
         identical: None,
         conserved: None,
+        ledger: None,
     });
 
     // ---- parallel plane -------------------------------------------
-    let (replayed, conserved) = replay_once(parallel_router(), &trace, budget);
+    let (replayed, conserved, ledger) = replay_once(parallel_router(), &trace, budget);
     let par_flows = by_flow(&replayed);
     let mut par_identical = par_flows.len() == direct_flows.len();
     if par_identical {
@@ -293,6 +314,7 @@ fn main() {
         wall_ns: 0,
         identical: Some(par_identical),
         conserved: Some(conserved),
+        ledger: Some(ledger),
     });
 
     {
@@ -306,6 +328,7 @@ fn main() {
             wall_ns: s.wall_ns,
             identical: None,
             conserved: None,
+            ledger: None,
         });
     }
     rows.push(Row {
@@ -315,6 +338,7 @@ fn main() {
         wall_ns: replay_timed(parallel_router(), &trace, per_rep, budget),
         identical: None,
         conserved: None,
+        ledger: None,
     });
 
     // ---- report ---------------------------------------------------

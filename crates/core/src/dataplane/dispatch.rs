@@ -65,6 +65,17 @@ pub struct SteerConfig {
     /// placement as a new flow; its in-flight packets have long drained,
     /// so order within any busy period is unaffected.
     pub pin_idle: u64,
+    /// A shard is also hot when its *observed ingress-queue depth*
+    /// reaches `depth_hot_percent/100 × mean` of the sampled depths —
+    /// the dispatch-window counts say where packets were sent, the queue
+    /// depth says where they are piling up (a slow shard is hot even at
+    /// fair dispatch share). Depths arrive via [`FlowSteer::set_depths`];
+    /// with no samples the check is inert.
+    pub depth_hot_percent: u64,
+    /// Minimum sampled depth on a shard before the depth check may call
+    /// it hot: a handful of in-flight messages is normal batching, not
+    /// backlog.
+    pub depth_floor: u64,
 }
 
 impl Default for SteerConfig {
@@ -75,6 +86,8 @@ impl Default for SteerConfig {
             hot_percent: 120,
             elephant_pkts: 256,
             pin_idle: 1 << 20,
+            depth_hot_percent: 200,
+            depth_floor: 16,
         }
     }
 }
@@ -126,6 +139,9 @@ pub struct FlowSteer {
     /// Windowed per-shard packet counts (decayed by halving).
     load: Vec<u64>,
     window_total: u64,
+    /// Last sampled ingress-queue depths (see [`FlowSteer::set_depths`]).
+    depths: Vec<u64>,
+    depth_total: u64,
     /// Monotone dispatch counter (drives pin-idle reclaim).
     tick: u64,
     stats: SteerStats,
@@ -159,9 +175,22 @@ impl FlowSteer {
             mask: cap - 1,
             load: vec![0; shards],
             window_total: 0,
+            depths: vec![0; shards],
+            depth_total: 0,
             tick: 0,
             stats: SteerStats::default(),
         }
+    }
+
+    /// Feed the latest observed per-shard ingress-queue depths (ring
+    /// occupancy sampled by the dispatcher at watchdog cadence). The
+    /// sample replaces the previous one: depth is a gauge, not a
+    /// counter, and a shard that drained is no longer hot.
+    pub fn set_depths(&mut self, depths: &[usize]) {
+        for (slot, &d) in self.depths.iter_mut().zip(depths) {
+            *slot = d as u64;
+        }
+        self.depth_total = self.depths.iter().sum();
     }
 
     /// Steer statistics snapshot.
@@ -236,6 +265,18 @@ impl FlowSteer {
     }
 
     fn is_hot(&self, shard: usize) -> bool {
+        // Observed backlog first: a shard whose ingress queue is deep is
+        // hot no matter what the dispatch counts say (it may be slow, not
+        // over-dispatched). The floor keeps normal batching depths from
+        // tripping it; same integer-only percentage-of-mean form.
+        // Inclusive comparison: with 2 shards the worst skew (all depth
+        // on one shard) is exactly 200% of mean, which must count.
+        if self.depths[shard] >= self.cfg.depth_floor
+            && self.depths[shard] * self.shards as u64 * 100
+                >= self.cfg.depth_hot_percent * self.depth_total
+        {
+            return true;
+        }
         // A quarter-full window before anything may be called hot: with
         // a handful of packets counted, any shard that saw one would
         // clear a percentage threshold (cold-start noise, not load).
@@ -483,6 +524,45 @@ mod tests {
             st.window_total, 50,
             "the window must decay at `window` dispatches, not `window * 2`"
         );
+    }
+
+    #[test]
+    fn deep_queue_marks_shard_hot_before_dispatch_counts_do() {
+        let mut st = FlowSteer::new(SteerConfig::default(), 2);
+        // No dispatch history at all — the window check alone would call
+        // nothing hot. A deep observed backlog on shard 0 must still
+        // steer new shard-0-homed flows to shard 1.
+        st.set_depths(&[512, 0]);
+        let mut steered = 0;
+        for n in 0..200u16 {
+            let t = tuple(n, 8000 + n);
+            if shard_for_tuple(&t, 2) == 0 && st.steer(&t) == 1 {
+                steered += 1;
+            }
+        }
+        assert!(steered > 0, "observed depth never marked the shard hot");
+        assert_eq!(st.stats().steered, steered);
+        // The gauge is replaced, not accumulated: a drained shard cools.
+        st.set_depths(&[0, 0]);
+        let t = tuple(9000, 1);
+        assert_eq!(
+            st.steer(&t),
+            shard_for_tuple(&t, 2),
+            "drained shard stayed hot"
+        );
+    }
+
+    #[test]
+    fn shallow_depths_below_floor_are_not_hot() {
+        let mut st = FlowSteer::new(SteerConfig::default(), 2);
+        // Depth below the floor is normal in-flight batching; placement
+        // must stay pure hash.
+        st.set_depths(&[8, 0]);
+        for n in 0..100u16 {
+            let t = tuple(n, 9500 + n);
+            assert_eq!(st.steer(&t), shard_for_tuple(&t, 2));
+        }
+        assert_eq!(st.stats().steered, 0);
     }
 
     #[test]

@@ -284,6 +284,9 @@ pub struct ParallelRouter {
     /// shards never see it, so the lock-free shard fast path is
     /// untouched.
     steer: Option<FlowSteer>,
+    /// Reusable buffer for the watchdog-cadence ingress-depth sample fed
+    /// to the steerer (no per-sample `Vec`).
+    depth_scratch: Vec<usize>,
 }
 
 impl ParallelRouter {
@@ -324,6 +327,7 @@ impl ParallelRouter {
             device_tx_unforwarded: 0,
             watchdog_tick: 0,
             steer: cfg.steer.map(|sc| FlowSteer::new(sc, shards)),
+            depth_scratch: vec![0; shards],
             cfg,
         };
         for index in 0..shards {
@@ -442,6 +446,29 @@ impl ParallelRouter {
     /// Load-aware placement statistics, when steering is configured.
     pub fn steer_stats(&self) -> Option<SteerStats> {
         self.steer.as_ref().map(|s| s.stats())
+    }
+
+    /// Current ingress-FIFO occupancy of every shard, as seen from the
+    /// dispatcher (ring mode reads the SPSC cursors; channel mode has no
+    /// length and reads 0).
+    pub fn shard_depths(&self) -> Vec<usize> {
+        self.slots.iter().map(|s| s.tx.depth()).collect()
+    }
+
+    /// Feed the steerer the observed ingress-queue depths. Runs at
+    /// watchdog cadence (once per [`WATCHDOG_STRIDE`] dispatched
+    /// packets), so the fast path pays N relaxed cursor reads every 64
+    /// packets, not per packet.
+    fn sample_depths(&mut self) {
+        if self.steer.is_none() {
+            return;
+        }
+        for (slot, d) in self.slots.iter().zip(self.depth_scratch.iter_mut()) {
+            *d = slot.tx.depth();
+        }
+        if let Some(st) = self.steer.as_mut() {
+            st.set_depths(&self.depth_scratch);
+        }
     }
 
     /// State-mutating control commands recorded for shard rebuilds.
@@ -680,6 +707,7 @@ impl ParallelRouter {
         if self.watchdog_tick.is_multiple_of(WATCHDOG_STRIDE) && !self.slots.is_empty() {
             let t = ((self.watchdog_tick / WATCHDOG_STRIDE) as usize) % self.slots.len();
             self.check_shard(t);
+            self.sample_depths();
         }
         if !self.slots[s].serving() {
             // A due restart can bring it back right now.
@@ -758,6 +786,7 @@ impl ParallelRouter {
         {
             let t = ((self.watchdog_tick / WATCHDOG_STRIDE) as usize) % self.slots.len();
             self.check_shard(t);
+            self.sample_depths();
         }
         self.reclaim_scrap();
         let n = self.slots.len();
@@ -857,7 +886,12 @@ impl ParallelRouter {
     /// Build an ingress mbuf from the dispatcher's buffer pool (the
     /// parallel-plane counterpart of [`Router::mbuf_with`]).
     pub fn mbuf_with(&mut self, bytes: &[u8], rx_if: IfIndex) -> Mbuf {
-        self.pool.mbuf_from(bytes, rx_if)
+        let mut m = self.pool.mbuf_from(bytes, rx_if);
+        // Coarse ingress stamp for end-to-end sojourn accounting (the
+        // I/O plane re-stamps per received batch; this covers synthetic
+        // injectors that build mbufs directly).
+        m.timestamp_ns = rp_packet::coarse_now_ns();
+        m
     }
 
     /// Return a finished packet's backing buffer to the dispatcher pool
@@ -1148,6 +1182,18 @@ impl ParallelRouter {
         let mut total = self.local_stats;
         for s in self.control_map(|ctx| ctx.router.stats()) {
             total.absorb(&s);
+        }
+        total.forwarded = total.forwarded.saturating_sub(self.device_tx_unforwarded);
+        total
+    }
+
+    /// Merged data-path counters from `&self`: same merge as
+    /// [`ParallelRouter::stats`] but via the read-only fan-out, so
+    /// conservation checks and reporting don't need `&mut` access.
+    pub fn stats_read(&self) -> DataPathStats {
+        let mut total = self.local_stats;
+        for (_, d) in self.read_all(|ctx| ctx.router.stats()) {
+            total.absorb(&d);
         }
         total.forwarded = total.forwarded.saturating_sub(self.device_tx_unforwarded);
         total

@@ -138,6 +138,19 @@ impl ShardSender {
         }
     }
 
+    /// Messages currently queued toward the shard (occupancy of the
+    /// ingress FIFO as seen from the producer end). Ring mode reads the
+    /// SPSC cursors ([`rp_ring::Producer::occupancy`]); the vendored
+    /// channel stub exposes no length, so channel mode reports 0 — depth
+    /// steering is a ring-mode feature, and a 0 reading degrades to the
+    /// existing dispatch-window behaviour.
+    pub(crate) fn depth(&self) -> usize {
+        match self {
+            ShardSender::Channel(_) => 0,
+            ShardSender::Ring(p) => p.lock().unwrap_or_else(|e| e.into_inner()).occupancy(),
+        }
+    }
+
     /// A sender whose peer is already gone, in the same mode: replacing a
     /// slot's sender with this disconnects the worker's receive loop
     /// (the abandonment path).
@@ -391,7 +404,7 @@ fn thread_cpu_ns() -> Option<u64> {
 /// testbench-mirroring single pump on `Queued`, busy-time and packet
 /// accounting. Shared by the `Packet` and `Batch` arms so a batch is
 /// observably identical to the same packets sent one message each.
-fn process_packet(ctx: &mut ShardCtx, pkt: Mbuf) {
+fn process_packet(ctx: &mut ShardCtx, pkt: Mbuf, wall_now_ns: u64) {
     if ctx.router.tracer().wants(TraceCategory::Shard) {
         let now = ctx.router.now_ns();
         let detail = format!("shard {} rx_if={} len={}", ctx.index, pkt.rx_if, pkt.len());
@@ -400,7 +413,7 @@ fn process_packet(ctx: &mut ShardCtx, pkt: Mbuf) {
             .record(now, TraceCategory::Shard, detail);
     }
     let t0 = Instant::now();
-    let d = ctx.router.receive(pkt);
+    let d = ctx.router.receive_stamped(pkt, wall_now_ns);
     if let Disposition::Queued(iface) = d {
         // Mirror the testbench's immediate retransmit: drain one packet
         // from the egress scheduler per arrival.
@@ -438,16 +451,19 @@ fn shard_loop(
         }
         match msg {
             ShardMsg::Packet(pkt) => {
-                process_packet(ctx, pkt);
+                process_packet(ctx, pkt, rp_packet::coarse_now_ns());
                 egress.drain(&mut ctx.router);
                 shared.processed.fetch_add(1, Ordering::Relaxed);
             }
             ShardMsg::Batch(mut pkts) => {
                 // One heartbeat-busy window covers the whole batch; the
                 // watchdog's stall timeouts are tens of milliseconds,
-                // far above any sane batch's processing time.
+                // far above any sane batch's processing time. The wall
+                // clock is likewise read once per batch: sojourn is a
+                // coarse end-to-end measure, not a per-packet stopwatch.
+                let wall = rp_packet::coarse_now_ns();
                 for pkt in pkts.drain(..) {
-                    process_packet(ctx, pkt);
+                    process_packet(ctx, pkt, wall);
                     shared.processed.fetch_add(1, Ordering::Relaxed);
                 }
                 // Egress drain is the amortized part: one pass over the

@@ -60,6 +60,13 @@ pub enum DropReason {
     /// error, device gone). The I/O plane re-accounts the packet from
     /// `forwarded` into this counter — the wire never carried it.
     DeviceTx,
+    /// Shed because the packet was already older than the configured
+    /// `max_sojourn_ns` deadline when its shard dequeued it: forwarding
+    /// it would only have delivered it uselessly late while stealing
+    /// service from packets that can still meet the SLO. Latency
+    /// degrades gracefully (drops, not collapse) and conservation stays
+    /// exact.
+    DeadlineExceeded,
 }
 
 /// Final outcome of processing one packet.
@@ -121,6 +128,10 @@ pub struct DataPathStats {
     /// Forwarded packets the egress device refused to transmit (I/O plane
     /// only).
     pub dropped_device_tx: u64,
+    /// Packets shed because they were already past the configured
+    /// end-to-end latency deadline (`max_sojourn_ns`) when their shard
+    /// dequeued them (always 0 unless a deadline is configured).
+    pub dropped_deadline: u64,
     /// Instances moved to quarantine.
     pub plugin_quarantines: u64,
     /// Successful supervised instance restarts.
@@ -149,6 +160,7 @@ impl DataPathStats {
         self.dropped_shard_down += other.dropped_shard_down;
         self.dropped_device_rx += other.dropped_device_rx;
         self.dropped_device_tx += other.dropped_device_tx;
+        self.dropped_deadline += other.dropped_deadline;
         self.plugin_quarantines += other.plugin_quarantines;
         self.plugin_restarts += other.plugin_restarts;
     }
@@ -167,6 +179,7 @@ impl DataPathStats {
             + self.dropped_shard_down
             + self.dropped_device_rx
             + self.dropped_device_tx
+            + self.dropped_deadline
     }
 }
 

@@ -106,6 +106,32 @@ impl Histogram {
         }
     }
 
+    /// Estimate the `q`-quantile (`0.0 ≤ q ≤ 1.0`) from the log-2
+    /// buckets: walk to the bucket holding the rank-`⌈q·count⌉`
+    /// observation and return that bucket's midpoint (floor for bucket
+    /// 0). The estimate is bounded by the bucket resolution — a factor
+    /// of 2 — which is exactly the precision an SLO gate on p50/p99
+    /// needs without per-sample storage. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let floor = Self::bucket_floor(b);
+                if b == 0 {
+                    return 0;
+                }
+                // Midpoint of [2^(b-1), 2^b): floor + floor/2.
+                return floor + floor / 2;
+            }
+        }
+        Self::bucket_floor(HIST_BUCKETS - 1)
+    }
+
     /// Buckets with trailing zeros trimmed (for compact rendering).
     pub fn trimmed_buckets(&self) -> &[u64] {
         let last = self
@@ -120,7 +146,7 @@ impl Histogram {
 
 /// Number of distinct [`DropReason`] slots: the scalar reasons plus one
 /// per gate for `Plugin(gate)` and `PluginFault(gate)`.
-pub const DROP_KINDS: usize = 11 + 2 * GATE_COUNT;
+pub const DROP_KINDS: usize = 12 + 2 * GATE_COUNT;
 
 /// Map a drop reason to its counter slot.
 pub fn drop_reason_index(reason: DropReason) -> usize {
@@ -136,8 +162,9 @@ pub fn drop_reason_index(reason: DropReason) -> usize {
         DropReason::ShardDown => 8,
         DropReason::DeviceRx => 9,
         DropReason::DeviceTx => 10,
-        DropReason::Plugin(g) => 11 + g.index(),
-        DropReason::PluginFault(g) => 11 + GATE_COUNT + g.index(),
+        DropReason::DeadlineExceeded => 11,
+        DropReason::Plugin(g) => 12 + g.index(),
+        DropReason::PluginFault(g) => 12 + GATE_COUNT + g.index(),
     }
 }
 
@@ -155,8 +182,9 @@ pub fn drop_reason_label(slot: usize) -> String {
         8 => "shard_down".to_string(),
         9 => "device_rx".to_string(),
         10 => "device_tx".to_string(),
-        s if s < 11 + GATE_COUNT => format!("plugin_{}", ALL_GATES[s - 11]),
-        s => format!("plugin_fault_{}", ALL_GATES[s - 11 - GATE_COUNT]),
+        11 => "deadline_exceeded".to_string(),
+        s if s < 12 + GATE_COUNT => format!("plugin_{}", ALL_GATES[s - 12]),
+        s => format!("plugin_fault_{}", ALL_GATES[s - 12 - GATE_COUNT]),
     }
 }
 
@@ -204,6 +232,12 @@ pub struct MetricsRegistry {
     pub queue_depth: [u64; MAX_INTERFACES],
     /// Received packet sizes in bytes.
     pub pkt_size: Histogram,
+    /// End-to-end packet sojourn (coarse ingress stamp at the wire to
+    /// shard dequeue) in nanoseconds. Fed by the dispatch/shard layer
+    /// from the `Mbuf` ingress timestamp; empty when no I/O plane (or
+    /// driver) stamps ingress. p50/p99 come from
+    /// [`Histogram::quantile`].
+    pub sojourn_ns: Histogram,
     /// Mbuf-pool buffers handed out (cumulative; sampled from the
     /// router's pool at snapshot time, like the queue-depth gauge).
     pub mbuf_acquired: u64,
@@ -249,6 +283,12 @@ impl MetricsRegistry {
         self.pkt_size.observe(bytes as u64);
     }
 
+    /// Record one packet's end-to-end sojourn time in nanoseconds.
+    #[inline]
+    pub fn note_sojourn(&mut self, ns: u64) {
+        self.sojourn_ns.observe(ns);
+    }
+
     /// Count one transmitted packet.
     #[inline]
     pub fn note_tx(&mut self, iface: u32, bytes: usize) {
@@ -283,6 +323,7 @@ impl MetricsRegistry {
             self.queue_depth[i] += other.queue_depth[i];
         }
         self.pkt_size.absorb(&other.pkt_size);
+        self.sojourn_ns.absorb(&other.sojourn_ns);
         self.mbuf_acquired += other.mbuf_acquired;
         self.mbuf_recycled += other.mbuf_recycled;
         self.mbuf_fresh += other.mbuf_fresh;
@@ -346,6 +387,16 @@ impl MetricsRegistry {
             self.pkt_size.mean(),
             self.pkt_size.count,
         );
+        if self.sojourn_ns.count > 0 {
+            let _ = writeln!(
+                out,
+                "sojourn_ns: p50={} p99={} mean={:.0} (n={})",
+                self.sojourn_ns.quantile(0.50),
+                self.sojourn_ns.quantile(0.99),
+                self.sojourn_ns.mean(),
+                self.sojourn_ns.count,
+            );
+        }
         let _ = writeln!(
             out,
             "mbuf_pool: acquired={} recycled={} fresh={}",
@@ -418,12 +469,16 @@ impl MetricsRegistry {
             out,
             "],\"flows_expired\":{},\"fragment_flows\":{},\
              \"flow_admission_denied\":{},\"flow_inline_expired\":{},\"pkt_size\":{},\
+             \"sojourn_ns\":{{\"p50\":{},\"p99\":{},\"hist\":{}}},\
              \"mbuf_pool\":{{\"acquired\":{},\"recycled\":{},\"fresh\":{}}}}}",
             self.flows_expired,
             self.fragment_flows,
             self.flow_admission_denied,
             self.flow_inline_expired,
             hist(&self.pkt_size),
+            self.sojourn_ns.quantile(0.50),
+            self.sojourn_ns.quantile(0.99),
+            hist(&self.sojourn_ns),
             self.mbuf_acquired,
             self.mbuf_recycled,
             self.mbuf_fresh,
@@ -691,6 +746,7 @@ mod tests {
             DropReason::ShardDown,
             DropReason::DeviceRx,
             DropReason::DeviceTx,
+            DropReason::DeadlineExceeded,
         ];
         for g in ALL_GATES {
             reasons.push(DropReason::Plugin(g));
@@ -707,11 +763,33 @@ mod tests {
         assert_eq!(drop_reason_label(8), "shard_down");
         assert_eq!(drop_reason_label(9), "device_rx");
         assert_eq!(drop_reason_label(10), "device_tx");
-        assert_eq!(drop_reason_label(11), "plugin_firewall");
+        assert_eq!(drop_reason_label(11), "deadline_exceeded");
+        assert_eq!(drop_reason_label(12), "plugin_firewall");
         assert_eq!(
-            drop_reason_label(11 + GATE_COUNT + GATE_COUNT - 1),
+            drop_reason_label(12 + GATE_COUNT + GATE_COUNT - 1),
             "plugin_fault_sched"
         );
+    }
+
+    #[test]
+    fn histogram_quantile_estimates() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0);
+        // 99 values in bucket 7 ([64,128)) and one outlier in bucket 11
+        // ([1024,2048)): p50 lands mid-bucket-7, p99 still bucket 7 (rank
+        // 99 of 100), p100 reaches the outlier's bucket.
+        for _ in 0..99 {
+            h.observe(100);
+        }
+        h.observe(1500);
+        assert_eq!(h.quantile(0.50), 64 + 32);
+        assert_eq!(h.quantile(0.99), 64 + 32);
+        assert_eq!(h.quantile(1.0), 1024 + 512);
+        // All zeros: quantiles stay at bucket 0's floor.
+        let mut z = Histogram::default();
+        z.observe(0);
+        z.observe(0);
+        assert_eq!(z.quantile(0.99), 0);
     }
 
     #[test]
@@ -781,6 +859,7 @@ mod tests {
         assert!(j.contains("\"no_route\":1"));
         assert!(j.contains("\"rx_packets\":1"));
         assert!(j.contains("\"fragment_flows\":0"));
+        assert!(j.contains("\"sojourn_ns\":{\"p50\":0,\"p99\":0,"));
         assert!(j.contains("\"mbuf_pool\":{\"acquired\":0,\"recycled\":0,\"fresh\":0}"));
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(j.matches('{').count(), j.matches('}').count());

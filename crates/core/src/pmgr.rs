@@ -306,11 +306,12 @@ pub fn run_command<C: ControlPlane>(router: &mut C, line: &str) -> Result<String
                 .into_iter()
                 .map(|d| {
                     let s = d.stats;
-                    format!(
-                        "{} if{}: rx={}pkts/{}B (err={} drop={}) tx={}pkts/{}B (err={} drop={}) \
+                    let mut line = format!(
+                        "{} if{} [{}]: rx={}pkts/{}B (err={} drop={}) tx={}pkts/{}B (err={} drop={}) \
                          rx_batch(mean={:.1} n={}) tx_batch(mean={:.1} n={})",
                         d.name,
                         d.iface,
+                        d.health,
                         s.rx_packets,
                         s.rx_bytes,
                         s.rx_errors,
@@ -323,7 +324,14 @@ pub fn run_command<C: ControlPlane>(router: &mut C, line: &str) -> Result<String
                         s.rx_batch.count,
                         s.tx_batch.mean(),
                         s.tx_batch.count,
-                    )
+                    );
+                    if d.quarantines > 0 || d.reopens > 0 {
+                        line.push_str(&format!(
+                            " quarantines={} reopens={}",
+                            d.quarantines, d.reopens
+                        ));
+                    }
+                    line
                 })
                 .collect::<Vec<_>>()
                 .join("\n"))

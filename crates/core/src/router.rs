@@ -63,6 +63,12 @@ pub struct RouterConfig {
     pub bmp: BmpKind,
     /// Plugin fault-handling policy (thresholds, budget, restart).
     pub fault_policy: FaultPolicy,
+    /// End-to-end latency deadline in wall-clock nanoseconds; `0`
+    /// disables the check. When set, a packet whose coarse ingress
+    /// stamp (see [`rp_packet::coarse_now_ns`]) is already older than
+    /// this at [`Router::receive_stamped`] is shed as
+    /// [`DropReason::DeadlineExceeded`] instead of forwarded late.
+    pub max_sojourn_ns: u64,
 }
 
 impl Default for RouterConfig {
@@ -78,6 +84,7 @@ impl Default for RouterConfig {
             },
             bmp: BmpKind::Bspl,
             fault_policy: FaultPolicy::default(),
+            max_sojourn_ns: 0,
         }
     }
 }
@@ -93,6 +100,7 @@ pub struct Router {
     interfaces: Vec<Interface>,
     enabled: [bool; GATE_COUNT],
     verify_checksums: bool,
+    max_sojourn_ns: u64,
     stats: DataPathStats,
     now_ns: u64,
     supervisor: Supervisor,
@@ -148,6 +156,7 @@ impl Router {
                 .collect(),
             enabled,
             verify_checksums: cfg.verify_checksums,
+            max_sojourn_ns: cfg.max_sojourn_ns,
             stats: DataPathStats::default(),
             now_ns: 0,
             supervisor: Supervisor::new(cfg.fault_policy),
@@ -778,6 +787,41 @@ impl Router {
         self.dispatch_egress(mbuf, tx_if)
     }
 
+    /// [`Router::receive`] with end-to-end latency accounting. `wall_now_ns`
+    /// is the caller's current [`rp_packet::coarse_now_ns`] reading (read
+    /// once per batch, not per packet); the mbuf's `timestamp_ns` carries
+    /// its coarse ingress stamp from the I/O plane or pool. The sojourn so
+    /// far (ingress → shard dequeue) is recorded in the per-router metrics
+    /// histogram, and — when a `max_sojourn_ns` deadline is configured — a
+    /// packet already older than the deadline is shed as
+    /// [`DropReason::DeadlineExceeded`] instead of forwarded late: under
+    /// overload latency degrades into counted sheds, not collapse.
+    ///
+    /// The stamp is consumed here because [`Router::receive`] overwrites
+    /// `timestamp_ns` with the router's *virtual* clock for plugin use.
+    pub fn receive_stamped(&mut self, mbuf: Mbuf, wall_now_ns: u64) -> Disposition {
+        let stamp = mbuf.timestamp_ns;
+        if stamp != 0 && wall_now_ns >= stamp {
+            let sojourn = wall_now_ns - stamp;
+            self.metrics.note_sojourn(sojourn);
+            if self.max_sojourn_ns != 0 && sojourn > self.max_sojourn_ns {
+                // Count it received (it did arrive) then shed: the
+                // conservation invariant `received == forwarded + Σdrops`
+                // stays exact.
+                self.stats.received += 1;
+                self.metrics.note_rx(mbuf.rx_if, mbuf.len());
+                return self.drop_pkt(mbuf, DropReason::DeadlineExceeded);
+            }
+        }
+        self.receive(mbuf)
+    }
+
+    /// Set (or clear, with `0`) the end-to-end latency deadline at
+    /// runtime; see [`RouterConfig::max_sojourn_ns`].
+    pub fn set_max_sojourn_ns(&mut self, ns: u64) {
+        self.max_sojourn_ns = ns;
+    }
+
     /// Scheduling gate + emission for a packet whose egress interface is
     /// already decided and which fits the MTU.
     fn dispatch_egress(&mut self, mut mbuf: Mbuf, tx_if: IfIndex) -> Disposition {
@@ -867,6 +911,7 @@ impl Router {
             // should a caller synthesize one.
             DropReason::DeviceRx => self.stats.dropped_device_rx += 1,
             DropReason::DeviceTx => self.stats.dropped_device_tx += 1,
+            DropReason::DeadlineExceeded => self.stats.dropped_deadline += 1,
         }
         Disposition::Dropped(reason)
     }
@@ -931,7 +976,12 @@ impl Router {
     /// Build an ingress mbuf backed by a pooled buffer (the device
     /// driver's receive-side allocation in the paper's architecture).
     pub fn mbuf_with(&mut self, bytes: &[u8], rx_if: IfIndex) -> Mbuf {
-        self.pool.mbuf_from(bytes, rx_if)
+        let mut m = self.pool.mbuf_from(bytes, rx_if);
+        // Coarse ingress stamp for end-to-end sojourn accounting; the
+        // I/O plane re-stamps per received batch, this covers callers
+        // that inject synthetic traffic directly.
+        m.timestamp_ns = rp_packet::coarse_now_ns();
+        m
     }
 
     /// Return an mbuf's backing buffer to the router's pool (the driver

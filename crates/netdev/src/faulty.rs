@@ -1,0 +1,257 @@
+//! Chaos wrapper for [`NetDev`] backends — the device analog of the
+//! plugin tier's chaos plugin. Wraps any device and injects faults on
+//! command: hard transmit errors, receive stalls, frame drops every Nth
+//! frame, and scripted flapping, all driven through a shared
+//! [`FaultHandle`] so a test (or the adversarial bench) can flip modes
+//! mid-run deterministically.
+//!
+//! Injected faults are indistinguishable from real ones at the
+//! [`DeviceStats`] level — a synthetic tx error counts in `tx_errors`
+//! exactly like a failed `send` — so the device supervisor and the
+//! conservation ledger exercise their production paths.
+
+use crate::{NetDev, NetDevError, RxBatch};
+use router_core::dataplane::control::DeviceStats;
+use rp_packet::pool::MbufPool;
+use rp_packet::Mbuf;
+use std::sync::{Arc, Mutex};
+
+/// The live fault program, shared between the wrapper and the test.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultProgram {
+    /// Every transmit write fails hard (counted `tx_errors`).
+    pub fail_tx: bool,
+    /// The receive side returns nothing (a silent device).
+    pub stall_rx: bool,
+    /// Drop (and count) every Nth delivered ingress frame; 0 disables.
+    pub drop_rx_every: u64,
+    /// Fail (and count) every Nth transmitted frame; 0 disables.
+    pub fail_tx_every: u64,
+    /// A [`NetDev::reopen`] clears `fail_tx` and `stall_rx` — the fault
+    /// was "in the handle" and reopening fixed it. Leave false to model
+    /// a fault reopening cannot cure (backoff keeps climbing).
+    pub heal_on_reopen: bool,
+}
+
+/// Shared handle a test keeps to reprogram the faults mid-run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultHandle(Arc<Mutex<FaultProgram>>);
+
+impl FaultHandle {
+    /// Replace the whole program.
+    pub fn set(&self, p: FaultProgram) {
+        *self.0.lock().unwrap_or_else(|e| e.into_inner()) = p;
+    }
+
+    /// Read the current program.
+    pub fn get(&self) -> FaultProgram {
+        *self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Edit the program in place.
+    pub fn update(&self, f: impl FnOnce(&mut FaultProgram)) {
+        f(&mut self.0.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+/// A [`NetDev`] that forwards to an inner device, injecting the faults
+/// its [`FaultHandle`] currently programs (see module docs).
+pub struct FaultyDev {
+    inner: Box<dyn NetDev>,
+    name: String,
+    ctl: FaultHandle,
+    /// Injected-fault counters, merged over the inner device's stats.
+    synth: DeviceStats,
+    /// Frames seen by the rx drop-every-Nth counter.
+    rx_seen: u64,
+    /// Packets seen by the tx fail-every-Nth counter.
+    tx_seen: u64,
+    /// Completed reopen calls (observable by tests).
+    reopens: u64,
+}
+
+impl FaultyDev {
+    /// Wrap `inner`; faults start disabled. Returns the device and the
+    /// control handle.
+    pub fn wrap(inner: Box<dyn NetDev>) -> (FaultyDev, FaultHandle) {
+        let ctl = FaultHandle::default();
+        let name = format!("faulty:{}", inner.name());
+        (
+            FaultyDev {
+                inner,
+                name,
+                ctl: ctl.clone(),
+                synth: DeviceStats::default(),
+                rx_seen: 0,
+                tx_seen: 0,
+                reopens: 0,
+            },
+            ctl,
+        )
+    }
+
+    /// Completed [`NetDev::reopen`] calls on this wrapper.
+    pub fn reopens(&self) -> u64 {
+        self.reopens
+    }
+}
+
+impl NetDev for FaultyDev {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn rx_batch(&mut self, max: usize, sink: &mut dyn FnMut(&[u8])) -> RxBatch {
+        let p = self.ctl.get();
+        if p.stall_rx {
+            return RxBatch::default();
+        }
+        if p.drop_rx_every == 0 {
+            return self.inner.rx_batch(max, sink);
+        }
+        // Drop every Nth delivered frame: it still counts as a frame off
+        // the wire (and a device-rx drop), it just never reaches the
+        // sink — exactly what a driver overrun looks like.
+        let every = p.drop_rx_every;
+        let seen = &mut self.rx_seen;
+        let dropped_now = &mut self.synth.rx_dropped;
+        let errors_now = &mut self.synth.rx_errors;
+        let mut injected = 0u64;
+        let mut filtered = |bytes: &[u8]| {
+            *seen += 1;
+            if (*seen).is_multiple_of(every) {
+                injected += 1;
+                *dropped_now += 1;
+                *errors_now += 1;
+            } else {
+                sink(bytes);
+            }
+        };
+        let mut r = self.inner.rx_batch(max, &mut filtered);
+        r.delivered -= injected;
+        r.dropped += injected;
+        r
+    }
+
+    fn tx_batch(&mut self, pkts: &mut Vec<Mbuf>, pool: &mut MbufPool) -> u64 {
+        let p = self.ctl.get();
+        if p.fail_tx {
+            // Every write fails hard: recycle the batch, count errors.
+            let n = pkts.len() as u64;
+            for m in pkts.drain(..) {
+                pool.recycle(m);
+            }
+            self.synth.tx_errors += n;
+            return 0;
+        }
+        if p.fail_tx_every == 0 {
+            return self.inner.tx_batch(pkts, pool);
+        }
+        // Fail every Nth packet before it reaches the inner device.
+        let every = p.fail_tx_every;
+        let mut kept: Vec<Mbuf> = Vec::with_capacity(pkts.len());
+        for m in pkts.drain(..) {
+            self.tx_seen += 1;
+            if self.tx_seen.is_multiple_of(every) {
+                self.synth.tx_errors += 1;
+                pool.recycle(m);
+            } else {
+                kept.push(m);
+            }
+        }
+        let sent = self.inner.tx_batch(&mut kept, pool);
+        pkts.append(&mut kept);
+        sent
+    }
+
+    fn stats(&self) -> DeviceStats {
+        let mut s = self.inner.stats();
+        s.absorb(&self.synth);
+        s
+    }
+
+    fn reopen(&mut self) -> Result<(), NetDevError> {
+        self.reopens += 1;
+        if self.ctl.get().heal_on_reopen {
+            self.ctl.update(|p| {
+                p.fail_tx = false;
+                p.stall_rx = false;
+            });
+        }
+        self.inner.reopen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loopback::LoopbackDev;
+
+    fn pair() -> (FaultyDev, FaultHandle, LoopbackDev) {
+        let (a, b) = LoopbackDev::pair("a", "b", 32);
+        let (f, ctl) = FaultyDev::wrap(Box::new(a));
+        (f, ctl, b)
+    }
+
+    #[test]
+    fn transparent_when_no_faults_programmed() {
+        let (mut f, _ctl, mut peer) = pair();
+        let mut pool = MbufPool::new(8);
+        let mut batch = vec![pool.mbuf_from(&[0x45, 1, 2], 0)];
+        assert_eq!(f.tx_batch(&mut batch, &mut pool), 1);
+        let mut seen = 0;
+        peer.rx_batch(16, &mut |_| seen += 1);
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn fail_tx_counts_errors_and_recycles() {
+        let (mut f, ctl, mut peer) = pair();
+        ctl.update(|p| p.fail_tx = true);
+        let mut pool = MbufPool::new(8);
+        let mut batch = vec![pool.mbuf_from(&[0x45, 1], 0), pool.mbuf_from(&[0x45, 2], 0)];
+        assert_eq!(f.tx_batch(&mut batch, &mut pool), 0);
+        assert_eq!(f.stats().tx_errors, 2);
+        let mut seen = 0;
+        peer.rx_batch(16, &mut |_| seen += 1);
+        assert_eq!(seen, 0, "failed packets must never reach the wire");
+        assert!(
+            pool.stats().recycled >= 2,
+            "buffers must return to the pool"
+        );
+    }
+
+    #[test]
+    fn drop_rx_every_nth_counts_as_device_drop() {
+        let (mut f, ctl, mut peer) = pair();
+        ctl.update(|p| p.drop_rx_every = 3);
+        let mut pool = MbufPool::new(16);
+        let mut batch = (0..9u8).map(|i| pool.mbuf_from(&[0x45, i], 0)).collect();
+        assert_eq!(peer.tx_batch(&mut batch, &mut pool), 9);
+        let mut seen = 0;
+        let r = f.rx_batch(16, &mut |_| seen += 1);
+        assert_eq!(r.frames, 9);
+        assert_eq!(r.delivered, 6);
+        assert_eq!(r.dropped, 3);
+        assert_eq!(seen, 6);
+        assert_eq!(f.stats().rx_dropped, 3);
+    }
+
+    #[test]
+    fn stall_and_heal_on_reopen() {
+        let (mut f, ctl, mut peer) = pair();
+        ctl.update(|p| {
+            p.stall_rx = true;
+            p.heal_on_reopen = true;
+        });
+        let mut pool = MbufPool::new(8);
+        let mut batch = vec![pool.mbuf_from(&[0x45, 7], 0)];
+        assert_eq!(peer.tx_batch(&mut batch, &mut pool), 1);
+        assert_eq!(f.rx_batch(16, &mut |_| panic!("stalled")).frames, 0);
+        f.reopen().unwrap();
+        assert_eq!(f.reopens(), 1);
+        let mut seen = 0;
+        f.rx_batch(16, &mut |_| seen += 1);
+        assert_eq!(seen, 1, "reopen must heal the stall");
+    }
+}

@@ -25,9 +25,11 @@
 //! `devices` command — so an operator drives a device-backed router
 //! with the identical command language.
 
+use crate::supervisor::{DeviceMonitor, DeviceSupervisorConfig, PollSample};
 use crate::{NetDev, RxBatch};
 use router_core::dataplane::control::{
-    ControlPlane, DeviceRow, MetricsRow, ShardHealthReport, ShardStatus, ShardTraceEvent, StatsRow,
+    ControlPlane, DeviceHealth, DeviceRow, DeviceStats, MetricsRow, ShardHealthReport, ShardStatus,
+    ShardTraceEvent, StatsRow,
 };
 use router_core::dataplane::ParallelRouter;
 use router_core::gate::Gate;
@@ -39,6 +41,7 @@ use rp_packet::mbuf::IfIndex;
 use rp_packet::pool::MbufPool;
 use rp_packet::Mbuf;
 use std::net::IpAddr;
+use std::time::Instant;
 
 /// The data-plane surface the [`IoPlane`] needs, implemented by both
 /// [`Router`] (single-threaded) and [`ParallelRouter`] (sharded) so one
@@ -61,8 +64,9 @@ pub trait IoRouter {
     fn io_note_device_rx_drops(&mut self, n: u64);
     /// Re-account `n` forwarded packets refused by an egress device.
     fn io_note_device_tx_drops(&mut self, n: u64);
-    /// Merged data-path counters.
-    fn io_stats(&mut self) -> DataPathStats;
+    /// Merged data-path counters. Takes `&self` so conservation is
+    /// checkable on a shared reference mid-run.
+    fn io_stats(&self) -> DataPathStats;
     /// Number of router interfaces.
     fn io_interface_count(&self) -> usize;
 }
@@ -73,11 +77,14 @@ impl IoRouter for Router {
     }
 
     fn io_inject_batch(&mut self, batch: &mut Vec<Mbuf>) {
+        // One coarse wall-clock read covers the whole batch — sojourn
+        // resolution is the batch, cost is amortised across it.
+        let wall = rp_packet::coarse_now_ns();
         for m in batch.drain(..) {
             // Mirror the shard worker: pump the egress scheduler right
             // after a queuing disposition so DRR/WFQ output flows
             // without a separate scheduler thread.
-            if let Disposition::Queued(iface) = self.receive(m) {
+            if let Disposition::Queued(iface) = self.receive_stamped(m, wall) {
                 self.pump(iface, 1);
             }
         }
@@ -101,7 +108,7 @@ impl IoRouter for Router {
         self.note_device_tx_drops(n);
     }
 
-    fn io_stats(&mut self) -> DataPathStats {
+    fn io_stats(&self) -> DataPathStats {
         self.stats()
     }
 
@@ -145,8 +152,8 @@ impl IoRouter for ParallelRouter {
         self.note_device_tx_drops(n);
     }
 
-    fn io_stats(&mut self) -> DataPathStats {
-        self.stats()
+    fn io_stats(&self) -> DataPathStats {
+        self.stats_read()
     }
 
     fn io_interface_count(&self) -> usize {
@@ -165,8 +172,13 @@ pub struct IoLedger {
     pub decap_dropped: u64,
     /// Packets written back out through devices.
     pub device_tx: u64,
-    /// Forwarded packets the egress device refused.
+    /// Forwarded packets lost to hard transmit failures (the device
+    /// reported a write error).
     pub tx_errors: u64,
+    /// Forwarded packets shed without a hard error: device backpressure
+    /// (full queues after bounded retries) or a quarantined device's
+    /// egress being drained by the supervisor.
+    pub tx_dropped: u64,
 }
 
 /// A device bound to a router interface, with its reusable scratch
@@ -177,6 +189,12 @@ struct BoundDev {
     iface: IfIndex,
     rx_scratch: Vec<Mbuf>,
     tx_scratch: Vec<Mbuf>,
+    /// Health machine when supervision is enabled.
+    monitor: Option<DeviceMonitor>,
+    /// Stats snapshot at the last supervision step (delta baseline).
+    last_stats: DeviceStats,
+    /// Frames this device read in the current duty cycle.
+    rx_frames: u64,
 }
 
 /// Binds [`NetDev`]s to a data plane and pumps traffic (see module
@@ -186,6 +204,7 @@ pub struct IoPlane<P: IoRouter> {
     devices: Vec<BoundDev>,
     ledger: IoLedger,
     rx_budget: usize,
+    supervision: Option<DeviceSupervisorConfig>,
 }
 
 impl<P: IoRouter> IoPlane<P> {
@@ -197,6 +216,21 @@ impl<P: IoRouter> IoPlane<P> {
             devices: Vec::new(),
             ledger: IoLedger::default(),
             rx_budget: rx_budget.max(1),
+            supervision: None,
+        }
+    }
+
+    /// Enable device supervision: every bound device (current and
+    /// future) gets a [`DeviceMonitor`] fed one [`PollSample`] per duty
+    /// cycle, with quarantine and backed-off reopen driven from
+    /// [`poll`](IoPlane::poll).
+    pub fn supervise(&mut self, cfg: DeviceSupervisorConfig) {
+        self.supervision = Some(cfg);
+        for bd in self.devices.iter_mut() {
+            if bd.monitor.is_none() {
+                bd.last_stats = bd.dev.stats();
+                bd.monitor = Some(DeviceMonitor::new(cfg));
+            }
         }
     }
 
@@ -208,11 +242,15 @@ impl<P: IoRouter> IoPlane<P> {
             (iface as usize) < self.plane.io_interface_count(),
             "bind: interface {iface} out of range"
         );
+        let last_stats = dev.stats();
         self.devices.push(BoundDev {
             dev,
             iface,
             rx_scratch: Vec::new(),
             tx_scratch: Vec::new(),
+            monitor: self.supervision.map(DeviceMonitor::new),
+            last_stats,
+            rx_frames: 0,
         });
     }
 
@@ -232,27 +270,49 @@ impl<P: IoRouter> IoPlane<P> {
     }
 
     /// One duty cycle: ingress from every device, flush, egress to
-    /// every device. Returns frames read off the wire this cycle.
+    /// every device, then (with supervision on) one health step per
+    /// device. Returns frames read off the wire this cycle.
     pub fn poll(&mut self) -> u64 {
         let polled = self.poll_rx();
         self.plane.io_flush();
         self.poll_tx();
+        if self.supervision.is_some() {
+            self.supervise_step();
+        }
         polled
     }
 
     /// Ingress half of a cycle (exposed for tests that want to observe
-    /// the plane mid-cycle).
+    /// the plane mid-cycle). Quarantined devices are not polled; when
+    /// their reopen backoff has elapsed a [`NetDev::reopen`] is
+    /// attempted first, and on success the device is polled again this
+    /// same cycle (on degraded probation).
     pub fn poll_rx(&mut self) -> u64 {
+        let now = Instant::now();
+        let wall = rp_packet::coarse_now_ns();
         let mut polled = 0;
         for bd in self.devices.iter_mut() {
+            bd.rx_frames = 0;
+            if let Some(mon) = bd.monitor.as_mut() {
+                if mon.reopen_due(now) {
+                    let ok = bd.dev.reopen().is_ok();
+                    mon.note_reopen(ok, now);
+                }
+                if mon.quarantined() {
+                    continue;
+                }
+            }
             let iface = bd.iface;
             let budget = self.rx_budget;
             let plane = &mut self.plane;
             let rx = &mut bd.rx_scratch;
-            let r: RxBatch = bd
-                .dev
-                .rx_batch(budget, &mut |bytes| rx.push(plane.io_mbuf(bytes, iface)));
+            let r: RxBatch = bd.dev.rx_batch(budget, &mut |bytes| {
+                let mut m = plane.io_mbuf(bytes, iface);
+                m.timestamp_ns = wall;
+                rx.push(m);
+            });
             polled += r.frames;
+            bd.rx_frames = r.frames;
             self.ledger.device_rx += r.frames;
             self.ledger.injected += r.delivered;
             if r.dropped > 0 {
@@ -264,21 +324,65 @@ impl<P: IoRouter> IoPlane<P> {
         polled
     }
 
-    /// Egress half of a cycle.
+    /// Egress half of a cycle. A quarantined device's queued egress is
+    /// shed (recycled and counted as device-tx drops) rather than
+    /// handed to a dead transport — conservation stays exact across the
+    /// outage. For live devices, frames the device refused are split by
+    /// cause: hard write errors (from the device's own `tx_errors`
+    /// delta) vs backpressure sheds (everything else).
     pub fn poll_tx(&mut self) {
         for bd in self.devices.iter_mut() {
             self.plane.io_take_tx_into(bd.iface, &mut bd.tx_scratch);
             if bd.tx_scratch.is_empty() {
                 continue;
             }
+            if bd.monitor.as_ref().is_some_and(|m| m.quarantined()) {
+                let n = bd.tx_scratch.len() as u64;
+                let pool = self.plane.io_pool();
+                for m in bd.tx_scratch.drain(..) {
+                    pool.recycle(m);
+                }
+                self.ledger.tx_dropped += n;
+                self.plane.io_note_device_tx_drops(n);
+                continue;
+            }
             let attempted = bd.tx_scratch.len() as u64;
+            let errs_before = bd.dev.stats().tx_errors;
             let sent = bd.dev.tx_batch(&mut bd.tx_scratch, self.plane.io_pool());
             self.ledger.device_tx += sent;
             let failed = attempted - sent;
             if failed > 0 {
-                self.ledger.tx_errors += failed;
+                let hard = (bd.dev.stats().tx_errors - errs_before).min(failed);
+                self.ledger.tx_errors += hard;
+                self.ledger.tx_dropped += failed - hard;
                 self.plane.io_note_device_tx_drops(failed);
             }
+        }
+    }
+
+    /// One supervision step: feed every monitored device a
+    /// [`PollSample`] built from its [`DeviceStats`] deltas since the
+    /// last step, with the sum of the *other* devices' rx frames as the
+    /// liveness witness for the stall check.
+    fn supervise_step(&mut self) {
+        let now = Instant::now();
+        let total_rx: u64 = self.devices.iter().map(|bd| bd.rx_frames).sum();
+        for bd in self.devices.iter_mut() {
+            let Some(mon) = bd.monitor.as_mut() else {
+                continue;
+            };
+            let s = bd.dev.stats();
+            let io_errors =
+                (s.rx_errors - bd.last_stats.rx_errors) + (s.tx_errors - bd.last_stats.tx_errors);
+            bd.last_stats = s;
+            mon.note_poll(
+                &PollSample {
+                    rx_frames: bd.rx_frames,
+                    peer_rx_frames: total_rx - bd.rx_frames,
+                    io_errors,
+                },
+                now,
+            );
         }
     }
 
@@ -310,6 +414,12 @@ impl<P: IoRouter> IoPlane<P> {
                 name: bd.dev.name().to_string(),
                 iface: bd.iface,
                 stats: bd.dev.stats(),
+                health: bd
+                    .monitor
+                    .as_ref()
+                    .map_or(DeviceHealth::Unsupervised, |m| m.health()),
+                quarantines: bd.monitor.as_ref().map_or(0, |m| m.quarantines()),
+                reopens: bd.monitor.as_ref().map_or(0, |m| m.reopens()),
             })
             .collect()
     }
@@ -325,7 +435,7 @@ impl<P: IoRouter> IoPlane<P> {
     ///   `forwarded == device_tx`;
     /// * nothing is unaccounted:
     ///   `device_rx == device_tx + Σdrops`.
-    pub fn check_conservation(&mut self) {
+    pub fn check_conservation(&self) {
         let stats = self.plane.io_stats();
         let led = self.ledger;
         assert_eq!(

@@ -33,16 +33,20 @@
 
 #![warn(missing_docs)]
 
+pub mod faulty;
 pub mod frame;
 pub mod ioplane;
 pub mod loopback;
 pub mod pcap;
+pub mod supervisor;
 #[cfg(target_os = "linux")]
 mod sys;
 pub mod tap;
 pub mod udp;
 
+pub use faulty::{FaultHandle, FaultProgram, FaultyDev};
 pub use ioplane::{IoLedger, IoPlane, IoRouter};
+pub use supervisor::{DeviceMonitor, DeviceSupervisorConfig, PollSample};
 
 use router_core::dataplane::control::DeviceStats;
 use rp_packet::pool::MbufPool;
@@ -92,6 +96,16 @@ pub trait NetDev {
 
     /// The device's cumulative I/O counters.
     fn stats(&self) -> DeviceStats;
+
+    /// Tear down and re-establish the device's OS resources — the
+    /// supervised recovery path out of quarantine (UDP rebinds and
+    /// reconnects its socket, TAP reattaches to the kernel interface;
+    /// in-memory backends have nothing to re-establish and use this
+    /// default). Counters survive the reopen; only the transport is
+    /// rebuilt. Failure re-arms the supervisor's capped backoff.
+    fn reopen(&mut self) -> Result<(), NetDevError> {
+        Ok(())
+    }
 }
 
 /// Errors constructing or parsing on the device boundary (steady-state

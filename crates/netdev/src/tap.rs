@@ -193,4 +193,22 @@ impl NetDev for TapDev {
     fn stats(&self) -> DeviceStats {
         self.stats
     }
+
+    /// Reattach to the kernel interface: a fresh `/dev/net/tun` clone fd
+    /// bound to the same interface name replaces the old one (which is
+    /// closed on drop). Counters survive; only the fd is rebuilt.
+    #[cfg(target_os = "linux")]
+    fn reopen(&mut self) -> Result<(), NetDevError> {
+        let fresh = TapDev::open(&self.name)?;
+        self.file = fresh.file;
+        Ok(())
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    fn reopen(&mut self) -> Result<(), NetDevError> {
+        Err(NetDevError::Unavailable(format!(
+            "TAP ({}) requires Linux /dev/net/tun",
+            self.name
+        )))
+    }
 }

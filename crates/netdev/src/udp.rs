@@ -76,6 +76,12 @@ fn tx_with_retry(mut send: impl FnMut() -> std::io::Result<usize>, retries: usiz
 pub struct UdpDev {
     name: String,
     sock: UdpSocket,
+    /// The resolved bound address, kept for [`NetDev::reopen`]: the
+    /// replacement socket must own the *same* port, or peers would keep
+    /// sending into a void.
+    local: SocketAddr,
+    /// The resolved connected peer, reconnected on reopen.
+    peer: Option<SocketAddr>,
     stats: DeviceStats,
     #[cfg(target_os = "linux")]
     mmsg: MmsgState,
@@ -144,9 +150,13 @@ impl UdpDev {
         let sock = UdpSocket::bind(local)?;
         sock.connect(peer)?;
         sock.set_nonblocking(true)?;
+        let local = sock.local_addr()?;
+        let peer = sock.peer_addr().ok();
         Ok(UdpDev {
             name: name.to_string(),
             sock,
+            local,
+            peer,
             stats: DeviceStats::default(),
             #[cfg(target_os = "linux")]
             mmsg: MmsgState::new(),
@@ -167,8 +177,10 @@ impl UdpDev {
 
     /// Re-point the connected peer. Needed to cross-connect two devices
     /// created in sequence (each needs the other's bound port).
-    pub fn set_peer<A: ToSocketAddrs>(&self, peer: A) -> std::io::Result<()> {
-        self.sock.connect(peer)
+    pub fn set_peer<A: ToSocketAddrs>(&mut self, peer: A) -> std::io::Result<()> {
+        self.sock.connect(peer)?;
+        self.peer = self.sock.peer_addr().ok();
+        Ok(())
     }
 
     /// Drain with one `recvmmsg` call. `Ok((delivered, truncated))`
@@ -325,6 +337,30 @@ impl NetDev for UdpDev {
     fn stats(&self) -> DeviceStats {
         self.stats
     }
+
+    /// Rebind the stored local address and reconnect to the stored peer
+    /// — the full UDP transport rebuilt from scratch. The old socket is
+    /// swapped for an ephemeral placeholder first so the port is free to
+    /// rebind; if the rebind fails, the stored `local` stays
+    /// authoritative and the next attempt retries the same port.
+    fn reopen(&mut self) -> Result<(), NetDevError> {
+        use std::net::Ipv4Addr;
+        // Release the port (dropping the old socket) while keeping
+        // `self.sock` a valid socket whatever happens below.
+        self.sock = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0))?;
+        let sock = UdpSocket::bind(self.local)?;
+        if let Some(peer) = self.peer {
+            sock.connect(peer)?;
+        }
+        sock.set_nonblocking(true)?;
+        self.sock = sock;
+        #[cfg(target_os = "linux")]
+        {
+            // A fresh fd earns another shot at the batched receive path.
+            self.mmsg_ok = true;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -357,6 +393,27 @@ mod tests {
         }
         assert_eq!(seen, vec![vec![0x45, 1, 2], vec![0x60, 3]]);
         assert_eq!(b.stats().rx_packets, 2);
+    }
+
+    #[test]
+    fn reopen_keeps_port_and_still_receives() {
+        let mut a = UdpDev::connect("a", "127.0.0.1:0", "127.0.0.1:9").unwrap();
+        let addr = a.local_addr().unwrap();
+        a.reopen().unwrap();
+        assert_eq!(a.local_addr().unwrap(), addr, "reopen must keep the port");
+
+        let sender = std::net::UdpSocket::bind("127.0.0.1:0").unwrap();
+        a.set_peer(sender.local_addr().unwrap()).unwrap();
+        sender.send_to(&[0x45, 9, 9], addr).unwrap();
+        let mut seen = Vec::new();
+        for _ in 0..200 {
+            a.rx_batch(16, &mut |p| seen.push(p.to_vec()));
+            if !seen.is_empty() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(seen, vec![vec![0x45, 9, 9]]);
     }
 
     #[test]

@@ -28,6 +28,7 @@
 
 pub mod builder;
 pub mod checksum;
+pub mod clock;
 pub mod error;
 pub mod ext_hdr;
 pub mod flow;
@@ -45,6 +46,7 @@ pub mod tcp;
 pub mod udp;
 pub mod wire;
 
+pub use clock::coarse_now_ns;
 pub use error::{Error, Result};
 pub use flow::FlowTuple;
 pub use ip::{IpVersion, Protocol};

@@ -150,7 +150,7 @@ mod tests {
             )),
             "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
         );
-        let a1m: Vec<u8> = std::iter::repeat(b'a').take(1_000_000).collect();
+        let a1m: Vec<u8> = std::iter::repeat_n(b'a', 1_000_000).collect();
         assert_eq!(
             hex(&Sha1::digest(&a1m)),
             "34aa973cd4c4daa4f61eeb2bdbad27316534016f"

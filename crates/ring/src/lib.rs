@@ -314,6 +314,16 @@ impl<T: Send> Producer<T> {
         self.head_cache = self.shared.head.0.load(Ordering::Acquire);
         (self.shared.buf.len() as u64 - (self.tail - self.head_cache)) as usize
     }
+
+    /// Items currently in the ring (staged items included), from the
+    /// producer's view: one acquire-load of the consumer cursor. This is
+    /// the queue-depth signal load-aware dispatch reads — a point-in-time
+    /// gauge, monotone-safe (`tail ≥ head` always), never an estimate
+    /// below zero.
+    pub fn occupancy(&mut self) -> usize {
+        self.head_cache = self.shared.head.0.load(Ordering::Acquire);
+        (self.tail - self.head_cache) as usize
+    }
 }
 
 impl<T> Drop for Producer<T> {
@@ -368,6 +378,15 @@ impl<T: Send> Consumer<T> {
     /// buffered after disconnection; pops drain it first.
     pub fn is_connected(&self) -> bool {
         self.shared.producer_alive.load(Ordering::Acquire)
+    }
+
+    /// Items visible right now, from the consumer's view: one
+    /// acquire-load of the producer cursor. The consumer-side counterpart
+    /// of [`Producer::occupancy`] (staged-but-unpublished items are not
+    /// visible here until the producer publishes).
+    pub fn occupancy(&mut self) -> usize {
+        self.tail_cache = self.shared.tail.0.load(Ordering::Acquire);
+        (self.tail_cache - self.head) as usize
     }
 
     /// Items visible right now (refreshes the cached producer cursor
@@ -636,6 +655,27 @@ mod tests {
     }
 
     fn rx_take<T>(_rx: &Consumer<T>, _out: &mut Option<T>) {}
+
+    #[test]
+    fn occupancy_tracks_both_ends() {
+        let (mut tx, mut rx) = spsc::<u32>(8);
+        assert_eq!(tx.occupancy(), 0);
+        assert_eq!(rx.occupancy(), 0);
+        tx.try_push(1).unwrap();
+        tx.try_push(2).unwrap();
+        tx.stage(3).unwrap(); // staged counts on the producer side only
+        assert_eq!(tx.occupancy(), 3);
+        assert_eq!(rx.occupancy(), 2);
+        tx.publish();
+        assert_eq!(rx.occupancy(), 3);
+        assert_eq!(rx.try_pop(), Ok(1));
+        assert_eq!(tx.occupancy(), 2);
+        assert_eq!(rx.occupancy(), 2);
+        rx.pop_batch(8, &mut |_| {});
+        assert_eq!(tx.occupancy(), 0);
+        assert_eq!(rx.occupancy(), 0);
+        assert_eq!(tx.free_slots(), 8);
+    }
 
     #[test]
     fn parked_consumer_is_woken_by_push() {

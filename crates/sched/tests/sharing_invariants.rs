@@ -1,7 +1,7 @@
 //! Cross-scheduler invariants on the link simulator: work conservation,
 //! byte conservation, and fairness properties that E6/E7 rely on.
 
-use rp_sched::link::{LinkSim, SchedPacket, Scheduler};
+use rp_sched::link::{LinkSim, Scheduler};
 use rp_sched::red::RedConfig;
 use rp_sched::{DrrScheduler, FifoScheduler, HfscScheduler, HsfScheduler, RedQueue};
 

@@ -53,7 +53,7 @@ fn ten_thousand_packets_over_loopback_udp_with_zero_silent_loss() {
     inj.connect(a0.local_addr().unwrap()).unwrap();
     // Router B's ingress must exist before A's egress can point at it;
     // its own peer is fixed up once A's egress port is known.
-    let b0 = UdpDev::connect("b0", "127.0.0.1:0", "127.0.0.1:9").unwrap();
+    let mut b0 = UdpDev::connect("b0", "127.0.0.1:0", "127.0.0.1:9").unwrap();
     let a1 = UdpDev::connect("a1", "127.0.0.1:0", b0.local_addr().unwrap()).unwrap();
     b0.set_peer(a1.local_addr().unwrap()).unwrap();
     let b1 = UdpDev::connect("b1", "127.0.0.1:0", sink.local_addr().unwrap()).unwrap();
