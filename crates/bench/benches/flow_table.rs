@@ -36,6 +36,7 @@ fn bench_flow_table(c: &mut Criterion) {
             max_records: n.max(1024) * 2,
             gates: 6,
             max_idle_ns: 0,
+            ..FlowTableConfig::default()
         });
         for i in 0..n {
             ft.insert(tuple(i as u32));

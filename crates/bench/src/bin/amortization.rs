@@ -27,6 +27,7 @@ fn router_with_three_gates() -> Router {
             max_records: 1 << 20,
             gates: 6,
             max_idle_ns: 0,
+            ..FlowTableConfig::default()
         },
         ..RouterConfig::default()
     });

@@ -53,6 +53,7 @@ fn main() {
             max_records: n.max(1024) * 2,
             gates: 4,
             max_idle_ns: 0,
+            ..FlowTableConfig::default()
         });
         for i in 0..n {
             ft.insert(tuple(i as u32));

@@ -144,10 +144,14 @@ impl<V: Clone> Aiu<V> {
     /// involves n filter table lookups to create a single entry"). Any
     /// recycled flow's bindings are returned for eviction callbacks.
     pub fn classify(&mut self, tuple: &FlowTuple) -> (ClassifyOutcome, Option<EvictedFlow<V>>) {
-        if let Some(fix) = self.flow_table.lookup(tuple) {
+        // One hash per packet: the same value serves the lookup, the
+        // insert, and — crucially — the admission-denied flood path,
+        // which used to hash twice (lookup miss + denied insert).
+        let hash = crate::flow_table::flow_hash(tuple);
+        if let Some(fix) = self.flow_table.lookup_hashed(tuple, hash) {
             return (ClassifyOutcome::CacheHit(fix), None);
         }
-        let Some((fix, evicted)) = self.flow_table.try_insert(*tuple) else {
+        let Some((fix, evicted)) = self.flow_table.try_insert_hashed(*tuple, hash) else {
             return (ClassifyOutcome::Denied, None);
         };
         for gate in 0..self.cfg.gates {
@@ -156,8 +160,8 @@ impl<V: Clone> Aiu<V> {
                 .map(|(id, v)| (id, v.clone()));
             let rec = self.flow_table.record_mut(fix).expect("fresh record");
             if let Some((id, v)) = binding {
-                rec.gates[gate].instance = Some(v);
-                rec.gates[gate].filter = Some(id);
+                rec.gates.set_instance(gate, Some(v));
+                rec.gates.set_filter(gate, Some(id));
             }
         }
         (ClassifyOutcome::CacheMiss(fix), evicted)
@@ -186,25 +190,19 @@ impl<V: Clone> Aiu<V> {
     /// filter lookup (the "indirect function call instead of a 'hardwired'
     /// function call" of §3.2).
     pub fn instance(&self, fix: FlowIndex, gate: GateId) -> Option<&V> {
-        self.flow_table
-            .record(fix)?
-            .gates
-            .get(gate)?
-            .instance
-            .as_ref()
+        self.flow_table.record(fix)?.gates.instance(gate)
     }
 
     /// The filter a cached binding was derived from.
     pub fn bound_filter(&self, fix: FlowIndex, gate: GateId) -> Option<FilterId> {
-        self.flow_table.record(fix)?.gates.get(gate)?.filter
+        self.flow_table.record(fix)?.gates.filter(gate)
     }
 
     /// Single-access fetch of a gate binding's filter id and soft-state
     /// slot (the data path calls this once per gate; splitting it into
     /// two record lookups would double the fast-path slab accesses).
     pub fn binding_mut(&mut self, fix: FlowIndex, gate: GateId) -> Option<BindingMut<'_>> {
-        let b = self.flow_table.record_mut(fix)?.gates.get_mut(gate)?;
-        Some((b.filter, &mut b.soft_state))
+        self.flow_table.record_mut(fix)?.gates.binding_mut(gate)
     }
 
     /// Mutable access to per-flow plugin soft state at a gate.
@@ -213,14 +211,7 @@ impl<V: Clone> Aiu<V> {
         fix: FlowIndex,
         gate: GateId,
     ) -> Option<&mut Option<Box<dyn std::any::Any + Send>>> {
-        Some(
-            &mut self
-                .flow_table
-                .record_mut(fix)?
-                .gates
-                .get_mut(gate)?
-                .soft_state,
-        )
+        self.flow_table.record_mut(fix)?.gates.soft_mut(gate)
     }
 
     /// Drop every cached flow whose record satisfies `pred` (the router
@@ -238,15 +229,11 @@ impl<V: Clone> Aiu<V> {
         self.flow_table.set_now(now_ns);
     }
 
-    /// Expire flows idle longer than `max_idle_ns`; returns evicted
-    /// bindings for plugin callbacks.
-    pub fn expire_idle(&mut self, max_idle_ns: u64) -> Vec<EvictedFlow<V>> {
-        self.flow_table.expire_idle(max_idle_ns)
-    }
-
-    /// Allocation-free sweep: evicted bindings are appended to `out`
+    /// Allocation-free idle-expiry sweep: flows idle longer than
+    /// `max_idle_ns` are evicted and their bindings appended to `out`
     /// (the router's reusable scratch buffer). Returns the eviction
-    /// count.
+    /// count. (The allocating `expire_idle` variant was removed; every
+    /// caller threads a scratch buffer now.)
     pub fn expire_idle_into(&mut self, max_idle_ns: u64, out: &mut Vec<EvictedFlow<V>>) -> usize {
         self.flow_table.expire_idle_into(max_idle_ns, out)
     }
@@ -254,6 +241,12 @@ impl<V: Clone> Aiu<V> {
     /// Flow-cache statistics.
     pub fn flow_stats(&self) -> FlowTableStats {
         self.flow_table.stats()
+    }
+
+    /// Approximate heap footprint of the flow table (bucket arrays plus
+    /// record storage) in bytes — the scale bench's bounded-memory gate.
+    pub fn flow_mem_bytes(&self) -> usize {
+        self.flow_table.approx_mem_bytes()
     }
 
     /// Cumulative filter-table access statistics summed over gates.
@@ -301,6 +294,7 @@ mod tests {
                 initial_records: 8,
                 max_records: 32,
                 max_idle_ns: 0,
+                ..FlowTableConfig::default()
             },
             bmp: BmpKind::Bspl,
         })

@@ -14,6 +14,21 @@
 //!   after which the **oldest records are recycled**.
 //! * Records are addressed by [`FlowIndex`] — the FIX the data path caches
 //!   in the packet's mbuf so later gates skip the hash lookup entirely.
+//!
+//! Internet-scale extensions (beyond the paper's fixed-size table):
+//!
+//! * **Incremental resize.** When the live-record count outgrows the
+//!   bucket array, the table doubles it *incrementally*: the old array
+//!   stays live while a bounded number of its buckets are migrated per
+//!   `lookup`/`insert` ([`MIGRATE_BUCKETS_PER_OP`]), so there is never a
+//!   stop-the-world rehash on the data path. During a migration a lookup
+//!   probes the new chain first and falls back to the old one; each
+//!   record lives in exactly one chain at all times.
+//! * **Inline LRU eviction.** With [`FlowTableConfig::lru_evict`] set, a
+//!   table at its record cap evicts the *coldest* record found within the
+//!   bounded clock-hand probe run instead of denying the insert — the
+//!   right policy for established-flow churn workloads where admission
+//!   denial would punish legitimate new flows.
 
 use rp_packet::mbuf::FlowIndex;
 use rp_packet::FlowTuple;
@@ -75,28 +90,160 @@ impl<V> Default for GateBinding<V> {
     }
 }
 
-/// One row of the flow table.
+/// Hard cap on per-record gate bindings (the data path compiles six
+/// gates; two slots of headroom).
+pub const MAX_GATES: usize = 8;
+
+/// A record's gate bindings, stored **inline** in the record slab rather
+/// than behind a per-record heap `Vec`. A cold-flow hit then costs slab
+/// accesses whose neighbouring lines the hardware prefetcher streams,
+/// instead of a dependent pointer chase into allocator scatter — and a
+/// million-record table makes zero per-record allocations.
+///
+/// Layout is structure-of-arrays, hottest field first: the per-gate
+/// fast path reads only `instances`, so for a pointer-sized `V` every
+/// gate's binding for a flow lands in **one cache line**, adjacent to
+/// the record header the lookup already touched. Filters are consulted
+/// on control-plane invalidation, soft state only when a bound plugin
+/// runs.
+#[repr(C)]
+pub struct GateArray<V> {
+    instances: [Option<V>; MAX_GATES],
+    filters: [Option<FilterId>; MAX_GATES],
+    soft: [Option<Box<dyn Any + Send>>; MAX_GATES],
+    len: u8,
+}
+
+impl<V> GateArray<V> {
+    fn new(len: usize) -> Self {
+        assert!(
+            len <= MAX_GATES,
+            "flow table supports at most {MAX_GATES} gates"
+        );
+        GateArray {
+            instances: std::array::from_fn(|_| None),
+            filters: [None; MAX_GATES],
+            soft: std::array::from_fn(|_| None),
+            len: len as u8,
+        }
+    }
+
+    /// Number of gate slots in use.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when configured with zero gates.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The instance bound at `gate` (the per-packet fast-path read).
+    pub fn instance(&self, gate: usize) -> Option<&V> {
+        if gate >= self.len() {
+            return None;
+        }
+        self.instances[gate].as_ref()
+    }
+
+    /// Bind (or unbind) an instance at `gate`.
+    pub fn set_instance(&mut self, gate: usize, v: Option<V>) {
+        assert!(gate < self.len());
+        self.instances[gate] = v;
+    }
+
+    /// All in-use instance slots (for bound-anywhere scans).
+    pub fn instances(&self) -> &[Option<V>] {
+        &self.instances[..self.len()]
+    }
+
+    /// The filter the binding at `gate` was derived from.
+    pub fn filter(&self, gate: usize) -> Option<FilterId> {
+        self.filters.get(self.check(gate)?).copied().flatten()
+    }
+
+    /// Record the filter a binding was derived from.
+    pub fn set_filter(&mut self, gate: usize, f: Option<FilterId>) {
+        assert!(gate < self.len());
+        self.filters[gate] = f;
+    }
+
+    /// Per-flow plugin soft state at `gate` (shared view).
+    pub fn soft(&self, gate: usize) -> Option<&(dyn Any + Send)> {
+        self.soft[self.check(gate)?].as_deref()
+    }
+
+    /// Mutable slot for per-flow plugin soft state at `gate`.
+    pub fn soft_mut(&mut self, gate: usize) -> Option<&mut Option<Box<dyn Any + Send>>> {
+        let g = self.check(gate)?;
+        Some(&mut self.soft[g])
+    }
+
+    /// One-access fetch of a gate's filter id plus its soft-state slot
+    /// (the data path's per-gate plugin call).
+    pub fn binding_mut(&mut self, gate: usize) -> Option<crate::aiu::BindingMut<'_>> {
+        let g = self.check(gate)?;
+        Some((self.filters[g], &mut self.soft[g]))
+    }
+
+    fn check(&self, gate: usize) -> Option<usize> {
+        (gate < self.len()).then_some(gate)
+    }
+
+    /// Move every binding out (for eviction callbacks), leaving defaults.
+    fn take_all(&mut self) -> Vec<GateBinding<V>> {
+        (0..self.len())
+            .map(|g| GateBinding {
+                instance: self.instances[g].take(),
+                filter: self.filters[g].take(),
+                soft_state: self.soft[g].take(),
+            })
+            .collect()
+    }
+
+    fn reset(&mut self) {
+        for g in 0..self.len() {
+            self.instances[g] = None;
+            self.filters[g] = None;
+            self.soft[g] = None;
+        }
+    }
+}
+
+/// One row of the flow table. `repr(C)` keeps the header (key, chain
+/// link, timestamps) and the gate instances on adjacent cache lines —
+/// the only bytes a forwarded packet touches.
+#[repr(C)]
 pub struct FlowRecord<V> {
     /// The fully specified six-tuple identifying the flow.
     pub key: FlowTuple,
-    /// Per-gate bindings, indexed by gate id.
-    pub gates: Vec<GateBinding<V>>,
-    /// Chain link (next record in the same hash bucket).
-    next: Option<u32>,
+    /// Chain link (next record in the same hash bucket; [`EMPTY`]
+    /// terminates).
+    next: u32,
+    /// Cached [`flow_hash`] of the key: bucket migration and unlinking
+    /// must not rehash, and the resize path never touches the key bytes.
+    hash: u32,
     /// Insertion sequence number (for oldest-first recycling).
     seq: u64,
     /// Virtual time of the last lookup hit (for idle expiry).
     last_used: u64,
     /// Slot-in-use flag (false = on the free list).
     live: bool,
+    /// Per-gate bindings, indexed by gate id, inline in the slab (after
+    /// the header so the hot `instances` line is adjacent to it).
+    pub gates: GateArray<V>,
 }
 
 /// Flow table configuration (paper defaults).
 #[derive(Debug, Clone, Copy)]
 pub struct FlowTableConfig {
-    /// Number of hash buckets ("default value used in our kernel is
-    /// 32768").
+    /// Number of hash buckets at boot ("default value used in our kernel
+    /// is 32768").
     pub buckets: usize,
+    /// Ceiling for incremental bucket-array doubling (`0` pins the array
+    /// at `buckets` — no resize, the paper's fixed-size behaviour). Must
+    /// be a power of two when non-zero.
+    pub max_buckets: usize,
     /// Initial free-list size ("default is 1024").
     pub initial_records: usize,
     /// Hard cap on allocated records; beyond this the oldest are recycled.
@@ -110,16 +257,24 @@ pub struct FlowTableConfig {
     /// the insert — a one-packet-flow flood then degrades the flood's own
     /// flows (no cached record) instead of recycling established ones.
     pub max_idle_ns: u64,
+    /// Inline LRU eviction at the cap: instead of denying when nothing in
+    /// the probe run is idle, evict the *coldest* (least recently used)
+    /// record seen in the bounded scan. The right policy for
+    /// established-flow churn workloads; leave off to keep strict
+    /// admission-denial semantics under floods.
+    pub lru_evict: bool,
 }
 
 impl Default for FlowTableConfig {
     fn default() -> Self {
         FlowTableConfig {
             buckets: 32768,
+            max_buckets: 1 << 22,
             initial_records: 1024,
             max_records: 65536,
             gates: 4,
             max_idle_ns: 0,
+            lru_evict: false,
         }
     }
 }
@@ -137,6 +292,10 @@ pub struct FlowTableStats {
     pub denied: u64,
     /// Idle records reclaimed inline at the allocation cap.
     pub inline_expired: u64,
+    /// Coldest-record evictions at the cap (LRU policy).
+    pub evicted_lru: u64,
+    /// Buckets migrated by the incremental-resize machinery.
+    pub resize_steps: u64,
     /// Current allocation (live + free).
     pub allocated: usize,
     /// Live records.
@@ -153,14 +312,28 @@ impl FlowTableStats {
         self.recycled += other.recycled;
         self.denied += other.denied;
         self.inline_expired += other.inline_expired;
+        self.evicted_lru += other.evicted_lru;
+        self.resize_steps += other.resize_steps;
         self.allocated += other.allocated;
         self.live += other.live;
     }
 }
 
+/// Chain terminator / empty-bucket sentinel. Bare `u32` heads instead of
+/// `Option<u32>` halve the bucket arrays (a million-flow table carries
+/// megabytes of them — fewer cache lines and TLB entries on every probe).
+const EMPTY: u32 = u32::MAX;
+
 /// The flow cache.
 pub struct FlowTable<V> {
-    buckets: Vec<Option<u32>>,
+    /// Current bucket array (the *new* array while a resize is active).
+    buckets: Vec<u32>,
+    /// Previous bucket array during an incremental resize; empty
+    /// otherwise. Buckets below `migrate_pos` have been drained into
+    /// `buckets`.
+    old_buckets: Vec<u32>,
+    /// Migration cursor into `old_buckets`.
+    migrate_pos: usize,
     records: Vec<FlowRecord<V>>,
     free: Vec<u32>,
     cfg: FlowTableConfig,
@@ -176,13 +349,25 @@ pub struct FlowTable<V> {
 /// records, no matter how large the table.
 const RECLAIM_SCAN: usize = 64;
 
+/// Old-array buckets migrated per `lookup`/`insert` while a resize is in
+/// flight. Two per operation means a resize completes after at most
+/// `old_buckets / 2` operations while bounding any single packet's extra
+/// work to two (usually short) chain relinks.
+const MIGRATE_BUCKETS_PER_OP: usize = 2;
+
 impl<V> FlowTable<V> {
     /// Build with the given configuration.
     pub fn new(cfg: FlowTableConfig) -> Self {
         assert!(cfg.buckets.is_power_of_two(), "bucket count must be 2^k");
+        assert!(
+            cfg.max_buckets == 0 || cfg.max_buckets.is_power_of_two(),
+            "max bucket count must be 0 or 2^k"
+        );
         assert!(cfg.initial_records >= 1);
         let mut t = FlowTable {
-            buckets: vec![None; cfg.buckets],
+            buckets: vec![EMPTY; cfg.buckets],
+            old_buckets: Vec::new(),
+            migrate_pos: 0,
             records: Vec::new(),
             free: Vec::new(),
             cfg,
@@ -200,10 +385,9 @@ impl<V> FlowTable<V> {
         for i in 0..n {
             self.records.push(FlowRecord {
                 key: dummy_key(),
-                gates: (0..self.cfg.gates)
-                    .map(|_| GateBinding::default())
-                    .collect(),
-                next: None,
+                gates: GateArray::new(self.cfg.gates),
+                next: EMPTY,
+                hash: 0,
                 seq: 0,
                 last_used: 0,
                 live: false,
@@ -213,8 +397,34 @@ impl<V> FlowTable<V> {
         self.stats.allocated = self.records.len();
     }
 
-    fn bucket_of(&self, key: &FlowTuple) -> usize {
-        (flow_hash(key) as usize) & (self.cfg.buckets - 1)
+    /// Bucket-array ceiling: `max_buckets`, floored at the boot size.
+    fn bucket_cap(&self) -> usize {
+        if self.cfg.max_buckets == 0 {
+            self.cfg.buckets
+        } else {
+            self.cfg.max_buckets.max(self.cfg.buckets)
+        }
+    }
+
+    /// Current bucket-array size (tests/benches; grows under incremental
+    /// resize).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// True while an incremental resize is migrating buckets.
+    pub fn resizing(&self) -> bool {
+        !self.old_buckets.is_empty()
+    }
+
+    /// Rough resident size: bucket arrays + record slab (including the
+    /// inline per-gate bindings) + free list. Used by the scale bench's
+    /// bounded-memory gate; excludes plugin soft state (opaque boxes).
+    pub fn approx_mem_bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.buckets.capacity() + self.old_buckets.capacity()) * size_of::<u32>()
+            + self.records.capacity() * size_of::<FlowRecord<V>>()
+            + self.free.capacity() * size_of::<u32>()
     }
 
     /// Advance the table's virtual clock (drives idle expiry; the router
@@ -223,37 +433,62 @@ impl<V> FlowTable<V> {
         self.now_ns = now_ns;
     }
 
-    /// Cached-path lookup: the FIX for `key` if present. One hash + chain
-    /// walk; a hit refreshes the record's idle timer.
-    pub fn lookup(&mut self, key: &FlowTuple) -> Option<FlowIndex> {
-        let b = self.bucket_of(key);
-        let mut cur = self.buckets[b];
-        while let Some(idx) = cur {
-            let r = &self.records[idx as usize];
+    /// Find a live record for `key` without touching stats or timers.
+    /// Probes the current chain, then (during a resize) the old one.
+    fn find(&self, key: &FlowTuple, hash: u32) -> Option<u32> {
+        let mut cur = self.buckets[(hash as usize) & (self.buckets.len() - 1)];
+        while cur != EMPTY {
+            let r = &self.records[cur as usize];
             if r.key == *key {
-                self.stats.hits += 1;
-                self.records[idx as usize].last_used = self.now_ns;
-                return Some(FlowIndex(idx));
+                return Some(cur);
             }
             cur = r.next;
         }
-        self.stats.misses += 1;
+        if !self.old_buckets.is_empty() {
+            let mut cur = self.old_buckets[(hash as usize) & (self.old_buckets.len() - 1)];
+            while cur != EMPTY {
+                let r = &self.records[cur as usize];
+                if r.key == *key {
+                    return Some(cur);
+                }
+                cur = r.next;
+            }
+        }
         None
     }
 
-    /// Remove every flow idle for longer than `max_idle_ns` ("if a cached
-    /// flow remains idle for an extended period, its cached entry may be
-    /// removed", paper §3.2). Returns the evicted bindings for plugin
-    /// callbacks.
-    pub fn expire_idle(&mut self, max_idle_ns: u64) -> Vec<EvictedFlow<V>> {
-        let mut out = Vec::new();
-        self.expire_idle_into(max_idle_ns, &mut out);
+    /// Cached-path lookup: the FIX for `key` if present. One hash + chain
+    /// walk; a hit refreshes the record's idle timer.
+    pub fn lookup(&mut self, key: &FlowTuple) -> Option<FlowIndex> {
+        self.lookup_hashed(key, flow_hash(key))
+    }
+
+    /// [`lookup`](Self::lookup) with the caller's precomputed
+    /// [`flow_hash`] — the AIU hashes each packet exactly once and threads
+    /// the value through lookup *and* the subsequent insert, so even the
+    /// admission-denied flood path pays for one hash.
+    pub fn lookup_hashed(&mut self, key: &FlowTuple, hash: u32) -> Option<FlowIndex> {
+        let found = self.find(key, hash);
+        let out = match found {
+            Some(idx) => {
+                self.stats.hits += 1;
+                self.records[idx as usize].last_used = self.now_ns;
+                Some(FlowIndex(idx))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        };
+        self.migrate_step();
         out
     }
 
-    /// Allocation-free variant of [`expire_idle`](Self::expire_idle):
-    /// evicted flows are appended to `out` (typically a scratch buffer
-    /// the caller drains and reuses). Returns how many were evicted.
+    /// Allocation-free idle-expiry sweep ("if a cached flow remains idle
+    /// for an extended period, its cached entry may be removed", paper
+    /// §3.2): flows idle longer than `max_idle_ns` are evicted and
+    /// appended to `out` (typically a scratch buffer the caller drains
+    /// and reuses). Returns how many were evicted.
     pub fn expire_idle_into(&mut self, max_idle_ns: u64, out: &mut Vec<EvictedFlow<V>>) -> usize {
         let cutoff = self.now_ns.saturating_sub(max_idle_ns);
         let mut evicted = 0;
@@ -271,16 +506,7 @@ impl<V> FlowTable<V> {
 
     /// Non-counting peek (used by tests/diagnostics).
     pub fn peek(&self, key: &FlowTuple) -> Option<FlowIndex> {
-        let b = self.bucket_of(key);
-        let mut cur = self.buckets[b];
-        while let Some(idx) = cur {
-            let r = &self.records[idx as usize];
-            if r.key == *key {
-                return Some(FlowIndex(idx));
-            }
-            cur = r.next;
-        }
-        None
+        self.find(key, flow_hash(key)).map(FlowIndex)
     }
 
     /// Insert a record for `key` (which must not be cached), returning its
@@ -289,7 +515,17 @@ impl<V> FlowTable<V> {
     /// succeeds: at the cap this recycles the oldest record regardless of
     /// admission policy.
     pub fn insert(&mut self, key: FlowTuple) -> (FlowIndex, Option<EvictedFlow<V>>) {
-        self.insert_inner(key, false)
+        let hash = flow_hash(&key);
+        self.insert_hashed(key, hash)
+    }
+
+    /// [`insert`](Self::insert) with a precomputed [`flow_hash`].
+    pub fn insert_hashed(
+        &mut self,
+        key: FlowTuple,
+        hash: u32,
+    ) -> (FlowIndex, Option<EvictedFlow<V>>) {
+        self.insert_inner(key, hash, false)
             .expect("insert without admission control is infallible")
     }
 
@@ -299,17 +535,31 @@ impl<V> FlowTable<V> {
     /// reclaimed. With every record busy the insert is **denied**
     /// (`None`, counted in [`FlowTableStats::denied`]) — the flow-cache
     /// equivalent of a `FlowTableFull` error: established flows keep
-    /// their records and the new flow runs uncached.
+    /// their records and the new flow runs uncached. With
+    /// [`FlowTableConfig::lru_evict`] the deny becomes a coldest-record
+    /// eviction instead.
     pub fn try_insert(&mut self, key: FlowTuple) -> Option<(FlowIndex, Option<EvictedFlow<V>>)> {
-        self.insert_inner(key, self.cfg.max_idle_ns > 0)
+        let hash = flow_hash(&key);
+        self.try_insert_hashed(key, hash)
+    }
+
+    /// [`try_insert`](Self::try_insert) with a precomputed [`flow_hash`].
+    pub fn try_insert_hashed(
+        &mut self,
+        key: FlowTuple,
+        hash: u32,
+    ) -> Option<(FlowIndex, Option<EvictedFlow<V>>)> {
+        let admission = self.cfg.max_idle_ns > 0 || self.cfg.lru_evict;
+        self.insert_inner(key, hash, admission)
     }
 
     fn insert_inner(
         &mut self,
         key: FlowTuple,
+        hash: u32,
         admission: bool,
     ) -> Option<(FlowIndex, Option<EvictedFlow<V>>)> {
-        debug_assert!(self.peek(&key).is_none(), "flow already cached");
+        debug_assert!(self.find(&key, hash).is_none(), "flow already cached");
         let mut evicted = None;
         let idx = match self.free.pop() {
             Some(i) => i,
@@ -323,10 +573,14 @@ impl<V> FlowTable<V> {
                     self.grow(add.max(1));
                     self.free.pop().expect("grew the free list")
                 } else if admission {
-                    match self.reclaim_idle() {
-                        Some(victim) => {
+                    match self.reclaim_victim() {
+                        Some((victim, was_idle)) => {
                             evicted = Some(self.evict(victim));
-                            self.stats.inline_expired += 1;
+                            if was_idle {
+                                self.stats.inline_expired += 1;
+                            } else {
+                                self.stats.evicted_lru += 1;
+                            }
                             victim
                         }
                         None => {
@@ -344,40 +598,110 @@ impl<V> FlowTable<V> {
         };
         let seq = self.next_seq;
         self.next_seq += 1;
-        let b = self.bucket_of(&key);
+        let b = (hash as usize) & (self.buckets.len() - 1);
         {
             let head = self.buckets[b];
             let r = &mut self.records[idx as usize];
             r.key = key;
+            r.hash = hash;
             r.seq = seq;
             r.last_used = self.now_ns;
             r.live = true;
             r.next = head;
-            for g in &mut r.gates {
-                *g = GateBinding::default();
-            }
-            self.buckets[b] = Some(idx);
+            r.gates.reset();
+            self.buckets[b] = idx;
         }
         self.stats.live += 1;
+        self.maybe_start_resize();
+        self.migrate_step();
         Some((FlowIndex(idx), evicted))
     }
 
-    /// Inline idle-expiry at the cap: advance the clock hand over at most
-    /// [`RECLAIM_SCAN`] slots looking for a record idle past
-    /// `max_idle_ns`. No allocation, no full-slab sweep — the bounded
-    /// cost rides on the (already slow) classification-miss path.
-    fn reclaim_idle(&mut self) -> Option<u32> {
-        let cutoff = self.now_ns.saturating_sub(self.cfg.max_idle_ns);
+    /// Begin an incremental bucket-array doubling when the live-record
+    /// count has outgrown the array (load factor > 1) and the ceiling
+    /// allows it. The old array stays live; [`Self::migrate_step`] drains
+    /// it a few buckets at a time.
+    fn maybe_start_resize(&mut self) {
+        if !self.old_buckets.is_empty() {
+            return;
+        }
+        let cur = self.buckets.len();
+        if self.stats.live <= cur || cur >= self.bucket_cap() {
+            return;
+        }
+        let new_len = (cur * 2).min(self.bucket_cap());
+        self.old_buckets = std::mem::replace(&mut self.buckets, vec![EMPTY; new_len]);
+        self.migrate_pos = 0;
+    }
+
+    /// Drain up to [`MIGRATE_BUCKETS_PER_OP`] buckets from the old array
+    /// into the current one. Called from every lookup/insert while a
+    /// resize is active, so migration cost is amortized over the packets
+    /// that caused the growth.
+    fn migrate_step(&mut self) {
+        if self.old_buckets.is_empty() {
+            return;
+        }
+        let mask = self.buckets.len() - 1;
+        for _ in 0..MIGRATE_BUCKETS_PER_OP {
+            if self.migrate_pos >= self.old_buckets.len() {
+                break;
+            }
+            let mut cur = std::mem::replace(&mut self.old_buckets[self.migrate_pos], EMPTY);
+            while cur != EMPTY {
+                let next = self.records[cur as usize].next;
+                let nb = (self.records[cur as usize].hash as usize) & mask;
+                self.records[cur as usize].next = self.buckets[nb];
+                self.buckets[nb] = cur;
+                cur = next;
+            }
+            self.migrate_pos += 1;
+            self.stats.resize_steps += 1;
+        }
+        if self.migrate_pos >= self.old_buckets.len() {
+            self.old_buckets = Vec::new();
+            self.migrate_pos = 0;
+        }
+    }
+
+    /// At-cap victim selection: advance the clock hand over at most
+    /// [`RECLAIM_SCAN`] slots. An *idle* record (past `max_idle_ns`) wins
+    /// immediately; otherwise, under the LRU policy, the coldest live
+    /// record seen in the window is evicted. No allocation, no full-slab
+    /// sweep — the bounded cost rides on the (already slow)
+    /// classification-miss path. Returns `(victim, was_idle)`.
+    fn reclaim_victim(&mut self) -> Option<(u32, bool)> {
+        let idle_cutoff = if self.cfg.max_idle_ns > 0 {
+            Some(self.now_ns.saturating_sub(self.cfg.max_idle_ns))
+        } else {
+            None
+        };
         let n = self.records.len();
+        let mut coldest: Option<u32> = None;
         for _ in 0..RECLAIM_SCAN.min(n) {
             let i = self.hand;
             self.hand = (self.hand + 1) % n;
             let r = &self.records[i];
-            if r.live && r.last_used < cutoff {
-                return Some(i as u32);
+            if !r.live {
+                continue;
+            }
+            if idle_cutoff.is_some_and(|c| r.last_used < c) {
+                return Some((i as u32, true));
+            }
+            if self.cfg.lru_evict {
+                let colder = match coldest {
+                    None => true,
+                    Some(c) => {
+                        let cr = &self.records[c as usize];
+                        (r.last_used, r.seq) < (cr.last_used, cr.seq)
+                    }
+                };
+                if colder {
+                    coldest = Some(i as u32);
+                }
             }
         }
-        None
+        coldest.map(|c| (c, false))
     }
 
     fn oldest_live(&self) -> Option<u32> {
@@ -391,31 +715,42 @@ impl<V> FlowTable<V> {
             .map(|(i, _)| i as u32)
     }
 
+    /// Remove `idx` from whichever chain holds it — the current array, or
+    /// (mid-resize) the not-yet-migrated old bucket.
     fn unlink(&mut self, idx: u32) {
-        let b = self.bucket_of(&self.records[idx as usize].key);
-        let mut cur = self.buckets[b];
-        if cur == Some(idx) {
-            self.buckets[b] = self.records[idx as usize].next;
+        let hash = self.records[idx as usize].hash;
+        let nb = (hash as usize) & (self.buckets.len() - 1);
+        if Self::unlink_from(&mut self.buckets, &mut self.records, nb, idx) {
             return;
         }
-        while let Some(i) = cur {
-            let next = self.records[i as usize].next;
-            if next == Some(idx) {
-                self.records[i as usize].next = self.records[idx as usize].next;
-                return;
+        if !self.old_buckets.is_empty() {
+            let ob = (hash as usize) & (self.old_buckets.len() - 1);
+            Self::unlink_from(&mut self.old_buckets, &mut self.records, ob, idx);
+        }
+    }
+
+    fn unlink_from(heads: &mut [u32], records: &mut [FlowRecord<V>], b: usize, idx: u32) -> bool {
+        let mut cur = heads[b];
+        if cur == idx {
+            heads[b] = records[idx as usize].next;
+            return true;
+        }
+        while cur != EMPTY {
+            let next = records[cur as usize].next;
+            if next == idx {
+                records[cur as usize].next = records[idx as usize].next;
+                return true;
             }
             cur = next;
         }
+        false
     }
 
     fn evict(&mut self, idx: u32) -> EvictedFlow<V> {
         self.unlink(idx);
         let r = &mut self.records[idx as usize];
         r.live = false;
-        let gates = std::mem::take(&mut r.gates);
-        r.gates = (0..self.cfg.gates)
-            .map(|_| GateBinding::default())
-            .collect();
+        let gates = r.gates.take_all();
         self.stats.live -= 1;
         EvictedFlow { key: r.key, gates }
     }
@@ -458,7 +793,7 @@ impl<V> FlowTable<V> {
             .records
             .iter()
             .enumerate()
-            .filter(|(_, r)| r.live && r.gates.get(gate).and_then(|g| g.filter) == Some(filter))
+            .filter(|(_, r)| r.live && r.gates.filter(gate) == Some(filter))
             .map(|(i, _)| i as u32)
             .collect();
         victims
@@ -548,10 +883,12 @@ mod tests {
     fn small() -> FlowTable<u32> {
         FlowTable::new(FlowTableConfig {
             buckets: 64,
+            max_buckets: 0,
             initial_records: 4,
             max_records: 8,
             gates: 2,
             max_idle_ns: 0,
+            lru_evict: false,
         })
     }
 
@@ -572,23 +909,18 @@ mod tests {
         let (fix, _) = t.insert(key(1));
         {
             let r = t.record_mut(fix).unwrap();
-            r.gates[0].instance = Some(77);
-            r.gates[0].filter = Some(FilterId(5));
-            r.gates[0].soft_state = Some(Box::new("queue".to_string()));
+            r.gates.set_instance(0, Some(77));
+            r.gates.set_filter(0, Some(FilterId(5)));
+            *r.gates.soft_mut(0).unwrap() = Some(Box::new("queue".to_string()));
         }
         let r = t.record(fix).unwrap();
-        assert_eq!(r.gates[0].instance, Some(77));
-        assert_eq!(r.gates[0].filter, Some(FilterId(5)));
+        assert_eq!(r.gates.instance(0), Some(&77));
+        assert_eq!(r.gates.filter(0), Some(FilterId(5)));
         assert_eq!(
-            r.gates[0]
-                .soft_state
-                .as_ref()
-                .unwrap()
-                .downcast_ref::<String>()
-                .unwrap(),
+            r.gates.soft(0).unwrap().downcast_ref::<String>().unwrap(),
             "queue"
         );
-        assert!(r.gates[1].instance.is_none());
+        assert!(r.gates.instance(1).is_none());
     }
 
     #[test]
@@ -611,13 +943,16 @@ mod tests {
 
     #[test]
     fn chains_survive_unlink() {
-        // Force collisions with a single bucket.
+        // Force collisions with a single bucket (max_buckets: 0 pins the
+        // array so incremental resize can't break the chains apart).
         let mut t: FlowTable<u32> = FlowTable::new(FlowTableConfig {
             buckets: 1,
+            max_buckets: 0,
             initial_records: 4,
             max_records: 16,
             gates: 1,
             max_idle_ns: 0,
+            lru_evict: false,
         });
         let (f1, _) = t.insert(key(1));
         let (_f2, _) = t.insert(key(2));
@@ -638,8 +973,9 @@ mod tests {
         for i in 0..3 {
             let (fix, _) = t.insert(key(i));
             let r = t.record_mut(fix).unwrap();
-            r.gates[1].filter = Some(FilterId(if i == 1 { 9 } else { 5 }));
-            r.gates[1].instance = Some(i);
+            r.gates
+                .set_filter(1, Some(FilterId(if i == 1 { 9 } else { 5 })));
+            r.gates.set_instance(1, Some(i));
         }
         let evicted = t.invalidate_filter(1, FilterId(5));
         assert_eq!(evicted.len(), 2);
@@ -656,10 +992,10 @@ mod tests {
             let r = t.record_mut(fix).unwrap();
             // Bind instance 7 at gate 0 for even flows only.
             if i % 2 == 0 {
-                r.gates[0].instance = Some(7);
+                r.gates.set_instance(0, Some(7));
             }
         }
-        let evicted = t.invalidate_where(|r| r.gates.iter().any(|g| g.instance == Some(7)));
+        let evicted = t.invalidate_where(|r| r.gates.instances().contains(&Some(7)));
         assert_eq!(evicted.len(), 2);
         assert!(t.peek(&key(0)).is_none());
         assert!(t.peek(&key(1)).is_some());
@@ -667,7 +1003,7 @@ mod tests {
         assert!(t.peek(&key(3)).is_some());
         // Idempotent once the matching records are gone.
         assert!(t
-            .invalidate_where(|r| r.gates.iter().any(|g| g.instance == Some(7)))
+            .invalidate_where(|r| r.gates.instances().contains(&Some(7)))
             .is_empty());
     }
 
@@ -719,22 +1055,27 @@ mod tests {
         // At t=2.5ms with 1ms max idle: flow 2 (last used at 1ms) dies,
         // flow 1 (used at 2ms) survives.
         t.set_now(2_500_000);
-        let evicted = t.expire_idle(1_000_000);
+        let mut evicted = Vec::new();
+        assert_eq!(t.expire_idle_into(1_000_000, &mut evicted), 1);
         assert_eq!(evicted.len(), 1);
         assert_eq!(evicted[0].key, key(2));
         assert!(t.peek(&key(1)).is_some());
         assert!(t.peek(&key(2)).is_none());
         // Expiring again is a no-op.
-        assert!(t.expire_idle(1_000_000).is_empty());
+        evicted.clear();
+        assert_eq!(t.expire_idle_into(1_000_000, &mut evicted), 0);
+        assert!(evicted.is_empty());
     }
 
     fn defended() -> FlowTable<u32> {
         FlowTable::new(FlowTableConfig {
             buckets: 64,
+            max_buckets: 0,
             initial_records: 4,
             max_records: 8,
             gates: 2,
             max_idle_ns: 1_000_000,
+            lru_evict: false,
         })
     }
 
@@ -786,6 +1127,112 @@ mod tests {
     }
 
     #[test]
+    fn lru_evicts_coldest_instead_of_denying() {
+        let mut t: FlowTable<u32> = FlowTable::new(FlowTableConfig {
+            buckets: 64,
+            max_buckets: 0,
+            initial_records: 4,
+            max_records: 8,
+            gates: 2,
+            max_idle_ns: 1_000_000,
+            lru_evict: true,
+        });
+        t.set_now(0);
+        for i in 0..8 {
+            t.try_insert(key(i)).unwrap();
+        }
+        // Touch everything recently — but flow 5 least recently — with all
+        // records inside the idle window, so idle reclaim finds nothing.
+        t.set_now(10_000_000);
+        t.lookup(&key(5));
+        t.set_now(10_500_000);
+        for i in 0..8 {
+            if i != 5 {
+                t.lookup(&key(i));
+            }
+        }
+        t.set_now(10_600_000);
+        let (_, ev) = t.try_insert(key(300)).expect("LRU eviction, not denial");
+        let ev = ev.expect("eviction returns the coldest flow");
+        assert_eq!(ev.key, key(5), "coldest record is the LRU victim");
+        let s = t.stats();
+        assert_eq!(s.evicted_lru, 1);
+        assert_eq!(s.denied, 0);
+        assert_eq!(s.inline_expired, 0, "nothing was idle");
+        assert!(t.peek(&key(300)).is_some());
+        assert_eq!(t.live(), 8);
+    }
+
+    #[test]
+    fn incremental_resize_preserves_every_flow() {
+        let mut t: FlowTable<u32> = FlowTable::new(FlowTableConfig {
+            buckets: 8,
+            max_buckets: 1024,
+            initial_records: 4,
+            max_records: 4096,
+            gates: 1,
+            max_idle_ns: 0,
+            lru_evict: false,
+        });
+        const N: u32 = 700;
+        for i in 0..N {
+            t.insert(key(i));
+            // Every already-inserted flow stays reachable mid-migration.
+            if i % 97 == 0 {
+                for j in (0..=i).step_by(61) {
+                    assert!(t.peek(&key(j)).is_some(), "flow {j} lost at insert {i}");
+                }
+            }
+        }
+        assert!(t.stats().resize_steps > 0, "resize never ran");
+        assert!(t.bucket_count() > 8, "bucket array never grew");
+        assert_eq!(t.live(), N as usize);
+        for i in 0..N {
+            assert!(t.lookup(&key(i)).is_some(), "flow {i} lost after resize");
+        }
+        // Drive any in-flight migration to completion with lookups only.
+        let mut guard = 0;
+        while t.resizing() {
+            t.lookup(&key(0));
+            guard += 1;
+            assert!(guard < 100_000, "migration never completes");
+        }
+        assert_eq!(t.bucket_count(), 1024);
+        for i in 0..N {
+            assert!(t.peek(&key(i)).is_some(), "flow {i} lost post-migration");
+        }
+    }
+
+    #[test]
+    fn removal_mid_resize_unlinks_from_correct_chain() {
+        let mut t: FlowTable<u32> = FlowTable::new(FlowTableConfig {
+            buckets: 2,
+            max_buckets: 256,
+            initial_records: 4,
+            max_records: 512,
+            gates: 1,
+            max_idle_ns: 0,
+            lru_evict: false,
+        });
+        let mut fixes = Vec::new();
+        for i in 0..64 {
+            fixes.push(t.insert(key(i)).0);
+        }
+        assert!(t.resizing() || t.stats().resize_steps > 0);
+        // Remove every third flow — some still sit in old-array chains.
+        for (i, fix) in fixes.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(t.remove(*fix).is_some(), "flow {i} missing");
+            }
+        }
+        for i in 0..64u32 {
+            let present = t.peek(&key(i)).is_some();
+            assert_eq!(present, i % 3 != 0, "flow {i} wrong presence");
+        }
+        assert_eq!(t.live(), 64 - 22);
+    }
+
+    #[test]
     fn expire_idle_into_reuses_buffer() {
         let mut t = small();
         t.set_now(0);
@@ -804,6 +1251,23 @@ mod tests {
         scratch.clear();
         assert_eq!(t.expire_idle_into(1_000_000, &mut scratch), 0);
         assert!(scratch.is_empty());
+    }
+
+    #[test]
+    fn hashed_entry_points_match_unhashed() {
+        let mut a = small();
+        let mut b = small();
+        for i in 0..8 {
+            let h = flow_hash(&key(i));
+            let (fa, _) = a.insert(key(i));
+            let (fb, _) = b.insert_hashed(key(i), h);
+            assert_eq!(fa, fb);
+        }
+        for i in 0..8 {
+            let h = flow_hash(&key(i));
+            assert_eq!(a.lookup(&key(i)), b.lookup_hashed(&key(i), h));
+        }
+        assert_eq!(a.stats(), b.stats());
     }
 
     #[test]

@@ -114,6 +114,7 @@ fn aiu_cache_cold_vs_warm_accounting() {
             initial_records: 16,
             max_records: 64,
             max_idle_ns: 0,
+            ..FlowTableConfig::default()
         },
         bmp: BmpKind::Bspl,
     });

@@ -87,10 +87,12 @@ proptest! {
         const MAX: usize = 8;
         let mut table: FlowTable<u32> = FlowTable::new(FlowTableConfig {
             buckets: 16, // deliberately tiny: long chains get exercised
+            max_buckets: 0,
             initial_records: 2,
             max_records: MAX,
             gates: 1,
             max_idle_ns: 0,
+            lru_evict: false,
         });
         let mut model = Model::new(MAX);
         let mut fix_of = std::collections::HashMap::new();
@@ -185,10 +187,12 @@ proptest! {
         const IDLE_NS: u64 = 1_000_000;
         let mut table: FlowTable<u32> = FlowTable::new(FlowTableConfig {
             buckets: 16,
+            max_buckets: 0,
             initial_records: 2,
             max_records: MAX,
             gates: 1,
             max_idle_ns: IDLE_NS,
+            lru_evict: false,
         });
         let mut now: u64 = 0;
         let mut inserted: u64 = 0;
@@ -264,5 +268,134 @@ proptest! {
             prop_assert_eq!(s.recycled, 0);
             s.inline_expired
         });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Incremental resize: interleave insert / lookup / expire / invalidate
+// across a *forced multi-step bucket migration* (boot array of 2
+// buckets, ceiling 256, key space big enough to trigger several
+// doublings — the 128→256 migration alone spans 64 operations at two
+// buckets per op). After every single step: no flow lost, none
+// duplicated, none mis-bucketed (the hash-path `peek` must find exactly
+// the live set), and `inserted == live + evicted`.
+// ---------------------------------------------------------------------
+
+const RESIZE_KEYS: u16 = 160;
+
+fn arb_resize_op() -> impl Strategy<Value = ChurnOp> {
+    prop_oneof![
+        (0u16..RESIZE_KEYS).prop_map(ChurnOp::Arrive),
+        (0u16..RESIZE_KEYS).prop_map(ChurnOp::Arrive),
+        (0u16..RESIZE_KEYS).prop_map(ChurnOp::Arrive),
+        (0u16..RESIZE_KEYS).prop_map(ChurnOp::Arrive),
+        (0u16..RESIZE_KEYS).prop_map(ChurnOp::Touch),
+        (0u16..RESIZE_KEYS).prop_map(ChurnOp::Touch),
+        (1u32..2_000_000).prop_map(ChurnOp::Advance),
+        Just(ChurnOp::Expire),
+        (0u16..RESIZE_KEYS).prop_map(ChurnOp::Invalidate),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn incremental_resize_never_loses_duplicates_or_misbuckets(
+        ops in prop::collection::vec(arb_resize_op(), 100..500),
+    ) {
+        const IDLE_NS: u64 = 1_000_000;
+        let mut table: FlowTable<u32> = FlowTable::new(FlowTableConfig {
+            buckets: 2, // forces repeated doublings as flows accumulate
+            max_buckets: 256,
+            initial_records: 2,
+            max_records: 2 * RESIZE_KEYS as usize, // cap never binds
+            gates: 1,
+            max_idle_ns: IDLE_NS,
+            lru_evict: false,
+        });
+        let mut now: u64 = 0;
+        let mut inserted: u64 = 0;
+        let mut evicted: u64 = 0;
+        let mut live: HashMap<u16, u64> = HashMap::new(); // key → last touch
+        let mut scratch = Vec::new();
+        let mut saw_migration_in_flight = false;
+        let mut max_live = 0usize;
+
+        for op in ops {
+            match op {
+                ChurnOp::Arrive(k) => {
+                    if table.lookup(&key(k)).is_some() {
+                        live.insert(k, now);
+                    } else {
+                        let (_, ev) = table
+                            .try_insert(key(k))
+                            .expect("cap never binds in this test");
+                        prop_assert!(ev.is_none(), "no cap pressure expected");
+                        inserted += 1;
+                        live.insert(k, now);
+                    }
+                }
+                ChurnOp::Touch(k) => {
+                    if table.lookup(&key(k)).is_some() {
+                        live.insert(k, now);
+                    }
+                }
+                ChurnOp::Advance(dt) => {
+                    now += u64::from(dt);
+                    table.set_now(now);
+                }
+                ChurnOp::Expire => {
+                    scratch.clear();
+                    table.expire_idle_into(IDLE_NS, &mut scratch);
+                    for ev in &scratch {
+                        evicted += 1;
+                        let k = live
+                            .iter()
+                            .find(|(k, _)| key(**k) == ev.key)
+                            .map(|(k, _)| *k)
+                            .expect("expired flow was tracked");
+                        let t = live.remove(&k).unwrap();
+                        prop_assert!(now.saturating_sub(t) > IDLE_NS);
+                    }
+                }
+                ChurnOp::Invalidate(k) => {
+                    if let Some(fix) = table.peek(&key(k)) {
+                        prop_assert!(table.remove(fix).is_some());
+                        evicted += 1;
+                        live.remove(&k);
+                    }
+                }
+            }
+            saw_migration_in_flight |= table.resizing();
+            max_live = max_live.max(table.live());
+            // Conservation after every step.
+            prop_assert_eq!(inserted, table.live() as u64 + evicted);
+            // live() agreeing with the model's cardinality rules out
+            // duplicated records (a double-linked flow would inflate it).
+            prop_assert_eq!(table.live(), live.len());
+            // Every live flow reachable through the hash path (not
+            // mis-bucketed), every dead flow absent — mid-migration too.
+            for k in 0..RESIZE_KEYS {
+                prop_assert_eq!(
+                    table.peek(&key(k)).is_some(),
+                    live.contains_key(&k),
+                    "flow {} presence wrong (resizing={})",
+                    k,
+                    table.resizing()
+                );
+            }
+        }
+        // The op mix must actually have exercised the resize machinery:
+        // any moment with 3+ live flows forces the first doubling, and
+        // 5+ live flows force a migration that outlives its own insert
+        // (old array of 4+ buckets, two migrated per op).
+        if max_live > 2 {
+            prop_assert!(table.stats().resize_steps > 0, "resize never ran");
+            prop_assert!(table.bucket_count() > 2);
+        }
+        if max_live > 4 {
+            prop_assert!(saw_migration_in_flight, "migration never observed in flight");
+        }
     }
 }

@@ -223,11 +223,46 @@ pub struct RouteEntry {
     pub tx_if: IfIndex,
 }
 
+/// Hot-prefix FIB cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FibCacheStats {
+    /// Cached lookups answered from the exact-match array.
+    pub hits: u64,
+    /// Cached lookups that fell through to the full trie.
+    pub misses: u64,
+    /// Cache entries cleared because a route insert/withdraw covered
+    /// their address (the hidden-prefix hazard).
+    pub invalidations: u64,
+}
+
+/// Default FIB-cache size (slots; 2-way set-associative, one address
+/// each). Sized so a few hundred concurrently-hot destinations rarely
+/// collide; at ~40 bytes a slot the whole cache is still well under L2.
+pub const FIB_CACHE_SLOTS: usize = 8192;
+
 /// Dual-stack longest-prefix-match routing table (PATRICIA-backed, as in
-/// the BSD kernel the paper modifies).
+/// the BSD kernel the paper modifies), fronted by a small 2-way
+/// set-associative exact-match cache over *addresses* (not prefixes). Internet traffic is
+/// heavy-tailed — a few popular destinations dominate — so a tiny cache
+/// absorbs most lookups without walking the trie.
+///
+/// The correctness hazard of FIB caching is the **hidden prefix**: a cached
+/// answer for address `a` embeds the best-matching prefix at fill time, so
+/// inserting a *more specific* route covering `a` (or withdrawing the one
+/// the answer came from) silently invalidates it. [`RoutingTable::add`] and
+/// [`RoutingTable::remove`] therefore scan the cache and clear every entry
+/// whose address the changed prefix matches — the conservative form of the
+/// invalidation rule from the FIB-caching literature. The scan is skipped
+/// entirely while the cache is empty, so bulk route loading stays linear.
 pub struct RoutingTable {
     v4: PatriciaTable<u32, RouteEntry>,
     v6: PatriciaTable<u128, RouteEntry>,
+    /// Two-way set-associative address cache (consecutive slot pairs form
+    /// a set, MRU first); empty vector = caching disabled.
+    cache: Vec<Option<(IpAddr, RouteEntry)>>,
+    /// Occupied cache slots (0 ⇒ invalidation scans can be skipped).
+    cache_live: usize,
+    cache_stats: FibCacheStats,
 }
 
 impl Default for RoutingTable {
@@ -237,12 +272,78 @@ impl Default for RoutingTable {
 }
 
 impl RoutingTable {
-    /// Empty table.
+    /// Empty table with the default hot-prefix cache.
     pub fn new() -> Self {
+        Self::with_cache(FIB_CACHE_SLOTS)
+    }
+
+    /// Empty table with a `slots`-entry FIB cache (rounded up to a power
+    /// of two; 0 disables caching — [`RoutingTable::lookup_cached`] then
+    /// degenerates to the plain trie walk).
+    pub fn with_cache(slots: usize) -> Self {
+        let slots = if slots == 0 {
+            0
+        } else {
+            slots.next_power_of_two().max(2)
+        };
         RoutingTable {
             v4: PatriciaTable::new(),
             v6: PatriciaTable::new(),
+            cache: vec![None; slots],
+            cache_live: 0,
+            cache_stats: FibCacheStats::default(),
         }
+    }
+
+    /// Base slot of an address's 2-way set (cache must be non-empty).
+    /// The set is `{base, base + 1}` with the MRU entry kept at `base`;
+    /// two-way associativity stops a pair of hot destinations that hash
+    /// alike from evicting each other on every alternate packet, which
+    /// is the classic direct-mapped failure mode.
+    fn cache_set(&self, addr: IpAddr) -> usize {
+        let h = match addr {
+            IpAddr::V4(a) => u64::from(u32::from(a)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            IpAddr::V6(a) => {
+                let v = u128::from(a);
+                ((v as u64) ^ ((v >> 64) as u64)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            }
+        };
+        ((h >> 32) as usize & (self.cache.len() / 2 - 1)) * 2
+    }
+
+    /// Clear every cache entry whose address the changed prefix matches.
+    /// No-op while the cache is empty, so bulk loads never pay the scan.
+    fn invalidate_covered(&mut self, addr: IpAddr, prefix_len: u8) {
+        if self.cache_live == 0 {
+            return;
+        }
+        let mut cleared = 0usize;
+        match addr {
+            IpAddr::V4(a) => {
+                let p = Prefix::new(u32::from(a), prefix_len);
+                for slot in self.cache.iter_mut() {
+                    if let Some((IpAddr::V4(ca), _)) = slot {
+                        if p.matches(u32::from(*ca)) {
+                            *slot = None;
+                            cleared += 1;
+                        }
+                    }
+                }
+            }
+            IpAddr::V6(a) => {
+                let p = Prefix::new(u128::from(a), prefix_len);
+                for slot in self.cache.iter_mut() {
+                    if let Some((IpAddr::V6(ca), _)) = slot {
+                        if p.matches(u128::from(*ca)) {
+                            *slot = None;
+                            cleared += 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.cache_live -= cleared;
+        self.cache_stats.invalidations += cleared as u64;
     }
 
     /// Add a route for an address prefix.
@@ -256,22 +357,90 @@ impl RoutingTable {
                     .insert(Prefix::new(u128::from(a), prefix_len), entry);
             }
         }
+        self.invalidate_covered(addr, prefix_len);
     }
 
     /// Remove a route.
     pub fn remove(&mut self, addr: IpAddr, prefix_len: u8) -> Option<RouteEntry> {
-        match addr {
+        let out = match addr {
             IpAddr::V4(a) => self.v4.remove(Prefix::new(u32::from(a), prefix_len)),
             IpAddr::V6(a) => self.v6.remove(Prefix::new(u128::from(a), prefix_len)),
+        };
+        if out.is_some() {
+            self.invalidate_covered(addr, prefix_len);
         }
+        out
     }
 
-    /// Longest-prefix-match lookup.
+    /// Longest-prefix-match lookup against the full trie, bypassing the
+    /// cache. The uncached reference path — differential tests compare
+    /// [`RoutingTable::lookup_cached`] against this.
     pub fn lookup(&self, addr: IpAddr) -> Option<RouteEntry> {
         match addr {
             IpAddr::V4(a) => self.v4.lookup(u32::from(a)).map(|(e, _)| *e),
             IpAddr::V6(a) => self.v6.lookup(u128::from(a)).map(|(e, _)| *e),
         }
+    }
+
+    /// Longest-prefix-match lookup through the hot-prefix cache. Positive
+    /// answers are cached (2-way set-associative, LRU-of-two evicted);
+    /// negative answers
+    /// are not, so a later route add needs no negative invalidation.
+    pub fn lookup_cached(&mut self, addr: IpAddr) -> Option<RouteEntry> {
+        if self.cache.is_empty() {
+            return self.lookup(addr);
+        }
+        let s = self.cache_set(addr);
+        if let Some((ca, e)) = self.cache[s] {
+            if ca == addr {
+                self.cache_stats.hits += 1;
+                return Some(e);
+            }
+        }
+        if let Some((ca, e)) = self.cache[s + 1] {
+            if ca == addr {
+                self.cache_stats.hits += 1;
+                self.cache.swap(s, s + 1);
+                return Some(e);
+            }
+        }
+        self.cache_stats.misses += 1;
+        let out = self.lookup(addr);
+        if let Some(e) = out {
+            // New entry becomes the set's MRU; the old MRU shifts to the
+            // LRU way, evicting whatever was there.
+            if self.cache[s].is_none() {
+                self.cache[s] = Some((addr, e));
+                self.cache_live += 1;
+            } else {
+                if self.cache[s + 1].is_none() {
+                    self.cache_live += 1;
+                }
+                self.cache[s + 1] = self.cache[s].replace((addr, e));
+            }
+        }
+        out
+    }
+
+    /// FIB-cache counters.
+    pub fn fib_cache_stats(&self) -> FibCacheStats {
+        self.cache_stats
+    }
+
+    /// Drop every cached answer (counters are kept).
+    pub fn flush_cache(&mut self) {
+        for slot in self.cache.iter_mut() {
+            *slot = None;
+        }
+        self.cache_live = 0;
+    }
+
+    /// Repack both tries breadth-first for cache-line adjacency (see
+    /// [`PatriciaTable::repack`]). Call after bulk route loading; lookups
+    /// are unaffected semantically.
+    pub fn optimize(&mut self) {
+        self.v4.repack();
+        self.v6.repack();
     }
 
     /// Number of routes (both families).
@@ -541,6 +710,107 @@ mod tests {
         assert_eq!(rt.len(), 3);
         assert_eq!(rt.remove(v4(0), 24).unwrap().tx_if, 2);
         assert_eq!(rt.lookup(v4(5)).unwrap().tx_if, 1);
+    }
+
+    #[test]
+    fn fib_cache_hits_and_counts() {
+        let mut rt = RoutingTable::new();
+        rt.add(v4(0), 8, RouteEntry { tx_if: 1 });
+        assert_eq!(rt.lookup_cached(v4(5)).unwrap().tx_if, 1);
+        assert_eq!(rt.lookup_cached(v4(5)).unwrap().tx_if, 1);
+        let s = rt.fib_cache_stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        // Negative lookups are not cached: both probes miss.
+        assert!(rt
+            .lookup_cached(IpAddr::V4(Ipv4Addr::new(11, 0, 0, 1)))
+            .is_none());
+        assert!(rt
+            .lookup_cached(IpAddr::V4(Ipv4Addr::new(11, 0, 0, 1)))
+            .is_none());
+        assert_eq!(rt.fib_cache_stats().misses, 3);
+    }
+
+    #[test]
+    fn fib_cache_hidden_prefix_invalidation() {
+        let mut rt = RoutingTable::new();
+        rt.add(v4(0), 8, RouteEntry { tx_if: 1 });
+        // Warm the cache through the /8.
+        assert_eq!(rt.lookup_cached(v4(5)).unwrap().tx_if, 1);
+        assert_eq!(rt.lookup_cached(v4(5)).unwrap().tx_if, 1);
+        // A more specific route covering the cached address must evict the
+        // stale answer (the hidden-prefix hazard).
+        rt.add(v4(0), 24, RouteEntry { tx_if: 2 });
+        assert!(rt.fib_cache_stats().invalidations >= 1);
+        assert_eq!(rt.lookup_cached(v4(5)).unwrap().tx_if, 2);
+        // Withdrawing it must fall back to the /8, not the cached /24.
+        rt.remove(v4(0), 24);
+        assert_eq!(rt.lookup_cached(v4(5)).unwrap().tx_if, 1);
+        // Removing a route that does not exist invalidates nothing.
+        let inv = rt.fib_cache_stats().invalidations;
+        assert!(rt.remove(v4(0), 24).is_none());
+        assert_eq!(rt.fib_cache_stats().invalidations, inv);
+    }
+
+    #[test]
+    fn fib_cache_disabled_matches_reference() {
+        let mut rt = RoutingTable::with_cache(0);
+        rt.add(v4(0), 8, RouteEntry { tx_if: 1 });
+        assert_eq!(rt.lookup_cached(v4(5)).unwrap().tx_if, 1);
+        let s = rt.fib_cache_stats();
+        assert_eq!((s.hits, s.misses, s.invalidations), (0, 0, 0));
+    }
+
+    #[test]
+    fn fib_cached_differential_with_route_churn() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(4242);
+        let mut cached = RoutingTable::with_cache(64); // tiny → heavy conflict traffic
+        let mut plain = RoutingTable::with_cache(0);
+        for step in 0..4000u32 {
+            match rng.gen_range(0..10) {
+                0..=2 => {
+                    let a = IpAddr::V4(Ipv4Addr::from(rng.gen::<u32>() & 0x0F0F_FFFF));
+                    let len = rng.gen_range(0..=32);
+                    let e = RouteEntry { tx_if: step % 7 };
+                    cached.add(a, len, e);
+                    plain.add(a, len, e);
+                }
+                3 => {
+                    let a = IpAddr::V4(Ipv4Addr::from(rng.gen::<u32>() & 0x0F0F_FFFF));
+                    let len = rng.gen_range(0..=32);
+                    assert_eq!(cached.remove(a, len), plain.remove(a, len));
+                }
+                _ => {
+                    let a = IpAddr::V4(Ipv4Addr::from(rng.gen::<u32>() & 0x0F0F_FFFF));
+                    // Probe twice: the second lookup exercises the hit path
+                    // whenever the first cached a positive answer.
+                    assert_eq!(
+                        cached.lookup_cached(a),
+                        plain.lookup(a),
+                        "addr {a} step {step}"
+                    );
+                    assert_eq!(
+                        cached.lookup_cached(a),
+                        plain.lookup(a),
+                        "addr {a} step {step}"
+                    );
+                }
+            }
+        }
+        assert!(cached.fib_cache_stats().hits > 0);
+        assert!(cached.fib_cache_stats().invalidations > 0);
+    }
+
+    #[test]
+    fn optimize_preserves_routes() {
+        let mut rt = RoutingTable::new();
+        rt.add(v4(0), 8, RouteEntry { tx_if: 1 });
+        rt.add(v4(0), 24, RouteEntry { tx_if: 2 });
+        rt.add(v6(0), 32, RouteEntry { tx_if: 3 });
+        rt.optimize();
+        assert_eq!(rt.lookup(v4(5)).unwrap().tx_if, 2);
+        assert_eq!(rt.lookup(v6(9)).unwrap().tx_if, 3);
+        assert_eq!(rt.len(), 3);
     }
 
     #[test]

@@ -60,7 +60,7 @@ impl BestEffortRouter {
                 return Disposition::Dropped(r);
             }
         };
-        match self.routes.lookup(dst) {
+        match self.routes.lookup_cached(dst) {
             Some(e) if (e.tx_if as usize) < self.tx_logs.len() => {
                 self.stats.forwarded += 1;
                 self.tx_logs[e.tx_if as usize].push(mbuf);
@@ -134,7 +134,7 @@ impl AltqDrrRouter {
                 return Disposition::Dropped(r);
             }
         };
-        let Some(e) = self.routes.lookup(dst) else {
+        let Some(e) = self.routes.lookup_cached(dst) else {
             self.stats.dropped_no_route += 1;
             return Disposition::Dropped(DropReason::NoRoute);
         };

@@ -217,6 +217,19 @@ pub struct MetricsRegistry {
     /// Idle flow records reclaimed inline at the allocation cap (gauge
     /// sampled from the flow table at snapshot time).
     pub flow_inline_expired: u64,
+    /// Live-but-coldest flow records evicted inline at the allocation cap
+    /// (LRU admission; gauge sampled from the flow table at snapshot
+    /// time).
+    pub flow_evicted_lru: u64,
+    /// Old hash buckets migrated by the flow table's incremental resize
+    /// (gauge sampled from the flow table at snapshot time).
+    pub flow_resize_steps: u64,
+    /// Route lookups answered by the hot-prefix FIB cache (gauge sampled
+    /// from the routing table at snapshot time).
+    pub fib_cache_hit: u64,
+    /// Route lookups that fell through the FIB cache to the full trie
+    /// (gauge sampled from the routing table at snapshot time).
+    pub fib_cache_miss: u64,
     /// Dropped packets by [`DropReason`] slot (see [`drop_reason_index`]).
     pub drops: [u64; DROP_KINDS],
     /// Packets received per interface slot.
@@ -312,6 +325,10 @@ impl MetricsRegistry {
         self.fragment_flows += other.fragment_flows;
         self.flow_admission_denied += other.flow_admission_denied;
         self.flow_inline_expired += other.flow_inline_expired;
+        self.flow_evicted_lru += other.flow_evicted_lru;
+        self.flow_resize_steps += other.flow_resize_steps;
+        self.fib_cache_hit += other.fib_cache_hit;
+        self.fib_cache_miss += other.fib_cache_miss;
         for i in 0..DROP_KINDS {
             self.drops[i] += other.drops[i];
         }
@@ -378,14 +395,21 @@ impl MetricsRegistry {
         }
         let _ = writeln!(
             out,
-            "flows: expired={} fragment_keyed={} admission_denied={} inline_expired={}; \
-             pkt_size mean={:.0}B (n={})",
+            "flows: expired={} fragment_keyed={} admission_denied={} inline_expired={} \
+             evicted_lru={} resize_steps={}; pkt_size mean={:.0}B (n={})",
             self.flows_expired,
             self.fragment_flows,
             self.flow_admission_denied,
             self.flow_inline_expired,
+            self.flow_evicted_lru,
+            self.flow_resize_steps,
             self.pkt_size.mean(),
             self.pkt_size.count,
+        );
+        let _ = writeln!(
+            out,
+            "fib_cache: hit={} miss={}",
+            self.fib_cache_hit, self.fib_cache_miss,
         );
         if self.sojourn_ns.count > 0 {
             let _ = writeln!(
@@ -468,13 +492,19 @@ impl MetricsRegistry {
         let _ = write!(
             out,
             "],\"flows_expired\":{},\"fragment_flows\":{},\
-             \"flow_admission_denied\":{},\"flow_inline_expired\":{},\"pkt_size\":{},\
+             \"flow_admission_denied\":{},\"flow_inline_expired\":{},\
+             \"flow_evicted_lru\":{},\"flow_resize_steps\":{},\
+             \"fib_cache_hit\":{},\"fib_cache_miss\":{},\"pkt_size\":{},\
              \"sojourn_ns\":{{\"p50\":{},\"p99\":{},\"hist\":{}}},\
              \"mbuf_pool\":{{\"acquired\":{},\"recycled\":{},\"fresh\":{}}}}}",
             self.flows_expired,
             self.fragment_flows,
             self.flow_admission_denied,
             self.flow_inline_expired,
+            self.flow_evicted_lru,
+            self.flow_resize_steps,
+            self.fib_cache_hit,
+            self.fib_cache_miss,
             hist(&self.pkt_size),
             self.sojourn_ns.quantile(0.50),
             self.sojourn_ns.quantile(0.99),
@@ -859,6 +889,10 @@ mod tests {
         assert!(j.contains("\"no_route\":1"));
         assert!(j.contains("\"rx_packets\":1"));
         assert!(j.contains("\"fragment_flows\":0"));
+        assert!(j.contains("\"flow_evicted_lru\":0"));
+        assert!(j.contains("\"flow_resize_steps\":0"));
+        assert!(j.contains("\"fib_cache_hit\":0"));
+        assert!(j.contains("\"fib_cache_miss\":0"));
         assert!(j.contains("\"sojourn_ns\":{\"p50\":0,\"p99\":0,"));
         assert!(j.contains("\"mbuf_pool\":{\"acquired\":0,\"recycled\":0,\"fresh\":0}"));
         // Balanced braces/brackets (cheap well-formedness check).

@@ -332,6 +332,18 @@ impl Router {
         self.routes.remove(addr, prefix_len).is_some()
     }
 
+    /// Repack the routing tries breadth-first for cache-line adjacency
+    /// (see [`rp_lpm::PatriciaTable::repack`]). Call once after bulk
+    /// route loading; forwarding behaviour is unchanged.
+    pub fn optimize_routes(&mut self) {
+        self.routes.optimize();
+    }
+
+    /// Hot-prefix FIB cache counters.
+    pub fn fib_cache_stats(&self) -> crate::ip_core::FibCacheStats {
+        self.routes.fib_cache_stats()
+    }
+
     /// Enable or disable a gate at run time.
     pub fn set_gate_enabled(&mut self, gate: Gate, enabled: bool) {
         self.enabled[gate.index()] = enabled;
@@ -592,8 +604,9 @@ impl Router {
         let dead = inst.clone();
         let evicted = self.aiu.invalidate_flows_where(|r| {
             r.gates
+                .instances()
                 .iter()
-                .any(|g| g.instance.as_ref().is_some_and(|v| Arc::ptr_eq(v, &dead)))
+                .any(|i| i.as_ref().is_some_and(|v| Arc::ptr_eq(v, &dead)))
         });
         for ev in evicted {
             self.run_eviction_callbacks_skipping(ev, Some(inst));
@@ -728,7 +741,7 @@ impl Router {
                 Ok(d) => d,
                 Err(r) => return self.drop_pkt(mbuf, r),
             };
-            match self.routes.lookup(dst) {
+            match self.routes.lookup_cached(dst) {
                 Some(e) => mbuf.tx_if = Some(e.tx_if),
                 None => return self.drop_pkt(mbuf, DropReason::NoRoute),
             }
@@ -1033,6 +1046,11 @@ impl Router {
         self.aiu.flow_stats()
     }
 
+    /// Approximate flow-table heap footprint in bytes.
+    pub fn flow_mem_bytes(&self) -> usize {
+        self.aiu.flow_mem_bytes()
+    }
+
     /// A point-in-time metrics snapshot, with the scheduler queue-depth
     /// gauges sampled now (the hot path never pays for gauge updates).
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
@@ -1053,6 +1071,11 @@ impl Router {
         let f = self.aiu.flow_stats();
         m.flow_admission_denied = f.denied;
         m.flow_inline_expired = f.inline_expired;
+        m.flow_evicted_lru = f.evicted_lru;
+        m.flow_resize_steps = f.resize_steps;
+        let c = self.routes.fib_cache_stats();
+        m.fib_cache_hit = c.hits;
+        m.fib_cache_miss = c.misses;
         m
     }
 

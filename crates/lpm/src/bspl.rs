@@ -54,8 +54,14 @@ struct Entry<V> {
 /// ```
 pub struct BsplTable<A: Bits, V: Clone> {
     /// One hash table per populated length, keyed by masked address bits.
-    tables: HashMap<u8, HashMap<A, Entry<V>>>,
-    /// Sorted list of populated lengths (excluding 0).
+    /// Stored contiguously, parallel to `lengths`: the binary search over
+    /// `lengths` yields the slot index directly, so a probe indexes this
+    /// vector instead of hashing the length through an outer map — one
+    /// fewer dependent memory access per probe, and the per-length table
+    /// headers sit in adjacent cache lines.
+    tables: Vec<HashMap<A, Entry<V>>>,
+    /// Sorted list of populated lengths (excluding 0), parallel to
+    /// `tables`.
     lengths: Vec<u8>,
     /// Real-prefix count per length.
     len_counts: HashMap<u8, usize>,
@@ -85,7 +91,7 @@ impl<A: Bits, V: Clone> BsplTable<A, V> {
     /// Empty table charging probes to `counter`.
     pub fn with_counter(counter: AccessCounter) -> Self {
         BsplTable {
-            tables: HashMap::new(),
+            tables: Vec::new(),
             lengths: Vec::new(),
             len_counts: HashMap::new(),
             real: PatriciaTable::new(),
@@ -133,10 +139,15 @@ impl<A: Bits, V: Clone> BsplTable<A, V> {
         unreachable!("target length not in length set")
     }
 
+    /// Slot of `len` in the parallel `lengths`/`tables` vectors, if that
+    /// length is populated.
+    fn slot_of(&self, len: u8) -> Option<usize> {
+        self.lengths.binary_search(&len).ok()
+    }
+
     fn entry_key_exists(&self, len: u8, key: A) -> bool {
-        self.tables
-            .get(&len)
-            .map(|t| t.contains_key(&key))
+        self.slot_of(len)
+            .map(|s| self.tables[s].contains_key(&key))
             .unwrap_or(false)
     }
 
@@ -148,8 +159,10 @@ impl<A: Bits, V: Clone> BsplTable<A, V> {
             .lookup_max_len(key, len)
             .map(|(v, l)| (v.clone(), l));
         let existed = self.entry_key_exists(len, key);
-        let table = self.tables.entry(len).or_default();
-        let e = table.entry(key).or_insert(Entry {
+        let slot = self
+            .slot_of(len)
+            .expect("touch_entry called for an unpopulated length");
+        let e = self.tables[slot].entry(key).or_insert(Entry {
             marker_refs: 0,
             has_value: false,
             bmp: None,
@@ -186,8 +199,8 @@ impl<A: Bits, V: Clone> BsplTable<A, V> {
                 .real
                 .lookup_max_len(key, len)
                 .map(|(v, l)| (v.clone(), l));
-            if let Some(t) = self.tables.get_mut(&len) {
-                if let Some(e) = t.get_mut(&key) {
+            if let Some(s) = self.slot_of(len) {
+                if let Some(e) = self.tables[s].get_mut(&key) {
                     e.bmp = bmp;
                 }
             }
@@ -197,7 +210,6 @@ impl<A: Bits, V: Clone> BsplTable<A, V> {
     /// Rebuild all hash tables and markers from the real-prefix trie.
     /// Called when the set of populated lengths changes.
     fn rebuild(&mut self) {
-        self.tables.clear();
         self.key_index = PatriciaTable::new();
         let prefixes = self.real.prefixes();
         let mut lengths: Vec<u8> = self
@@ -208,6 +220,7 @@ impl<A: Bits, V: Clone> BsplTable<A, V> {
             .collect();
         lengths.sort_unstable();
         self.lengths = lengths;
+        self.tables = (0..self.lengths.len()).map(|_| HashMap::new()).collect();
         for p in prefixes {
             if !p.is_empty() {
                 self.install_paths(p);
@@ -266,7 +279,8 @@ impl<A: Bits, V: Clone> LpmTable<A, V> for BsplTable<A, V> {
             for m in self.marker_path(prefix.len()) {
                 let key = prefix.bits().mask(m);
                 let mut drop_entry = false;
-                if let Some(t) = self.tables.get_mut(&m) {
+                if let Some(s) = self.slot_of(m) {
+                    let t = &mut self.tables[s];
                     if let Some(e) = t.get_mut(&key) {
                         e.marker_refs -= 1;
                         drop_entry = e.marker_refs == 0 && !e.has_value;
@@ -279,7 +293,8 @@ impl<A: Bits, V: Clone> LpmTable<A, V> for BsplTable<A, V> {
             }
             // The real entry itself.
             let mut drop_entry = false;
-            if let Some(t) = self.tables.get_mut(&prefix.len()) {
+            if let Some(s) = self.slot_of(prefix.len()) {
+                let t = &mut self.tables[s];
                 if let Some(e) = t.get_mut(&prefix.bits()) {
                     e.has_value = false;
                     drop_entry = e.marker_refs == 0;
@@ -301,7 +316,7 @@ impl<A: Bits, V: Clone> LpmTable<A, V> for BsplTable<A, V> {
             let mid = ((lo + hi) / 2) as usize;
             let m = self.lengths[mid];
             self.counter.charge(1); // one hash probe
-            match self.tables.get(&m).and_then(|t| t.get(&addr.mask(m))) {
+            match self.tables[mid].get(&addr.mask(m)) {
                 Some(e) => {
                     if let Some((v, l)) = &e.bmp {
                         best = Some((v, *l));

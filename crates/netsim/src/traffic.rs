@@ -288,6 +288,36 @@ pub fn fragment_flood(flows: usize, payload_len: usize, mtu: usize, seed: u64) -
     out
 }
 
+/// Deterministic synthetic IPv4 FIB: `n` distinct prefixes with a
+/// BGP-table-like length distribution (/24-heavy, short prefixes rare),
+/// each mapped to an egress interface in `0..interfaces`. Address bits
+/// are drawn from a seeded generator, so the same `(n, interfaces,
+/// seed)` triple always yields the same table — the scale experiments
+/// load ~900K of these to stand in for a default-free-zone FIB.
+pub fn synthetic_fib_v4(n: usize, interfaces: u32, seed: u64) -> Vec<(IpAddr, u8, u32)> {
+    assert!(interfaces > 0);
+    const LENS: [u8; 16] = [
+        8, 12, 16, 16, 19, 20, 21, 22, 22, 23, 24, 24, 24, 24, 24, 24,
+    ];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(n * 2);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let len = LENS[rng.gen_range(0..LENS.len())];
+        let mask = if len == 0 { 0 } else { u32::MAX << (32 - len) };
+        let bits = rng.gen::<u32>() & mask;
+        if !seen.insert((bits, len)) {
+            continue;
+        }
+        out.push((
+            IpAddr::V4(Ipv4Addr::from(bits)),
+            len,
+            rng.gen_range(0..interfaces),
+        ));
+    }
+    out
+}
+
 /// Generate `n` random six-tuple filters with a realistic CIDR length
 /// distribution — the Table 2 experiment installs ~50,000 of these.
 /// `v6` selects the address family. Port fields are exact ports or
@@ -474,6 +504,24 @@ mod tests {
         let again = fragment_flood(8, 2000, 600, 3);
         assert_eq!(again.len(), pkts.len());
         assert_eq!(again[11].data(), pkts[11].data());
+    }
+
+    #[test]
+    fn synthetic_fib_is_deterministic_and_distinct() {
+        let fib = synthetic_fib_v4(5000, 4, 11);
+        assert_eq!(fib.len(), 5000);
+        assert_eq!(fib, synthetic_fib_v4(5000, 4, 11));
+        let mut keys: Vec<(IpAddr, u8)> = fib.iter().map(|(a, l, _)| (*a, *l)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 5000, "prefixes must be distinct");
+        assert!(fib.iter().all(|(_, l, i)| *l >= 8 && *l <= 24 && *i < 4));
+        // Host bits below each prefix length are zero (valid prefixes).
+        for (a, l, _) in &fib {
+            let IpAddr::V4(v4) = a else { unreachable!() };
+            let bits = u32::from(*v4);
+            assert_eq!(bits & (u32::MAX >> l), 0, "{a}/{l} has host bits");
+        }
     }
 
     #[test]

@@ -133,6 +133,7 @@ fn flow_eviction_purges_scheduler_state() {
             max_records: 8,
             gates: 6,
             max_idle_ns: 0,
+            ..router_plugins::classifier::FlowTableConfig::default()
         },
         ..RouterConfig::default()
     });
